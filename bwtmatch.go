@@ -1,0 +1,423 @@
+package bwtmatch
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"bwtmatch/internal/alphabet"
+	"bwtmatch/internal/amir"
+	"bwtmatch/internal/core"
+	"bwtmatch/internal/fmindex"
+	"bwtmatch/internal/kerrors"
+	"bwtmatch/internal/naive"
+	"bwtmatch/internal/seedext"
+	"bwtmatch/internal/suffixtree"
+	"bwtmatch/internal/wildcard"
+)
+
+// Method selects the matching algorithm for SearchMethod. The zero value
+// is the paper's Algorithm A.
+type Method int
+
+const (
+	// AlgorithmA is the paper's contribution: BWT search with mismatching
+	// trees (default).
+	AlgorithmA Method = iota
+	// BWTBaseline is the φ-pruned brute-force BWT search of the paper's
+	// reference [34].
+	BWTBaseline
+	// STree is the unpruned brute-force S-tree search (ablation of the φ
+	// heuristic).
+	STree
+	// AlgorithmANoPhi is Algorithm A without the φ(i) bound, exactly as
+	// the paper states it (ablation; see DESIGN.md §3.5).
+	AlgorithmANoPhi
+	// Amir is the filtering baseline: exact break occurrences, candidate
+	// marking, verification.
+	Amir
+	// Cole is the suffix-tree brute-force baseline.
+	Cole
+	// Online is the index-free Landau–Vishkin style kangaroo matcher.
+	Online
+	// Seed is index-based seed-and-extend (extension, DESIGN.md): the
+	// pigeonhole filter of Amir with seed occurrences found on the BWT
+	// index instead of by scanning — per-query work independent of the
+	// target length.
+	Seed
+)
+
+// String returns the method name used in EXPERIMENTS.md tables.
+func (m Method) String() string {
+	switch m {
+	case AlgorithmA:
+		return "A()"
+	case BWTBaseline:
+		return "BWT"
+	case STree:
+		return "S-tree"
+	case AlgorithmANoPhi:
+		return "A()-nophi"
+	case Amir:
+		return "Amir"
+	case Cole:
+		return "Cole"
+	case Online:
+		return "Online"
+	case Seed:
+		return "Seed"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Match is one occurrence of the pattern in the target.
+type Match struct {
+	// Pos is the 0-based start position in the target.
+	Pos int
+	// Mismatches is the Hamming distance between the pattern and the
+	// target window at Pos.
+	Mismatches int
+}
+
+// Stats aggregates per-query work counters; fields are zero for methods
+// they do not apply to.
+type Stats struct {
+	// MTreeLeaves is the paper's n′ (Table 2) for AlgorithmA/BWTBaseline.
+	MTreeLeaves int
+	// StepCalls counts BWT rank operations.
+	StepCalls int
+	// MemoHits counts repeated-interval derivations (AlgorithmA).
+	MemoHits int
+	// Candidates counts verified alignments (Amir).
+	Candidates int
+	// Visited counts suffix tree nodes touched (Cole).
+	Visited int
+}
+
+// Index is an immutable k-mismatch search index over one target sequence.
+// It is safe for concurrent use once built.
+type Index struct {
+	text     []byte // rank-encoded target
+	searcher *core.Searcher
+	refs     []Ref // reference table for NewRefs indexes; nil otherwise
+
+	amirOnce sync.Once
+	amirM    *amir.Matcher
+
+	coleOnce sync.Once
+	coleTree *suffixtree.Tree
+	coleErr  error
+
+	seedOnce sync.Once
+	seedM    *seedext.Matcher
+
+	wildOnce sync.Once
+	wildM    *wildcard.Matcher
+
+	biOnce sync.Once
+	bi     *fmindex.BiIndex
+	biErr  error
+}
+
+// ErrInput reports unusable target or pattern data.
+var ErrInput = errors.New("bwtmatch: invalid input")
+
+// New builds an index over a DNA target (bytes over acgtACGT; see
+// Sanitize for dirty inputs). Options configure space/time trade-offs.
+func New(target []byte, opts ...Option) (*Index, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if len(target) == 0 {
+		return nil, fmt.Errorf("%w: empty target", ErrInput)
+	}
+	ranks, err := alphabet.Encode(target)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInput, err)
+	}
+	searcher, err := core.NewSearcher(ranks, cfg.fm)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{text: ranks, searcher: searcher}, nil
+}
+
+// Sanitize replaces characters outside the DNA alphabet (e.g. 'N') with
+// 'a' and lower-cases the rest, returning the cleaned copy and how many
+// bytes were replaced.
+func Sanitize(seq []byte) ([]byte, int) { return alphabet.Sanitize(seq) }
+
+// Len returns the target length.
+func (x *Index) Len() int { return len(x.text) }
+
+// SizeBytes estimates the resident size of the BWT index structures.
+func (x *Index) SizeBytes() int { return x.searcher.Index().SizeBytes() }
+
+// Search finds all occurrences of pattern with at most k mismatches using
+// Algorithm A, sorted by position.
+func (x *Index) Search(pattern []byte, k int) ([]Match, error) {
+	m, _, err := x.SearchMethod(pattern, k, AlgorithmA)
+	return m, err
+}
+
+// Count returns only the number of k-mismatch occurrences.
+func (x *Index) Count(pattern []byte, k int) (int, error) {
+	m, err := x.Search(pattern, k)
+	return len(m), err
+}
+
+// SearchMethod runs one of the implemented matchers and reports work
+// statistics alongside the matches.
+func (x *Index) SearchMethod(pattern []byte, k int, method Method) ([]Match, Stats, error) {
+	var st Stats
+	p, err := alphabet.Encode(pattern)
+	if err != nil {
+		return nil, st, fmt.Errorf("%w: %v", ErrInput, err)
+	}
+	if len(p) == 0 {
+		return nil, st, fmt.Errorf("%w: empty pattern", ErrInput)
+	}
+	if k < 0 {
+		return nil, st, fmt.Errorf("%w: negative k", ErrInput)
+	}
+	switch method {
+	case AlgorithmA, BWTBaseline, STree, AlgorithmANoPhi:
+		cm := map[Method]core.Method{
+			AlgorithmA:      core.MethodMTree,
+			BWTBaseline:     core.MethodSTreePhi,
+			STree:           core.MethodSTree,
+			AlgorithmANoPhi: core.MethodMTreeNoPhi,
+		}[method]
+		ms, cs, err := x.searcher.Find(p, k, cm)
+		if err != nil {
+			return nil, st, err
+		}
+		st.MTreeLeaves = cs.MTreeLeaves
+		st.StepCalls = cs.StepCalls
+		st.MemoHits = cs.MemoHits
+		return convertCore(ms), st, nil
+	case Amir:
+		x.amirOnce.Do(func() { x.amirM = amir.New(x.text) })
+		ms, as, err := x.amirM.Find(p, k)
+		if err != nil {
+			return nil, st, fmt.Errorf("%w: %v", ErrInput, err)
+		}
+		st.Candidates = as.Candidates
+		out := make([]Match, len(ms))
+		for i, m := range ms {
+			out[i] = Match{Pos: int(m.Pos), Mismatches: m.Mismatches}
+		}
+		return out, st, nil
+	case Cole:
+		x.coleOnce.Do(func() { x.coleTree, x.coleErr = suffixtree.Build(x.text) })
+		if x.coleErr != nil {
+			return nil, st, x.coleErr
+		}
+		pos, visited := x.coleTree.FindK(p, k)
+		st.Visited = visited
+		sort.Slice(pos, func(i, j int) bool { return pos[i] < pos[j] })
+		out := make([]Match, len(pos))
+		for i, q := range pos {
+			out[i] = Match{
+				Pos:        int(q),
+				Mismatches: naive.Hamming(x.text[q:int(q)+len(p)], p, len(p)),
+			}
+		}
+		return out, st, nil
+	case Seed:
+		x.seedOnce.Do(func() { x.seedM = seedext.New(x.searcher.Index(), x.text) })
+		ms, ss, err := x.seedM.Find(p, k)
+		if err != nil {
+			return nil, st, fmt.Errorf("%w: %v", ErrInput, err)
+		}
+		st.Candidates = ss.Candidates
+		out := make([]Match, len(ms))
+		for i, m := range ms {
+			out[i] = Match{Pos: int(m.Pos), Mismatches: m.Mismatches}
+		}
+		return out, st, nil
+	case Online:
+		lv := naive.NewLandauVishkin(x.text, p)
+		pos := lv.Find(k)
+		out := make([]Match, len(pos))
+		for i, q := range pos {
+			out[i] = Match{
+				Pos:        int(q),
+				Mismatches: lv.Mismatches(int(q), k),
+			}
+		}
+		return out, st, nil
+	default:
+		return nil, st, fmt.Errorf("%w: unknown method %v", ErrInput, method)
+	}
+}
+
+// MEM is one maximal exact match of a pattern: pattern[Start:Start+Len)
+// occurs in the target at every position of Positions and can be extended
+// in neither direction.
+type MEM struct {
+	Start, Len int
+	Positions  []int
+}
+
+// MEMs returns the maximal exact matches of the pattern with length at
+// least minLen — the seeding primitive of modern aligners, computed on a
+// bidirectional FM-index built lazily on first use (it adds a second,
+// forward index over the target).
+func (x *Index) MEMs(pattern []byte, minLen int) ([]MEM, error) {
+	p, err := alphabet.Encode(pattern)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInput, err)
+	}
+	if len(p) == 0 {
+		return nil, fmt.Errorf("%w: empty pattern", ErrInput)
+	}
+	x.biOnce.Do(func() {
+		x.bi, x.biErr = fmindex.BuildBi(x.text, fmindex.DefaultOptions())
+	})
+	if x.biErr != nil {
+		return nil, x.biErr
+	}
+	raw := x.bi.MEMs(p, minLen)
+	out := make([]MEM, len(raw))
+	var buf []int32
+	for i, m := range raw {
+		buf = x.bi.Fwd().Locate(m.Iv.Fwd, buf[:0])
+		positions := make([]int, len(buf))
+		for j, q := range buf {
+			positions[j] = int(q)
+		}
+		sort.Ints(positions)
+		out[i] = MEM{Start: m.Start, Len: m.Len, Positions: positions}
+	}
+	return out, nil
+}
+
+// SearchBest finds the occurrences with the smallest Hamming distance not
+// exceeding maxK, by iterative deepening: k = 0, 1, … until something
+// matches. This is the question a read aligner actually asks ("where does
+// this read fit best?"), and deepening is cheap here because Algorithm
+// A's φ bound prunes hopeless budgets almost immediately. It returns the
+// distance found and the matches at exactly that distance, or (-1, nil)
+// when nothing matches within maxK.
+func (x *Index) SearchBest(pattern []byte, maxK int) (int, []Match, error) {
+	if maxK < 0 {
+		return -1, nil, fmt.Errorf("%w: negative maxK", ErrInput)
+	}
+	for k := 0; k <= maxK; k++ {
+		matches, err := x.Search(pattern, k)
+		if err != nil {
+			return -1, nil, err
+		}
+		if len(matches) == 0 {
+			continue
+		}
+		// Search(k) returns every occurrence with distance <= k; keep the
+		// minimum stratum (all equal to k on the first non-empty round,
+		// but guard against future search relaxations).
+		best := matches[0].Mismatches
+		for _, m := range matches {
+			if m.Mismatches < best {
+				best = m.Mismatches
+			}
+		}
+		out := matches[:0:0]
+		for _, m := range matches {
+			if m.Mismatches == best {
+				out = append(out, m)
+			}
+		}
+		return best, out, nil
+	}
+	return -1, nil, nil
+}
+
+// wildcardRank is the internal marker for don't-care positions; it lies
+// outside the alphabet's rank range.
+const wildcardRank = byte(0x7F)
+
+// SearchWildcard finds all exact occurrences of a pattern containing
+// don't-care symbols ('n' or 'N'), each matching any single base — the
+// paper's §II "string matching with don't-cares", provided as an
+// extension. Positions are sorted.
+func (x *Index) SearchWildcard(pattern []byte) ([]int, error) {
+	p := make([]byte, len(pattern))
+	for i, b := range pattern {
+		if b == 'n' || b == 'N' {
+			p[i] = wildcardRank
+			continue
+		}
+		r, err := alphabet.Rank(b)
+		if err != nil || r == alphabet.Sentinel {
+			return nil, fmt.Errorf("%w: %q at position %d", ErrInput, b, i)
+		}
+		p[i] = r
+	}
+	if len(p) == 0 {
+		return nil, fmt.Errorf("%w: empty pattern", ErrInput)
+	}
+	x.wildOnce.Do(func() { x.wildM = wildcard.New(x.searcher.Index(), x.text) })
+	pos, err := x.wildM.Find(p, wildcardRank)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInput, err)
+	}
+	out := make([]int, len(pos))
+	for i, q := range pos {
+		out[i] = int(q)
+	}
+	return out, nil
+}
+
+// EditMatch is one k-errors (Levenshtein) occurrence: some substring of
+// the target ending at End (exclusive) is within Distance edits of the
+// pattern.
+type EditMatch struct {
+	End      int
+	Distance int
+}
+
+// SearchEdits finds all positions where the pattern occurs with at most k
+// edit operations (substitutions, insertions, deletions) — the
+// Levenshtein-distance sibling of Search, provided as an extension (the
+// paper's §II "string matching with k errors"). It runs the O(kn) banded
+// online matcher over the target.
+func (x *Index) SearchEdits(pattern []byte, k int) ([]EditMatch, error) {
+	p, err := alphabet.Encode(pattern)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInput, err)
+	}
+	ms, err := kerrors.FindBanded(x.text, p, k)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInput, err)
+	}
+	out := make([]EditMatch, len(ms))
+	for i, m := range ms {
+		out[i] = EditMatch{End: int(m.End), Distance: m.Distance}
+	}
+	return out, nil
+}
+
+// MTreeLeaves runs Algorithm A and returns the paper's n′ statistic
+// without locating occurrences (used by the Table 2 reproduction).
+func (x *Index) MTreeLeaves(pattern []byte, k int) (int, error) {
+	p, err := alphabet.Encode(pattern)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrInput, err)
+	}
+	cs, err := x.searcher.CountLeaves(p, k)
+	if err != nil {
+		return 0, err
+	}
+	return cs.MTreeLeaves, nil
+}
+
+func convertCore(ms []core.Match) []Match {
+	out := make([]Match, len(ms))
+	for i, m := range ms {
+		out[i] = Match{Pos: int(m.Pos), Mismatches: m.Mismatches}
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package bwtmatch_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCmds compiles the three CLIs once per test binary run.
+func buildCmds(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	for _, name := range []string{"kmgen", "kmsearch", "kmbench"} {
+		bin := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, out)
+		}
+	}
+	return dir
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bins := buildCmds(t)
+	work := t.TempDir()
+	genome := filepath.Join(work, "genome.fa")
+	reads := filepath.Join(work, "reads.fq")
+	index := filepath.Join(work, "genome.bwt")
+
+	// Generate a two-chromosome genome and a read set.
+	out := run(t, filepath.Join(bins, "kmgen"),
+		"-genome", genome, "-bases", "65536", "-chromosomes", "2", "-seed", "5")
+	if !strings.Contains(out, "2 chromosome(s)") {
+		t.Fatalf("kmgen genome output: %s", out)
+	}
+	out = run(t, filepath.Join(bins, "kmgen"),
+		"-reads", reads, "-from", genome, "-length", "80", "-count", "20", "-seed", "6")
+	if !strings.Contains(out, "wrote 20 reads") {
+		t.Fatalf("kmgen reads output: %s", out)
+	}
+
+	// Index once with -save, search from the saved index, compare methods.
+	first := run(t, filepath.Join(bins, "kmsearch"),
+		"-genome", genome, "-save", index, "-reads", reads, "-k", "4", "-v")
+	second := run(t, filepath.Join(bins, "kmsearch"),
+		"-index", index, "-reads", reads, "-k", "4", "-v", "-p", "4")
+	if extractMatches(first) != extractMatches(second) {
+		t.Fatalf("saved-index run disagrees:\n%s\nvs\n%s", first, second)
+	}
+	seed := run(t, filepath.Join(bins, "kmsearch"),
+		"-index", index, "-reads", reads, "-k", "4", "-v", "-method", "seed")
+	if extractMatches(first) != extractMatches(seed) {
+		t.Fatalf("seed method disagrees:\n%s\nvs\n%s", first, seed)
+	}
+
+	// Every simulated read (2% errors on 80 bp) should map at k=4.
+	for _, line := range strings.Split(strings.TrimSpace(extractMatches(first)), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 2 || fields[1] == "0" {
+			t.Fatalf("unmapped read in output line %q", line)
+		}
+	}
+
+	// SAM output: header must list both chromosomes, and every mapped
+	// read must carry an NM tag.
+	sam := run(t, filepath.Join(bins, "kmsearch"),
+		"-index", index, "-reads", reads, "-k", "4", "-sam")
+	if !strings.Contains(sam, "@SQ\tSN:chr1") || !strings.Contains(sam, "@SQ\tSN:chr2") {
+		t.Fatalf("SAM header missing chromosomes:\n%s", sam[:200])
+	}
+	mapped := 0
+	for _, line := range strings.Split(sam, "\n") {
+		if strings.HasPrefix(line, "read") && strings.Contains(line, "NM:i:") {
+			mapped++
+		}
+	}
+	if mapped == 0 {
+		t.Fatal("no mapped SAM records")
+	}
+
+	// One small kmbench experiment end to end.
+	bench := run(t, filepath.Join(bins, "kmbench"),
+		"-exp", "table1", "-scale", "512", "-reads", "2")
+	if !strings.Contains(bench, "rat-sim") {
+		t.Fatalf("kmbench output: %s", bench)
+	}
+}
+
+// extractMatches drops stderr-style status lines that vary between runs.
+func extractMatches(out string) string {
+	var keep []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "read") {
+			keep = append(keep, line)
+		}
+	}
+	return strings.Join(keep, "\n")
+}

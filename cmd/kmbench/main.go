@@ -1,0 +1,43 @@
+// Command kmbench reproduces the paper's evaluation: it regenerates every
+// table and figure of Chen & Wu (ICDE 2017) on the synthetic corpus.
+//
+// Usage:
+//
+//	kmbench -exp fig11a            # one experiment
+//	kmbench -exp all -scale 8      # everything, 2 MiB largest genome
+//
+// Experiments: table1, table2, fig11a, fig11b, fig12, fig13, ablation.
+// See EXPERIMENTS.md for the mapping to the paper's artifacts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bwtmatch/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id or 'all': "+strings.Join(bench.Experiments(), ", "))
+	scale := flag.Int("scale", 8, "divide genome sizes by this factor (1 = 16 MiB largest)")
+	reads := flag.Int("reads", 50, "reads per configuration")
+	seed := flag.Int64("seed", 42, "workload seed")
+	flag.Parse()
+
+	cfg := bench.Config{Scale: *scale, Reads: *reads, Seed: *seed}
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = bench.Experiments()
+	}
+	for i, id := range ids {
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := bench.Run(id, os.Stdout, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "kmbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}

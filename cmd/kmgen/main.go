@@ -1,0 +1,151 @@
+// Command kmgen generates synthetic genomes and simulated reads for use
+// with kmsearch.
+//
+// Output formats: fasta (default for genomes), fastq (default for
+// reads), or lines (one sequence per line).
+//
+//	kmgen -genome g.fa -bases 1048576 -repeats 0.4 -chromosomes 2
+//	kmgen -reads r.fq -from g.fa -length 100 -count 50 -error 0.02
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bwtmatch/internal/alphabet"
+	"bwtmatch/internal/dna"
+	"bwtmatch/internal/seqio"
+)
+
+func main() {
+	genomeOut := flag.String("genome", "", "write a genome to this file")
+	readsOut := flag.String("reads", "", "write simulated reads to this file")
+	from := flag.String("from", "", "genome file to simulate reads from")
+	format := flag.String("format", "", "fasta|fastq|lines (default: fasta for genomes, fastq for reads)")
+	bases := flag.Int("bases", 1<<20, "total genome length")
+	chromosomes := flag.Int("chromosomes", 1, "number of chromosomes to split the genome into")
+	gc := flag.Float64("gc", 0.41, "GC content")
+	markov := flag.Float64("markov", 0.15, "order-1 Markov bias")
+	repeats := flag.Float64("repeats", 0.3, "repeat fraction")
+	length := flag.Int("length", 100, "read length")
+	count := flag.Int("count", 50, "read count")
+	errRate := flag.Float64("error", 0.02, "per-base substitution rate")
+	rc := flag.Bool("rc", false, "emit reverse-complement reads half the time")
+	seed := flag.Int64("seed", 1, "generator seed")
+	flag.Parse()
+
+	switch {
+	case *genomeOut != "":
+		if *chromosomes < 1 {
+			fatal(fmt.Errorf("need at least one chromosome"))
+		}
+		recs := make([]seqio.Record, *chromosomes)
+		per := *bases / *chromosomes
+		for i := range recs {
+			g, err := dna.Generate(dna.GenomeConfig{
+				Length: per, GC: *gc, MarkovBias: *markov,
+				RepeatFraction: *repeats, Seed: *seed + int64(i),
+			})
+			if err != nil {
+				fatal(err)
+			}
+			recs[i] = seqio.Record{ID: fmt.Sprintf("chr%d", i+1), Seq: alphabet.Decode(g)}
+		}
+		if err := writeRecords(*genomeOut, recs, pick(*format, "fasta")); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d chromosome(s), %d bases total to %s\n",
+			len(recs), per*len(recs), *genomeOut)
+	case *readsOut != "":
+		if *from == "" {
+			fatal(fmt.Errorf("-reads requires -from <genome file>"))
+		}
+		genome, err := readConcatenated(*from)
+		if err != nil {
+			fatal(err)
+		}
+		reads, err := dna.Simulate(genome, dna.ReadConfig{
+			Length: *length, Count: *count, ErrorRate: *errRate,
+			ReverseComplement: *rc, Seed: *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		recs := make([]seqio.Record, len(reads))
+		for i, r := range reads {
+			strand := "+"
+			if r.RC {
+				strand = "-"
+			}
+			recs[i] = seqio.Record{
+				ID:  fmt.Sprintf("read%d pos=%d errors=%d strand=%s", i, r.Pos, r.Errors, strand),
+				Seq: alphabet.Decode(r.Seq),
+			}
+		}
+		if err := writeRecords(*readsOut, recs, pick(*format, "fastq")); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d reads to %s\n", len(reads), *readsOut)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func pick(format, def string) string {
+	if format == "" {
+		return def
+	}
+	return format
+}
+
+func readConcatenated(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	recs, err := seqio.NewReader(f).ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	var seq []byte
+	for _, rec := range recs {
+		clean, _ := alphabet.Sanitize(rec.Seq)
+		ranks, err := alphabet.Encode(clean)
+		if err != nil {
+			return nil, err
+		}
+		seq = append(seq, ranks...)
+	}
+	return seq, nil
+}
+
+func writeRecords(path string, recs []seqio.Record, format string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch format {
+	case "fasta":
+		return seqio.WriteFasta(f, recs)
+	case "fastq":
+		return seqio.WriteFastq(f, recs)
+	case "lines":
+		for _, rec := range recs {
+			if _, err := f.Write(append(rec.Seq, '\n')); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kmgen:", err)
+	os.Exit(1)
+}

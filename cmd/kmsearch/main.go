@@ -1,0 +1,227 @@
+// Command kmsearch indexes a genome and reports all k-mismatch
+// occurrences of each read, one line per read:
+//
+//	<read-id> <matches> <pos:mismatches> ...
+//
+// Genomes are read from FASTA or bare-line files (multi-record FASTA is
+// concatenated); reads from FASTQ, FASTA or bare lines. The index can be
+// persisted so repeated runs skip construction:
+//
+//	kmsearch -genome g.fa -save g.bwt                # build and save
+//	kmsearch -index g.bwt -reads r.fq -k 4 [-method a|bwt|stree|amir|cole|online]
+//	kmsearch -genome g.fa -reads r.fq -k 4 -p 8      # 8 worker goroutines
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bwtmatch"
+	"bwtmatch/internal/seqio"
+)
+
+var methods = map[string]bwtmatch.Method{
+	"a":      bwtmatch.AlgorithmA,
+	"bwt":    bwtmatch.BWTBaseline,
+	"stree":  bwtmatch.STree,
+	"amir":   bwtmatch.Amir,
+	"cole":   bwtmatch.Cole,
+	"seed":   bwtmatch.Seed,
+	"online": bwtmatch.Online,
+}
+
+func main() {
+	genomePath := flag.String("genome", "", "genome file (FASTA or one line of acgt)")
+	indexPath := flag.String("index", "", "load a saved index instead of -genome")
+	savePath := flag.String("save", "", "save the built index to this file")
+	readsPath := flag.String("reads", "", "reads file (FASTQ, FASTA or one read per line)")
+	k := flag.Int("k", 4, "maximum number of mismatches")
+	methodName := flag.String("method", "a", "a|bwt|stree|amir|cole|online|seed")
+	workers := flag.Int("p", 1, "worker goroutines")
+	verbose := flag.Bool("v", false, "print per-read positions")
+	sam := flag.Bool("sam", false, "emit SAM records instead of the compact format")
+	flag.Parse()
+
+	method, ok := methods[*methodName]
+	if !ok {
+		fatal(fmt.Errorf("unknown method %q", *methodName))
+	}
+
+	var idx *bwtmatch.Index
+	var err error
+	start := time.Now()
+	switch {
+	case *indexPath != "":
+		idx, err = bwtmatch.LoadFile(*indexPath)
+	case *genomePath != "":
+		var refs []bwtmatch.Reference
+		refs, err = readGenome(*genomePath)
+		if err == nil {
+			idx, err = bwtmatch.NewRefs(refs)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "index ready: %d bases in %v (%d index bytes)\n",
+		idx.Len(), time.Since(start).Round(time.Millisecond), idx.SizeBytes())
+
+	if *savePath != "" {
+		if err := idx.SaveFile(*savePath); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "saved index to %s\n", *savePath)
+	}
+	if *readsPath == "" {
+		return
+	}
+
+	f, err := os.Open(*readsPath)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	recs, err := seqio.NewReader(f).ReadAll()
+	if err != nil {
+		fatal(err)
+	}
+
+	queries := make([]bwtmatch.Query, len(recs))
+	for i, rec := range recs {
+		clean, _ := bwtmatch.Sanitize(rec.Seq)
+		queries[i] = bwtmatch.Query{ID: rec.ID, Pattern: clean, K: *k}
+	}
+	searchStart := time.Now()
+	results := idx.MapAll(queries, method, *workers)
+	elapsed := time.Since(searchStart)
+
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	totalMatches := 0
+	if *sam {
+		totalMatches = writeSAM(out, idx, queries, results)
+	} else {
+		for i, res := range results {
+			if res.Err != nil {
+				fatal(fmt.Errorf("read %s: %w", queries[i].ID, res.Err))
+			}
+			totalMatches += len(res.Matches)
+			fmt.Fprintf(out, "%s %d", queries[i].ID, len(res.Matches))
+			if *verbose {
+				for _, m := range res.Matches {
+					if ref, pos, ok := idx.Resolve(m.Pos, len(queries[i].Pattern)); ok {
+						fmt.Fprintf(out, " %s:%d:%d", ref, pos, m.Mismatches)
+					} else if len(idx.Refs()) == 0 {
+						fmt.Fprintf(out, " %d:%d", m.Pos, m.Mismatches)
+					}
+					// Boundary-spanning artifacts of concatenation are dropped.
+				}
+			}
+			fmt.Fprintln(out)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "%d reads, %d matches, %v total (%s, k=%d, p=%d)\n",
+		len(recs), totalMatches, elapsed.Round(time.Millisecond), method, *k, *workers)
+}
+
+// writeSAM emits one SAM alignment line per match: the best (fewest
+// mismatches) hit as the primary record, the rest flagged secondary
+// (0x100); unmapped reads get flag 0x4. CIGAR is always <m>M under the
+// Hamming model; the NM tag carries the mismatch count. Returns the
+// total match count.
+func writeSAM(out *bufio.Writer, idx *bwtmatch.Index, queries []bwtmatch.Query, results []bwtmatch.Result) int {
+	fmt.Fprintln(out, "@HD\tVN:1.6\tSO:unknown")
+	for _, r := range idx.Refs() {
+		fmt.Fprintf(out, "@SQ\tSN:%s\tLN:%d\n", r.Name, r.Len)
+	}
+	fmt.Fprintln(out, "@PG\tID:kmsearch\tPN:kmsearch")
+	total := 0
+	for i, res := range results {
+		q := queries[i]
+		name := firstWord(q.ID)
+		if res.Err != nil || len(res.Matches) == 0 {
+			fmt.Fprintf(out, "%s\t4\t*\t0\t0\t*\t*\t0\t0\t%s\t*\n", name, q.Pattern)
+			continue
+		}
+		best := 0
+		for j, m := range res.Matches {
+			if m.Mismatches < res.Matches[best].Mismatches {
+				best = j
+			}
+		}
+		for j, m := range res.Matches {
+			ref, pos, ok := idx.Resolve(m.Pos, len(q.Pattern))
+			if !ok {
+				continue // boundary artifact
+			}
+			total++
+			flag := 0
+			if j != best {
+				flag |= 0x100
+			}
+			fmt.Fprintf(out, "%s\t%d\t%s\t%d\t%d\t%dM\t*\t0\t0\t%s\t*\tNM:i:%d\n",
+				name, flag, ref, pos+1, mapq(len(res.Matches)), len(q.Pattern),
+				q.Pattern, m.Mismatches)
+		}
+	}
+	return total
+}
+
+// mapq is a crude mapping quality: unique hits score high, multi-mapped
+// reads low, in the spirit (not the math) of real aligners.
+func mapq(hits int) int {
+	switch {
+	case hits <= 1:
+		return 60
+	case hits <= 3:
+		return 3
+	default:
+		return 0
+	}
+}
+
+// readGenome loads every record of a FASTA (or bare-line) file as a
+// separate reference, sanitizing ambiguity codes.
+func readGenome(path string) ([]bwtmatch.Reference, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	recs, err := seqio.NewReader(f).ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	refs := make([]bwtmatch.Reference, len(recs))
+	replaced := 0
+	for i, rec := range recs {
+		clean, n := bwtmatch.Sanitize(rec.Seq)
+		replaced += n
+		refs[i] = bwtmatch.Reference{Name: firstWord(rec.ID), Seq: clean}
+	}
+	if replaced > 0 {
+		fmt.Fprintf(os.Stderr, "sanitized %d ambiguous bases\n", replaced)
+	}
+	return refs, nil
+}
+
+// firstWord trims a FASTA description to its identifier.
+func firstWord(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == ' ' || s[i] == '\t' {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kmsearch:", err)
+	os.Exit(1)
+}

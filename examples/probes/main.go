@@ -1,0 +1,67 @@
+// Probe design: the extension APIs in one workflow. Degenerate probes
+// (with 'n' don't-care positions) are located exactly with
+// SearchWildcard; candidate loci are then compared against the probe
+// under the Levenshtein model with SearchEdits to tolerate small indels;
+// finally the best locus is aligned locally (Smith–Waterman) to show the
+// exact base-level correspondence.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"bwtmatch"
+	"bwtmatch/internal/align"
+	"bwtmatch/internal/alphabet"
+	"bwtmatch/internal/dna"
+)
+
+func main() {
+	bases := flag.Int("bases", 1<<18, "genome length")
+	flag.Parse()
+
+	genome, err := dna.Generate(dna.GenomeConfig{
+		Length: *bases, RepeatFraction: 0.35, MarkovBias: 0.1, Seed: 41,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	text := alphabet.Decode(genome)
+	idx, err := bwtmatch.New(text)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A probe copied from the genome with two positions degenerated.
+	site := len(text) / 3
+	probe := append([]byte(nil), text[site:site+40]...)
+	probe[10], probe[25] = 'n', 'n'
+
+	positions, err := idx.SearchWildcard(probe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("degenerate probe %q\n", probe)
+	fmt.Printf("exact wildcard hits: %v\n", positions)
+
+	// Tolerate small indels around the probe with the k-errors matcher.
+	solid := append([]byte(nil), text[site:site+40]...)
+	edits, err := idx.SearchEdits(solid, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("k-errors (<=2 edits) end positions: %d loci\n", len(edits))
+
+	// Align the probe against its first hit locus to display base-level
+	// correspondence.
+	if len(positions) > 0 {
+		p := positions[0]
+		window := text[p : p+len(probe)+4]
+		al, err := align.Local(window, solid, align.DefaultScoring())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("local alignment at locus %d: score %d, cigar %s\n", p, al.Score, al)
+	}
+}

@@ -1,0 +1,88 @@
+package bwtmatch
+
+import (
+	"bytes"
+	"testing"
+
+	"bwtmatch/internal/alphabet"
+	"bwtmatch/internal/naive"
+)
+
+// FuzzSearchMethods cross-checks the three index search methods against
+// the naive oracle on arbitrary byte inputs (sanitized into the DNA
+// alphabet). Run with `go test -fuzz=FuzzSearchMethods` for continuous
+// fuzzing; the seed corpus runs in ordinary `go test`.
+func FuzzSearchMethods(f *testing.F) {
+	f.Add([]byte("acagaca"), []byte("tcaca"), byte(2))
+	f.Add([]byte("ccacacagaagcc"), []byte("aaaaacaaac"), byte(4))
+	f.Add([]byte("aaaaaaaa"), []byte("ttt"), byte(1))
+	f.Add([]byte("acgtacgtacgt"), []byte("acgt"), byte(0))
+	f.Fuzz(func(t *testing.T, target, pattern []byte, k8 byte) {
+		if len(target) == 0 || len(target) > 2000 {
+			return
+		}
+		if len(pattern) == 0 || len(pattern) > 40 {
+			return
+		}
+		k := int(k8) % 5
+		cleanT, _ := Sanitize(target)
+		cleanP, _ := Sanitize(pattern)
+		idx, err := New(cleanT)
+		if err != nil {
+			t.Fatalf("New(%q): %v", cleanT, err)
+		}
+		tr, _ := alphabet.Encode(cleanT)
+		pr, _ := alphabet.Encode(cleanP)
+		want := naive.Find(tr, pr, k)
+		for _, method := range []Method{AlgorithmA, BWTBaseline, Seed} {
+			got, _, err := idx.SearchMethod(cleanP, k, method)
+			if err != nil {
+				t.Fatalf("%v: %v", method, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%v found %d, oracle %d (target %q pattern %q k=%d)",
+					method, len(got), len(want), cleanT, cleanP, k)
+			}
+			for i := range got {
+				if int32(got[i].Pos) != want[i] {
+					t.Fatalf("%v position %d: %d vs %d", method, i, got[i].Pos, want[i])
+				}
+			}
+		}
+	})
+}
+
+// FuzzSaveLoad checks that any index round-trips bit-identically through
+// the serializer.
+func FuzzSaveLoad(f *testing.F) {
+	f.Add([]byte("acgtacgt"))
+	f.Add([]byte("a"))
+	f.Add([]byte("ccacacagaagcc"))
+	f.Fuzz(func(t *testing.T, target []byte) {
+		if len(target) == 0 || len(target) > 1000 {
+			return
+		}
+		clean, _ := Sanitize(target)
+		idx, err := New(clean)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := idx.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := Load(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		probe := clean
+		if len(probe) > 10 {
+			probe = probe[:10]
+		}
+		a, _ := idx.Search(probe, 1)
+		b, _ := loaded.Search(probe, 1)
+		if len(a) != len(b) {
+			t.Fatalf("results differ after reload: %d vs %d", len(a), len(b))
+		}
+	})
+}

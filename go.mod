@@ -1,0 +1,3 @@
+module bwtmatch
+
+go 1.24

@@ -1,0 +1,258 @@
+// Package align implements scoring-based sequence alignment — the other
+// branch of the paper's §II taxonomy of inexact matching ("a best
+// alignment between r and s ... in terms of a given distance function or
+// a score matrix"). Global (Needleman–Wunsch) and local (Smith–Waterman)
+// alignment with affine-free linear gap costs, full traceback, and a
+// score-only linear-space variant for long sequences.
+package align
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+)
+
+// Scoring defines match/mismatch/gap scores. Match should be positive,
+// Mismatch and Gap negative for meaningful alignments.
+type Scoring struct {
+	Match    int
+	Mismatch int
+	Gap      int
+}
+
+// DefaultScoring is the classic +2/-1/-2 DNA scheme.
+func DefaultScoring() Scoring { return Scoring{Match: 2, Mismatch: -1, Gap: -2} }
+
+// ErrInput reports unusable sequences or scores.
+var ErrInput = errors.New("align: invalid input")
+
+// Op is one traceback operation.
+type Op byte
+
+const (
+	OpMatch    Op = 'M' // characters aligned and equal
+	OpMismatch Op = 'X' // characters aligned and different
+	OpInsA     Op = 'I' // gap in b (consume from a)
+	OpInsB     Op = 'D' // gap in a (consume from b)
+)
+
+// Alignment is a scored alignment with its operation string.
+type Alignment struct {
+	Score int
+	// StartA/StartB are the 0-based positions where the alignment begins
+	// (always 0 for global alignment).
+	StartA, StartB int
+	// Ops is the traceback (from the start of the alignment).
+	Ops []Op
+}
+
+// String renders the alignment compactly, e.g. "5M1X3M1D2M".
+func (a Alignment) String() string {
+	var buf bytes.Buffer
+	for i := 0; i < len(a.Ops); {
+		j := i
+		for j < len(a.Ops) && a.Ops[j] == a.Ops[i] {
+			j++
+		}
+		fmt.Fprintf(&buf, "%d%c", j-i, a.Ops[i])
+		i = j
+	}
+	return buf.String()
+}
+
+// Global computes the optimal Needleman–Wunsch alignment of a and b.
+func Global(a, b []byte, sc Scoring) (Alignment, error) {
+	if sc.Gap > 0 {
+		return Alignment{}, fmt.Errorf("%w: positive gap score", ErrInput)
+	}
+	n, m := len(a), len(b)
+	// dp[i][j] = best score aligning a[:i] with b[:j].
+	dp := make([][]int, n+1)
+	for i := range dp {
+		dp[i] = make([]int, m+1)
+	}
+	for i := 1; i <= n; i++ {
+		dp[i][0] = i * sc.Gap
+	}
+	for j := 1; j <= m; j++ {
+		dp[0][j] = j * sc.Gap
+	}
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			s := sc.Mismatch
+			if a[i-1] == b[j-1] {
+				s = sc.Match
+			}
+			dp[i][j] = max3(dp[i-1][j-1]+s, dp[i-1][j]+sc.Gap, dp[i][j-1]+sc.Gap)
+		}
+	}
+	ops := tracebackGlobal(a, b, sc, dp)
+	return Alignment{Score: dp[n][m], Ops: ops}, nil
+}
+
+func tracebackGlobal(a, b []byte, sc Scoring, dp [][]int) []Op {
+	var rev []Op
+	i, j := len(a), len(b)
+	for i > 0 || j > 0 {
+		switch {
+		case i > 0 && j > 0 && dp[i][j] == dp[i-1][j-1]+sub(a[i-1], b[j-1], sc):
+			if a[i-1] == b[j-1] {
+				rev = append(rev, OpMatch)
+			} else {
+				rev = append(rev, OpMismatch)
+			}
+			i--
+			j--
+		case i > 0 && dp[i][j] == dp[i-1][j]+sc.Gap:
+			rev = append(rev, OpInsA)
+			i--
+		default:
+			rev = append(rev, OpInsB)
+			j--
+		}
+	}
+	reverseOps(rev)
+	return rev
+}
+
+// Local computes the optimal Smith–Waterman local alignment of a and b.
+// A zero-length alignment (score 0) is returned when nothing scores
+// positively.
+func Local(a, b []byte, sc Scoring) (Alignment, error) {
+	if sc.Gap > 0 {
+		return Alignment{}, fmt.Errorf("%w: positive gap score", ErrInput)
+	}
+	n, m := len(a), len(b)
+	dp := make([][]int, n+1)
+	for i := range dp {
+		dp[i] = make([]int, m+1)
+	}
+	best, bi, bj := 0, 0, 0
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			v := max3(dp[i-1][j-1]+sub(a[i-1], b[j-1], sc), dp[i-1][j]+sc.Gap, dp[i][j-1]+sc.Gap)
+			if v < 0 {
+				v = 0
+			}
+			dp[i][j] = v
+			if v > best {
+				best, bi, bj = v, i, j
+			}
+		}
+	}
+	// Trace back from the maximum until a zero cell.
+	var rev []Op
+	i, j := bi, bj
+	for i > 0 && j > 0 && dp[i][j] > 0 {
+		switch {
+		case dp[i][j] == dp[i-1][j-1]+sub(a[i-1], b[j-1], sc):
+			if a[i-1] == b[j-1] {
+				rev = append(rev, OpMatch)
+			} else {
+				rev = append(rev, OpMismatch)
+			}
+			i--
+			j--
+		case dp[i][j] == dp[i-1][j]+sc.Gap:
+			rev = append(rev, OpInsA)
+			i--
+		default:
+			rev = append(rev, OpInsB)
+			j--
+		}
+	}
+	reverseOps(rev)
+	return Alignment{Score: best, StartA: i, StartB: j, Ops: rev}, nil
+}
+
+// GlobalScore computes only the Needleman–Wunsch score in O(min(n,m))
+// space, for long sequences where the traceback matrix would not fit.
+func GlobalScore(a, b []byte, sc Scoring) (int, error) {
+	if sc.Gap > 0 {
+		return 0, fmt.Errorf("%w: positive gap score", ErrInput)
+	}
+	if len(b) > len(a) {
+		a, b = b, a
+	}
+	m := len(b)
+	prev := make([]int, m+1)
+	cur := make([]int, m+1)
+	for j := 0; j <= m; j++ {
+		prev[j] = j * sc.Gap
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i * sc.Gap
+		for j := 1; j <= m; j++ {
+			cur[j] = max3(prev[j-1]+sub(a[i-1], b[j-1], sc), prev[j]+sc.Gap, cur[j-1]+sc.Gap)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m], nil
+}
+
+func sub(x, y byte, sc Scoring) int {
+	if x == y {
+		return sc.Match
+	}
+	return sc.Mismatch
+}
+
+func max3(a, b, c int) int {
+	if b > a {
+		a = b
+	}
+	if c > a {
+		a = c
+	}
+	return a
+}
+
+func reverseOps(ops []Op) {
+	for i, j := 0, len(ops)-1; i < j; i, j = i+1, j-1 {
+		ops[i], ops[j] = ops[j], ops[i]
+	}
+}
+
+// Validate checks that an alignment's operations are consistent with the
+// two sequences and recomputes its score; used by tests and by callers
+// that persist alignments.
+func Validate(a, b []byte, al Alignment, sc Scoring, local bool) error {
+	i, j := al.StartA, al.StartB
+	score := 0
+	for _, op := range al.Ops {
+		switch op {
+		case OpMatch, OpMismatch:
+			if i >= len(a) || j >= len(b) {
+				return fmt.Errorf("%w: ops overrun sequences", ErrInput)
+			}
+			eq := a[i] == b[j]
+			if eq != (op == OpMatch) {
+				return fmt.Errorf("%w: op %c at (%d,%d) contradicts characters", ErrInput, op, i, j)
+			}
+			score += sub(a[i], b[j], sc)
+			i++
+			j++
+		case OpInsA:
+			if i >= len(a) {
+				return fmt.Errorf("%w: ops overrun a", ErrInput)
+			}
+			score += sc.Gap
+			i++
+		case OpInsB:
+			if j >= len(b) {
+				return fmt.Errorf("%w: ops overrun b", ErrInput)
+			}
+			score += sc.Gap
+			j++
+		default:
+			return fmt.Errorf("%w: unknown op %c", ErrInput, op)
+		}
+	}
+	if !local && (i != len(a) || j != len(b)) {
+		return fmt.Errorf("%w: global alignment does not span sequences", ErrInput)
+	}
+	if score != al.Score {
+		return fmt.Errorf("%w: score %d, ops sum to %d", ErrInput, al.Score, score)
+	}
+	return nil
+}

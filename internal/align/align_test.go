@@ -1,0 +1,189 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomSeq(rng *rand.Rand, n int) []byte {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = "acgt"[rng.Intn(4)]
+	}
+	return s
+}
+
+func TestGlobalIdentical(t *testing.T) {
+	sc := DefaultScoring()
+	a := []byte("acgtacgt")
+	al, err := Global(a, a, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if al.Score != 8*sc.Match {
+		t.Errorf("score = %d", al.Score)
+	}
+	if al.String() != "8M" {
+		t.Errorf("ops = %s", al.String())
+	}
+	if err := Validate(a, a, al, sc, false); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGlobalSubstitution(t *testing.T) {
+	sc := DefaultScoring()
+	al, _ := Global([]byte("acgt"), []byte("aagt"), sc)
+	if al.Score != 3*sc.Match+sc.Mismatch {
+		t.Errorf("score = %d", al.Score)
+	}
+	if al.String() != "1M1X2M" {
+		t.Errorf("ops = %s", al.String())
+	}
+}
+
+func TestGlobalGap(t *testing.T) {
+	sc := DefaultScoring()
+	al, _ := Global([]byte("acgt"), []byte("act"), sc)
+	if al.Score != 3*sc.Match+sc.Gap {
+		t.Errorf("score = %d, ops %s", al.Score, al.String())
+	}
+	if err := Validate([]byte("acgt"), []byte("act"), al, sc, false); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGlobalEmpty(t *testing.T) {
+	sc := DefaultScoring()
+	al, _ := Global(nil, []byte("acg"), sc)
+	if al.Score != 3*sc.Gap || al.String() != "3D" {
+		t.Errorf("empty-a alignment: score %d ops %s", al.Score, al.String())
+	}
+	al, _ = Global(nil, nil, sc)
+	if al.Score != 0 || len(al.Ops) != 0 {
+		t.Errorf("empty-empty: %+v", al)
+	}
+}
+
+func TestGlobalRejectsPositiveGap(t *testing.T) {
+	if _, err := Global([]byte("a"), []byte("a"), Scoring{1, -1, 1}); err == nil {
+		t.Error("positive gap accepted")
+	}
+}
+
+func TestLocalFindsEmbeddedMatch(t *testing.T) {
+	sc := DefaultScoring()
+	a := []byte("ttttACGTACGtttt")
+	b := []byte("ggggACGTACGgggg")
+	al, err := Local(a, b, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if al.Score != 7*sc.Match {
+		t.Errorf("score = %d, ops %s", al.Score, al.String())
+	}
+	if al.String() != "7M" {
+		t.Errorf("ops = %s, want 7M", al.String())
+	}
+	if al.StartA != 4 || al.StartB != 4 {
+		t.Errorf("start = (%d,%d)", al.StartA, al.StartB)
+	}
+	if err := Validate(a, b, al, sc, true); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocalNothingPositive(t *testing.T) {
+	al, _ := Local([]byte("aaaa"), []byte("tttt"), DefaultScoring())
+	if al.Score != 0 || len(al.Ops) != 0 {
+		t.Errorf("expected empty local alignment: %+v", al)
+	}
+}
+
+func TestGlobalScoreMatchesGlobal(t *testing.T) {
+	rng := rand.New(rand.NewSource(191))
+	sc := DefaultScoring()
+	for trial := 0; trial < 100; trial++ {
+		a := randomSeq(rng, rng.Intn(60))
+		b := randomSeq(rng, rng.Intn(60))
+		full, err := Global(a, b, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		score, err := GlobalScore(a, b, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if score != full.Score {
+			t.Fatalf("GlobalScore %d, Global %d (a=%q b=%q)", score, full.Score, a, b)
+		}
+		if err := Validate(a, b, full, sc, false); err != nil {
+			t.Fatalf("traceback invalid: %v", err)
+		}
+	}
+}
+
+func TestLocalValidatedQuick(t *testing.T) {
+	sc := DefaultScoring()
+	f := func(seed int64, n8, m8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomSeq(rng, int(n8)%50)
+		b := randomSeq(rng, int(m8)%50)
+		al, err := Local(a, b, sc)
+		if err != nil {
+			return false
+		}
+		if al.Score < 0 {
+			return false
+		}
+		return Validate(a, b, al, sc, true) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocalScoreAtLeastBestCommonSubstring(t *testing.T) {
+	// The local score is at least Match * (length of any common
+	// substring); plant one to check.
+	rng := rand.New(rand.NewSource(192))
+	sc := DefaultScoring()
+	for trial := 0; trial < 30; trial++ {
+		core := randomSeq(rng, 10+rng.Intn(20))
+		a := append(append(randomSeq(rng, rng.Intn(20)), core...), randomSeq(rng, rng.Intn(20))...)
+		b := append(append(randomSeq(rng, rng.Intn(20)), core...), randomSeq(rng, rng.Intn(20))...)
+		al, err := Local(a, b, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if al.Score < len(core)*sc.Match {
+			t.Fatalf("local score %d below planted floor %d", al.Score, len(core)*sc.Match)
+		}
+	}
+}
+
+func TestValidateRejectsTampering(t *testing.T) {
+	sc := DefaultScoring()
+	a, b := []byte("acgt"), []byte("acgt")
+	al, _ := Global(a, b, sc)
+	al.Score++
+	if err := Validate(a, b, al, sc, false); err == nil {
+		t.Error("tampered score accepted")
+	}
+	al.Score--
+	al.Ops[0] = OpMismatch
+	if err := Validate(a, b, al, sc, false); err == nil {
+		t.Error("tampered op accepted")
+	}
+}
+
+func TestAlignmentString(t *testing.T) {
+	al := Alignment{Ops: []Op{OpMatch, OpMatch, OpInsA, OpMismatch}}
+	if got := al.String(); got != "2M1I1X" {
+		t.Errorf("String = %q", got)
+	}
+	if (Alignment{}).String() != "" {
+		t.Error("empty alignment string")
+	}
+}

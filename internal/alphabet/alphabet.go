@@ -1,0 +1,154 @@
+// Package alphabet defines the DNA alphabet used throughout the library and
+// utilities to encode, decode, pack and validate DNA strings.
+//
+// The ordering follows the paper: the sentinel '$' sorts before every other
+// character and the bases sort alphabetically, i.e. $ < a < c < g < t.
+// Internally characters are represented by small integer ranks so that rank
+// arithmetic (C arrays, occ tables) is branch-free.
+package alphabet
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Ranks of the five characters of the indexable alphabet.
+const (
+	Sentinel = 0 // '$', string terminator, lexicographically smallest
+	A        = 1
+	C        = 2
+	G        = 3
+	T        = 4
+)
+
+// Size is the number of distinct ranks including the sentinel.
+const Size = 5
+
+// Bases is the number of proper DNA bases (excluding the sentinel).
+const Bases = 4
+
+// SentinelByte is the literal terminator character.
+const SentinelByte = '$'
+
+// ErrInvalidChar reports a character outside {$, a, c, g, t, A, C, G, T}.
+var ErrInvalidChar = errors.New("alphabet: invalid character")
+
+// rankOf maps a byte to its rank+1 (0 means invalid). Upper and lower case
+// bases are accepted; 'n'/'N' is intentionally rejected so callers must
+// decide a policy for ambiguous bases (see Sanitize).
+var rankOf = [256]byte{
+	'$': Sentinel + 1,
+	'a': A + 1, 'A': A + 1,
+	'c': C + 1, 'C': C + 1,
+	'g': G + 1, 'G': G + 1,
+	't': T + 1, 'T': T + 1,
+}
+
+// byteOf maps a rank back to its canonical (lower-case) byte.
+var byteOf = [Size]byte{'$', 'a', 'c', 'g', 't'}
+
+// Rank returns the rank of b, or an error if b is not in the alphabet.
+func Rank(b byte) (byte, error) {
+	r := rankOf[b]
+	if r == 0 {
+		return 0, fmt.Errorf("%w: %q", ErrInvalidChar, b)
+	}
+	return r - 1, nil
+}
+
+// MustRank is Rank for inputs already known valid; it panics otherwise.
+func MustRank(b byte) byte {
+	r := rankOf[b]
+	if r == 0 {
+		panic(fmt.Sprintf("alphabet: invalid character %q", b))
+	}
+	return r - 1
+}
+
+// Byte returns the canonical byte for rank r.
+func Byte(r byte) byte {
+	return byteOf[r]
+}
+
+// Valid reports whether b belongs to the alphabet (including the sentinel).
+func Valid(b byte) bool { return rankOf[b] != 0 }
+
+// ValidBase reports whether b is a proper base (a, c, g, t in either case).
+func ValidBase(b byte) bool { return rankOf[b] != 0 && b != SentinelByte }
+
+// Encode converts a DNA string to ranks. The input must not contain the
+// sentinel; Encode is for pattern/target payloads, the sentinel is appended
+// by index construction.
+func Encode(s []byte) ([]byte, error) {
+	out := make([]byte, len(s))
+	for i, b := range s {
+		if b == SentinelByte {
+			return nil, fmt.Errorf("%w: sentinel %q at position %d", ErrInvalidChar, b, i)
+		}
+		r := rankOf[b]
+		if r == 0 {
+			return nil, fmt.Errorf("%w: %q at position %d", ErrInvalidChar, b, i)
+		}
+		out[i] = r - 1
+	}
+	return out, nil
+}
+
+// Decode converts ranks back to a canonical lower-case DNA string.
+func Decode(ranks []byte) []byte {
+	out := make([]byte, len(ranks))
+	for i, r := range ranks {
+		out[i] = byteOf[r]
+	}
+	return out
+}
+
+// Sanitize replaces every byte outside the alphabet (e.g. 'N') with 'a' and
+// lower-cases bases, returning a copy. It reports how many bytes were
+// replaced so callers can decide whether the input was usable at all.
+func Sanitize(s []byte) (clean []byte, replaced int) {
+	clean = make([]byte, len(s))
+	for i, b := range s {
+		if r := rankOf[b]; r != 0 && b != SentinelByte {
+			clean[i] = byteOf[r-1]
+		} else {
+			clean[i] = 'a'
+			replaced++
+		}
+	}
+	return clean, replaced
+}
+
+// Complement returns the Watson–Crick complement rank of a base rank.
+// The sentinel maps to itself.
+func Complement(r byte) byte {
+	switch r {
+	case A:
+		return T
+	case C:
+		return G
+	case G:
+		return C
+	case T:
+		return A
+	default:
+		return r
+	}
+}
+
+// ReverseComplement reverse-complements a rank-encoded base string in place
+// and returns it for convenience.
+func ReverseComplement(ranks []byte) []byte {
+	for i, j := 0, len(ranks)-1; i <= j; i, j = i+1, j-1 {
+		ranks[i], ranks[j] = Complement(ranks[j]), Complement(ranks[i])
+	}
+	return ranks
+}
+
+// Reverse reverses a byte slice in place and returns it.
+func Reverse(b []byte) []byte {
+	for i, j := 0, len(b)-1; i < j; i, j = i+1, j-1 {
+		b[i], b[j] = b[j], b[i]
+	}
+	return b
+}

@@ -1,0 +1,185 @@
+// Package bitvec provides plain and rank/select-capable bit vectors.
+//
+// The rank structure is the classic one-level sampled scheme: a cumulative
+// popcount is stored every 512 bits (8 words) and ranks inside a block are
+// completed with hardware popcounts. This is the "manual bit tricks"
+// substrate for the FM-index occ tables and the wavelet tree.
+package bitvec
+
+import "math/bits"
+
+// Vector is a growable bit vector.
+type Vector struct {
+	words []uint64
+	n     int
+}
+
+// New returns a Vector with n zero bits.
+func New(n int) *Vector {
+	return &Vector{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the number of bits.
+func (v *Vector) Len() int { return v.n }
+
+// Set sets bit i to 1.
+func (v *Vector) Set(i int) { v.words[i>>6] |= 1 << uint(i&63) }
+
+// Clear sets bit i to 0.
+func (v *Vector) Clear(i int) { v.words[i>>6] &^= 1 << uint(i&63) }
+
+// Get reports bit i.
+func (v *Vector) Get(i int) bool { return v.words[i>>6]>>uint(i&63)&1 == 1 }
+
+// Append adds a bit at the end.
+func (v *Vector) Append(b bool) {
+	if v.n&63 == 0 {
+		v.words = append(v.words, 0)
+	}
+	if b {
+		v.words[v.n>>6] |= 1 << uint(v.n&63)
+	}
+	v.n++
+}
+
+// Count returns the total number of set bits.
+func (v *Vector) Count() int {
+	c := 0
+	for _, w := range v.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// SizeBytes returns the payload size in bytes.
+func (v *Vector) SizeBytes() int { return len(v.words) * 8 }
+
+// Words exposes the raw word payload for serialization. The caller must
+// not modify it.
+func (v *Vector) Words() []uint64 { return v.words }
+
+// FromWords reconstructs a Vector of n bits over a word payload (as
+// returned by Words). The slice is adopted, not copied.
+func FromWords(words []uint64, n int) *Vector {
+	need := (n + 63) / 64
+	if len(words) < need {
+		padded := make([]uint64, need)
+		copy(padded, words)
+		words = padded
+	}
+	return &Vector{words: words, n: n}
+}
+
+// blockWords is the number of 64-bit words per rank superblock (512 bits).
+const blockWords = 8
+
+// Rank supports O(1) rank and O(log n)-ish select queries over an immutable
+// bit sequence.
+type Rank struct {
+	v      *Vector
+	blocks []uint32 // cumulative popcount before each superblock
+	ones   int
+}
+
+// NewRank freezes v (which must not be modified afterwards) and builds the
+// rank directory.
+func NewRank(v *Vector) *Rank {
+	nb := (len(v.words) + blockWords - 1) / blockWords
+	r := &Rank{v: v, blocks: make([]uint32, nb+1)}
+	c := 0
+	for i, w := range v.words {
+		if i%blockWords == 0 {
+			r.blocks[i/blockWords] = uint32(c)
+		}
+		c += bits.OnesCount64(w)
+	}
+	r.blocks[nb] = uint32(c)
+	r.ones = c
+	return r
+}
+
+// Len returns the number of bits.
+func (r *Rank) Len() int { return r.v.n }
+
+// Ones returns the total number of set bits.
+func (r *Rank) Ones() int { return r.ones }
+
+// Get reports bit i.
+func (r *Rank) Get(i int) bool { return r.v.Get(i) }
+
+// Rank1 returns the number of 1-bits in positions [0, i). Rank1(Len()) is
+// the total popcount.
+func (r *Rank) Rank1(i int) int {
+	word := i >> 6
+	c := int(r.blocks[word/blockWords])
+	for w := word - word%blockWords; w < word; w++ {
+		c += bits.OnesCount64(r.v.words[w])
+	}
+	if i&63 != 0 {
+		c += bits.OnesCount64(r.v.words[word] << uint(64-i&63) >> uint(64-i&63))
+	}
+	return c
+}
+
+// Rank0 returns the number of 0-bits in positions [0, i).
+func (r *Rank) Rank0(i int) int { return i - r.Rank1(i) }
+
+// Select1 returns the position of the j-th 1-bit (1-based), or -1 if there
+// are fewer than j set bits.
+func (r *Rank) Select1(j int) int {
+	if j < 1 || j > r.ones {
+		return -1
+	}
+	// Binary search over superblocks, then scan words.
+	lo, hi := 0, len(r.blocks)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if int(r.blocks[mid]) < j {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	rem := j - int(r.blocks[lo])
+	for w := lo * blockWords; w < len(r.v.words); w++ {
+		c := bits.OnesCount64(r.v.words[w])
+		if rem <= c {
+			return w*64 + selectInWord(r.v.words[w], rem)
+		}
+		rem -= c
+	}
+	return -1
+}
+
+// Select0 returns the position of the j-th 0-bit (1-based), or -1.
+func (r *Rank) Select0(j int) int {
+	zeros := r.v.n - r.ones
+	if j < 1 || j > zeros {
+		return -1
+	}
+	lo, hi := 0, r.v.n
+	// Binary search on Rank0, O(log n * block scan).
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if r.Rank0(mid+1) < j {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// selectInWord returns the position (0..63) of the j-th set bit of w,
+// 1-based; behaviour is undefined if w has fewer than j bits.
+func selectInWord(w uint64, j int) int {
+	for i := 0; i < 64; i++ {
+		if w>>uint(i)&1 == 1 {
+			j--
+			if j == 0 {
+				return i
+			}
+		}
+	}
+	return -1
+}

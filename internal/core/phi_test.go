@@ -1,0 +1,170 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"bwtmatch/internal/fmindex"
+	"bwtmatch/internal/naive"
+)
+
+// naivePhi computes φ per its definition: the number of consecutive,
+// disjoint substrings of pattern[i:] absent from the target, taking at
+// each step the SHORTEST absent prefix (greedy), which is what the
+// FM-based computation produces.
+func naivePhi(text, pattern []byte) []int {
+	m := len(pattern)
+	occurs := func(sub []byte) bool {
+		return len(naive.Find(text, sub, 0)) > 0
+	}
+	phi := make([]int, m+1)
+	for i := m - 1; i >= 0; i-- {
+		// Find the smallest q >= i with pattern[i..q] absent.
+		q := i
+		for q < m && occurs(pattern[i:q+1]) {
+			q++
+		}
+		if q >= m {
+			phi[i] = 0
+		} else {
+			phi[i] = 1 + phi[q+1]
+		}
+	}
+	return phi
+}
+
+func TestComputePhiAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 60; trial++ {
+		text := randomRanks(rng, 20+rng.Intn(300))
+		s, err := NewSearcher(text, fmindex.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for q := 0; q < 5; q++ {
+			m := 1 + rng.Intn(25)
+			var pattern []byte
+			if rng.Intn(2) == 0 && len(text) > m {
+				p := rng.Intn(len(text) - m)
+				pattern = append([]byte(nil), text[p:p+m]...)
+				pattern[rng.Intn(m)] = byte(1 + rng.Intn(4))
+			} else {
+				pattern = randomRanks(rng, m)
+			}
+			got := s.computePhi(pattern)
+			want := naivePhi(text, pattern)
+			if len(got) != len(want) {
+				t.Fatalf("phi length %d, want %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("phi[%d] = %d, want %d (text=%v pattern=%v)",
+						i, got[i], want[i], text, pattern)
+				}
+			}
+		}
+	}
+}
+
+func TestPhiIsLowerBound(t *testing.T) {
+	// φ[i] must never exceed the true minimal number of mismatches of any
+	// alignment of pattern[i:] in the target — otherwise pruning with it
+	// would drop real matches.
+	rng := rand.New(rand.NewSource(82))
+	for trial := 0; trial < 40; trial++ {
+		text := randomRanks(rng, 30+rng.Intn(200))
+		s, _ := NewSearcher(text, fmindex.DefaultOptions())
+		m := 3 + rng.Intn(15)
+		if m > len(text) {
+			m = len(text)
+		}
+		pattern := randomRanks(rng, m)
+		phi := s.computePhi(pattern)
+		for i := 0; i <= m; i++ {
+			suffix := pattern[i:]
+			if len(suffix) == 0 {
+				if phi[i] != 0 {
+					t.Fatalf("phi[m] = %d", phi[i])
+				}
+				continue
+			}
+			best := len(suffix) + 1
+			for p := 0; p+len(suffix) <= len(text); p++ {
+				if d := naive.Hamming(text[p:p+len(suffix)], suffix, len(suffix)); d < best {
+					best = d
+				}
+			}
+			if len(text) >= len(suffix) && phi[i] > best {
+				t.Fatalf("phi[%d] = %d exceeds true minimum %d (suffix %v, text %v)",
+					i, phi[i], best, suffix, text)
+			}
+		}
+	}
+}
+
+func TestPhiZeroForPlantedPattern(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	text := randomRanks(rng, 1000)
+	s, _ := NewSearcher(text, fmindex.DefaultOptions())
+	pattern := text[200:240]
+	phi := s.computePhi(pattern)
+	for i, v := range phi {
+		if v != 0 {
+			t.Fatalf("phi[%d] = %d for an exactly-occurring pattern", i, v)
+		}
+	}
+}
+
+func TestPhiPaperSemantics(t *testing.T) {
+	// Paper example (§IV-A): s = acagaca, r = tcaca: φ(1) = 2 because both
+	// "t" and "cac" are absent; φ(3) = 0 since every substring of "aca"
+	// occurs. (1-based paper positions; 0-based here.)
+	text := mustRanks(t, "acagaca")
+	s, _ := NewSearcher(text, fmindex.DefaultOptions())
+	pattern := mustRanks(t, "tcaca")
+	phi := s.computePhi(pattern)
+	if phi[0] != 2 {
+		t.Errorf("phi[0] = %d, want 2", phi[0])
+	}
+	if phi[2] != 0 {
+		t.Errorf("phi[2] = %d, want 0", phi[2])
+	}
+}
+
+func mustRanks(t *testing.T, s string) []byte {
+	t.Helper()
+	out := make([]byte, len(s))
+	for i := range s {
+		switch s[i] {
+		case 'a':
+			out[i] = 1
+		case 'c':
+			out[i] = 2
+		case 'g':
+			out[i] = 3
+		case 't':
+			out[i] = 4
+		default:
+			t.Fatalf("bad char %q", s[i])
+		}
+	}
+	return out
+}
+
+func TestPhiEmptyishInputs(t *testing.T) {
+	text := []byte{1, 2, 3}
+	s, _ := NewSearcher(text, fmindex.DefaultOptions())
+	phi := s.computePhi([]byte{4})
+	if !bytes.Equal(intsToBytes(phi), []byte{1, 0}) {
+		t.Fatalf("phi for absent single char = %v", phi)
+	}
+}
+
+func intsToBytes(in []int) []byte {
+	out := make([]byte, len(in))
+	for i, v := range in {
+		out[i] = byte(v)
+	}
+	return out
+}

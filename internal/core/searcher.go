@@ -1,0 +1,186 @@
+// Package core implements the paper's search algorithms over a BWT-array
+// index: the brute-force search-tree traversal of [34] with the φ(i)
+// pruning heuristic (the paper's "BWT" baseline, §IV-A) and the paper's
+// contribution, Algorithm A, which builds a mismatching tree (M-tree) and
+// derives repeated subtrees from precomputed pattern mismatch information
+// instead of re-searching the BWT (§IV-C/D).
+//
+// The index is built over the REVERSE of the target, so the pattern is
+// consumed left-to-right (each consumed character is one backward-search
+// step), exactly as in the paper's S-tree definition ("the search of r
+// against BWT(s̄)", Definition 1).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"bwtmatch/internal/alphabet"
+	"bwtmatch/internal/fmindex"
+)
+
+// Method selects the search strategy.
+type Method int
+
+const (
+	// MethodSTree is the brute-force S-tree traversal without pruning.
+	MethodSTree Method = iota
+	// MethodSTreePhi is the S-tree traversal with the φ(i) heuristic of
+	// [34]: prune when mismatches-used + φ(next position) exceeds k.
+	MethodSTreePhi
+	// MethodMTree is the paper's Algorithm A: S-tree traversal with a hash
+	// table of BWT intervals and M-tree subtree derivation via pattern
+	// mismatch information, composed with the φ(i) bound.
+	MethodMTree
+	// MethodMTreeNoPhi is Algorithm A exactly as the paper states it,
+	// without the φ(i) bound (ablation).
+	MethodMTreeNoPhi
+)
+
+// String names the method as in the paper's experiment section.
+func (m Method) String() string {
+	switch m {
+	case MethodSTree:
+		return "stree"
+	case MethodSTreePhi:
+		return "bwt" // the paper's "BWT" baseline
+	case MethodMTree:
+		return "a" // the paper's "A()" plus the φ bound
+	case MethodMTreeNoPhi:
+		return "a-nophi"
+	default:
+		return fmt.Sprintf("method(%d)", int(m))
+	}
+}
+
+// Match is one k-mismatch occurrence of the pattern in the target.
+type Match struct {
+	Pos        int32 // 0-based start position in the target
+	Mismatches int   // Hamming distance of this occurrence
+}
+
+// Stats reports work counters of one search; the paper's Table 2 reports
+// MTreeLeaves (n′).
+type Stats struct {
+	// Nodes is the number of S-tree nodes materialized by live search.
+	Nodes int
+	// StepCalls is the number of BWT StepAll invocations (rank work).
+	StepCalls int
+	// MTreeLeaves is n′: the number of maximal root-to-leaf paths of the
+	// (conceptual) M-tree, counting both live-explored and derived paths.
+	MTreeLeaves int
+	// Occurrences is the number of matches found (before locating).
+	Occurrences int
+	// MemoHits counts repeated-interval events resolved by derivation.
+	MemoHits int
+	// DerivedLeaves counts leaves obtained by derivation rather than by
+	// BWT search.
+	DerivedLeaves int
+	// LiveFallbacks counts derivations that had to resume live search
+	// because the cached subtree was explored with a smaller budget or to
+	// a smaller depth (see DESIGN.md §3.4).
+	LiveFallbacks int
+	// PhiPruned counts branches cut by the φ(i) heuristic.
+	PhiPruned int
+}
+
+// Searcher answers k-mismatch queries against one target text.
+type Searcher struct {
+	idx *fmindex.Index // FM-index of reverse(target)
+	n   int            // target length
+}
+
+// ErrPattern reports an unusable pattern.
+var ErrPattern = errors.New("core: invalid pattern")
+
+// NewSearcher builds a Searcher for a rank-encoded target text (values
+// 1..4). The index is constructed over the reversed text per §IV.
+func NewSearcher(text []byte, opts fmindex.Options) (*Searcher, error) {
+	rev := make([]byte, len(text))
+	for i, b := range text {
+		rev[len(text)-1-i] = b
+	}
+	idx, err := fmindex.Build(rev, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Searcher{idx: idx, n: len(text)}, nil
+}
+
+// NewSearcherFromIndex wraps an existing index that was already built over
+// the reversed target of length n.
+func NewSearcherFromIndex(idx *fmindex.Index, n int) *Searcher {
+	return &Searcher{idx: idx, n: n}
+}
+
+// N returns the target length.
+func (s *Searcher) N() int { return s.n }
+
+// Index exposes the underlying FM-index (over the reversed target).
+func (s *Searcher) Index() *fmindex.Index { return s.idx }
+
+// Find returns all k-mismatch occurrences of the rank-encoded pattern,
+// sorted by position, along with search statistics.
+func (s *Searcher) Find(pattern []byte, k int, method Method) ([]Match, Stats, error) {
+	var stats Stats
+	if len(pattern) == 0 {
+		return nil, stats, fmt.Errorf("%w: empty", ErrPattern)
+	}
+	for i, r := range pattern {
+		if r < alphabet.A || r > alphabet.T {
+			return nil, stats, fmt.Errorf("%w: rank %d at position %d", ErrPattern, r, i)
+		}
+	}
+	if k < 0 {
+		return nil, stats, fmt.Errorf("%w: negative k", ErrPattern)
+	}
+	if len(pattern) > s.n {
+		return nil, stats, nil
+	}
+
+	var leaves []leaf
+	switch method {
+	case MethodSTree:
+		leaves = s.searchSTree(pattern, k, false, &stats)
+	case MethodSTreePhi:
+		leaves = s.searchSTree(pattern, k, true, &stats)
+	case MethodMTree:
+		leaves = s.searchMTree(pattern, k, true, &stats)
+	case MethodMTreeNoPhi:
+		leaves = s.searchMTree(pattern, k, false, &stats)
+	default:
+		return nil, stats, fmt.Errorf("core: unknown method %d", method)
+	}
+	stats.Occurrences = 0
+	var out []Match
+	var buf []int32
+	m := len(pattern)
+	for _, lf := range leaves {
+		buf = s.idx.Locate(lf.iv, buf[:0])
+		for _, p := range buf {
+			out = append(out, Match{Pos: int32(s.n) - p - int32(m), Mismatches: lf.mism})
+		}
+	}
+	stats.Occurrences = len(out)
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out, stats, nil
+}
+
+// leaf is a surviving S-tree leaf: an interval of rows whose length-m
+// context matches the pattern with mism mismatches.
+type leaf struct {
+	iv   fmindex.Interval
+	mism int
+}
+
+// CountLeaves runs Algorithm A and returns only n′ (Table 2) and stats,
+// without locating occurrences.
+func (s *Searcher) CountLeaves(pattern []byte, k int) (Stats, error) {
+	var stats Stats
+	if len(pattern) == 0 || len(pattern) > s.n {
+		return stats, nil
+	}
+	s.searchMTree(pattern, k, true, &stats)
+	return stats, nil
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"bwtmatch/internal/alphabet"
+	"bwtmatch/internal/fmindex"
+)
+
+// searchSTree is the brute-force S-tree traversal of [34] (§IV-A): a DFS
+// over ⟨x, [α, β]⟩ pairs, branching into all four bases at every level and
+// charging one mismatch whenever the consumed base differs from the
+// pattern character at that level. When usePhi is set, the φ(i) heuristic
+// prunes branches that provably cannot finish within budget.
+func (s *Searcher) searchSTree(pattern []byte, k int, usePhi bool, stats *Stats) []leaf {
+	m := len(pattern)
+	var phi []int
+	if usePhi {
+		phi = s.computePhi(pattern)
+	}
+
+	type frame struct {
+		iv   fmindex.Interval
+		j    int // characters consumed so far
+		mism int
+	}
+	stack := []frame{{iv: s.idx.Full()}}
+	var leaves []leaf
+	var kids [alphabet.Bases]fmindex.Interval
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		stats.Nodes++
+		if f.j == m {
+			stats.MTreeLeaves++
+			leaves = append(leaves, leaf{iv: f.iv, mism: f.mism})
+			continue
+		}
+		s.idx.StepAll(f.iv, &kids)
+		stats.StepCalls++
+		pushed := false
+		for x := byte(alphabet.A); x <= alphabet.T; x++ {
+			civ := kids[x-1]
+			if civ.Empty() {
+				continue
+			}
+			e := f.mism
+			if x != pattern[f.j] {
+				e++
+				if e > k {
+					continue
+				}
+			}
+			if usePhi && e+phi[f.j+1] > k {
+				stats.PhiPruned++
+				continue
+			}
+			stack = append(stack, frame{iv: civ, j: f.j + 1, mism: e})
+			pushed = true
+		}
+		if !pushed {
+			// Dead end: a maximal path terminates here.
+			stats.MTreeLeaves++
+		}
+	}
+	return leaves
+}
+
+// computePhi returns φ where φ[i] (0-based, φ[m] = 0) is the number of
+// consecutive, disjoint substrings of pattern[i:] that do not occur in the
+// target (§IV-A). Each absent substring forces at least one mismatch, so a
+// branch with e mismatches spent at position i is hopeless if e + φ[i] > k.
+//
+// absentEnd[i] = the smallest q such that pattern[i..q] is absent from the
+// target (or m if no prefix of pattern[i:] is absent). Occurrence tests are
+// forward extensions of the pattern, which on the reverse-text index are
+// plain backward-search steps.
+func (s *Searcher) computePhi(pattern []byte) []int {
+	m := len(pattern)
+	absentEnd := make([]int, m)
+	for i := 0; i < m; i++ {
+		iv := s.idx.Full()
+		q := i
+		for q < m {
+			iv = s.idx.Step(pattern[q], iv)
+			if iv.Empty() {
+				break
+			}
+			q++
+		}
+		absentEnd[i] = q // pattern[i..q] is absent (q == m means none)
+	}
+	phi := make([]int, m+1)
+	for i := m - 1; i >= 0; i-- {
+		if absentEnd[i] >= m {
+			phi[i] = 0
+		} else {
+			phi[i] = 1 + phi[absentEnd[i]+1]
+		}
+	}
+	return phi
+}

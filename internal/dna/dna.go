@@ -1,0 +1,229 @@
+// Package dna synthesizes the evaluation workloads: genomes with
+// controllable repeat structure (substituting the paper's five real
+// genomes, DESIGN.md §4) and single-end reads with substitution errors
+// (substituting the wgsim simulator the paper uses).
+//
+// All sequences are rank-encoded (values 1..4, see internal/alphabet).
+package dna
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// GenomeConfig controls synthesis.
+type GenomeConfig struct {
+	// Length is the genome size in bases.
+	Length int
+	// GC is the combined probability of g and c (0..1); real genomes sit
+	// around 0.37–0.64. 0 means 0.41, a typical vertebrate value.
+	GC float64
+	// MarkovBias in [0,1) skews the order-1 transition matrix toward
+	// repeating the previous base, producing the local autocorrelation of
+	// real DNA. 0 disables (i.i.d. bases).
+	MarkovBias float64
+	// RepeatFraction in [0,1) is the fraction of the genome covered by
+	// copies of repeat units (transposon-like), planted with small
+	// mutation rates. Real mammalian genomes are ~50% repeats, which is
+	// what makes index-based mismatch search non-trivial.
+	RepeatFraction float64
+	// RepeatUnit is the repeat element length (0 = 300).
+	RepeatUnit int
+	// TandemFraction in [0,1) is the fraction of the genome covered by
+	// tandem arrays of short units (microsatellites, 2-6 bp), the
+	// self-similar loci where periodic reads arise — the regime in which
+	// the paper's mismatch-information derivation is exercised hardest.
+	TandemFraction float64
+	// Seed drives the deterministic generator.
+	Seed int64
+}
+
+// Generate synthesizes a genome.
+func Generate(cfg GenomeConfig) ([]byte, error) {
+	if cfg.Length <= 0 {
+		return nil, fmt.Errorf("dna: non-positive length %d", cfg.Length)
+	}
+	if cfg.GC < 0 || cfg.GC >= 1 || cfg.MarkovBias < 0 || cfg.MarkovBias >= 1 ||
+		cfg.RepeatFraction < 0 || cfg.RepeatFraction >= 1 ||
+		cfg.TandemFraction < 0 || cfg.TandemFraction >= 1 ||
+		cfg.RepeatFraction+cfg.TandemFraction >= 1 {
+		return nil, fmt.Errorf("dna: config out of range %+v", cfg)
+	}
+	gc := cfg.GC
+	if gc == 0 {
+		gc = 0.41
+	}
+	unit := cfg.RepeatUnit
+	if unit <= 0 {
+		unit = 300
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Base distribution: a/t share (1-gc), c/g share gc.
+	probs := [4]float64{(1 - gc) / 2, gc / 2, gc / 2, (1 - gc) / 2} // a c g t
+	draw := func() byte {
+		x := rng.Float64()
+		for b := 0; b < 3; b++ {
+			if x < probs[b] {
+				return byte(b + 1)
+			}
+			x -= probs[b]
+		}
+		return 4
+	}
+
+	g := make([]byte, cfg.Length)
+	prev := draw()
+	g[0] = prev
+	for i := 1; i < cfg.Length; i++ {
+		if rng.Float64() < cfg.MarkovBias {
+			g[i] = prev
+		} else {
+			g[i] = draw()
+		}
+		prev = g[i]
+	}
+
+	if cfg.RepeatFraction > 0 {
+		plantRepeats(rng, g, cfg.RepeatFraction, unit, draw)
+	}
+	if cfg.TandemFraction > 0 {
+		plantTandems(rng, g, cfg.TandemFraction)
+	}
+	return g, nil
+}
+
+// plantTandems overwrites random windows with tandem arrays of short
+// units (microsatellite loci) until the requested coverage is met. Array
+// lengths follow the 20–200 unit range typical of real STR loci, with a
+// small per-copy slippage-like substitution rate.
+func plantTandems(rng *rand.Rand, g []byte, fraction float64) {
+	covered := 0
+	target := int(fraction * float64(len(g)))
+	const mutationRate = 0.01
+	for covered < target {
+		unitLen := 2 + rng.Intn(5) // 2..6 bp
+		unit := make([]byte, unitLen)
+		for i := range unit {
+			unit[i] = byte(1 + rng.Intn(4))
+		}
+		copies := 20 + rng.Intn(181)
+		arrayLen := unitLen * copies
+		if arrayLen > len(g) {
+			arrayLen = len(g)
+		}
+		pos := rng.Intn(len(g) - arrayLen + 1)
+		for i := 0; i < arrayLen; i++ {
+			if rng.Float64() < mutationRate {
+				g[pos+i] = byte(1 + rng.Intn(4))
+			} else {
+				g[pos+i] = unit[i%unitLen]
+			}
+		}
+		covered += arrayLen
+	}
+}
+
+// plantRepeats overwrites random windows with mutated copies of a few
+// repeat family consensus sequences until the requested coverage is met.
+func plantRepeats(rng *rand.Rand, g []byte, fraction float64, unit int, draw func() byte) {
+	if unit > len(g) {
+		unit = len(g)
+	}
+	// Few families with many copies each, like real transposon families
+	// (an ALU-like element reaches 10^5..10^6 copies in mammalian
+	// genomes); one family per ~1024 units of genome keeps hundreds of
+	// copies per family at megabase scale.
+	families := 1 + len(g)/(unit*1024)
+	consensus := make([][]byte, families)
+	for f := range consensus {
+		c := make([]byte, unit)
+		for i := range c {
+			c[i] = draw()
+		}
+		consensus[f] = c
+	}
+	covered := 0
+	target := int(fraction * float64(len(g)))
+	const mutationRate = 0.03
+	for covered < target {
+		c := consensus[rng.Intn(families)]
+		pos := rng.Intn(len(g) - unit + 1)
+		for i, b := range c {
+			if rng.Float64() < mutationRate {
+				g[pos+i] = byte(1 + rng.Intn(4))
+			} else {
+				g[pos+i] = b
+			}
+		}
+		covered += unit
+	}
+}
+
+// ReadConfig controls read simulation, mirroring wgsim's single-end
+// substitution model.
+type ReadConfig struct {
+	// Length of each read.
+	Length int
+	// Count of reads to draw.
+	Count int
+	// ErrorRate is the per-base substitution probability (wgsim default
+	// is 0.02).
+	ErrorRate float64
+	// ReverseComplement, when set, flips a coin per read and emits the
+	// reverse complement half the time, as real sequencers do.
+	ReverseComplement bool
+	// Seed drives the deterministic generator.
+	Seed int64
+}
+
+// Read is one simulated read with its provenance, used to score mappers.
+type Read struct {
+	Seq []byte
+	// Pos is the 0-based start of the originating window in the genome.
+	Pos int32
+	// Errors is the number of substituted bases.
+	Errors int
+	// RC reports that Seq is the reverse complement of the window.
+	RC bool
+}
+
+// Simulate draws reads uniformly from the genome.
+func Simulate(genome []byte, cfg ReadConfig) ([]Read, error) {
+	if cfg.Length <= 0 || cfg.Length > len(genome) {
+		return nil, fmt.Errorf("dna: read length %d out of range for genome %d", cfg.Length, len(genome))
+	}
+	if cfg.Count < 0 || cfg.ErrorRate < 0 || cfg.ErrorRate >= 1 {
+		return nil, fmt.Errorf("dna: config out of range %+v", cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	reads := make([]Read, cfg.Count)
+	for i := range reads {
+		pos := rng.Intn(len(genome) - cfg.Length + 1)
+		seq := append([]byte(nil), genome[pos:pos+cfg.Length]...)
+		errs := 0
+		for j := range seq {
+			if rng.Float64() < cfg.ErrorRate {
+				old := seq[j]
+				seq[j] = byte(1 + rng.Intn(4))
+				if seq[j] != old {
+					errs++
+				}
+			}
+		}
+		r := Read{Seq: seq, Pos: int32(pos), Errors: errs}
+		if cfg.ReverseComplement && rng.Intn(2) == 1 {
+			reverseComplement(r.Seq)
+			r.RC = true
+		}
+		reads[i] = r
+	}
+	return reads, nil
+}
+
+func reverseComplement(seq []byte) {
+	comp := [5]byte{0, 4, 3, 2, 1}
+	for i, j := 0, len(seq)-1; i <= j; i, j = i+1, j-1 {
+		seq[i], seq[j] = comp[seq[j]], comp[seq[i]]
+	}
+}

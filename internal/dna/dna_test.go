@@ -1,0 +1,199 @@
+package dna
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"bwtmatch/internal/alphabet"
+	"bwtmatch/internal/naive"
+)
+
+func TestGenerateBasics(t *testing.T) {
+	g, err := Generate(GenomeConfig{Length: 10000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g) != 10000 {
+		t.Fatalf("len = %d", len(g))
+	}
+	for i, b := range g {
+		if b < alphabet.A || b > alphabet.T {
+			t.Fatalf("invalid rank %d at %d", b, i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := GenomeConfig{Length: 5000, Seed: 7, MarkovBias: 0.2, RepeatFraction: 0.3}
+	a, _ := Generate(cfg)
+	b, _ := Generate(cfg)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different genomes")
+	}
+	cfg.Seed = 8
+	c, _ := Generate(cfg)
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical genomes")
+	}
+}
+
+func TestGenerateGCContent(t *testing.T) {
+	g, _ := Generate(GenomeConfig{Length: 200000, GC: 0.6, Seed: 2})
+	gc := 0
+	for _, b := range g {
+		if b == alphabet.C || b == alphabet.G {
+			gc++
+		}
+	}
+	frac := float64(gc) / float64(len(g))
+	if math.Abs(frac-0.6) > 0.02 {
+		t.Errorf("GC fraction %f, want ~0.6", frac)
+	}
+}
+
+func TestGenerateRepeatsIncreaseSelfSimilarity(t *testing.T) {
+	plain, _ := Generate(GenomeConfig{Length: 50000, Seed: 3})
+	repeaty, _ := Generate(GenomeConfig{Length: 50000, Seed: 3, RepeatFraction: 0.6, RepeatUnit: 200})
+	// Count how often a random 30-mer from the genome occurs more than
+	// once: with heavy repeats this should be clearly higher.
+	countMulti := func(g []byte) int {
+		multi := 0
+		for i := 0; i+30 < len(g); i += 997 {
+			if len(naive.Find(g, g[i:i+30], 0)) > 1 {
+				multi++
+			}
+		}
+		return multi
+	}
+	if countMulti(repeaty) <= countMulti(plain) {
+		t.Errorf("repeat planting did not raise self-similarity (%d vs %d)",
+			countMulti(repeaty), countMulti(plain))
+	}
+}
+
+func TestGenerateTandems(t *testing.T) {
+	plain, _ := Generate(GenomeConfig{Length: 60000, Seed: 13})
+	tandem, err := Generate(GenomeConfig{Length: 60000, Seed: 13, TandemFraction: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count positions that repeat with a short period over a 24-base
+	// window; tandem planting must raise this sharply.
+	periodic := func(g []byte) int {
+		count := 0
+		for p := 0; p+24 < len(g); p += 101 {
+			for period := 2; period <= 6; period++ {
+				ok := true
+				for i := 0; i < 24-period; i++ {
+					if g[p+i] != g[p+i+period] {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					count++
+					break
+				}
+			}
+		}
+		return count
+	}
+	if periodic(tandem) <= periodic(plain)*2 {
+		t.Errorf("tandem planting ineffective: %d vs %d windows", periodic(tandem), periodic(plain))
+	}
+}
+
+func TestGenerateTandemValidation(t *testing.T) {
+	if _, err := Generate(GenomeConfig{Length: 100, TandemFraction: -0.1}); err == nil {
+		t.Error("negative tandem fraction accepted")
+	}
+	if _, err := Generate(GenomeConfig{Length: 100, RepeatFraction: 0.6, TandemFraction: 0.6}); err == nil {
+		t.Error("fractions summing above 1 accepted")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(GenomeConfig{Length: 0}); err == nil {
+		t.Error("zero length accepted")
+	}
+	if _, err := Generate(GenomeConfig{Length: 10, GC: 1.5}); err == nil {
+		t.Error("bad GC accepted")
+	}
+	if _, err := Generate(GenomeConfig{Length: 10, RepeatFraction: -0.1}); err == nil {
+		t.Error("bad repeat fraction accepted")
+	}
+}
+
+func TestSimulateBasics(t *testing.T) {
+	g, _ := Generate(GenomeConfig{Length: 20000, Seed: 4})
+	reads, err := Simulate(g, ReadConfig{Length: 100, Count: 50, ErrorRate: 0.02, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reads) != 50 {
+		t.Fatalf("count = %d", len(reads))
+	}
+	for _, r := range reads {
+		if len(r.Seq) != 100 {
+			t.Fatalf("read length %d", len(r.Seq))
+		}
+		if r.RC {
+			t.Fatal("RC read without ReverseComplement enabled")
+		}
+		// The recorded error count must equal the Hamming distance to the
+		// originating window.
+		d := naive.Hamming(g[r.Pos:int(r.Pos)+100], r.Seq, 100)
+		if d != r.Errors {
+			t.Fatalf("recorded %d errors, actual %d", r.Errors, d)
+		}
+	}
+}
+
+func TestSimulateErrorRate(t *testing.T) {
+	g, _ := Generate(GenomeConfig{Length: 50000, Seed: 6})
+	reads, _ := Simulate(g, ReadConfig{Length: 200, Count: 500, ErrorRate: 0.05, Seed: 7})
+	total := 0
+	for _, r := range reads {
+		total += r.Errors
+	}
+	// Expected errors per base: 0.05 * 3/4 (substitution may redraw the
+	// same base).
+	perBase := float64(total) / float64(500*200)
+	if math.Abs(perBase-0.05*0.75) > 0.01 {
+		t.Errorf("per-base error rate %f, want ~%f", perBase, 0.05*0.75)
+	}
+}
+
+func TestSimulateReverseComplement(t *testing.T) {
+	g, _ := Generate(GenomeConfig{Length: 5000, Seed: 8})
+	reads, _ := Simulate(g, ReadConfig{Length: 50, Count: 200, ReverseComplement: true, Seed: 9})
+	rc := 0
+	for _, r := range reads {
+		if r.RC {
+			rc++
+			// Undo and compare: double reverse complement is identity.
+			seq := append([]byte(nil), r.Seq...)
+			reverseComplement(seq)
+			if naive.Hamming(g[r.Pos:int(r.Pos)+50], seq, 50) != r.Errors {
+				t.Fatal("RC read does not map back to its window")
+			}
+		}
+	}
+	if rc == 0 || rc == 200 {
+		t.Errorf("rc count %d, want a mix", rc)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	g := []byte{1, 2, 3, 4}
+	if _, err := Simulate(g, ReadConfig{Length: 5, Count: 1}); err == nil {
+		t.Error("read longer than genome accepted")
+	}
+	if _, err := Simulate(g, ReadConfig{Length: 2, Count: -1}); err == nil {
+		t.Error("negative count accepted")
+	}
+	if _, err := Simulate(g, ReadConfig{Length: 2, Count: 1, ErrorRate: 1.2}); err == nil {
+		t.Error("bad error rate accepted")
+	}
+}

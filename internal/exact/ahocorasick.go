@@ -1,0 +1,100 @@
+package exact
+
+// AhoCorasick is a multi-pattern matching automaton (paper ref [1]): it
+// finds every occurrence of any of a set of patterns in one pass over the
+// text, in O(sum of pattern lengths + n + #occurrences).
+type AhoCorasick struct {
+	next [][256]int32 // goto function per state
+	fail []int32
+	out  [][]int32 // pattern ids ending at each state
+	lens []int     // pattern lengths by id
+}
+
+// Hit is one occurrence: pattern PatternID ends such that it starts at Pos.
+type Hit struct {
+	Pos       int32
+	PatternID int32
+}
+
+// NewAhoCorasick builds the automaton for the given patterns. Empty
+// patterns are rejected by omission (they never match).
+func NewAhoCorasick(patterns [][]byte) *AhoCorasick {
+	ac := &AhoCorasick{lens: make([]int, len(patterns))}
+	ac.addState() // root
+	for id, p := range patterns {
+		ac.lens[id] = len(p)
+		if len(p) == 0 {
+			continue
+		}
+		s := int32(0)
+		for _, b := range p {
+			if ac.next[s][b] == 0 {
+				ac.next[s][b] = ac.addState()
+			}
+			s = ac.next[s][b]
+		}
+		ac.out[s] = append(ac.out[s], int32(id))
+	}
+	ac.buildFailure()
+	return ac
+}
+
+func (ac *AhoCorasick) addState() int32 {
+	ac.next = append(ac.next, [256]int32{})
+	ac.fail = append(ac.fail, 0)
+	ac.out = append(ac.out, nil)
+	return int32(len(ac.next) - 1)
+}
+
+// buildFailure computes failure links breadth-first and converts the goto
+// function into a total transition function.
+func (ac *AhoCorasick) buildFailure() {
+	var queue []int32
+	for b := 0; b < 256; b++ {
+		if s := ac.next[0][b]; s != 0 {
+			ac.fail[s] = 0
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for b := 0; b < 256; b++ {
+			v := ac.next[u][b]
+			if v == 0 {
+				ac.next[u][b] = ac.next[ac.fail[u]][b]
+				continue
+			}
+			ac.fail[v] = ac.next[ac.fail[u]][b]
+			ac.out[v] = append(ac.out[v], ac.out[ac.fail[v]]...)
+			queue = append(queue, v)
+		}
+	}
+}
+
+// Find returns every hit in text. Positions are the pattern START offsets.
+func (ac *AhoCorasick) Find(text []byte) []Hit {
+	var hits []Hit
+	s := int32(0)
+	for i, b := range text {
+		s = ac.next[s][b]
+		for _, id := range ac.out[s] {
+			hits = append(hits, Hit{Pos: int32(i - ac.lens[id] + 1), PatternID: id})
+		}
+	}
+	return hits
+}
+
+// Scan streams hits to fn instead of materializing them; fn returning
+// false stops the scan early.
+func (ac *AhoCorasick) Scan(text []byte, fn func(Hit) bool) {
+	s := int32(0)
+	for i, b := range text {
+		s = ac.next[s][b]
+		for _, id := range ac.out[s] {
+			if !fn(Hit{Pos: int32(i - ac.lens[id] + 1), PatternID: id}) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package exact
+
+// BMH returns all 0-based occurrence positions of pattern in text using
+// the Boyer–Moore–Horspool simplification: the bad-character skip table
+// alone, scanning the pattern right to left. Expected sublinear scans on
+// random text, O(nm) worst case.
+func BMH(text, pattern []byte) []int32 {
+	m, n := len(pattern), len(text)
+	if m == 0 || m > n {
+		return nil
+	}
+	var skip [256]int
+	for i := range skip {
+		skip[i] = m
+	}
+	for i := 0; i < m-1; i++ {
+		skip[pattern[i]] = m - 1 - i
+	}
+	var out []int32
+	for p := 0; p+m <= n; {
+		i := m - 1
+		for i >= 0 && text[p+i] == pattern[i] {
+			i--
+		}
+		if i < 0 {
+			out = append(out, int32(p))
+		}
+		p += skip[text[p+m-1]]
+	}
+	return out
+}

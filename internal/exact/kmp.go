@@ -1,0 +1,61 @@
+// Package exact implements the classical exact string matchers the paper
+// surveys in §II — Knuth–Morris–Pratt, Boyer–Moore(–Horspool), and the
+// Aho–Corasick multi-pattern automaton — used both as standalone tools and
+// as the seed-filter substrate of the Amir baseline (internal/amir).
+//
+// All matchers operate on arbitrary byte strings; the DNA pipeline passes
+// rank-encoded text.
+package exact
+
+// KMPNext builds the failure function ("next-table") of pattern:
+// next[i] = length of the longest proper prefix of pattern[:i+1] that is
+// also its suffix.
+func KMPNext(pattern []byte) []int {
+	next := make([]int, len(pattern))
+	k := 0
+	for i := 1; i < len(pattern); i++ {
+		for k > 0 && pattern[k] != pattern[i] {
+			k = next[k-1]
+		}
+		if pattern[k] == pattern[i] {
+			k++
+		}
+		next[i] = k
+	}
+	return next
+}
+
+// KMP returns all 0-based occurrence positions of pattern in text in
+// O(n + m) time.
+func KMP(text, pattern []byte) []int32 {
+	if len(pattern) == 0 || len(pattern) > len(text) {
+		return nil
+	}
+	next := KMPNext(pattern)
+	var out []int32
+	k := 0
+	for i := 0; i < len(text); i++ {
+		for k > 0 && pattern[k] != text[i] {
+			k = next[k-1]
+		}
+		if pattern[k] == text[i] {
+			k++
+		}
+		if k == len(pattern) {
+			out = append(out, int32(i-k+1))
+			k = next[k-1]
+		}
+	}
+	return out
+}
+
+// Period returns the smallest period of s: the least p >= 1 such that
+// s[i] == s[i+p] for all valid i. A string with Period(s) <= len(s)/2 is
+// periodic; Amir's break selection prefers aperiodic blocks.
+func Period(s []byte) int {
+	if len(s) == 0 {
+		return 0
+	}
+	next := KMPNext(s)
+	return len(s) - next[len(s)-1]
+}

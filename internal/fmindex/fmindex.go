@@ -1,0 +1,359 @@
+// Package fmindex implements the BWT-array index of the paper's §III: the
+// Burrows–Wheeler transform of a (rank-encoded) text, the first-column C
+// array, sampled "rankall" occurrence tables, the backward-search step
+// search(x, L⟨...⟩), and occurrence locating via a sampled suffix array.
+//
+// The text handed to Build must already be rank-encoded over
+// internal/alphabet ($=0 < a < c < g < t); Build appends the sentinel
+// itself. Following the paper's storage scheme, the BWT is stored 3 bits
+// per character (2-bit base codes plus the sentinel handled out of band)
+// and one rankall value per character is checkpointed every OccRate
+// elements of L.
+package fmindex
+
+import (
+	"errors"
+	"fmt"
+
+	"bwtmatch/internal/alphabet"
+	"bwtmatch/internal/bitvec"
+	"bwtmatch/internal/suffixarray"
+)
+
+// Options control the space/time trade-offs of the index.
+type Options struct {
+	// OccRate is the rankall checkpoint spacing: one cumulative count per
+	// character is stored every OccRate positions of L; ranks in between
+	// are completed by scanning at most OccRate-1 characters. The paper
+	// stores "4 rankall values for every 4 elements" in its experiments
+	// (rate 4) and discusses sparser sampling as a space saving (§III-A).
+	OccRate int
+	// SARate is the suffix-array sampling rate used by Locate: every
+	// SARate-th text position is kept. Smaller is faster, larger smaller.
+	SARate int
+	// PackedBWT stores the BWT at 2 bits per character and counts
+	// occurrences with word-parallel popcounts instead of byte scans.
+	// It cuts the BWT payload 4x and is the faster layout at sparse
+	// OccRate settings (>= 32), where the scan between checkpoints is
+	// long.
+	PackedBWT bool
+	// TwoLevelOcc replaces the flat rankall table (the paper's layout,
+	// 32 bits per character per OccRate positions) with a hierarchical
+	// directory: absolute 32-bit counts every 256 positions plus
+	// relative 8-bit counts every 16 — ~2.5 bits/base instead of 32 at
+	// OccRate 4, with scans of at most 15 characters. OccRate is ignored
+	// when set.
+	TwoLevelOcc bool
+}
+
+// DefaultOptions mirror the paper's experimental configuration.
+func DefaultOptions() Options { return Options{OccRate: 4, SARate: 16} }
+
+func (o *Options) normalize() error {
+	if o.OccRate == 0 {
+		o.OccRate = 4
+	}
+	if o.SARate == 0 {
+		o.SARate = 16
+	}
+	if o.OccRate < 1 || o.SARate < 1 {
+		return fmt.Errorf("fmindex: invalid options %+v", *o)
+	}
+	return nil
+}
+
+// Interval is a half-open interval [Lo, Hi) of rows of the Burrows–Wheeler
+// matrix (equivalently of the suffix array of text+$). It is the absolute
+// form of the paper's pairs ⟨x, [α, β]⟩: the pair's character x and ranks
+// α..β are recovered by which C-bucket the interval lies in.
+type Interval struct {
+	Lo, Hi int32
+}
+
+// Empty reports whether the interval contains no rows.
+func (iv Interval) Empty() bool { return iv.Lo >= iv.Hi }
+
+// Len returns the number of rows.
+func (iv Interval) Len() int { return int(iv.Hi - iv.Lo) }
+
+// ErrInvalidText reports a text containing the sentinel rank.
+var ErrInvalidText = errors.New("fmindex: text must not contain the sentinel")
+
+// Index is a BWT-array index over one text.
+type Index struct {
+	opts Options
+	n    int // text length, excluding sentinel
+
+	bwt    []byte // BWT of text+$, rank-encoded; nil when packed is used
+	packed *packedBWT
+
+	c [alphabet.Size + 1]int32 // c[x] = #chars with rank < x in text+$
+
+	occ     []int32      // flat occ checkpoints: occ[(p/OccRate)*Bases + (x-1)]
+	occ2    *twoLevelOcc // hierarchical alternative; occ is nil when set
+	sentPos int32        // position of the sentinel within bwt
+
+	saMarked  *bitvec.Rank // rows whose SA value is sampled
+	saSamples []int32      // SA values of marked rows, in row order
+}
+
+// Build constructs the index over a rank-encoded text (values 1..4).
+func Build(text []byte, opts Options) (*Index, error) {
+	if err := opts.normalize(); err != nil {
+		return nil, err
+	}
+	for i, r := range text {
+		if r < alphabet.A || r > alphabet.T {
+			return nil, fmt.Errorf("%w: rank %d at position %d", ErrInvalidText, r, i)
+		}
+	}
+	n := len(text)
+	idx := &Index{opts: opts, n: n}
+
+	// Suffix array of text+$; the sentinel suffix sorts first, so SA row 0
+	// is position n and rows 1..n are Build(text) shifted.
+	sa := make([]int32, n+1)
+	sa[0] = int32(n)
+	copy(sa[1:], suffixarray.Build(text))
+
+	// BWT: L[i] = text[sa[i]-1], or $ when sa[i] == 0 (paper eq. (3)).
+	idx.bwt = make([]byte, n+1)
+	for i, p := range sa {
+		if p == 0 {
+			idx.bwt[i] = alphabet.Sentinel
+			idx.sentPos = int32(i)
+		} else {
+			idx.bwt[i] = text[p-1]
+		}
+	}
+
+	// C array over text+$.
+	var counts [alphabet.Size]int32
+	counts[alphabet.Sentinel] = 1
+	for _, r := range text {
+		counts[r]++
+	}
+	var sum int32
+	for x := 0; x < alphabet.Size; x++ {
+		idx.c[x] = sum
+		sum += counts[x]
+	}
+	idx.c[alphabet.Size] = sum
+
+	if opts.PackedBWT {
+		idx.packed = newPackedBWT(idx.bwt)
+	}
+
+	// Rankall checkpoints: the paper's flat layout, or the hierarchical
+	// two-level directory.
+	if opts.TwoLevelOcc {
+		if err := validateGeometry(); err != nil {
+			return nil, err
+		}
+		idx.occ2 = buildTwoLevel(idx.bwt)
+	} else {
+		rate := opts.OccRate
+		nChk := (n+1)/rate + 1
+		idx.occ = make([]int32, nChk*alphabet.Bases)
+		var running [alphabet.Bases]int32
+		for p := 0; p <= n+1; p++ {
+			if p%rate == 0 {
+				copy(idx.occ[(p/rate)*alphabet.Bases:], running[:])
+			}
+			if p <= n {
+				if ch := idx.bwt[p]; ch != alphabet.Sentinel {
+					running[ch-1]++
+				}
+			}
+		}
+	}
+
+	// SA samples for Locate: mark rows whose SA value is a multiple of
+	// SARate (plus position n so every LF walk terminates).
+	marked := bitvec.New(n + 1)
+	for i, p := range sa {
+		if int(p)%opts.SARate == 0 || int(p) == n {
+			marked.Set(i)
+		}
+	}
+	idx.saMarked = bitvec.NewRank(marked)
+	idx.saSamples = make([]int32, 0, idx.saMarked.Ones())
+	for i, p := range sa {
+		if marked.Get(i) {
+			idx.saSamples = append(idx.saSamples, p)
+		}
+	}
+	if idx.packed != nil {
+		idx.bwt = nil // the packed layout is authoritative
+	}
+	return idx, nil
+}
+
+// bwtAt reads L[i] regardless of the storage layout.
+func (idx *Index) bwtAt(i int32) byte {
+	if idx.packed != nil {
+		return idx.packed.get(i)
+	}
+	return idx.bwt[i]
+}
+
+// N returns the length of the indexed text (excluding the sentinel).
+func (idx *Index) N() int { return idx.n }
+
+// Options returns the build options.
+func (idx *Index) Options() Options { return idx.opts }
+
+// Full returns the interval of all rows (the paper's virtual root
+// ⟨-, [1, n+1]⟩).
+func (idx *Index) Full() Interval { return Interval{0, int32(idx.n) + 1} }
+
+// occAt returns the number of occurrences of base rank x (1..4) in
+// bwt[0:p].
+func (idx *Index) occAt(x byte, p int32) int32 {
+	var cnt, from int32
+	if idx.occ2 != nil {
+		cnt, from = idx.occ2.base(x, p)
+	} else {
+		chk := p / int32(idx.opts.OccRate)
+		cnt = idx.occ[chk*alphabet.Bases+int32(x-1)]
+		from = chk * int32(idx.opts.OccRate)
+	}
+	if idx.packed != nil {
+		return cnt + idx.packed.count(x, from, p)
+	}
+	for q := from; q < p; q++ {
+		if idx.bwt[q] == x {
+			cnt++
+		}
+	}
+	return cnt
+}
+
+// Step performs one backward-search step: given the interval of rows whose
+// suffixes start with some string w, it returns the interval of rows whose
+// suffixes start with x·w. It is the paper's search(x, L⟨...⟩) in absolute
+// interval form. An empty result means x·w does not occur.
+func (idx *Index) Step(x byte, iv Interval) Interval {
+	lo := idx.c[x] + idx.occAt(x, iv.Lo)
+	hi := idx.c[x] + idx.occAt(x, iv.Hi)
+	return Interval{lo, hi}
+}
+
+// StepAll performs the backward-search step for all four bases at once,
+// filling out[0..3] for ranks A..T. It shares the two checkpoint lookups,
+// which is what makes the S-tree expansion loop ("for each y within L⟨v⟩",
+// Algorithm A line 16) cheap.
+func (idx *Index) StepAll(iv Interval, out *[alphabet.Bases]Interval) {
+	var lo, hi [alphabet.Bases]int32
+	idx.occAll(iv.Lo, &lo)
+	idx.occAll(iv.Hi, &hi)
+	for x := 0; x < alphabet.Bases; x++ {
+		c := idx.c[x+1]
+		out[x] = Interval{c + lo[x], c + hi[x]}
+	}
+}
+
+// StepSingleton is the backward-search step specialized for single-row
+// intervals: a one-row interval has exactly one non-empty continuation,
+// the character L[lo], read directly from the BWT. It returns that
+// character and the child interval; ok is false when the row's
+// continuation is the sentinel (the text start was reached).
+func (idx *Index) StepSingleton(iv Interval) (x byte, child Interval, ok bool) {
+	x = idx.bwtAt(iv.Lo)
+	if x == alphabet.Sentinel {
+		return 0, Interval{}, false
+	}
+	lo := idx.c[x] + idx.occAt(x, iv.Lo)
+	return x, Interval{lo, lo + 1}, true
+}
+
+// occAll fills cnt with occurrences of each base in bwt[0:p].
+func (idx *Index) occAll(p int32, cnt *[alphabet.Bases]int32) {
+	var from int32
+	if idx.occ2 != nil {
+		from = idx.occ2.baseAll(p, cnt)
+	} else {
+		chk := p / int32(idx.opts.OccRate)
+		copy(cnt[:], idx.occ[chk*alphabet.Bases:chk*alphabet.Bases+alphabet.Bases])
+		from = chk * int32(idx.opts.OccRate)
+	}
+	if idx.packed != nil {
+		for x := byte(alphabet.A); x <= alphabet.T; x++ {
+			cnt[x-1] += idx.packed.count(x, from, p)
+		}
+		return
+	}
+	for q := from; q < p; q++ {
+		if ch := idx.bwt[q]; ch != alphabet.Sentinel {
+			cnt[ch-1]++
+		}
+	}
+}
+
+// Search runs a full backward search for the rank-encoded pattern (matching
+// it exactly) and returns the interval of rows prefixed by it. The pattern
+// is processed from its last character to its first, per §III-A.
+func (idx *Index) Search(pattern []byte) Interval {
+	iv := idx.Full()
+	for i := len(pattern) - 1; i >= 0 && !iv.Empty(); i-- {
+		iv = idx.Step(pattern[i], iv)
+	}
+	return iv
+}
+
+// Count returns the number of exact occurrences of pattern.
+func (idx *Index) Count(pattern []byte) int { return idx.Search(pattern).Len() }
+
+// lfStep is the LF-mapping: the row of the suffix obtained by prepending
+// bwt[row] to the suffix of row.
+func (idx *Index) lfStep(row int32) int32 {
+	x := idx.bwtAt(row)
+	if x == alphabet.Sentinel {
+		return 0
+	}
+	return idx.c[x] + idx.occAt(x, row)
+}
+
+// Locate resolves every row of iv to a text position (the start of the
+// suffix in the indexed text), using the sampled suffix array: walk LF
+// until a marked row is hit. Results are appended to dst.
+func (idx *Index) Locate(iv Interval, dst []int32) []int32 {
+	for row := iv.Lo; row < iv.Hi; row++ {
+		r, steps := row, int32(0)
+		for !idx.saMarked.Get(int(r)) {
+			r = idx.lfStep(r)
+			steps++
+		}
+		dst = append(dst, idx.saSamples[idx.saMarked.Rank1(int(r))]+steps)
+	}
+	return dst
+}
+
+// BWT returns the BWT array (rank-encoded, including the sentinel). For
+// the packed layout a fresh copy is materialized; otherwise the caller
+// must not modify the returned slice.
+func (idx *Index) BWT() []byte {
+	if idx.packed == nil {
+		return idx.bwt
+	}
+	out := make([]byte, idx.n+1)
+	for i := range out {
+		out[i] = idx.packed.get(int32(i))
+	}
+	return out
+}
+
+// SizeBytes estimates the index payload: the BWT (3 bits/char in the
+// paper's accounting for the byte layout, the true 2-bit payload for the
+// packed layout) plus occ checkpoints plus SA samples.
+func (idx *Index) SizeBytes() int {
+	bwtBytes := (idx.n+1)*3/8 + 1
+	if idx.packed != nil {
+		bwtBytes = idx.packed.sizeBytes()
+	}
+	occBytes := len(idx.occ) * 4
+	if idx.occ2 != nil {
+		occBytes = idx.occ2.sizeBytes()
+	}
+	return bwtBytes + occBytes + len(idx.saSamples)*4 + idx.saMarked.Len()/8
+}

@@ -1,0 +1,71 @@
+package fmindex
+
+// Matching statistics and maximal exact matches (MEMs) over the
+// bidirectional index: the seeding primitives of modern aligners
+// (BWA-MEM's SMEMs are a refinement of these), provided as part of the
+// extension surface around the paper's index.
+
+// MEM is one maximal exact match of a pattern in the indexed text: the
+// pattern substring [Start, Start+Len) occurs in the text and can be
+// extended neither left nor right at every occurrence.
+type MEM struct {
+	Start, Len int
+	// Iv is the synchronized interval of the occurrences, usable with
+	// Fwd().Locate.
+	Iv BiInterval
+}
+
+// MatchingStats returns ms where ms[i] is the length of the longest
+// prefix of pattern[i:] that occurs in the text. Each entry is computed
+// by forward extension from scratch, O(m·L) total with L the average
+// match length (≈ log_4 n on random DNA).
+func (b *BiIndex) MatchingStats(pattern []byte) []int {
+	m := len(pattern)
+	ms := make([]int, m)
+	for i := 0; i < m; i++ {
+		iv := b.Full()
+		l := 0
+		for i+l < m {
+			next := b.ExtendRight(pattern[i+l], iv)
+			if next.Empty() {
+				break
+			}
+			iv = next
+			l++
+		}
+		ms[i] = l
+	}
+	return ms
+}
+
+// MEMs returns every maximal exact match of pattern with length at least
+// minLen, ordered by start position. A match starting at i is reported
+// when it is not contained in the previous start's match (ms[i] >=
+// ms[i-1], since ms can drop by at most one per step) and cannot be
+// extended left (guaranteed by the same condition, and checked directly
+// for i = 0).
+func (b *BiIndex) MEMs(pattern []byte, minLen int) []MEM {
+	m := len(pattern)
+	if minLen < 1 {
+		minLen = 1
+	}
+	var out []MEM
+	prev := 0
+	for i := 0; i < m; i++ {
+		iv := b.Full()
+		l := 0
+		for i+l < m {
+			next := b.ExtendRight(pattern[i+l], iv)
+			if next.Empty() {
+				break
+			}
+			iv = next
+			l++
+		}
+		if l >= minLen && (i == 0 || l >= prev) && !iv.Empty() {
+			out = append(out, MEM{Start: i, Len: l, Iv: iv})
+		}
+		prev = l
+	}
+	return out
+}

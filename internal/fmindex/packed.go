@@ -1,0 +1,93 @@
+package fmindex
+
+import (
+	"math/bits"
+
+	"bwtmatch/internal/alphabet"
+)
+
+// packedBWT stores the BWT at 2 bits per character with the sentinel held
+// out of band, and answers "how many occurrences of base x in L[from:to)"
+// with word-parallel popcounts — the storage §V of the paper describes
+// ("we use 2 bits to represent a character in {a,c,g,t}"), profitable at
+// sparse rankall rates where the plain byte layout would scan long
+// blocks.
+type packedBWT struct {
+	words   []uint64 // 32 two-bit codes per word
+	n       int32    // total characters including the sentinel slot
+	sentPos int32    // the sentinel's position; its stored code is 0
+}
+
+const codesPerWord = 32
+
+// newPackedBWT packs a rank-encoded BWT (values 0..4, exactly one
+// sentinel).
+func newPackedBWT(bwt []byte) *packedBWT {
+	p := &packedBWT{
+		words: make([]uint64, (len(bwt)+codesPerWord-1)/codesPerWord),
+		n:     int32(len(bwt)),
+	}
+	for i, r := range bwt {
+		var code uint64
+		if r == alphabet.Sentinel {
+			p.sentPos = int32(i)
+			code = 0
+		} else {
+			code = uint64(r - 1)
+		}
+		p.words[i/codesPerWord] |= code << uint((i%codesPerWord)*2)
+	}
+	return p
+}
+
+// get returns the rank (0 for the sentinel, 1..4 for bases) at position i.
+func (p *packedBWT) get(i int32) byte {
+	if i == p.sentPos {
+		return alphabet.Sentinel
+	}
+	code := byte(p.words[i/codesPerWord]>>uint((i%codesPerWord)*2)) & 3
+	return code + 1
+}
+
+// count returns the number of occurrences of base rank x (1..4) in
+// positions [from, to).
+func (p *packedBWT) count(x byte, from, to int32) int32 {
+	if from >= to {
+		return 0
+	}
+	code := uint64(x - 1)
+	// Pattern with the target code in every 2-bit slot.
+	pat := code * 0x5555555555555555
+	var cnt int32
+	wFrom, wTo := from/codesPerWord, (to-1)/codesPerWord
+	for w := wFrom; w <= wTo; w++ {
+		word := p.words[w] ^ pat // 00 pairs where the code matches
+		// Collapse each pair to a single bit: 0 where matched.
+		miss := (word | word>>1) & 0x5555555555555555
+		matched := uint64(0x5555555555555555) &^ miss
+		// Mask the in-range slots of this word.
+		lo := int32(0)
+		if w == wFrom {
+			lo = from % codesPerWord
+		}
+		hi := int32(codesPerWord)
+		if w == wTo {
+			hi = (to-1)%codesPerWord + 1
+		}
+		if lo > 0 {
+			matched &^= (uint64(1) << uint(lo*2)) - 1
+		}
+		if hi < codesPerWord {
+			matched &= (uint64(1) << uint(hi*2)) - 1
+		}
+		cnt += int32(bits.OnesCount64(matched))
+	}
+	// The sentinel slot stores code 0; undo the spurious 'a' match.
+	if x == alphabet.A && from <= p.sentPos && p.sentPos < to {
+		cnt--
+	}
+	return cnt
+}
+
+// sizeBytes returns the payload size.
+func (p *packedBWT) sizeBytes() int { return len(p.words) * 8 }

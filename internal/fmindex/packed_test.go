@@ -1,0 +1,150 @@
+package fmindex
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bwtmatch/internal/alphabet"
+)
+
+func TestPackedCountAgainstScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(300)
+		bwt := make([]byte, n)
+		for i := range bwt {
+			bwt[i] = byte(1 + rng.Intn(4))
+		}
+		bwt[rng.Intn(n)] = alphabet.Sentinel
+		p := newPackedBWT(bwt)
+		for q := 0; q < 100; q++ {
+			from := int32(rng.Intn(n + 1))
+			to := from + int32(rng.Intn(n+1-int(from)))
+			for x := byte(alphabet.A); x <= alphabet.T; x++ {
+				want := int32(0)
+				for i := from; i < to; i++ {
+					if bwt[i] == x {
+						want++
+					}
+				}
+				if got := p.count(x, from, to); got != want {
+					t.Fatalf("count(%d, %d, %d) = %d, want %d (bwt %v)",
+						x, from, to, got, want, bwt)
+				}
+			}
+		}
+		for i := range bwt {
+			if p.get(int32(i)) != bwt[i] {
+				t.Fatalf("get(%d) = %d, want %d", i, p.get(int32(i)), bwt[i])
+			}
+		}
+	}
+}
+
+func TestPackedIndexEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(132))
+	for trial := 0; trial < 20; trial++ {
+		text := randomRanks(rng, 100+rng.Intn(500))
+		rate := []int{4, 32, 64}[rng.Intn(3)]
+		plain, err := Build(text, Options{OccRate: rate, SARate: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		packed, err := Build(text, Options{OccRate: rate, SARate: 8, PackedBWT: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(plain.BWT(), packed.BWT()) {
+			t.Fatal("BWT materialization differs")
+		}
+		for q := 0; q < 40; q++ {
+			pat := randomRanks(rng, 1+rng.Intn(12))
+			ivP, ivQ := plain.Search(pat), packed.Search(pat)
+			if ivP != ivQ {
+				t.Fatalf("Search(%v): %v vs %v", pat, ivP, ivQ)
+			}
+			a := plain.Locate(ivP, nil)
+			b := packed.Locate(ivQ, nil)
+			if len(a) != len(b) {
+				t.Fatalf("Locate counts differ: %d vs %d", len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("Locate differs: %v vs %v", a, b)
+				}
+			}
+		}
+		var ka, kb [alphabet.Bases]Interval
+		for q := 0; q < 50; q++ {
+			lo := int32(rng.Intn(plain.N() + 1))
+			hi := lo + int32(rng.Intn(plain.N()+2-int(lo)))
+			plain.StepAll(Interval{lo, hi}, &ka)
+			packed.StepAll(Interval{lo, hi}, &kb)
+			if ka != kb {
+				t.Fatalf("StepAll([%d,%d)) differs", lo, hi)
+			}
+		}
+		if packed.SizeBytes() >= plain.SizeBytes()+int(plain.N()) {
+			t.Errorf("packed index unexpectedly large: %d vs %d",
+				packed.SizeBytes(), plain.SizeBytes())
+		}
+	}
+}
+
+func TestPackedStepSingleton(t *testing.T) {
+	rng := rand.New(rand.NewSource(133))
+	text := randomRanks(rng, 800)
+	plain, _ := Build(text, DefaultOptions())
+	opts := DefaultOptions()
+	opts.PackedBWT = true
+	packed, _ := Build(text, opts)
+	for row := int32(0); row <= int32(plain.N()); row++ {
+		x1, c1, ok1 := plain.StepSingleton(Interval{row, row + 1})
+		x2, c2, ok2 := packed.StepSingleton(Interval{row, row + 1})
+		if x1 != x2 || c1 != c2 || ok1 != ok2 {
+			t.Fatalf("row %d: (%d,%v,%v) vs (%d,%v,%v)", row, x1, c1, ok1, x2, c2, ok2)
+		}
+	}
+}
+
+func TestPackedQuick(t *testing.T) {
+	f := func(seed int64, n8 uint8, m8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		text := randomRanks(rng, 1+int(n8))
+		pat := randomRanks(rng, 1+int(m8)%10)
+		plain, err1 := Build(text, Options{OccRate: 64, SARate: 4})
+		packed, err2 := Build(text, Options{OccRate: 64, SARate: 4, PackedBWT: true})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return plain.Count(pat) == packed.Count(pat)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func benchOccBackend(b *testing.B, packed bool, rate int) {
+	rng := rand.New(rand.NewSource(134))
+	text := randomRanks(rng, 1<<20)
+	idx, err := Build(text, Options{OccRate: rate, SARate: 16, PackedBWT: packed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pats := make([][]byte, 64)
+	for i := range pats {
+		p := rng.Intn(len(text) - 60)
+		pats[i] = text[p : p+60]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.Count(pats[i%len(pats)])
+	}
+}
+
+func BenchmarkOccByteRate64(b *testing.B)   { benchOccBackend(b, false, 64) }
+func BenchmarkOccPackedRate64(b *testing.B) { benchOccBackend(b, true, 64) }
+func BenchmarkOccByteRate4(b *testing.B)    { benchOccBackend(b, false, 4) }
+func BenchmarkOccPackedRate4(b *testing.B)  { benchOccBackend(b, true, 4) }

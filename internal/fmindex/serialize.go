@@ -1,0 +1,249 @@
+package fmindex
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"bwtmatch/internal/bitvec"
+)
+
+// Serialization of the index: a little-endian binary format with a magic
+// header, so a genome is indexed once and reloaded in milliseconds
+// (§III-B: "once it is created, it can be repeatedly used").
+//
+// Layout: magic, version, options, n, sentPos, BWT payload (byte or
+// packed), C array, occ checkpoints, SA-mark bitvector, SA samples.
+
+const (
+	indexMagic   = uint32(0xB3711D01) // "BWT index" v1
+	layoutByte   = uint8(0)
+	layoutPacked = uint8(1)
+)
+
+// ErrFormat reports an unreadable index stream.
+var ErrFormat = errors.New("fmindex: bad index format")
+
+// WriteTo serializes the index.
+func (idx *Index) WriteTo(w io.Writer) (int64, error) {
+	cw := &countWriter{w: bufio.NewWriter(w)}
+	put := func(v any) error { return binary.Write(cw, binary.LittleEndian, v) }
+
+	layout := layoutByte
+	if idx.packed != nil {
+		layout = layoutPacked
+	}
+	header := []any{
+		indexMagic,
+		uint32(idx.opts.OccRate),
+		uint32(idx.opts.SARate),
+		layout,
+		uint64(idx.n),
+		idx.sentPos,
+	}
+	for _, h := range header {
+		if err := put(h); err != nil {
+			return cw.n, err
+		}
+	}
+	if idx.packed != nil {
+		if err := put(idx.packed.sentPos); err != nil {
+			return cw.n, err
+		}
+		if err := put(uint64(len(idx.packed.words))); err != nil {
+			return cw.n, err
+		}
+		if err := put(idx.packed.words); err != nil {
+			return cw.n, err
+		}
+	} else {
+		if _, err := cw.Write(idx.bwt); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := put(idx.c[:]); err != nil {
+		return cw.n, err
+	}
+	if idx.occ2 != nil {
+		if err := firstErr(
+			put(uint8(1)),
+			put(uint64(len(idx.occ2.super))),
+			put(idx.occ2.super),
+			put(uint64(len(idx.occ2.block))),
+			put(idx.occ2.block),
+		); err != nil {
+			return cw.n, err
+		}
+	} else {
+		if err := firstErr(
+			put(uint8(0)),
+			put(uint64(len(idx.occ))),
+			put(idx.occ),
+		); err != nil {
+			return cw.n, err
+		}
+	}
+	markBits := markedBits(idx.saMarked)
+	if err := put(uint64(len(markBits))); err != nil {
+		return cw.n, err
+	}
+	if err := put(markBits); err != nil {
+		return cw.n, err
+	}
+	if err := put(uint64(len(idx.saSamples))); err != nil {
+		return cw.n, err
+	}
+	if err := put(idx.saSamples); err != nil {
+		return cw.n, err
+	}
+	return cw.n, cw.w.(*bufio.Writer).Flush()
+}
+
+// ReadIndex deserializes an index written by WriteTo.
+func ReadIndex(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	get := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
+
+	var magic uint32
+	if err := get(&magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	if magic != indexMagic {
+		return nil, fmt.Errorf("%w: magic %#x", ErrFormat, magic)
+	}
+	var occRate, saRate uint32
+	var layout uint8
+	var n uint64
+	idx := &Index{}
+	if err := firstErr(
+		get(&occRate), get(&saRate), get(&layout), get(&n), get(&idx.sentPos),
+	); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrFormat, err)
+	}
+	idx.opts = Options{OccRate: int(occRate), SARate: int(saRate), PackedBWT: layout == layoutPacked}
+	if err := idx.opts.normalize(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	idx.n = int(n)
+	const maxLen = 1 << 34 // sanity cap against corrupt headers
+	if n > maxLen {
+		return nil, fmt.Errorf("%w: n %d", ErrFormat, n)
+	}
+
+	switch layout {
+	case layoutPacked:
+		p := &packedBWT{n: int32(n) + 1}
+		var words uint64
+		if err := firstErr(get(&p.sentPos), get(&words)); err != nil {
+			return nil, fmt.Errorf("%w: packed header: %v", ErrFormat, err)
+		}
+		if words > maxLen {
+			return nil, fmt.Errorf("%w: words %d", ErrFormat, words)
+		}
+		p.words = make([]uint64, words)
+		if err := get(p.words); err != nil {
+			return nil, fmt.Errorf("%w: packed words: %v", ErrFormat, err)
+		}
+		idx.packed = p
+	case layoutByte:
+		idx.bwt = make([]byte, n+1)
+		if _, err := io.ReadFull(br, idx.bwt); err != nil {
+			return nil, fmt.Errorf("%w: bwt: %v", ErrFormat, err)
+		}
+	default:
+		return nil, fmt.Errorf("%w: layout %d", ErrFormat, layout)
+	}
+
+	if err := get(idx.c[:]); err != nil {
+		return nil, fmt.Errorf("%w: c array: %v", ErrFormat, err)
+	}
+	var occLayout uint8
+	if err := get(&occLayout); err != nil {
+		return nil, fmt.Errorf("%w: occ layout", ErrFormat)
+	}
+	switch occLayout {
+	case 1:
+		idx.opts.TwoLevelOcc = true
+		occ2 := &twoLevelOcc{}
+		var superLen, blockLen uint64
+		if err := get(&superLen); err != nil || superLen > maxLen {
+			return nil, fmt.Errorf("%w: super length", ErrFormat)
+		}
+		occ2.super = make([]uint32, superLen)
+		if err := get(occ2.super); err != nil {
+			return nil, fmt.Errorf("%w: super: %v", ErrFormat, err)
+		}
+		if err := get(&blockLen); err != nil || blockLen > maxLen {
+			return nil, fmt.Errorf("%w: block length", ErrFormat)
+		}
+		occ2.block = make([]uint8, blockLen)
+		if err := get(occ2.block); err != nil {
+			return nil, fmt.Errorf("%w: block: %v", ErrFormat, err)
+		}
+		idx.occ2 = occ2
+	case 0:
+		var occLen uint64
+		if err := get(&occLen); err != nil || occLen > maxLen {
+			return nil, fmt.Errorf("%w: occ length", ErrFormat)
+		}
+		idx.occ = make([]int32, occLen)
+		if err := get(idx.occ); err != nil {
+			return nil, fmt.Errorf("%w: occ: %v", ErrFormat, err)
+		}
+	default:
+		return nil, fmt.Errorf("%w: occ layout %d", ErrFormat, occLayout)
+	}
+	var markWords uint64
+	if err := get(&markWords); err != nil || markWords > maxLen {
+		return nil, fmt.Errorf("%w: mark length", ErrFormat)
+	}
+	bits := make([]uint64, markWords)
+	if err := get(bits); err != nil {
+		return nil, fmt.Errorf("%w: marks: %v", ErrFormat, err)
+	}
+	idx.saMarked = bitvec.NewRank(bitvec.FromWords(bits, idx.n+1))
+	var samples uint64
+	if err := get(&samples); err != nil || samples > maxLen {
+		return nil, fmt.Errorf("%w: sample length", ErrFormat)
+	}
+	idx.saSamples = make([]int32, samples)
+	if err := get(idx.saSamples); err != nil {
+		return nil, fmt.Errorf("%w: samples: %v", ErrFormat, err)
+	}
+	if int(samples) != idx.saMarked.Ones() {
+		return nil, fmt.Errorf("%w: %d samples for %d marked rows", ErrFormat, samples, idx.saMarked.Ones())
+	}
+	return idx, nil
+}
+
+func markedBits(r *bitvec.Rank) []uint64 {
+	v := bitvec.New(r.Len())
+	for i := 0; i < r.Len(); i++ {
+		if r.Get(i) {
+			v.Set(i)
+		}
+	}
+	return v.Words()
+}
+
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

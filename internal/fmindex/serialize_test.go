@@ -1,0 +1,86 @@
+package fmindex
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func roundTrip(t *testing.T, idx *Index) *Index {
+	t.Helper()
+	var buf bytes.Buffer
+	n, err := idx.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(141))
+	for _, packed := range []bool{false, true} {
+		for trial := 0; trial < 10; trial++ {
+			text := randomRanks(rng, 50+rng.Intn(800))
+			idx, err := Build(text, Options{OccRate: 1 + rng.Intn(64), SARate: 1 + rng.Intn(16), PackedBWT: packed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := roundTrip(t, idx)
+			if !bytes.Equal(got.BWT(), idx.BWT()) {
+				t.Fatal("BWT differs after round trip")
+			}
+			if got.N() != idx.N() || got.Options() != idx.Options() {
+				t.Fatalf("metadata differs: %+v vs %+v", got.Options(), idx.Options())
+			}
+			for q := 0; q < 30; q++ {
+				pat := randomRanks(rng, 1+rng.Intn(10))
+				a := idx.Locate(idx.Search(pat), nil)
+				b := got.Locate(got.Search(pat), nil)
+				if len(a) != len(b) {
+					t.Fatalf("Locate count differs after round trip")
+				}
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("Locate differs: %v vs %v", a, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSerializeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1, 2, 3},
+		bytes.Repeat([]byte{0xFF}, 64),
+	}
+	for _, c := range cases {
+		if _, err := ReadIndex(bytes.NewReader(c)); !errors.Is(err, ErrFormat) {
+			t.Errorf("ReadIndex(%d bytes) error = %v, want ErrFormat", len(c), err)
+		}
+	}
+}
+
+func TestSerializeRejectsTruncated(t *testing.T) {
+	rng := rand.New(rand.NewSource(142))
+	idx, _ := Build(randomRanks(rng, 300), DefaultOptions())
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{1, 8, 20, len(full) / 2, len(full) - 1} {
+		if _, err := ReadIndex(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package fmindex
+
+import (
+	"fmt"
+
+	"bwtmatch/internal/alphabet"
+)
+
+// twoLevelOcc is a hierarchical rankall directory: absolute 32-bit
+// counts every superRate characters plus relative 8-bit counts every
+// blockRate characters. Against the paper's flat layout (one 32-bit
+// count per character every 4 positions = 32 bits/base of occ overhead)
+// it stores 4·32/superRate + 4·8/blockRate bits/base — 2.5 bits/base at
+// the default geometry — while keeping scans at most blockRate-1
+// characters.
+type twoLevelOcc struct {
+	super []uint32 // absolute counts: super[(p/superRate)*4 + c]
+	block []uint8  // counts since the enclosing superblock start
+}
+
+const (
+	superRate = 256
+	blockRate = 16
+	// blocksPerSuper relative counts per superblock; the last block of a
+	// superblock holds at most superRate-blockRate < 256, so uint8 fits.
+	blocksPerSuper = superRate / blockRate
+)
+
+// buildTwoLevel scans a rank-encoded BWT.
+func buildTwoLevel(bwt []byte) *twoLevelOcc {
+	n := len(bwt)
+	nSuper := n/superRate + 1
+	nBlock := n/blockRate + 1
+	t := &twoLevelOcc{
+		super: make([]uint32, (nSuper+1)*alphabet.Bases),
+		block: make([]uint8, (nBlock+1)*alphabet.Bases),
+	}
+	var abs [alphabet.Bases]uint32
+	var rel [alphabet.Bases]uint8
+	for p := 0; p <= n; p++ {
+		if p%superRate == 0 {
+			copy(t.super[(p/superRate)*alphabet.Bases:], abs[:])
+			rel = [alphabet.Bases]uint8{}
+		}
+		if p%blockRate == 0 {
+			copy(t.block[(p/blockRate)*alphabet.Bases:], rel[:])
+		}
+		if p < n {
+			if ch := bwt[p]; ch != alphabet.Sentinel {
+				abs[ch-1]++
+				rel[ch-1]++
+			}
+		}
+	}
+	return t
+}
+
+// base returns the occurrences of base x in bwt[0:blockStart] for the
+// block enclosing p, plus that block's start; the caller scans the
+// remaining < blockRate characters itself.
+func (t *twoLevelOcc) base(x byte, p int32) (cnt, blockStart int32) {
+	blk := p / blockRate
+	cnt = int32(t.super[(p/superRate)*alphabet.Bases+int32(x-1)]) +
+		int32(t.block[blk*alphabet.Bases+int32(x-1)])
+	return cnt, blk * blockRate
+}
+
+// baseAll fills cnt for all four bases at the enclosing block start.
+func (t *twoLevelOcc) baseAll(p int32, cnt *[alphabet.Bases]int32) (blockStart int32) {
+	blk := p / blockRate
+	sup := (p / superRate) * alphabet.Bases
+	rel := blk * alphabet.Bases
+	for c := int32(0); c < alphabet.Bases; c++ {
+		cnt[c] = int32(t.super[sup+c]) + int32(t.block[rel+c])
+	}
+	return blk * blockRate
+}
+
+// sizeBytes returns the directory payload.
+func (t *twoLevelOcc) sizeBytes() int { return len(t.super)*4 + len(t.block) }
+
+// validateGeometry guards the uint8 invariant at compile-configuration
+// time; it exists so a future geometry change cannot silently overflow.
+func validateGeometry() error {
+	if superRate%blockRate != 0 {
+		return fmt.Errorf("fmindex: superRate %d not a multiple of blockRate %d", superRate, blockRate)
+	}
+	if superRate-blockRate > 255 {
+		return fmt.Errorf("fmindex: relative counts overflow uint8")
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package fmindex
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidateGeometry(t *testing.T) {
+	if err := validateGeometry(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoLevelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(241))
+	for trial := 0; trial < 20; trial++ {
+		text := randomRanks(rng, 50+rng.Intn(2000))
+		flat, err := Build(text, Options{OccRate: 1, SARate: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, packed := range []bool{false, true} {
+			two, err := Build(text, Options{SARate: 4, TwoLevelOcc: true, PackedBWT: packed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for q := 0; q < 50; q++ {
+				pat := randomRanks(rng, 1+rng.Intn(12))
+				if two.Count(pat) != flat.Count(pat) {
+					t.Fatalf("two-level (packed=%v) Count differs for %v", packed, pat)
+				}
+			}
+			a := flat.Locate(flat.Search(text[:5]), nil)
+			b := two.Locate(two.Search(text[:5]), nil)
+			if len(a) != len(b) {
+				t.Fatalf("Locate counts differ")
+			}
+			if two.SizeBytes() >= flat.SizeBytes() {
+				t.Errorf("two-level not smaller: %d vs %d", two.SizeBytes(), flat.SizeBytes())
+			}
+		}
+	}
+}
+
+func TestTwoLevelOccAtExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(242))
+	text := randomRanks(rng, 700)
+	flat, _ := Build(text, Options{OccRate: 1, SARate: 4})
+	two, _ := Build(text, Options{SARate: 4, TwoLevelOcc: true})
+	for p := int32(0); p <= int32(two.N())+1; p++ {
+		for x := byte(1); x <= 4; x++ {
+			if got, want := two.occAt(x, p), flat.occAt(x, p); got != want {
+				t.Fatalf("occAt(%d,%d) = %d, want %d", x, p, got, want)
+			}
+		}
+	}
+}
+
+func TestTwoLevelSerializeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(243))
+	for _, packed := range []bool{false, true} {
+		text := randomRanks(rng, 900)
+		idx, err := Build(text, Options{SARate: 8, TwoLevelOcc: true, PackedBWT: packed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := roundTrip(t, idx)
+		if !got.Options().TwoLevelOcc {
+			t.Fatal("TwoLevelOcc flag lost")
+		}
+		if !bytes.Equal(got.BWT(), idx.BWT()) {
+			t.Fatal("BWT differs")
+		}
+		for q := 0; q < 40; q++ {
+			pat := randomRanks(rng, 1+rng.Intn(10))
+			if got.Count(pat) != idx.Count(pat) {
+				t.Fatal("counts differ after round trip")
+			}
+		}
+	}
+}
+
+func TestTwoLevelQuick(t *testing.T) {
+	f := func(seed int64, n16 uint16, m8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		text := randomRanks(rng, 1+int(n16)%1500)
+		pat := randomRanks(rng, 1+int(m8)%10)
+		flat, err1 := Build(text, Options{OccRate: 4, SARate: 4})
+		two, err2 := Build(text, Options{SARate: 4, TwoLevelOcc: true})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return flat.Count(pat) == two.Count(pat)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkOccTwoLevel(b *testing.B) {
+	rng := rand.New(rand.NewSource(244))
+	text := randomRanks(rng, 1<<20)
+	idx, err := Build(text, Options{SARate: 16, TwoLevelOcc: true, PackedBWT: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pats := make([][]byte, 64)
+	for i := range pats {
+		p := rng.Intn(len(text) - 60)
+		pats[i] = text[p : p+60]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.Count(pats[i%len(pats)])
+	}
+}

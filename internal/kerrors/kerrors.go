@@ -1,0 +1,132 @@
+// Package kerrors implements string matching with k errors — the
+// Levenshtein-distance sibling of the k-mismatch problem the paper's §II
+// surveys ("when the distance function is the Levenshtein distance, the
+// problem is known as the string matching with k errors"). It is an
+// extension module: the paper's contribution covers Hamming distance
+// only, but a DNA search library is routinely asked for small-indel
+// tolerance as well.
+//
+// Two matchers are provided: the classic O(nm) dynamic program (the
+// oracle) and the O(kn) diagonal-banded variant of Ukkonen's cutoff
+// algorithm.
+package kerrors
+
+import "errors"
+
+// Match is one k-errors occurrence: pattern matches text[Start:End) with
+// Distance edit operations (substitutions, insertions, deletions).
+type Match struct {
+	// End is the exclusive end position of the occurrence in the text.
+	End int32
+	// Distance is the minimal edit distance over all occurrences ending
+	// at End.
+	Distance int
+}
+
+// ErrInput reports unusable arguments.
+var ErrInput = errors.New("kerrors: invalid input")
+
+// FindDP is the textbook dynamic program (the paper's §II recurrence
+// d_{i,j} = min{d_{i-1,j}+1, d_{i,j-1}+1, d_{i-1,j-1}+[r_i != s_j]} with
+// free start positions): it reports every text position where some
+// substring ending there is within k edits of the pattern. O(nm) time,
+// O(m) space. Used as the oracle for FindBanded.
+func FindDP(text, pattern []byte, k int) ([]Match, error) {
+	m := len(pattern)
+	if m == 0 || k < 0 {
+		return nil, ErrInput
+	}
+	prev := make([]int, m+1)
+	cur := make([]int, m+1)
+	for i := 0; i <= m; i++ {
+		prev[i] = i
+	}
+	var out []Match
+	for j := 1; j <= len(text); j++ {
+		cur[0] = 0 // occurrences may start anywhere
+		for i := 1; i <= m; i++ {
+			cost := 1
+			if pattern[i-1] == text[j-1] {
+				cost = 0
+			}
+			cur[i] = min3(prev[i]+1, cur[i-1]+1, prev[i-1]+cost)
+		}
+		if cur[m] <= k {
+			out = append(out, Match{End: int32(j), Distance: cur[m]})
+		}
+		prev, cur = cur, prev
+	}
+	return out, nil
+}
+
+// FindBanded is Ukkonen's cutoff variant: only the prefix of each DP
+// column whose values can still reach ≤ k is evaluated. Expected O(kn)
+// time on random text, identical results to FindDP.
+func FindBanded(text, pattern []byte, k int) ([]Match, error) {
+	m := len(pattern)
+	if m == 0 || k < 0 {
+		return nil, ErrInput
+	}
+	if k >= m {
+		// Deleting the whole pattern costs m <= k: every position ends a
+		// trivial occurrence, matching FindDP's output shape.
+		out := make([]Match, 0, len(text))
+		full, err := FindDP(text, pattern, k)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, full...)
+		return out, nil
+	}
+	prev := make([]int, m+1)
+	cur := make([]int, m+1)
+	for i := 0; i <= m; i++ {
+		prev[i] = i
+	}
+	// lact is the last active row: the deepest row whose value may still
+	// be relevant (≤ k).
+	lact := k
+	var out []Match
+	for j := 1; j <= len(text); j++ {
+		cur[0] = 0
+		top := lact + 1
+		if top > m {
+			top = m
+		}
+		for i := 1; i <= top; i++ {
+			cost := 1
+			if pattern[i-1] == text[j-1] {
+				cost = 0
+			}
+			cur[i] = min3(prev[i]+1, cur[i-1]+1, prev[i-1]+cost)
+		}
+		// Re-establish the last-active invariant.
+		if top < m {
+			// Row top+1 can only be entered from above.
+			cur[top+1] = cur[top] + 1
+			top++
+		}
+		lact = top
+		for lact > 0 && cur[lact] > k {
+			lact--
+		}
+		if lact == m && cur[m] <= k {
+			out = append(out, Match{End: int32(j), Distance: cur[m]})
+		}
+		for i := lact + 1; i <= top && i <= m; i++ {
+			prev[i] = k + 1 // poison rows beyond the band for the next column
+		}
+		copy(prev[:lact+1], cur[:lact+1])
+	}
+	return out, nil
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

@@ -1,0 +1,160 @@
+package kerrors
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomRanks(rng *rand.Rand, n int) []byte {
+	t := make([]byte, n)
+	for i := range t {
+		t[i] = byte(1 + rng.Intn(4))
+	}
+	return t
+}
+
+func equalMatches(a, b []Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFindDPExact(t *testing.T) {
+	// k = 0 reduces to exact matching (End = start + m).
+	text := []byte("abcabcab")
+	got, err := FindDP(text, []byte("abc"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].End != 3 || got[1].End != 6 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestFindDPSubstitution(t *testing.T) {
+	got, _ := FindDP([]byte("axc"), []byte("abc"), 1)
+	found := false
+	for _, m := range got {
+		if m.End == 3 && m.Distance == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("substitution not found: %v", got)
+	}
+}
+
+func TestFindDPIndel(t *testing.T) {
+	// Deletion in the text: pattern abc vs text "ac".
+	got, _ := FindDP([]byte("ac"), []byte("abc"), 1)
+	found := false
+	for _, m := range got {
+		if m.End == 2 && m.Distance == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("deletion not found: %v", got)
+	}
+	// Insertion in the text: pattern abc vs "abxc".
+	got, _ = FindDP([]byte("abxc"), []byte("abc"), 1)
+	found = false
+	for _, m := range got {
+		if m.End == 4 && m.Distance == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("insertion not found: %v", got)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := FindDP([]byte("a"), nil, 1); err == nil {
+		t.Error("empty pattern accepted")
+	}
+	if _, err := FindBanded([]byte("a"), []byte("a"), -1); err == nil {
+		t.Error("negative k accepted")
+	}
+}
+
+func TestBandedAgainstDP(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	for trial := 0; trial < 120; trial++ {
+		text := randomRanks(rng, 10+rng.Intn(300))
+		m := 1 + rng.Intn(25)
+		k := rng.Intn(5)
+		var pattern []byte
+		if rng.Intn(2) == 0 && len(text) > m {
+			p := rng.Intn(len(text) - m)
+			pattern = append([]byte(nil), text[p:p+m]...)
+			for f := 0; f < k; f++ {
+				pattern[rng.Intn(m)] = byte(1 + rng.Intn(4))
+			}
+		} else {
+			pattern = randomRanks(rng, m)
+		}
+		want, err := FindDP(text, pattern, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := FindBanded(text, pattern, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalMatches(got, want) {
+			t.Fatalf("banded disagrees (text=%v pat=%v k=%d)\ngot  %v\nwant %v",
+				text, pattern, k, got, want)
+		}
+	}
+}
+
+func TestBandedQuick(t *testing.T) {
+	f := func(seed int64, n16 uint16, m8, k8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		text := randomRanks(rng, 1+int(n16)%200)
+		pattern := randomRanks(rng, 1+int(m8)%15)
+		k := int(k8) % 6
+		want, err1 := FindDP(text, pattern, k)
+		got, err2 := FindBanded(text, pattern, k)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return equalMatches(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBandedKAtLeastM(t *testing.T) {
+	text := randomRanks(rand.New(rand.NewSource(112)), 30)
+	want, _ := FindDP(text, []byte{1, 2}, 2)
+	got, _ := FindBanded(text, []byte{1, 2}, 2)
+	if !equalMatches(got, want) {
+		t.Fatalf("k>=m: got %v, want %v", got, want)
+	}
+}
+
+func BenchmarkBandedVsDP(b *testing.B) {
+	rng := rand.New(rand.NewSource(113))
+	text := randomRanks(rng, 1<<16)
+	pattern := randomRanks(rng, 100)
+	b.Run("dp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			FindDP(text, pattern, 3)
+		}
+	})
+	b.Run("banded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			FindBanded(text, pattern, 3)
+		}
+	})
+}

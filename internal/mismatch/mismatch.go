@@ -1,0 +1,204 @@
+// Package mismatch implements the pattern self-mismatch machinery of the
+// paper's §IV-B: the arrays R_1..R_{m-1} holding the positions of the first
+// k+2 mismatches between the pattern and itself at each relative shift, the
+// O(k) merge() procedure that derives the mismatches between two shifted
+// copies from two R arrays, and a streaming iterator over the mismatch
+// positions between any two pattern suffixes (the form consumed by the
+// M-tree derivation in internal/core).
+package mismatch
+
+import "bwtmatch/internal/suffixarray"
+
+// R holds the self-mismatch arrays of one pattern. R.At(i) lists, 1-based,
+// the positions of the first Cap mismatches between r[1..m-i] and
+// r[i+1..m] (paper notation; both substrings have length m-i). Cap is k+2
+// as required by the paper so that merged arrays retain k+1 valid entries.
+type R struct {
+	m    int
+	cap  int
+	rows [][]int32 // rows[i] = R_i for i in 1..m-1; rows[0] is R_0 = empty
+}
+
+// BuildR constructs all R arrays for the rank-encoded pattern r with
+// mismatch budget k (each array stores up to k+2 positions). It uses LCE
+// (kangaroo) jumps over a suffix-array/LCP/RMQ of r: O(k) per shift after
+// O(m log m) preprocessing. A quadratic reference lives in BuildRNaive.
+func BuildR(r []byte, k int) *R {
+	m := len(r)
+	out := &R{m: m, cap: k + 2, rows: make([][]int32, m)}
+	if m == 0 {
+		return out
+	}
+	lce := suffixarray.NewLCE(r)
+	for i := 1; i < m; i++ {
+		out.rows[i] = shiftMismatches(lce, m, i, out.cap)
+	}
+	return out
+}
+
+// shiftMismatches returns up to cap 1-based positions t with
+// r[t] != r[t+i], t in [1, m-i], using LCE jumps.
+func shiftMismatches(lce *suffixarray.LCE, m, i, cap int) []int32 {
+	var row []int32
+	t := 1 // 1-based position within the overlap
+	for len(row) < cap {
+		e := lce.Extend(t-1, t-1+i) // 0-based suffix starts
+		t += e
+		if t > m-i {
+			break
+		}
+		row = append(row, int32(t))
+		t++
+	}
+	return row
+}
+
+// BuildRNaive is the O(m^2 k) reference implementation used in tests.
+func BuildRNaive(r []byte, k int) *R {
+	m := len(r)
+	out := &R{m: m, cap: k + 2, rows: make([][]int32, m)}
+	for i := 1; i < m; i++ {
+		var row []int32
+		for t := 1; t <= m-i && len(row) < out.cap; t++ {
+			if r[t-1] != r[t+i-1] {
+				row = append(row, int32(t))
+			}
+		}
+		out.rows[i] = row
+	}
+	return out
+}
+
+// M returns the pattern length.
+func (r *R) M() int { return r.m }
+
+// Cap returns the per-array entry capacity (k+2).
+func (r *R) Cap() int { return r.cap }
+
+// At returns R_i (positions of the first Cap mismatches at shift i). The
+// returned slice must not be modified. At(0) is empty by definition
+// ("Trivially, R_0 = [⊥,…,⊥]").
+func (r *R) At(i int) []int32 {
+	if i <= 0 || i >= r.m {
+		return nil
+	}
+	return r.rows[i]
+}
+
+// Merge implements the paper's merge(A1, A2, β, γ): given A1 = the sorted
+// mismatch positions between some α and β, and A2 = those between α and γ
+// (β and γ of equal length), it returns the mismatch positions between β
+// and γ, truncated to limit entries. Positions are 1-based. The character
+// comparison of the equal-position case (step 4) reads β and γ directly.
+//
+// The result is exact as long as neither input was truncated before the
+// position where the limit-th output mismatch occurs; the R arrays carry
+// k+2 entries precisely so that k+1 output entries are always exact
+// (paper §IV-B).
+func Merge(a1, a2 []int32, beta, gamma []byte, limit int) []int32 {
+	var out []int32
+	p, q := 0, 0
+	for len(out) < limit {
+		switch {
+		case p < len(a1) && q < len(a2):
+			switch {
+			case a1[p] < a2[q]:
+				out = append(out, a1[p])
+				p++
+			case a2[q] < a1[p]:
+				out = append(out, a2[q])
+				q++
+			default: // equal positions: both differ from α; compare directly
+				pos := a1[p]
+				if beta[pos-1] != gamma[pos-1] {
+					out = append(out, pos)
+				}
+				p++
+				q++
+			}
+		case p < len(a1):
+			out = append(out, a1[p])
+			p++
+		case q < len(a2):
+			out = append(out, a2[q])
+			q++
+		default:
+			return out
+		}
+	}
+	return out
+}
+
+// Iter streams the mismatch positions between two suffixes of the pattern,
+// r[i..m] and r[j..m] (1-based i, j), in increasing order. It is the
+// on-demand form of the paper's R_ij: position t (1-based, relative to the
+// suffix starts) is yielded iff r[i+t-1] != r[j+t-1] and both exist. The
+// iteration stops at the end of the shorter suffix.
+//
+// Backed by LCE jumps, each Next call is O(1); a full drain of k+1 entries
+// is O(k) — the same cost as the paper's merge(R_i, R_j, …) but immune to
+// the truncation limits of precomputed arrays.
+type Iter struct {
+	lce  *suffixarray.LCE
+	r    []byte
+	i, j int // 0-based suffix starts
+	t    int // next candidate offset, 0-based
+	end  int // overlap length
+}
+
+// NewIterSource prepares the shared LCE structure for a pattern; the source
+// can then mint any number of iterators cheaply.
+type IterSource struct {
+	lce *suffixarray.LCE
+	r   []byte
+}
+
+// NewIterSource builds the LCE structure over the rank-encoded pattern.
+func NewIterSource(r []byte) *IterSource {
+	if len(r) == 0 {
+		return &IterSource{r: r}
+	}
+	return &IterSource{lce: suffixarray.NewLCE(r), r: r}
+}
+
+// Iter returns an iterator over mismatches between r[i..] and r[j..]
+// (1-based pattern positions).
+func (s *IterSource) Iter(i, j int) Iter {
+	m := len(s.r)
+	end := m - i + 1
+	if e2 := m - j + 1; e2 < end {
+		end = e2
+	}
+	if end < 0 {
+		end = 0
+	}
+	return Iter{lce: s.lce, r: s.r, i: i - 1, j: j - 1, end: end}
+}
+
+// Next returns the next 1-based mismatch offset and true, or 0 and false
+// when the overlap is exhausted.
+func (it *Iter) Next() (int32, bool) {
+	if it.i == it.j {
+		return 0, false
+	}
+	for it.t < it.end {
+		e := it.lce.Extend(it.i+it.t, it.j+it.t)
+		it.t += e
+		if it.t >= it.end {
+			return 0, false
+		}
+		pos := int32(it.t + 1)
+		it.t++
+		return pos, true
+	}
+	return 0, false
+}
+
+// SkipTo advances the iterator so that subsequent Next results are > t
+// (1-based offset). Used when a derivation jumps over an already-resolved
+// region.
+func (it *Iter) SkipTo(t int32) {
+	if int(t) > it.t {
+		it.t = int(t)
+	}
+}

@@ -1,0 +1,125 @@
+// Package seedext implements index-based seed-and-extend k-mismatch
+// matching: the pigeonhole filter of the Amir baseline, but with the
+// exact seed occurrences found on the BWT index instead of by scanning
+// the target (the design of production read aligners, and the natural
+// "future work" composition of the paper's two ingredients — its index
+// and its filter baseline).
+//
+// The pattern is split into k+1 disjoint blocks; any occurrence with at
+// most k mismatches contains at least one block exactly, so the exact
+// occurrences of the blocks (one backward search each, O(m) total rank
+// work) propose candidate alignments, which are verified by bounded
+// mismatch counting. Per query the work is O(m + occ(blocks) + |cand|·k)
+// — independent of n, unlike the scanning filter.
+package seedext
+
+import (
+	"errors"
+	"sort"
+
+	"bwtmatch/internal/amir"
+	"bwtmatch/internal/fmindex"
+	"bwtmatch/internal/naive"
+)
+
+// Stats reports filter effectiveness for one query.
+type Stats struct {
+	Blocks     int // number of exact seed blocks
+	Seeds      int // total located seed occurrences
+	Candidates int // distinct candidate alignments verified
+	Matches    int
+}
+
+// Match is one verified occurrence.
+type Match struct {
+	Pos        int32
+	Mismatches int
+}
+
+// Matcher answers k-mismatch queries using an FM-index built over the
+// REVERSED target (the same orientation internal/core uses, so one index
+// serves both algorithms).
+type Matcher struct {
+	idx  *fmindex.Index
+	text []byte // forward target, rank-encoded
+}
+
+// ErrPattern reports an unusable pattern.
+var ErrPattern = errors.New("seedext: invalid pattern")
+
+// New wraps an index over reverse(text) together with the forward text.
+func New(idx *fmindex.Index, text []byte) *Matcher {
+	return &Matcher{idx: idx, text: text}
+}
+
+// Find returns all k-mismatch occurrences of pattern, sorted by position.
+func (s *Matcher) Find(pattern []byte, k int) ([]Match, Stats, error) {
+	var st Stats
+	m, n := len(pattern), len(s.text)
+	if m == 0 || k < 0 {
+		return nil, st, ErrPattern
+	}
+	if m > n {
+		return nil, st, nil
+	}
+	if k >= m {
+		out := make([]Match, 0, n-m+1)
+		for p := 0; p+m <= n; p++ {
+			out = append(out, Match{Pos: int32(p), Mismatches: naive.Hamming(s.text[p:p+m], pattern, m)})
+		}
+		st.Matches = len(out)
+		return out, st, nil
+	}
+
+	offsets := amir.Breaks(pattern, k)
+	st.Blocks = len(offsets)
+	candidates := make(map[int32]struct{})
+	var buf []int32
+	for i, off := range offsets {
+		end := m
+		if i+1 < len(offsets) {
+			end = offsets[i+1]
+		}
+		iv := s.searchForward(pattern[off:end])
+		if iv.Empty() {
+			continue
+		}
+		buf = s.idx.Locate(iv, buf[:0])
+		blockLen := end - off
+		for _, p := range buf {
+			st.Seeds++
+			// p is the block's start in the reversed text; convert to the
+			// forward start, then to the alignment start.
+			fwd := int32(n) - p - int32(blockLen)
+			start := fwd - int32(off)
+			if start >= 0 && int(start)+m <= n {
+				candidates[start] = struct{}{}
+			}
+		}
+	}
+
+	out := make([]Match, 0, len(candidates))
+	for p := range candidates {
+		st.Candidates++
+		if d := naive.Hamming(s.text[p:int(p)+m], pattern, k); d <= k {
+			out = append(out, Match{Pos: p, Mismatches: d})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	st.Matches = len(out)
+	return out, st, nil
+}
+
+// searchForward finds the interval of rows of the reversed-text index
+// whose suffixes start with reverse(block) — i.e. the occurrences of
+// block in the forward text — by consuming block left-to-right.
+func (s *Matcher) searchForward(block []byte) fmindex.Interval {
+	iv := s.idx.Full()
+	for _, x := range block {
+		iv = s.idx.Step(x, iv)
+		if iv.Empty() {
+			break
+		}
+	}
+	return iv
+}

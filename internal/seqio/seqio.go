@@ -1,0 +1,209 @@
+// Package seqio reads and writes the two sequence formats DNA pipelines
+// actually use — FASTA for references and FASTQ for reads — plus the
+// bare one-sequence-per-line format of the cmd tools. Parsing is
+// streaming and allocation-conscious: multi-gigabase references arrive
+// in one record without quadratic re-copying.
+package seqio
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Record is one sequence with its metadata.
+type Record struct {
+	// ID is the header text after '>' or '@' (up to the first newline).
+	ID string
+	// Seq is the raw sequence bytes (no newlines).
+	Seq []byte
+	// Qual holds FASTQ quality bytes; nil for FASTA records.
+	Qual []byte
+}
+
+// ErrFormat reports malformed input.
+var ErrFormat = errors.New("seqio: malformed input")
+
+// Reader streams records from FASTA, FASTQ or line-oriented input; the
+// format is sniffed from the first byte.
+type Reader struct {
+	br     *bufio.Reader
+	mode   byte // '>', '@' or 0 for line mode
+	lineNo int
+	inited bool
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReaderSize(r, 1<<16)}
+}
+
+func (r *Reader) init() error {
+	if r.inited {
+		return nil
+	}
+	r.inited = true
+	b, err := r.br.Peek(1)
+	if err != nil {
+		if err == io.EOF {
+			return io.EOF
+		}
+		return err
+	}
+	switch b[0] {
+	case '>', '@':
+		r.mode = b[0]
+	default:
+		r.mode = 0
+	}
+	return nil
+}
+
+// Next returns the next record, or io.EOF when the input is exhausted.
+func (r *Reader) Next() (Record, error) {
+	if err := r.init(); err != nil {
+		return Record{}, err
+	}
+	switch r.mode {
+	case '>':
+		return r.nextFasta()
+	case '@':
+		return r.nextFastq()
+	default:
+		return r.nextLine()
+	}
+}
+
+// ReadAll drains the reader.
+func (r *Reader) ReadAll() ([]Record, error) {
+	var out []Record
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+}
+
+func (r *Reader) readLine() ([]byte, error) {
+	line, err := r.br.ReadBytes('\n')
+	if len(line) > 0 {
+		r.lineNo++
+		line = bytes.TrimRight(line, "\r\n")
+		return line, nil
+	}
+	return nil, err
+}
+
+func (r *Reader) nextLine() (Record, error) {
+	for {
+		line, err := r.readLine()
+		if err != nil {
+			return Record{}, io.EOF
+		}
+		if len(line) == 0 {
+			continue
+		}
+		return Record{ID: fmt.Sprintf("line%d", r.lineNo), Seq: line}, nil
+	}
+}
+
+func (r *Reader) nextFasta() (Record, error) {
+	header, err := r.readLine()
+	if err != nil {
+		return Record{}, io.EOF
+	}
+	if len(header) == 0 || header[0] != '>' {
+		return Record{}, fmt.Errorf("%w: line %d: expected '>' header", ErrFormat, r.lineNo)
+	}
+	rec := Record{ID: string(header[1:])}
+	for {
+		b, err := r.br.Peek(1)
+		if err != nil || b[0] == '>' {
+			break
+		}
+		line, err := r.readLine()
+		if err != nil {
+			break
+		}
+		rec.Seq = append(rec.Seq, line...)
+	}
+	if len(rec.Seq) == 0 {
+		return Record{}, fmt.Errorf("%w: line %d: record %q has no sequence", ErrFormat, r.lineNo, rec.ID)
+	}
+	return rec, nil
+}
+
+func (r *Reader) nextFastq() (Record, error) {
+	header, err := r.readLine()
+	if err != nil {
+		return Record{}, io.EOF
+	}
+	if len(header) == 0 || header[0] != '@' {
+		return Record{}, fmt.Errorf("%w: line %d: expected '@' header", ErrFormat, r.lineNo)
+	}
+	seq, err := r.readLine()
+	if err != nil {
+		return Record{}, fmt.Errorf("%w: line %d: truncated record", ErrFormat, r.lineNo)
+	}
+	plus, err := r.readLine()
+	if err != nil || len(plus) == 0 || plus[0] != '+' {
+		return Record{}, fmt.Errorf("%w: line %d: expected '+' separator", ErrFormat, r.lineNo)
+	}
+	qual, err := r.readLine()
+	if err != nil {
+		return Record{}, fmt.Errorf("%w: line %d: missing quality line", ErrFormat, r.lineNo)
+	}
+	if len(qual) != len(seq) {
+		return Record{}, fmt.Errorf("%w: line %d: %d quality bytes for %d bases",
+			ErrFormat, r.lineNo, len(qual), len(seq))
+	}
+	return Record{ID: string(header[1:]), Seq: append([]byte(nil), seq...), Qual: append([]byte(nil), qual...)}, nil
+}
+
+// lineWidth is the wrap width for FASTA output.
+const lineWidth = 70
+
+// WriteFasta writes records in FASTA format.
+func WriteFasta(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	for _, rec := range recs {
+		if _, err := fmt.Fprintf(bw, ">%s\n", rec.ID); err != nil {
+			return err
+		}
+		for off := 0; off < len(rec.Seq); off += lineWidth {
+			end := off + lineWidth
+			if end > len(rec.Seq) {
+				end = len(rec.Seq)
+			}
+			bw.Write(rec.Seq[off:end])
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFastq writes records in FASTQ format; records without qualities
+// get a constant placeholder ('I' = Q40).
+func WriteFastq(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	for _, rec := range recs {
+		qual := rec.Qual
+		if qual == nil {
+			qual = bytes.Repeat([]byte{'I'}, len(rec.Seq))
+		}
+		if len(qual) != len(rec.Seq) {
+			return fmt.Errorf("%w: record %q: quality length mismatch", ErrFormat, rec.ID)
+		}
+		if _, err := fmt.Fprintf(bw, "@%s\n%s\n+\n%s\n", rec.ID, rec.Seq, qual); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,168 @@
+package seqio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func readAll(t *testing.T, input string) []Record {
+	t.Helper()
+	recs, err := NewReader(strings.NewReader(input)).ReadAll()
+	if err != nil {
+		t.Fatalf("ReadAll(%q): %v", input, err)
+	}
+	return recs
+}
+
+func TestFastaSingle(t *testing.T) {
+	recs := readAll(t, ">chr1 test\nacgt\nACGT\n")
+	if len(recs) != 1 {
+		t.Fatalf("%d records", len(recs))
+	}
+	if recs[0].ID != "chr1 test" || string(recs[0].Seq) != "acgtACGT" || recs[0].Qual != nil {
+		t.Fatalf("record = %+v", recs[0])
+	}
+}
+
+func TestFastaMulti(t *testing.T) {
+	recs := readAll(t, ">a\nac\ngt\n>b\ntttt\n")
+	if len(recs) != 2 || string(recs[0].Seq) != "acgt" || string(recs[1].Seq) != "tttt" {
+		t.Fatalf("records = %+v", recs)
+	}
+}
+
+func TestFastaCRLF(t *testing.T) {
+	recs := readAll(t, ">a\r\nacgt\r\n")
+	if string(recs[0].Seq) != "acgt" {
+		t.Fatalf("CRLF seq = %q", recs[0].Seq)
+	}
+}
+
+func TestFastaNoTrailingNewline(t *testing.T) {
+	recs := readAll(t, ">a\nacgt")
+	if len(recs) != 1 || string(recs[0].Seq) != "acgt" {
+		t.Fatalf("records = %+v", recs)
+	}
+}
+
+func TestFastaEmptySequence(t *testing.T) {
+	_, err := NewReader(strings.NewReader(">a\n>b\nacgt\n")).ReadAll()
+	if !errors.Is(err, ErrFormat) {
+		t.Errorf("empty record error = %v", err)
+	}
+}
+
+func TestFastq(t *testing.T) {
+	recs := readAll(t, "@r1\nacgt\n+\nIIII\n@r2\ntt\n+anything\n;;\n")
+	if len(recs) != 2 {
+		t.Fatalf("%d records", len(recs))
+	}
+	if recs[0].ID != "r1" || string(recs[0].Seq) != "acgt" || string(recs[0].Qual) != "IIII" {
+		t.Fatalf("r1 = %+v", recs[0])
+	}
+	if string(recs[1].Qual) != ";;" {
+		t.Fatalf("r2 = %+v", recs[1])
+	}
+}
+
+func TestFastqQualityMismatch(t *testing.T) {
+	_, err := NewReader(strings.NewReader("@r\nacgt\n+\nII\n")).ReadAll()
+	if !errors.Is(err, ErrFormat) {
+		t.Errorf("quality mismatch error = %v", err)
+	}
+}
+
+func TestFastqMissingPlus(t *testing.T) {
+	_, err := NewReader(strings.NewReader("@r\nacgt\nIIII\n")).ReadAll()
+	if !errors.Is(err, ErrFormat) {
+		t.Errorf("missing plus error = %v", err)
+	}
+}
+
+func TestLineMode(t *testing.T) {
+	recs := readAll(t, "acgt\n\nttaa\n")
+	if len(recs) != 2 || string(recs[0].Seq) != "acgt" || string(recs[1].Seq) != "ttaa" {
+		t.Fatalf("records = %+v", recs)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	r := NewReader(strings.NewReader(""))
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("empty input: %v", err)
+	}
+}
+
+func TestWriteFastaRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(161))
+	recs := make([]Record, 3)
+	for i := range recs {
+		seq := make([]byte, 1+rng.Intn(300))
+		for j := range seq {
+			seq[j] = "acgt"[rng.Intn(4)]
+		}
+		recs[i] = Record{ID: strings.Repeat("x", i+1), Seq: seq}
+	}
+	var buf bytes.Buffer
+	if err := WriteFasta(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("%d records after round trip", len(got))
+	}
+	for i := range recs {
+		if got[i].ID != recs[i].ID || !bytes.Equal(got[i].Seq, recs[i].Seq) {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestWriteFastqRoundTrip(t *testing.T) {
+	recs := []Record{
+		{ID: "a", Seq: []byte("acgt"), Qual: []byte("IIJJ")},
+		{ID: "b", Seq: []byte("tt")}, // placeholder qualities
+	}
+	var buf bytes.Buffer
+	if err := WriteFastq(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || string(got[0].Qual) != "IIJJ" || string(got[1].Qual) != "II" {
+		t.Fatalf("round trip = %+v", got)
+	}
+}
+
+func TestWriteFastqRejectsBadQual(t *testing.T) {
+	err := WriteFastq(io.Discard, []Record{{ID: "a", Seq: []byte("acgt"), Qual: []byte("I")}})
+	if !errors.Is(err, ErrFormat) {
+		t.Errorf("bad qual error = %v", err)
+	}
+}
+
+func TestLongFastaWrapped(t *testing.T) {
+	seq := bytes.Repeat([]byte("acgt"), 100)
+	var buf bytes.Buffer
+	if err := WriteFasta(&buf, []Record{{ID: "long", Seq: seq}}); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range bytes.Split(buf.Bytes(), []byte("\n")) {
+		if len(line) > 70 {
+			t.Fatalf("line longer than wrap width: %d", len(line))
+		}
+	}
+	got := readAll(t, buf.String())
+	if !bytes.Equal(got[0].Seq, seq) {
+		t.Fatal("wrapped sequence did not round trip")
+	}
+}

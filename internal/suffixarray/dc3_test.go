@@ -1,0 +1,68 @@
+package suffixarray
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDC3Fixed(t *testing.T) {
+	cases := []string{
+		"", "a", "aa", "ab", "ba", "banana", "mississippi", "acagaca",
+		"aaaaaaaaaa", "abababababab", "cagtcagtcagt", "yabbadabbado",
+	}
+	for _, s := range cases {
+		got := BuildDC3([]byte(s))
+		want := naiveSA([]byte(s))
+		if !equalInt32(got, want) {
+			t.Errorf("BuildDC3(%q) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestDC3AgainstSAIS(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(400)
+		sigma := 1 + rng.Intn(5)
+		text := randomText(rng, n, sigma)
+		a := BuildDC3(text)
+		b := Build(text)
+		if !equalInt32(a, b) {
+			t.Fatalf("DC3 and SA-IS disagree on %q:\n%v\n%v", text, a, b)
+		}
+	}
+}
+
+func TestDC3Quick(t *testing.T) {
+	f := func(seed int64, n16 uint16, sigma8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		text := randomText(rng, int(n16)%600, 1+int(sigma8)%4)
+		return equalInt32(BuildDC3(text), Build(text))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDC3AllLengthsMod3(t *testing.T) {
+	// DC3's bookkeeping depends delicately on n mod 3; sweep all residues
+	// over a range of lengths.
+	rng := rand.New(rand.NewSource(212))
+	for n := 0; n < 60; n++ {
+		text := randomText(rng, n, 2)
+		if !equalInt32(BuildDC3(text), naiveSA(text)) {
+			t.Fatalf("n=%d: DC3 wrong for %q", n, text)
+		}
+	}
+}
+
+func BenchmarkBuildDC3_1MB(b *testing.B) {
+	rng := rand.New(rand.NewSource(213))
+	text := randomText(rng, 1<<20, 4)
+	b.SetBytes(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildDC3(text)
+	}
+}

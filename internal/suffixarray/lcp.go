@@ -1,0 +1,120 @@
+package suffixarray
+
+import "math/bits"
+
+// LCP computes the longest-common-prefix array of text under suffix array
+// sa using Kasai's algorithm: lcp[i] = LCP(text[sa[i-1]:], text[sa[i]:]) for
+// i >= 1, lcp[0] = 0. Runs in O(n).
+func LCP(text []byte, sa []int32) []int32 {
+	n := len(text)
+	lcp := make([]int32, n)
+	if n == 0 {
+		return lcp
+	}
+	rank := make([]int32, n)
+	for i, p := range sa {
+		rank[p] = int32(i)
+	}
+	h := 0
+	for i := 0; i < n; i++ {
+		if rank[i] == 0 {
+			h = 0
+			continue
+		}
+		j := int(sa[rank[i]-1])
+		for i+h < n && j+h < n && text[i+h] == text[j+h] {
+			h++
+		}
+		lcp[rank[i]] = int32(h)
+		if h > 0 {
+			h--
+		}
+	}
+	return lcp
+}
+
+// RMQ answers range-minimum queries over an int32 array in O(1) after
+// O(n log n) preprocessing (sparse table).
+type RMQ struct {
+	table [][]int32
+}
+
+// NewRMQ builds a sparse table over a.
+func NewRMQ(a []int32) *RMQ {
+	n := len(a)
+	levels := 1
+	if n > 1 {
+		levels = bits.Len(uint(n)) // floor(log2 n) + 1
+	}
+	t := make([][]int32, levels)
+	t[0] = append([]int32(nil), a...)
+	for k := 1; k < levels; k++ {
+		width := 1 << uint(k)
+		if n-width+1 <= 0 {
+			t = t[:k]
+			break
+		}
+		t[k] = make([]int32, n-width+1)
+		for i := range t[k] {
+			t[k][i] = min32(t[k-1][i], t[k-1][i+width/2])
+		}
+	}
+	return &RMQ{table: t}
+}
+
+// Min returns the minimum of a[lo:hi]; hi must be > lo.
+func (r *RMQ) Min(lo, hi int) int32 {
+	k := bits.Len(uint(hi-lo)) - 1
+	return min32(r.table[k][lo], r.table[k][hi-(1<<uint(k))])
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// LCE answers longest-common-extension queries over a fixed text:
+// LCE(i, j) = length of the longest common prefix of text[i:] and text[j:].
+// Built from SA + LCP + RMQ; each query is O(1). This is the paper's
+// "kangaroo" substrate used to construct the R arrays.
+type LCE struct {
+	n    int
+	rank []int32
+	rmq  *RMQ
+}
+
+// NewLCE builds the LCE structure for text.
+func NewLCE(text []byte) *LCE {
+	sa := Build(text)
+	return NewLCEFromSA(text, sa)
+}
+
+// NewLCEFromSA builds the LCE structure when the suffix array is already
+// available.
+func NewLCEFromSA(text []byte, sa []int32) *LCE {
+	n := len(text)
+	l := &LCE{n: n, rank: make([]int32, n)}
+	for i, p := range sa {
+		l.rank[p] = int32(i)
+	}
+	l.rmq = NewRMQ(LCP(text, sa))
+	return l
+}
+
+// Extend returns the length of the longest common prefix of the suffixes
+// starting at i and j (0-based). Extend(i, i) is n-i.
+func (l *LCE) Extend(i, j int) int {
+	if i == j {
+		return l.n - i
+	}
+	if i >= l.n || j >= l.n {
+		return 0
+	}
+	ri, rj := l.rank[i], l.rank[j]
+	if ri > rj {
+		ri, rj = rj, ri
+	}
+	return int(l.rmq.Min(int(ri)+1, int(rj)+1))
+}

@@ -1,0 +1,196 @@
+// Package suffixarray builds suffix arrays with the linear-time SA-IS
+// algorithm and derives LCP arrays (Kasai), range-minimum structures and
+// longest-common-extension queries from them. It is the substrate under the
+// BWT construction (paper §III-B) and under the R-array "kangaroo"
+// construction (paper §IV-B).
+package suffixarray
+
+// Build returns the suffix array of text: a permutation sa of 0..n-1 with
+// text[sa[i]:] < text[sa[i+1]:] lexicographically. The text is treated as a
+// sequence of bytes; no implicit sentinel is appended, suffixes are compared
+// with the usual "prefix is smaller" rule (SA-IS handles this by appending a
+// virtual smallest sentinel internally).
+func Build(text []byte) []int32 {
+	n := len(text)
+	sa := make([]int32, n)
+	if n == 0 {
+		return sa
+	}
+	// Recast to int32 workspace with a fresh sentinel 0; shift bytes by +1.
+	s := make([]int32, n+1)
+	for i, b := range text {
+		s[i] = int32(b) + 1
+	}
+	s[n] = 0
+	tmp := sais(s, 257)
+	copy(sa, tmp[1:]) // drop the sentinel suffix, which sorts first
+	return sa
+}
+
+// sais computes the suffix array of s whose characters lie in [0, sigma) and
+// whose last character is the unique smallest (a sentinel).
+func sais(s []int32, sigma int) []int32 {
+	n := len(s)
+	sa := make([]int32, n)
+	if n == 1 {
+		sa[0] = 0
+		return sa
+	}
+	if n == 2 {
+		sa[0], sa[1] = 1, 0
+		return sa
+	}
+
+	// Classify suffixes: true = S-type, false = L-type.
+	isS := make([]bool, n)
+	isS[n-1] = true
+	for i := n - 2; i >= 0; i-- {
+		switch {
+		case s[i] < s[i+1]:
+			isS[i] = true
+		case s[i] > s[i+1]:
+			isS[i] = false
+		default:
+			isS[i] = isS[i+1]
+		}
+	}
+	isLMS := func(i int) bool { return i > 0 && isS[i] && !isS[i-1] }
+
+	// Bucket boundaries.
+	bucket := make([]int32, sigma)
+	for _, c := range s {
+		bucket[c]++
+	}
+	bktHead := make([]int32, sigma)
+	bktTail := make([]int32, sigma)
+	resetBuckets := func() {
+		var sum int32
+		for c := 0; c < sigma; c++ {
+			bktHead[c] = sum
+			sum += bucket[c]
+			bktTail[c] = sum
+		}
+	}
+
+	const empty = int32(-1)
+
+	induce := func() {
+		// Induce L-type from LMS placements.
+		resetBuckets()
+		head := append([]int32(nil), bktHead...)
+		for i := 0; i < n; i++ {
+			j := sa[i]
+			if j > 0 && !isS[j-1] {
+				c := s[j-1]
+				sa[head[c]] = j - 1
+				head[c]++
+			}
+		}
+		// Induce S-type right to left.
+		tail := append([]int32(nil), bktTail...)
+		for i := n - 1; i >= 0; i-- {
+			j := sa[i]
+			if j > 0 && isS[j-1] {
+				c := s[j-1]
+				tail[c]--
+				sa[tail[c]] = j - 1
+			}
+		}
+	}
+
+	placeLMS := func(positions []int32) {
+		for i := range sa {
+			sa[i] = empty
+		}
+		resetBuckets()
+		tail := append([]int32(nil), bktTail...)
+		for i := len(positions) - 1; i >= 0; i-- {
+			p := positions[i]
+			c := s[p]
+			tail[c]--
+			sa[tail[c]] = p
+		}
+		// The sentinel suffix is LMS and already placed via positions; the
+		// empty slots are filled by induction below, reading empty as "no
+		// suffix yet" (j = -1 is skipped because -1 > 0 is false).
+	}
+
+	// First pass: place LMS suffixes in text order, induce, then extract the
+	// LMS order they induce.
+	var lms []int32
+	for i := 1; i < n; i++ {
+		if isLMS(i) {
+			lms = append(lms, int32(i))
+		}
+	}
+	placeLMS(lms)
+	induce()
+
+	// Collect LMS suffixes in the induced order and name their substrings.
+	sortedLMS := make([]int32, 0, len(lms))
+	for _, j := range sa {
+		if j > 0 && isLMS(int(j)) {
+			sortedLMS = append(sortedLMS, j)
+		}
+	}
+	name := make([]int32, n)
+	for i := range name {
+		name[i] = empty
+	}
+	var curName int32
+	var prev int32 = -1
+	for _, p := range sortedLMS {
+		if prev >= 0 && !lmsEqual(s, isS, int(prev), int(p)) {
+			curName++
+		}
+		name[p] = curName
+		prev = p
+	}
+	numNames := int(curName) + 1
+
+	// Build the reduced problem: names of LMS substrings in text order.
+	reduced := make([]int32, 0, len(lms))
+	for _, p := range lms {
+		reduced = append(reduced, name[p])
+	}
+
+	var lmsOrder []int32
+	if numNames == len(lms) {
+		// All names distinct: order directly from names.
+		lmsOrder = make([]int32, len(lms))
+		for _, p := range lms {
+			lmsOrder[name[p]] = p
+		}
+	} else {
+		subSA := sais(reduced, numNames)
+		lmsOrder = make([]int32, len(lms))
+		for i, idx := range subSA {
+			lmsOrder[i] = lms[idx]
+		}
+	}
+
+	// Second pass: place LMS suffixes in their true order and induce.
+	placeLMS(lmsOrder)
+	induce()
+	return sa
+}
+
+// lmsEqual reports whether the LMS substrings starting at a and b are equal.
+func lmsEqual(s []int32, isS []bool, a, b int) bool {
+	n := len(s)
+	if a == n-1 || b == n-1 {
+		return a == b
+	}
+	for i := 0; ; i++ {
+		aLMS := isLMSAt(isS, a+i)
+		bLMS := isLMSAt(isS, b+i)
+		if i > 0 && aLMS && bLMS {
+			return true
+		}
+		if aLMS != bLMS || s[a+i] != s[b+i] {
+			return false
+		}
+	}
+}
+
+func isLMSAt(isS []bool, i int) bool { return i > 0 && isS[i] && !isS[i-1] }

@@ -1,0 +1,280 @@
+// Package suffixtree implements Ukkonen's online suffix tree construction
+// and the brute-force k-mismatch tree search the paper attributes to Cole
+// et al. [14]: walk the tree along the pattern spending at most k mismatch
+// credits, and report the leaves below every surviving depth-m locus.
+//
+// The paper's experiments built this baseline on the gsuffix package; here
+// the tree is built from scratch (DESIGN.md §4).
+package suffixtree
+
+import (
+	"fmt"
+
+	"bwtmatch/internal/alphabet"
+)
+
+// node is a suffix tree node. Edges are labelled by text[start:end); leaves
+// use end = -1 meaning "to the end of the text".
+type node struct {
+	start    int
+	end      int // -1 for leaves (open edge)
+	children [alphabet.Size]int32
+	link     int32
+	suffix   int32 // for leaves: starting position of the suffix; else -1
+}
+
+// Tree is a suffix tree over one rank-encoded text (values 1..4) with the
+// sentinel appended internally.
+type Tree struct {
+	text  []byte // text + sentinel
+	nodes []node
+	root  int32
+}
+
+// Build constructs the suffix tree of text (rank-encoded, 1..4) in O(n)
+// with Ukkonen's algorithm.
+func Build(text []byte) (*Tree, error) {
+	for i, r := range text {
+		if r < alphabet.A || r > alphabet.T {
+			return nil, fmt.Errorf("suffixtree: invalid rank %d at position %d", r, i)
+		}
+	}
+	t := &Tree{text: append(append(make([]byte, 0, len(text)+1), text...), alphabet.Sentinel)}
+	t.nodes = make([]node, 1, 2*len(t.text))
+	t.nodes[0] = node{start: -1, end: -1, link: 0, suffix: -1}
+	t.root = 0
+	t.build()
+	t.assignSuffixes()
+	return t, nil
+}
+
+func (t *Tree) newNode(start, end int) int32 {
+	t.nodes = append(t.nodes, node{start: start, end: end, link: 0, suffix: -1})
+	return int32(len(t.nodes) - 1)
+}
+
+// edgeEnd returns the exclusive end of a node's incoming edge.
+func (t *Tree) edgeEnd(v int32, pos int) int {
+	if t.nodes[v].end < 0 {
+		return pos + 1
+	}
+	return t.nodes[v].end
+}
+
+func (t *Tree) build() {
+	s := t.text
+	n := len(s)
+	var (
+		activeNode   = t.root
+		activeEdge   = 0 // index into s of the active edge's first char
+		activeLength = 0
+		remainder    = 0
+	)
+	for pos := 0; pos < n; pos++ {
+		remainder++
+		var lastNew int32 = -1
+		for remainder > 0 {
+			if activeLength == 0 {
+				activeEdge = pos
+			}
+			child := t.nodes[activeNode].children[s[activeEdge]]
+			if child == 0 {
+				// No edge: create a leaf; the active node resolves any
+				// pending suffix link.
+				leaf := t.newNode(pos, -1)
+				t.nodes[activeNode].children[s[activeEdge]] = leaf
+				if lastNew != -1 {
+					t.nodes[lastNew].link = activeNode
+					lastNew = -1
+				}
+			} else {
+				// Walk down if the active length spans the edge.
+				edgeLen := t.edgeEnd(child, pos) - t.nodes[child].start
+				if activeLength >= edgeLen {
+					activeEdge += edgeLen
+					activeLength -= edgeLen
+					activeNode = child
+					continue
+				}
+				if s[t.nodes[child].start+activeLength] == s[pos] {
+					// Current character already present: extend implicitly.
+					activeLength++
+					if lastNew != -1 {
+						t.nodes[lastNew].link = activeNode
+						lastNew = -1
+					}
+					break
+				}
+				// Split the edge.
+				split := t.newNode(t.nodes[child].start, t.nodes[child].start+activeLength)
+				t.nodes[activeNode].children[s[activeEdge]] = split
+				leaf := t.newNode(pos, -1)
+				t.nodes[split].children[s[pos]] = leaf
+				t.nodes[child].start += activeLength
+				t.nodes[split].children[s[t.nodes[child].start]] = child
+				if lastNew != -1 {
+					t.nodes[lastNew].link = split
+				}
+				lastNew = split
+			}
+			remainder--
+			if activeNode == t.root && activeLength > 0 {
+				activeLength--
+				activeEdge = pos - remainder + 1
+			} else if activeNode != t.root {
+				activeNode = t.nodes[activeNode].link
+			}
+		}
+	}
+}
+
+// assignSuffixes walks the finished tree once, computing each leaf's suffix
+// start position from its string depth.
+func (t *Tree) assignSuffixes() {
+	n := len(t.text)
+	type frame struct {
+		v     int32
+		depth int
+	}
+	stack := []frame{{t.root, 0}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		isLeaf := true
+		for _, c := range t.nodes[f.v].children {
+			if c != 0 {
+				isLeaf = false
+				edgeLen := t.leafEdgeEnd(c) - t.nodes[c].start
+				stack = append(stack, frame{c, f.depth + edgeLen})
+			}
+		}
+		if isLeaf && f.v != t.root {
+			t.nodes[f.v].suffix = int32(n - f.depth)
+		}
+	}
+}
+
+// leafEdgeEnd resolves open edges to the text end.
+func (t *Tree) leafEdgeEnd(v int32) int {
+	if t.nodes[v].end < 0 {
+		return len(t.text)
+	}
+	return t.nodes[v].end
+}
+
+// N returns the text length excluding the sentinel.
+func (t *Tree) N() int { return len(t.text) - 1 }
+
+// NodeCount returns the number of tree nodes (diagnostics).
+func (t *Tree) NodeCount() int { return len(t.nodes) }
+
+// Contains reports whether the rank-encoded pattern occurs in the text.
+func (t *Tree) Contains(pattern []byte) bool {
+	v, off := t.root, 0
+	for _, x := range pattern {
+		if off == 0 {
+			v = t.nodes[v].children[x]
+			if v == 0 {
+				return false
+			}
+			off = t.nodes[v].start
+		}
+		if t.text[off] != x {
+			return false
+		}
+		off++
+		if off == t.leafEdgeEnd(v) {
+			off = 0
+		}
+	}
+	return true
+}
+
+// Suffixes appends the suffix start positions of all leaves below v
+// (inclusive) to dst.
+func (t *Tree) suffixesBelow(v int32, dst []int32) []int32 {
+	stack := []int32{v}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		isLeaf := true
+		for _, c := range t.nodes[u].children {
+			if c != 0 {
+				isLeaf = false
+				stack = append(stack, c)
+			}
+		}
+		if isLeaf && t.nodes[u].suffix >= 0 {
+			dst = append(dst, t.nodes[u].suffix)
+		}
+	}
+	return dst
+}
+
+// FindK reports all 0-based positions where pattern occurs with at most k
+// mismatches: the brute-force suffix tree search (Cole baseline). Stats
+// are reported via the returned visit counter.
+func (t *Tree) FindK(pattern []byte, k int) (positions []int32, visited int) {
+	m := len(pattern)
+	if m == 0 || m > t.N() {
+		return nil, 0
+	}
+	type frame struct {
+		v    int32 // current node (edge being consumed)
+		off  int   // next text index on v's edge; 0 means "pick child first"
+		d    int   // pattern chars consumed
+		mism int
+	}
+	var out []int32
+	var stack []frame
+	// Seed with the root's children.
+	push := func(parent int32, d, mism int) {
+		for x := byte(alphabet.A); x <= alphabet.T; x++ {
+			c := t.nodes[parent].children[x]
+			if c == 0 {
+				continue
+			}
+			e := mism
+			if x != pattern[d] {
+				e++
+				if e > k {
+					continue
+				}
+			}
+			stack = append(stack, frame{v: c, off: t.nodes[c].start + 1, d: d + 1, mism: e})
+		}
+	}
+	push(t.root, 0, 0)
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		visited++
+		// Consume the rest of the current edge.
+		end := t.leafEdgeEnd(f.v)
+		ok := true
+		for f.off < end && f.d < m {
+			if t.text[f.off] == alphabet.Sentinel {
+				ok = false
+				break
+			}
+			if t.text[f.off] != pattern[f.d] {
+				f.mism++
+				if f.mism > k {
+					ok = false
+					break
+				}
+			}
+			f.off++
+			f.d++
+		}
+		if !ok {
+			continue
+		}
+		if f.d == m {
+			out = t.suffixesBelow(f.v, out)
+			continue
+		}
+		push(f.v, f.d, f.mism)
+	}
+	return out, visited
+}

@@ -1,0 +1,197 @@
+package suffixtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"bwtmatch/internal/alphabet"
+	"bwtmatch/internal/naive"
+)
+
+func randomRanks(rng *rand.Rand, n int) []byte {
+	t := make([]byte, n)
+	for i := range t {
+		t[i] = byte(1 + rng.Intn(4))
+	}
+	return t
+}
+
+func mustBuild(t testing.TB, text []byte) *Tree {
+	t.Helper()
+	tr, err := Build(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestBuildRejectsInvalid(t *testing.T) {
+	if _, err := Build([]byte{1, 0, 2}); err == nil {
+		t.Fatal("Build accepted sentinel rank")
+	}
+	if _, err := Build([]byte{9}); err == nil {
+		t.Fatal("Build accepted out-of-range rank")
+	}
+}
+
+func TestContainsAllSubstrings(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 30; trial++ {
+		text := randomRanks(rng, 1+rng.Intn(200))
+		tr := mustBuild(t, text)
+		for q := 0; q < 50; q++ {
+			i := rng.Intn(len(text))
+			j := i + 1 + rng.Intn(len(text)-i)
+			if !tr.Contains(text[i:j]) {
+				t.Fatalf("substring %v of %v not found", text[i:j], text)
+			}
+		}
+	}
+}
+
+func TestContainsRejectsAbsent(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for trial := 0; trial < 30; trial++ {
+		text := randomRanks(rng, 20+rng.Intn(100))
+		tr := mustBuild(t, text)
+		for q := 0; q < 50; q++ {
+			pat := randomRanks(rng, 1+rng.Intn(12))
+			want := len(naive.Find(text, pat, 0)) > 0
+			if got := tr.Contains(pat); got != want {
+				t.Fatalf("Contains(%v) = %v, want %v (text %v)", pat, got, want, text)
+			}
+		}
+	}
+}
+
+func TestLeafCountEqualsN(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for trial := 0; trial < 20; trial++ {
+		text := randomRanks(rng, 1+rng.Intn(300))
+		tr := mustBuild(t, text)
+		// Leaves below root include the sentinel-only suffix: n+1 total.
+		leaves := tr.suffixesBelow(tr.root, nil)
+		if len(leaves) != len(text)+1 {
+			t.Fatalf("%d leaves, want %d", len(leaves), len(text)+1)
+		}
+		seen := make(map[int32]bool)
+		for _, s := range leaves {
+			if s < 0 || int(s) > len(text) || seen[s] {
+				t.Fatalf("bad suffix set %v", leaves)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestFindKAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	for trial := 0; trial < 50; trial++ {
+		text := randomRanks(rng, 20+rng.Intn(300))
+		tr := mustBuild(t, text)
+		for q := 0; q < 10; q++ {
+			m := 1 + rng.Intn(20)
+			if m > len(text) {
+				m = len(text)
+			}
+			k := rng.Intn(4)
+			var pat []byte
+			if rng.Intn(2) == 0 {
+				p := rng.Intn(len(text) - m + 1)
+				pat = append([]byte(nil), text[p:p+m]...)
+				for f := 0; f < k; f++ {
+					pat[rng.Intn(m)] = byte(1 + rng.Intn(4))
+				}
+			} else {
+				pat = randomRanks(rng, m)
+			}
+			got, _ := tr.FindK(pat, k)
+			sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+			want := naive.Find(text, pat, k)
+			if len(got) != len(want) {
+				t.Fatalf("FindK found %d, want %d (text=%v pat=%v k=%d)",
+					len(got), len(want), text, pat, k)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("FindK = %v, want %v", got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestFindKQuick(t *testing.T) {
+	f := func(seed int64, n16 uint16, m8, k8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		text := randomRanks(rng, 1+int(n16)%250)
+		pat := randomRanks(rng, 1+int(m8)%12)
+		k := int(k8) % 3
+		tr, err := Build(text)
+		if err != nil {
+			return false
+		}
+		got, _ := tr.FindK(pat, k)
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		want := naive.Find(text, pat, k)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFindKEdges(t *testing.T) {
+	tr := mustBuild(t, []byte{1, 2, 3, 4})
+	if got, _ := tr.FindK(nil, 1); got != nil {
+		t.Error("empty pattern should return nil")
+	}
+	if got, _ := tr.FindK([]byte{1, 2, 3, 4, 1}, 4); got != nil {
+		t.Error("overlong pattern should return nil")
+	}
+}
+
+func TestNodeCountLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	text := randomRanks(rng, 10000)
+	tr := mustBuild(t, text)
+	if tr.NodeCount() > 2*(len(text)+1)+1 {
+		t.Errorf("node count %d exceeds 2n+1", tr.NodeCount())
+	}
+	if tr.N() != len(text) {
+		t.Errorf("N = %d", tr.N())
+	}
+}
+
+func TestPaperExampleText(t *testing.T) {
+	text, _ := alphabet.Encode([]byte("acagaca"))
+	tr := mustBuild(t, text)
+	pat, _ := alphabet.Encode([]byte("aca"))
+	got, _ := tr.FindK(pat, 0)
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if len(got) != 2 || got[0] != 0 || got[1] != 4 {
+		t.Fatalf("FindK(aca,0) = %v, want [0 4]", got)
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(66))
+	text := randomRanks(rng, 1<<18)
+	b.SetBytes(1 << 18)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

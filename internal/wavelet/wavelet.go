@@ -1,0 +1,148 @@
+// Package wavelet implements a wavelet tree: a succinct rank/select/access
+// structure over sequences from a small alphabet. The DNA FM-index uses
+// the specialized rankall tables of internal/fmindex (the paper's layout);
+// the wavelet tree is the general-alphabet alternative the BWT literature
+// uses for larger alphabets, and it cross-checks the rankall tables in
+// tests.
+package wavelet
+
+import (
+	"fmt"
+
+	"bwtmatch/internal/bitvec"
+)
+
+// Tree is an immutable wavelet tree over symbols in [0, sigma).
+type Tree struct {
+	sigma int
+	n     int
+	root  *node
+}
+
+type node struct {
+	// bits marks, for each position of the node's subsequence, whether
+	// the symbol belongs to the upper half of the node's symbol range.
+	bits        *bitvec.Rank
+	lo, hi      int // symbol range [lo, hi)
+	left, right *node
+}
+
+// New builds a wavelet tree over seq with alphabet size sigma.
+func New(seq []byte, sigma int) (*Tree, error) {
+	if sigma < 1 || sigma > 256 {
+		return nil, fmt.Errorf("wavelet: invalid sigma %d", sigma)
+	}
+	for i, b := range seq {
+		if int(b) >= sigma {
+			return nil, fmt.Errorf("wavelet: symbol %d at %d out of range", b, i)
+		}
+	}
+	t := &Tree{sigma: sigma, n: len(seq)}
+	t.root = build(seq, 0, sigma)
+	return t, nil
+}
+
+func build(seq []byte, lo, hi int) *node {
+	if hi-lo <= 1 {
+		return nil
+	}
+	mid := (lo + hi) / 2
+	v := bitvec.New(len(seq))
+	var left, right []byte
+	for i, b := range seq {
+		if int(b) >= mid {
+			v.Set(i)
+			right = append(right, b)
+		} else {
+			left = append(left, b)
+		}
+	}
+	return &node{
+		bits:  bitvec.NewRank(v),
+		lo:    lo,
+		hi:    hi,
+		left:  build(left, lo, mid),
+		right: build(right, mid, hi),
+	}
+}
+
+// Len returns the sequence length.
+func (t *Tree) Len() int { return t.n }
+
+// Access returns the symbol at position i.
+func (t *Tree) Access(i int) byte {
+	v := t.root
+	lo, hi := 0, t.sigma
+	for v != nil {
+		mid := (lo + hi) / 2
+		if v.bits.Get(i) {
+			i = v.bits.Rank1(i)
+			lo = mid
+			v = v.right
+		} else {
+			i = v.bits.Rank0(i)
+			hi = mid
+			v = v.left
+		}
+	}
+	return byte(lo)
+}
+
+// Rank returns the number of occurrences of symbol c in seq[0:i].
+func (t *Tree) Rank(c byte, i int) int {
+	if int(c) >= t.sigma {
+		return 0
+	}
+	v := t.root
+	lo, hi := 0, t.sigma
+	for v != nil {
+		mid := (lo + hi) / 2
+		if int(c) >= mid {
+			i = v.bits.Rank1(i)
+			lo = mid
+			v = v.right
+		} else {
+			i = v.bits.Rank0(i)
+			hi = mid
+			v = v.left
+		}
+	}
+	return i
+}
+
+// Select returns the position of the j-th occurrence (1-based) of symbol
+// c, or -1 if there are fewer than j.
+func (t *Tree) Select(c byte, j int) int {
+	if int(c) >= t.sigma || j < 1 {
+		return -1
+	}
+	p := t.selectRec(t.root, 0, t.sigma, c, j)
+	if p >= t.n {
+		return -1 // only reachable in the single-symbol (sigma==1) case
+	}
+	return p
+}
+
+func (t *Tree) selectRec(v *node, lo, hi int, c byte, j int) int {
+	if v == nil {
+		// Leaf range: position j-1 within the leaf subsequence.
+		if j > 0 {
+			return j - 1 // resolved by the caller's upward mapping
+		}
+		return -1
+	}
+	mid := (lo + hi) / 2
+	var p int
+	if int(c) >= mid {
+		p = t.selectRec(v.right, mid, hi, c, j)
+		if p < 0 {
+			return -1
+		}
+		return v.bits.Select1(p + 1)
+	}
+	p = t.selectRec(v.left, lo, mid, c, j)
+	if p < 0 {
+		return -1
+	}
+	return v.bits.Select0(p + 1)
+}

@@ -1,0 +1,118 @@
+package wavelet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomSeq(rng *rand.Rand, n, sigma int) []byte {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = byte(rng.Intn(sigma))
+	}
+	return s
+}
+
+func TestAccess(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for _, sigma := range []int{1, 2, 3, 5, 8, 17} {
+		seq := randomSeq(rng, 500, sigma)
+		w, err := New(seq, sigma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, want := range seq {
+			if got := w.Access(i); got != want {
+				t.Fatalf("sigma=%d Access(%d) = %d, want %d", sigma, i, got, want)
+			}
+		}
+	}
+}
+
+func TestRankAgainstScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	for _, sigma := range []int{1, 2, 5, 16} {
+		seq := randomSeq(rng, 800, sigma)
+		w, _ := New(seq, sigma)
+		counts := make([]int, sigma)
+		for i := 0; i <= len(seq); i++ {
+			for c := 0; c < sigma; c++ {
+				if got := w.Rank(byte(c), i); got != counts[c] {
+					t.Fatalf("sigma=%d Rank(%d,%d) = %d, want %d", sigma, c, i, got, counts[c])
+				}
+			}
+			if i < len(seq) {
+				counts[seq[i]]++
+			}
+		}
+	}
+}
+
+func TestSelectInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	for _, sigma := range []int{1, 2, 5, 16} {
+		seq := randomSeq(rng, 600, sigma)
+		w, _ := New(seq, sigma)
+		for c := 0; c < sigma; c++ {
+			total := w.Rank(byte(c), len(seq))
+			for j := 1; j <= total; j++ {
+				p := w.Select(byte(c), j)
+				if p < 0 || seq[p] != byte(c) {
+					t.Fatalf("Select(%d,%d) = %d", c, j, p)
+				}
+				if w.Rank(byte(c), p+1) != j {
+					t.Fatalf("Rank(Select) inconsistency at c=%d j=%d", c, j)
+				}
+			}
+			if w.Select(byte(c), total+1) != -1 {
+				t.Fatalf("Select past end should be -1 (c=%d)", c)
+			}
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New([]byte{0}, 0); err == nil {
+		t.Error("sigma 0 accepted")
+	}
+	if _, err := New([]byte{5}, 3); err == nil {
+		t.Error("out-of-range symbol accepted")
+	}
+	w, _ := New([]byte{0, 1}, 2)
+	if w.Rank(9, 2) != 0 || w.Select(9, 1) != -1 || w.Select(0, 0) != -1 {
+		t.Error("out-of-range queries misbehaved")
+	}
+}
+
+func TestQuick(t *testing.T) {
+	f := func(seed int64, n16 uint16, sigma8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sigma := 1 + int(sigma8)%20
+		seq := randomSeq(rng, int(n16)%1000, sigma)
+		w, err := New(seq, sigma)
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 30 && len(seq) > 0; trial++ {
+			i := rng.Intn(len(seq))
+			if w.Access(i) != seq[i] {
+				return false
+			}
+			c := byte(rng.Intn(sigma))
+			want := 0
+			for _, b := range seq[:i] {
+				if b == c {
+					want++
+				}
+			}
+			if w.Rank(c, i) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,159 @@
+package wildcard
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bwtmatch/internal/fmindex"
+)
+
+const wc = byte(0x7F) // test wildcard marker outside the rank range
+
+func randomRanks(rng *rand.Rand, n int) []byte {
+	t := make([]byte, n)
+	for i := range t {
+		t[i] = byte(1 + rng.Intn(4))
+	}
+	return t
+}
+
+func newMatcher(t testing.TB, text []byte) *Matcher {
+	t.Helper()
+	rev := make([]byte, len(text))
+	for i, b := range text {
+		rev[len(text)-1-i] = b
+	}
+	idx, err := fmindex.Build(rev, fmindex.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(idx, text)
+}
+
+func sprinkleWildcards(rng *rand.Rand, pattern []byte, count int) []byte {
+	p := append([]byte(nil), pattern...)
+	for i := 0; i < count; i++ {
+		p[rng.Intn(len(p))] = wc
+	}
+	return p
+}
+
+func equal32(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFindNaiveBasics(t *testing.T) {
+	text := []byte{1, 2, 3, 1, 2, 4, 1, 2, 3}
+	got := FindNaive(text, []byte{1, 2, wc}, wc)
+	if !equal32(got, []int32{0, 3, 6}) {
+		t.Fatalf("got %v", got)
+	}
+	if FindNaive(text, nil, wc) != nil {
+		t.Error("empty pattern matched")
+	}
+	if FindNaive([]byte{1}, []byte{1, 2}, wc) != nil {
+		t.Error("overlong pattern matched")
+	}
+}
+
+func TestMatcherAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	for trial := 0; trial < 60; trial++ {
+		text := randomRanks(rng, 40+rng.Intn(400))
+		w := newMatcher(t, text)
+		for q := 0; q < 8; q++ {
+			m := 2 + rng.Intn(20)
+			if m > len(text) {
+				m = len(text)
+			}
+			var pattern []byte
+			if rng.Intn(2) == 0 {
+				p := rng.Intn(len(text) - m + 1)
+				pattern = append([]byte(nil), text[p:p+m]...)
+			} else {
+				pattern = randomRanks(rng, m)
+			}
+			pattern = sprinkleWildcards(rng, pattern, rng.Intn(m/2+1))
+			got, err := w.Find(pattern, wc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := FindNaive(text, pattern, wc)
+			if !equal32(got, want) {
+				t.Fatalf("got %v, want %v (text=%v pattern=%v)", got, want, text, pattern)
+			}
+		}
+	}
+}
+
+func TestMatcherAllWildcards(t *testing.T) {
+	text := randomRanks(rand.New(rand.NewSource(202)), 20)
+	w := newMatcher(t, text)
+	got, err := w.Find([]byte{wc, wc, wc}, wc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 18 {
+		t.Fatalf("all-wildcard pattern matched %d positions, want 18", len(got))
+	}
+}
+
+func TestMatcherAbsentSegment(t *testing.T) {
+	text := []byte{1, 1, 1, 1, 1, 1}
+	w := newMatcher(t, text)
+	got, err := w.Find([]byte{1, wc, 4}, wc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != nil {
+		t.Fatalf("absent segment matched: %v", got)
+	}
+}
+
+func TestMatcherValidation(t *testing.T) {
+	w := newMatcher(t, []byte{1, 2, 3})
+	if _, err := w.Find(nil, wc); err == nil {
+		t.Error("empty pattern accepted")
+	}
+	got, err := w.Find([]byte{1, wc, 3, 4}, wc)
+	if err != nil || got != nil {
+		t.Errorf("overlong pattern: %v, %v", got, err)
+	}
+}
+
+func TestMatcherQuick(t *testing.T) {
+	f := func(seed int64, n16 uint16, m8, w8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		text := randomRanks(rng, 5+int(n16)%300)
+		m := 1 + int(m8)%15
+		if m > len(text) {
+			m = len(text)
+		}
+		pattern := sprinkleWildcards(rng, randomRanks(rng, m), int(w8)%(m+1))
+		rev := make([]byte, len(text))
+		for i, b := range text {
+			rev[len(text)-1-i] = b
+		}
+		idx, err := fmindex.Build(rev, fmindex.DefaultOptions())
+		if err != nil {
+			return false
+		}
+		got, err := New(idx, text).Find(pattern, wc)
+		if err != nil {
+			return false
+		}
+		return equal32(got, FindNaive(text, pattern, wc))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

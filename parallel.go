@@ -1,0 +1,65 @@
+package bwtmatch
+
+import "sync"
+
+// Query is one unit of bulk search work for MapAll.
+type Query struct {
+	// ID labels the query in logs (optional).
+	ID string
+	// Pattern is the DNA pattern to search.
+	Pattern []byte
+	// K is the mismatch budget.
+	K int
+}
+
+// Result pairs a query's matches with any per-query error.
+type Result struct {
+	Matches []Match
+	Err     error
+}
+
+// MapAll runs every query with the given method across workers
+// goroutines and returns results in query order. The Index is immutable
+// after construction, so the workers share it without locking; workers
+// <= 1 runs inline. Per-query failures are reported in the corresponding
+// Result rather than aborting the batch — reads in real pipelines fail
+// individually (bad characters, zero length) and the rest must proceed.
+func (x *Index) MapAll(queries []Query, method Method, workers int) []Result {
+	results := make([]Result, len(queries))
+	run := func(i int) {
+		m, _, err := x.SearchMethod(queries[i].Pattern, queries[i].K, method)
+		results[i] = Result{Matches: m, Err: err}
+	}
+	if workers <= 1 || len(queries) <= 1 {
+		for i := range queries {
+			run(i)
+		}
+		return results
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	// Cole's suffix tree and the Amir matcher build lazily behind a
+	// sync.Once; trigger them before fan-out so workers never contend on
+	// first use.
+	if len(queries) > 0 {
+		run(0)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				run(i)
+			}
+		}()
+	}
+	for i := 1; i < len(queries); i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}

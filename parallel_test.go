@@ -1,0 +1,85 @@
+package bwtmatch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func makeQueries(rng *rand.Rand, target []byte, n int) []Query {
+	qs := make([]Query, n)
+	for i := range qs {
+		m := 8 + rng.Intn(20)
+		p := rng.Intn(len(target) - m)
+		pat := append([]byte(nil), target[p:p+m]...)
+		pat[rng.Intn(m)] = "acgt"[rng.Intn(4)]
+		qs[i] = Query{ID: "q", Pattern: pat, K: rng.Intn(3)}
+	}
+	return qs
+}
+
+func TestMapAllMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(171))
+	target := randomDNA(rng, 5000)
+	idx, err := New(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := makeQueries(rng, target, 60)
+	for _, method := range []Method{AlgorithmA, Amir, Cole} {
+		serial := idx.MapAll(queries, method, 1)
+		parallel := idx.MapAll(queries, method, 8)
+		for i := range queries {
+			if serial[i].Err != nil || parallel[i].Err != nil {
+				t.Fatalf("query %d errors: %v / %v", i, serial[i].Err, parallel[i].Err)
+			}
+			if len(serial[i].Matches) != len(parallel[i].Matches) {
+				t.Fatalf("%v query %d: %d vs %d matches", method, i,
+					len(serial[i].Matches), len(parallel[i].Matches))
+			}
+			for j := range serial[i].Matches {
+				if serial[i].Matches[j] != parallel[i].Matches[j] {
+					t.Fatalf("%v query %d match %d differs", method, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestMapAllPerQueryErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(172))
+	idx, _ := New(randomDNA(rng, 500))
+	queries := []Query{
+		{Pattern: []byte("acgt"), K: 1},
+		{Pattern: []byte("aNg"), K: 1}, // invalid character
+		{Pattern: nil, K: 1},           // empty
+		{Pattern: []byte("ttga"), K: 0},
+	}
+	res := idx.MapAll(queries, AlgorithmA, 4)
+	if res[0].Err != nil || res[3].Err != nil {
+		t.Errorf("valid queries failed: %v %v", res[0].Err, res[3].Err)
+	}
+	if res[1].Err == nil || res[2].Err == nil {
+		t.Error("invalid queries did not report errors")
+	}
+}
+
+func TestMapAllEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(173))
+	idx, _ := New(randomDNA(rng, 100))
+	if res := idx.MapAll(nil, AlgorithmA, 4); len(res) != 0 {
+		t.Errorf("MapAll(nil) = %v", res)
+	}
+}
+
+func TestMapAllMoreWorkersThanQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(174))
+	target := randomDNA(rng, 1000)
+	idx, _ := New(target)
+	queries := makeQueries(rng, target, 3)
+	res := idx.MapAll(queries, AlgorithmA, 64)
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("query %d: %v", i, r.Err)
+		}
+	}
+}

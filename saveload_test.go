@@ -1,0 +1,113 @@
+package bwtmatch
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(151))
+	for _, opts := range [][]Option{
+		nil,
+		{WithOccRate(32), WithSARate(8)},
+		{WithPackedBWT(), WithOccRate(64)},
+	} {
+		target := randomDNA(rng, 2000)
+		orig, err := New(target, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := orig.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := Load(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if loaded.Len() != orig.Len() {
+			t.Fatalf("Len %d vs %d", loaded.Len(), orig.Len())
+		}
+		for q := 0; q < 20; q++ {
+			m := 8 + rng.Intn(20)
+			p := rng.Intn(len(target) - m)
+			pattern := append([]byte(nil), target[p:p+m]...)
+			pattern[rng.Intn(m)] = "acgt"[rng.Intn(4)]
+			k := rng.Intn(3)
+			for _, method := range []Method{AlgorithmA, Amir, Cole} {
+				a, _, err := orig.SearchMethod(pattern, k, method)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, _, err := loaded.SearchMethod(pattern, k, method)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(a) != len(b) {
+					t.Fatalf("%v: %d vs %d matches after reload", method, len(a), len(b))
+				}
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("%v: match %d differs after reload", method, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "genome.bwt")
+	rng := rand.New(rand.NewSource(152))
+	target := randomDNA(rng, 1000)
+	orig, _ := New(target)
+	if err := orig.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pattern := target[100:130]
+	a, _ := orig.Search(pattern, 2)
+	b, _ := loaded.Search(pattern, 2)
+	if len(a) != len(b) {
+		t.Fatalf("results differ after file round trip")
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.bwt")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	for _, data := range [][]byte{nil, {1}, bytes.Repeat([]byte{0xAB}, 100)} {
+		if _, err := Load(bytes.NewReader(data)); !errors.Is(err, ErrFormat) {
+			t.Errorf("Load(%d bytes) error = %v, want ErrFormat", len(data), err)
+		}
+	}
+}
+
+func TestLoadRejectsTruncation(t *testing.T) {
+	rng := rand.New(rand.NewSource(153))
+	idx, _ := New(randomDNA(rng, 500))
+	var buf bytes.Buffer
+	if err := idx.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{3, 12, 40, len(full) / 2, len(full) - 2} {
+		if _, err := Load(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	// Ensure a full copy still loads (the truncation loop must not have
+	// been vacuous).
+	if _, err := Load(bytes.NewReader(full)); err != nil {
+		t.Fatal(err)
+	}
+}
