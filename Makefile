@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test race race-server vet check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The server package is the repo's first concurrent-mutation code path
+# (registry writes under reads, drain vs in-flight searches); always run
+# it under the race detector, and separately so a failure is attributable.
+race-server:
+	$(GO) test -race ./server/...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# The one-stop pre-commit gate.
+check: vet race-server race
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .

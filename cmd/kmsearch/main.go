@@ -10,10 +10,16 @@
 //	kmsearch -genome g.fa -save g.bwt                # build and save
 //	kmsearch -index g.bwt -reads r.fq -k 4 [-method a|bwt|stree|amir|cole|online]
 //	kmsearch -genome g.fa -reads r.fq -k 4 -p 8      # 8 worker goroutines
+//
+// With -server it acts as a remote client of a running kmserved daemon,
+// in which case -index names a registered index instead of a local file:
+//
+//	kmsearch -server http://localhost:8080 -index hg -reads r.fq -k 4 -v
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +27,8 @@ import (
 
 	"bwtmatch"
 	"bwtmatch/internal/seqio"
+	"bwtmatch/server"
+	"bwtmatch/server/client"
 )
 
 var methods = map[string]bwtmatch.Method{
@@ -43,11 +51,19 @@ func main() {
 	workers := flag.Int("p", 1, "worker goroutines")
 	verbose := flag.Bool("v", false, "print per-read positions")
 	sam := flag.Bool("sam", false, "emit SAM records instead of the compact format")
+	serverURL := flag.String("server", "", "kmserved base URL; -index then names a registered index")
 	flag.Parse()
 
 	method, ok := methods[*methodName]
 	if !ok {
 		fatal(fmt.Errorf("unknown method %q", *methodName))
+	}
+
+	if *serverURL != "" {
+		if err := runRemote(*serverURL, *indexPath, *readsPath, *methodName, *k, *verbose); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	var idx *bwtmatch.Index
@@ -128,6 +144,55 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "%d reads, %d matches, %v total (%s, k=%d, p=%d)\n",
 		len(recs), totalMatches, elapsed.Round(time.Millisecond), method, *k, *workers)
+}
+
+// runRemote sends the reads to a kmserved daemon and prints the same
+// compact format as a local run (remote searches have no SAM mode: the
+// server does not return reference-resolved coordinates yet).
+func runRemote(base, index, readsPath, methodName string, k int, verbose bool) error {
+	if index == "" {
+		return fmt.Errorf("-server requires -index (the registered index name)")
+	}
+	if readsPath == "" {
+		return fmt.Errorf("-server requires -reads")
+	}
+	f, err := os.Open(readsPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	recs, err := seqio.NewReader(f).ReadAll()
+	if err != nil {
+		return err
+	}
+	req := server.SearchRequest{Index: index, K: k, Method: methodName}
+	for _, rec := range recs {
+		req.Reads = append(req.Reads, server.Read{ID: firstWord(rec.ID), Seq: string(rec.Seq)})
+	}
+	c := client.New(base)
+	start := time.Now()
+	resp, err := c.Search(context.Background(), req)
+	if err != nil {
+		return err
+	}
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	for _, rr := range resp.Results {
+		if rr.Error != "" {
+			return fmt.Errorf("read %s: %s", rr.ID, rr.Error)
+		}
+		fmt.Fprintf(out, "%s %d", rr.ID, len(rr.Matches))
+		if verbose {
+			for _, m := range rr.Matches {
+				fmt.Fprintf(out, " %d:%d", m.Pos, m.Mismatches)
+			}
+		}
+		fmt.Fprintln(out)
+	}
+	fmt.Fprintf(os.Stderr, "%d reads, %d matches, %v round trip (server %.1fms, %s, k=%d, remote)\n",
+		resp.Reads, resp.Matches, time.Since(start).Round(time.Millisecond),
+		resp.ElapsedMS, resp.Method, k)
+	return nil
 }
 
 // writeSAM emits one SAM alignment line per match: the best (fewest

@@ -1,0 +1,110 @@
+// Command kmserved is a long-running k-mismatch query server. It loads
+// saved indexes (bwtmatch.Save / kmsearch -save) into a named registry
+// once and serves Algorithm-A searches over HTTP, amortizing index
+// construction across millions of queries:
+//
+//	kmserved -addr :8080 -load hg=genome.bwt -budget 4096  # 4 GiB registry
+//	curl -s localhost:8080/v1/search -d '{"index":"hg","k":4,"seq":"acgtacgt"}'
+//
+// Further indexes can be registered at runtime via POST /v1/indexes.
+// SIGINT/SIGTERM trigger a graceful shutdown: in-flight searches drain,
+// new ones are refused with 503.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"bwtmatch/server"
+)
+
+// loadFlags collects repeated -load name=path pairs.
+type loadFlags [][2]string
+
+func (l *loadFlags) String() string { return fmt.Sprint(*l) }
+
+func (l *loadFlags) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	*l = append(*l, [2]string{name, path})
+	return nil
+}
+
+func main() {
+	var loads loadFlags
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+	workers := flag.Int("p", 4, "worker goroutines per search batch")
+	maxBatch := flag.Int("max-batch", 4096, "maximum reads per request")
+	maxK := flag.Int("max-k", 64, "maximum per-read mismatch budget")
+	maxConc := flag.Int("max-concurrent", 16, "maximum concurrently executing batches")
+	budgetMiB := flag.Int64("budget", 0, "registry byte budget in MiB (0 = unlimited)")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-request timeout")
+	drainWait := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain limit")
+	flag.Var(&loads, "load", "preload a saved index as name=path (repeatable)")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Workers:        *workers,
+		MaxBatch:       *maxBatch,
+		MaxK:           *maxK,
+		MaxConcurrent:  *maxConc,
+		DefaultTimeout: *timeout,
+		Budget:         *budgetMiB << 20,
+	})
+	for _, nv := range loads {
+		start := time.Now()
+		if err := srv.Register(nv[0], nv[1]); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "kmserved: loaded index %q from %s in %v\n",
+			nv[0], nv[1], time.Since(start).Round(time.Millisecond))
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	// The chosen port matters when -addr ends in :0 (tests); always state
+	// where we actually listen, on stdout so scripts can capture it.
+	fmt.Printf("kmserved: listening on http://%s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "kmserved: %v, draining (limit %v)\n", sig, *drainWait)
+	case err := <-errc:
+		fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	// Refuse new searches and drain in-flight ones, then close listeners.
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "kmserved: %v\n", err)
+	}
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "kmserved: %v\n", err)
+	}
+	fmt.Fprintln(os.Stderr, "kmserved: bye")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kmserved:", err)
+	os.Exit(1)
+}

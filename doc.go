@@ -26,4 +26,9 @@
 //
 // Inputs are DNA over {a, c, g, t} (case-insensitive). Use
 // bwtmatch.Sanitize to clean sequences containing ambiguity codes first.
+//
+// Bulk workloads go through MapAll (or MapAllContext for per-request
+// cancellation); built indexes persist with Save/Load. The server
+// subpackage serves saved indexes over HTTP as a long-running daemon
+// (cmd/kmserved).
 package bwtmatch

@@ -1,6 +1,9 @@
 package bwtmatch
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // Query is one unit of bulk search work for MapAll.
 type Query struct {
@@ -15,20 +18,40 @@ type Query struct {
 // Result pairs a query's matches with any per-query error.
 type Result struct {
 	Matches []Match
-	Err     error
+	// Stats carries the per-query work counters (zero for queries that
+	// errored or were cancelled).
+	Stats Stats
+	Err   error
 }
 
 // MapAll runs every query with the given method across workers
+// goroutines and returns results in query order. It is MapAllContext
+// with a background context; see there for the error contract.
+func (x *Index) MapAll(queries []Query, method Method, workers int) []Result {
+	return x.MapAllContext(context.Background(), queries, method, workers)
+}
+
+// MapAllContext runs every query with the given method across workers
 // goroutines and returns results in query order. The Index is immutable
 // after construction, so the workers share it without locking; workers
 // <= 1 runs inline. Per-query failures are reported in the corresponding
 // Result rather than aborting the batch — reads in real pipelines fail
 // individually (bad characters, zero length) and the rest must proceed.
-func (x *Index) MapAll(queries []Query, method Method, workers int) []Result {
+//
+// When ctx is cancelled the batch stops early: queries not yet started
+// get Result{Err: ctx.Err()}, queries already running finish normally
+// (individual searches are not interruptible), and the call returns only
+// after all started work has completed, so the results slice is never
+// written to after return.
+func (x *Index) MapAllContext(ctx context.Context, queries []Query, method Method, workers int) []Result {
 	results := make([]Result, len(queries))
 	run := func(i int) {
-		m, _, err := x.SearchMethod(queries[i].Pattern, queries[i].K, method)
-		results[i] = Result{Matches: m, Err: err}
+		if err := ctx.Err(); err != nil {
+			results[i] = Result{Err: err}
+			return
+		}
+		m, st, err := x.SearchMethod(queries[i].Pattern, queries[i].K, method)
+		results[i] = Result{Matches: m, Stats: st, Err: err}
 	}
 	if workers <= 1 || len(queries) <= 1 {
 		for i := range queries {
@@ -42,9 +65,7 @@ func (x *Index) MapAll(queries []Query, method Method, workers int) []Result {
 	// Cole's suffix tree and the Amir matcher build lazily behind a
 	// sync.Once; trigger them before fan-out so workers never contend on
 	// first use.
-	if len(queries) > 0 {
-		run(0)
-	}
+	run(0)
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -56,10 +77,23 @@ func (x *Index) MapAll(queries []Query, method Method, workers int) []Result {
 			}
 		}()
 	}
+	cancelled := len(queries)
 	for i := 1; i < len(queries); i++ {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			cancelled = i
+		}
+		if cancelled < len(queries) {
+			break
+		}
 	}
 	close(jobs)
 	wg.Wait()
+	// Unsent jobs were never handed to a worker, so these slots are
+	// exclusively ours once the workers have drained.
+	for j := cancelled; j < len(queries); j++ {
+		results[j] = Result{Err: ctx.Err()}
+	}
 	return results
 }

@@ -1,6 +1,8 @@
 package bwtmatch
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
 )
@@ -60,6 +62,76 @@ func TestMapAllPerQueryErrors(t *testing.T) {
 	}
 	if res[1].Err == nil || res[2].Err == nil {
 		t.Error("invalid queries did not report errors")
+	}
+}
+
+func TestMapAllContextPerQueryErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(175))
+	idx, _ := New(randomDNA(rng, 500))
+	queries := []Query{
+		{Pattern: []byte("acgt"), K: 1},
+		{Pattern: []byte("aNg"), K: 1},   // invalid character
+		{Pattern: nil, K: 1},             // empty
+		{Pattern: []byte("acgt"), K: -1}, // negative budget
+		{Pattern: []byte("ttga"), K: 0},
+	}
+	for _, workers := range []int{1, 4} {
+		res := idx.MapAllContext(context.Background(), queries, AlgorithmA, workers)
+		if res[0].Err != nil || res[4].Err != nil {
+			t.Errorf("workers=%d: valid queries failed: %v %v", workers, res[0].Err, res[4].Err)
+		}
+		for _, bad := range []int{1, 2, 3} {
+			if !errors.Is(res[bad].Err, ErrInput) {
+				t.Errorf("workers=%d query %d: error = %v, want ErrInput", workers, bad, res[bad].Err)
+			}
+		}
+	}
+}
+
+func TestMapAllContextCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(176))
+	target := randomDNA(rng, 2000)
+	idx, _ := New(target)
+	queries := makeQueries(rng, target, 200)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: everything after warm-up must short-circuit
+	res := idx.MapAllContext(ctx, queries, AlgorithmA, 8)
+	if len(res) != len(queries) {
+		t.Fatalf("got %d results for %d queries", len(res), len(queries))
+	}
+	cancelled := 0
+	for _, r := range res {
+		if errors.Is(r.Err, context.Canceled) {
+			cancelled++
+		}
+	}
+	if cancelled == 0 {
+		t.Error("cancelled context produced no context.Canceled results")
+	}
+
+	// An un-cancelled context behaves exactly like MapAll.
+	a := idx.MapAll(queries, AlgorithmA, 8)
+	b := idx.MapAllContext(context.Background(), queries, AlgorithmA, 8)
+	for i := range a {
+		if a[i].Err != nil || b[i].Err != nil || len(a[i].Matches) != len(b[i].Matches) {
+			t.Fatalf("query %d: MapAll/MapAllContext disagree", i)
+		}
+	}
+}
+
+func TestMapAllStatsSurfaced(t *testing.T) {
+	rng := rand.New(rand.NewSource(177))
+	target := randomDNA(rng, 4000)
+	idx, _ := New(target)
+	queries := makeQueries(rng, target, 10)
+	res := idx.MapAll(queries, AlgorithmA, 4)
+	steps := 0
+	for _, r := range res {
+		steps += r.Stats.StepCalls
+	}
+	if steps == 0 {
+		t.Error("MapAll results carry no Stats.StepCalls")
 	}
 }
 

@@ -124,14 +124,16 @@ func Load(r io.Reader) (*Index, error) {
 		if err := binary.Read(br, binary.LittleEndian, &length); err != nil {
 			return nil, fmt.Errorf("%w: ref %d length", ErrFormat, i)
 		}
-		if start+length > n {
+		if start > n || length > n-start {
 			return nil, fmt.Errorf("%w: ref %d spans [%d,%d) of %d", ErrFormat, i, start, start+length, n)
 		}
 		refs = append(refs, Ref{Name: string(name), Start: int(start), Len: int(length)})
 	}
 	idx, err := fmindex.ReadIndex(br)
 	if err != nil {
-		return nil, err
+		// fmindex wraps its own sentinel; re-wrap so callers can match the
+		// package-level ErrFormat regardless of which layer rejected the file.
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
 	}
 	if idx.N() != int(n) {
 		return nil, fmt.Errorf("%w: text length %d but index over %d", ErrFormat, n, idx.N())

@@ -1,0 +1,128 @@
+// Package server implements kmserved, a long-running HTTP daemon that
+// serves k-mismatch searches over a registry of saved bwtmatch indexes.
+//
+// The daemon amortizes index construction exactly as the paper's design
+// intends: a genome is indexed once (bwtmatch.Save), registered under a
+// name, and then queried concurrently by many clients. Endpoints:
+//
+//	POST /v1/search    single read or batch, JSON in/out
+//	GET  /v1/indexes   list registered indexes
+//	POST /v1/indexes   load a saved .bwt file under a name
+//	DELETE /v1/indexes/{name}  evict an index
+//	GET  /healthz      liveness (503 while draining)
+//	GET  /metrics      expvar-style JSON counters
+package server
+
+import (
+	"fmt"
+
+	"bwtmatch"
+)
+
+// SearchRequest is the body of POST /v1/search. Exactly one of Seq
+// (single-read shorthand) or Reads must be set.
+type SearchRequest struct {
+	// Index names the registered index to search.
+	Index string `json:"index"`
+	// K is the default mismatch budget for reads that do not set one.
+	K int `json:"k"`
+	// Method selects the matcher: a|bwt|stree|amir|cole|online|seed
+	// (default "a", the paper's Algorithm A).
+	Method string `json:"method,omitempty"`
+	// Seq is the single-read shorthand: search one pattern.
+	Seq string `json:"seq,omitempty"`
+	// Reads is the batched form.
+	Reads []Read `json:"reads,omitempty"`
+	// TimeoutMS bounds the whole request; 0 means the server default.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// Read is one pattern inside a batched SearchRequest.
+type Read struct {
+	// ID is echoed back in the corresponding ReadResult (optional).
+	ID string `json:"id,omitempty"`
+	// Seq is the DNA pattern (acgtACGT; 'n'/'N' are sanitized to 'a').
+	Seq string `json:"seq"`
+	// K overrides the request-level mismatch budget when non-nil.
+	K *int `json:"k,omitempty"`
+}
+
+// Match mirrors bwtmatch.Match on the wire.
+type Match struct {
+	Pos        int `json:"pos"`
+	Mismatches int `json:"mismatches"`
+}
+
+// ReadResult is the outcome for one read of a batch.
+type ReadResult struct {
+	ID      string  `json:"id,omitempty"`
+	Matches []Match `json:"matches"`
+	// Error is the per-read failure (bad characters, cancelled); the rest
+	// of the batch still completes.
+	Error string `json:"error,omitempty"`
+}
+
+// SearchResponse is the body returned by POST /v1/search.
+type SearchResponse struct {
+	Index   string       `json:"index"`
+	Method  string       `json:"method"`
+	Results []ReadResult `json:"results"`
+	// Reads, Matches and Errors summarize the batch.
+	Reads     int     `json:"reads"`
+	Matches   int     `json:"matches"`
+	Errors    int     `json:"errors"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// RegisterRequest is the body of POST /v1/indexes.
+type RegisterRequest struct {
+	// Name registers the index under this key.
+	Name string `json:"name"`
+	// Path is a server-side file written by bwtmatch.Save / kmsearch -save.
+	Path string `json:"path"`
+}
+
+// IndexInfo describes one registered index.
+type IndexInfo struct {
+	Name      string `json:"name"`
+	Bases     int    `json:"bases"`
+	SizeBytes int    `json:"size_bytes"`
+	Refs      int    `json:"refs"`
+	// Queries counts searches served from this index since registration.
+	Queries int64 `json:"queries"`
+}
+
+// IndexListResponse is the body of GET /v1/indexes.
+type IndexListResponse struct {
+	Indexes []IndexInfo `json:"indexes"`
+	// BudgetBytes and ResidentBytes describe the registry's LRU byte
+	// budget (0 budget means unlimited).
+	BudgetBytes   int64 `json:"budget_bytes"`
+	ResidentBytes int64 `json:"resident_bytes"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// methodNames maps wire names to matchers, mirroring cmd/kmsearch.
+var methodNames = map[string]bwtmatch.Method{
+	"":       bwtmatch.AlgorithmA,
+	"a":      bwtmatch.AlgorithmA,
+	"bwt":    bwtmatch.BWTBaseline,
+	"stree":  bwtmatch.STree,
+	"amir":   bwtmatch.Amir,
+	"cole":   bwtmatch.Cole,
+	"online": bwtmatch.Online,
+	"seed":   bwtmatch.Seed,
+}
+
+// ParseMethod resolves a wire method name ("" means Algorithm A).
+func ParseMethod(name string) (bwtmatch.Method, error) {
+	m, ok := methodNames[name]
+	if !ok {
+		return 0, fmt.Errorf("unknown method %q", name)
+	}
+	return m, nil
+}

@@ -1,0 +1,144 @@
+// Package client is a small Go client for the kmserved HTTP API. It is
+// used by the e2e tests and by kmsearch's -server mode; the wire types
+// live in the parent server package.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"bwtmatch/server"
+)
+
+// Client talks to one kmserved instance.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying http.Client (e.g. to set a
+// transport-level timeout or test transport).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New creates a client for the server at base (e.g. "http://host:port").
+func New(base string, opts ...Option) *Client {
+	c := &Client{
+		base: strings.TrimRight(base, "/"),
+		hc:   &http.Client{Timeout: 2 * time.Minute},
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// apiError folds a non-2xx response into an error.
+type apiError struct {
+	Status int
+	Msg    string
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("kmserved: HTTP %d: %s", e.Status, e.Msg)
+}
+
+// StatusCode extracts the HTTP status from a client error, or 0.
+func StatusCode(err error) int {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		return ae.Status
+	}
+	return 0
+}
+
+// do round-trips one JSON request; out may be nil.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e server.ErrorResponse
+		msg := resp.Status
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		return &apiError{Status: resp.StatusCode, Msg: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Health checks GET /healthz; nil means the server is up and accepting.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// RegisterIndex loads the server-side file path under name.
+func (c *Client) RegisterIndex(ctx context.Context, name, path string) (server.IndexInfo, error) {
+	var info server.IndexInfo
+	err := c.do(ctx, http.MethodPost, "/v1/indexes",
+		server.RegisterRequest{Name: name, Path: path}, &info)
+	return info, err
+}
+
+// Indexes lists the registered indexes.
+func (c *Client) Indexes(ctx context.Context) (server.IndexListResponse, error) {
+	var out server.IndexListResponse
+	err := c.do(ctx, http.MethodGet, "/v1/indexes", nil, &out)
+	return out, err
+}
+
+// RemoveIndex evicts the named index.
+func (c *Client) RemoveIndex(ctx context.Context, name string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/indexes/"+url.PathEscape(name), nil, nil)
+}
+
+// Search runs one search request (single read or batch).
+func (c *Client) Search(ctx context.Context, req server.SearchRequest) (*server.SearchResponse, error) {
+	var out server.SearchResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/search", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Metrics fetches the /metrics snapshot as raw JSON keys.
+func (c *Client) Metrics(ctx context.Context) (map[string]any, error) {
+	var out map[string]any
+	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

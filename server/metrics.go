@@ -1,0 +1,140 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// histBounds are the upper bounds (milliseconds) of the latency
+// histogram buckets; the final bucket is unbounded. Log-spaced so both a
+// 50µs cached lookup and a multi-second batch land in a useful bucket.
+var histBounds = []float64{0.1, 0.3, 1, 3, 10, 30, 100, 300, 1000, 3000}
+
+// histogram is a fixed-bucket latency histogram safe for concurrent use.
+type histogram struct {
+	buckets [len11]atomic.Int64 // one per bound plus overflow
+	count   atomic.Int64
+	sumUS   atomic.Int64 // sum in microseconds (integers keep it atomic)
+}
+
+const len11 = 11 // len(histBounds) + 1, spelled out for the array type
+
+// observe records one duration.
+func (h *histogram) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	i := 0
+	for i < len(histBounds) && ms > histBounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumUS.Add(int64(d / time.Microsecond))
+}
+
+// snapshot renders the histogram for /metrics.
+func (h *histogram) snapshot() map[string]any {
+	counts := make(map[string]int64, len11)
+	for i, b := range histBounds {
+		counts[formatBound(b)] = h.buckets[i].Load()
+	}
+	counts["+inf"] = h.buckets[len(histBounds)].Load()
+	n := h.count.Load()
+	out := map[string]any{
+		"count":      n,
+		"sum_ms":     float64(h.sumUS.Load()) / 1000,
+		"buckets_ms": counts,
+	}
+	if n > 0 {
+		out["mean_ms"] = float64(h.sumUS.Load()) / 1000 / float64(n)
+	}
+	return out
+}
+
+func formatBound(b float64) string {
+	v, _ := json.Marshal(b)
+	return "le" + string(v)
+}
+
+// Metrics aggregates server-wide counters. All fields are atomics so the
+// hot path never takes a lock; /metrics renders a point-in-time snapshot.
+// Unlike the stdlib expvar package the counters are per-Server, so tests
+// can run many servers in one process without global registration
+// collisions.
+type Metrics struct {
+	QueriesTotal  atomic.Int64 // individual reads searched
+	MatchesTotal  atomic.Int64 // matches emitted across all reads
+	ErrorsTotal   atomic.Int64 // per-read errors (bad input, cancelled)
+	BatchesTotal  atomic.Int64 // POST /v1/search requests served
+	RejectedTotal atomic.Int64 // requests refused with 4xx/503
+	InFlight      atomic.Int64 // searches currently executing
+
+	// The paper's work counters, aggregated from bwtmatch.Stats.
+	MTreeLeavesTotal atomic.Int64 // Σ n' (Table 2)
+	StepCallsTotal   atomic.Int64 // Σ BWT rank operations
+	MemoHitsTotal    atomic.Int64 // Σ M-tree derivations
+
+	IndexesLoaded  atomic.Int64
+	IndexesEvicted atomic.Int64
+
+	perMethod [8]histogram // indexed by bwtmatch.Method
+}
+
+// ObserveBatch records one completed search batch.
+func (m *Metrics) ObserveBatch(method int, d time.Duration, reads, matches, errs int, leaves, steps, memo int64) {
+	m.BatchesTotal.Add(1)
+	m.QueriesTotal.Add(int64(reads))
+	m.MatchesTotal.Add(int64(matches))
+	m.ErrorsTotal.Add(int64(errs))
+	m.MTreeLeavesTotal.Add(leaves)
+	m.StepCallsTotal.Add(steps)
+	m.MemoHitsTotal.Add(memo)
+	if method >= 0 && method < len(m.perMethod) {
+		m.perMethod[method].observe(d)
+	}
+}
+
+// Snapshot renders all counters as a JSON-ready map.
+func (m *Metrics) Snapshot() map[string]any {
+	methods := make(map[string]any)
+	for i := range m.perMethod {
+		if m.perMethod[i].count.Load() == 0 {
+			continue
+		}
+		name := methodNameFor(i)
+		methods[name] = m.perMethod[i].snapshot()
+	}
+	return map[string]any{
+		"queries_total":       m.QueriesTotal.Load(),
+		"matches_total":       m.MatchesTotal.Load(),
+		"errors_total":        m.ErrorsTotal.Load(),
+		"batches_total":       m.BatchesTotal.Load(),
+		"rejected_total":      m.RejectedTotal.Load(),
+		"in_flight":           m.InFlight.Load(),
+		"mtree_leaves_total":  m.MTreeLeavesTotal.Load(),
+		"step_calls_total":    m.StepCallsTotal.Load(),
+		"memo_hits_total":     m.MemoHitsTotal.Load(),
+		"indexes_loaded":      m.IndexesLoaded.Load(),
+		"indexes_evicted":     m.IndexesEvicted.Load(),
+		"method_latencies_ms": methods,
+	}
+}
+
+// methodNameFor inverts methodNames for display.
+func methodNameFor(m int) string {
+	for name, method := range methodNames {
+		if int(method) == m && name != "" {
+			return name
+		}
+	}
+	return "unknown"
+}
+
+// ServeHTTP renders the snapshot, making Metrics mountable directly.
+func (m *Metrics) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(m.Snapshot())
+}

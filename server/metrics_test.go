@@ -1,0 +1,72 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	var h histogram
+	for _, d := range []time.Duration{
+		50 * time.Microsecond,  // le0.1
+		500 * time.Microsecond, // le1
+		5 * time.Millisecond,   // le10
+		2 * time.Second,        // le3000
+		10 * time.Second,       // +inf
+	} {
+		h.observe(d)
+	}
+	snap := h.snapshot()
+	if snap["count"].(int64) != 5 {
+		t.Fatalf("count = %v", snap["count"])
+	}
+	buckets := snap["buckets_ms"].(map[string]int64)
+	for _, want := range []string{"le0.1", "le1", "le10", "le3000", "+inf"} {
+		if buckets[want] != 1 {
+			t.Errorf("bucket %s = %d, want 1", want, buckets[want])
+		}
+	}
+	sum := snap["sum_ms"].(float64)
+	if sum < 12000 || sum > 12010 {
+		t.Errorf("sum_ms = %v", sum)
+	}
+	if mean := snap["mean_ms"].(float64); mean < 2400 || mean > 2403 {
+		t.Errorf("mean_ms = %v", mean)
+	}
+}
+
+func TestMetricsSnapshotOmitsIdleMethods(t *testing.T) {
+	var m Metrics
+	m.ObserveBatch(0, time.Millisecond, 10, 3, 1, 100, 200, 5)
+	snap := m.Snapshot()
+	lat := snap["method_latencies_ms"].(map[string]any)
+	if len(lat) != 1 || lat["a"] == nil {
+		t.Fatalf("latencies: %v", lat)
+	}
+	if snap["queries_total"].(int64) != 10 || snap["matches_total"].(int64) != 3 ||
+		snap["errors_total"].(int64) != 1 {
+		t.Errorf("counters: %v", snap)
+	}
+	if snap["mtree_leaves_total"].(int64) != 100 || snap["step_calls_total"].(int64) != 200 ||
+		snap["memo_hits_total"].(int64) != 5 {
+		t.Errorf("paper counters: %v", snap)
+	}
+}
+
+func TestMethodNameRoundTrip(t *testing.T) {
+	for _, name := range []string{"a", "bwt", "stree", "amir", "cole", "online", "seed"} {
+		m, err := ParseMethod(name)
+		if err != nil {
+			t.Fatalf("ParseMethod(%q): %v", name, err)
+		}
+		if got := methodNameFor(int(m)); got != name {
+			t.Errorf("methodNameFor(%v) = %q, want %q", m, got, name)
+		}
+	}
+	if _, err := ParseMethod("quantum"); err == nil {
+		t.Error("unknown method accepted")
+	}
+	if m, err := ParseMethod(""); err != nil || m != 0 {
+		t.Errorf("empty method: %v %v", m, err)
+	}
+}

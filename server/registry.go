@@ -1,0 +1,179 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"bwtmatch"
+)
+
+// ErrNotFound reports a search against an unregistered index name.
+var ErrNotFound = errors.New("server: index not found")
+
+// ErrExists reports a duplicate registration.
+var ErrExists = errors.New("server: index already registered")
+
+// entry is one registered index. Indexes are immutable, so an entry
+// evicted from the registry stays valid for searches already holding it;
+// the GC reclaims it when the last in-flight batch finishes.
+type entry struct {
+	name  string
+	idx   *bwtmatch.Index
+	bytes int64
+	// lastUsed orders entries for LRU eviction: a global sequence number
+	// stamped on every Get, so lookups stay on the RLock fast path.
+	lastUsed atomic.Int64
+	queries  atomic.Int64
+}
+
+// Registry is a named collection of loaded indexes with an LRU byte
+// budget. Lookups take the read lock and bump an atomic recency stamp;
+// only registration and eviction take the write lock.
+type Registry struct {
+	budget int64 // bytes; 0 = unlimited
+	clock  atomic.Int64
+
+	mu       sync.RWMutex
+	entries  map[string]*entry
+	resident int64
+
+	// onEvict, when set, observes evictions (used for metrics).
+	onEvict func(name string)
+}
+
+// NewRegistry creates a registry with the given byte budget (0 for
+// unlimited). The budget counts index structures plus the packed text,
+// as reported by Index.SizeBytes and Index.Len.
+func NewRegistry(budget int64) *Registry {
+	return &Registry{budget: budget, entries: make(map[string]*entry)}
+}
+
+// indexBytes estimates the resident cost of one index.
+func indexBytes(idx *bwtmatch.Index) int64 {
+	return int64(idx.SizeBytes()) + int64(idx.Len())
+}
+
+// Add registers idx under name, evicting least-recently-used entries if
+// the budget would be exceeded. Registering an existing name fails with
+// ErrExists (evict first to replace).
+func (r *Registry) Add(name string, idx *bwtmatch.Index) error {
+	if name == "" {
+		return fmt.Errorf("server: empty index name")
+	}
+	cost := indexBytes(idx)
+	if r.budget > 0 && cost > r.budget {
+		return fmt.Errorf("server: index %q (%d bytes) exceeds registry budget (%d bytes)", name, cost, r.budget)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[name]; ok {
+		return fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	r.evictLocked(cost)
+	e := &entry{name: name, idx: idx, bytes: cost}
+	e.lastUsed.Store(r.clock.Add(1))
+	r.entries[name] = e
+	r.resident += cost
+	return nil
+}
+
+// evictLocked drops LRU entries until incoming more bytes fit the
+// budget. Caller holds the write lock.
+func (r *Registry) evictLocked(incoming int64) {
+	if r.budget <= 0 {
+		return
+	}
+	for r.resident+incoming > r.budget && len(r.entries) > 0 {
+		var lru *entry
+		for _, e := range r.entries {
+			if lru == nil || e.lastUsed.Load() < lru.lastUsed.Load() {
+				lru = e
+			}
+		}
+		delete(r.entries, lru.name)
+		r.resident -= lru.bytes
+		if r.onEvict != nil {
+			r.onEvict(lru.name)
+		}
+	}
+}
+
+// LoadFile reads a saved index from path and registers it under name.
+func (r *Registry) LoadFile(name, path string) (*bwtmatch.Index, error) {
+	idx, err := bwtmatch.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Add(name, idx); err != nil {
+		return nil, err
+	}
+	return idx, nil
+}
+
+// Get returns the index registered under name, refreshing its LRU
+// recency, or ErrNotFound.
+func (r *Registry) Get(name string) (*bwtmatch.Index, error) {
+	r.mu.RLock()
+	e, ok := r.entries[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	e.lastUsed.Store(r.clock.Add(1))
+	e.queries.Add(1)
+	return e.idx, nil
+}
+
+// Remove evicts the named index; it reports whether it was present.
+func (r *Registry) Remove(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	if !ok {
+		return false
+	}
+	delete(r.entries, name)
+	r.resident -= e.bytes
+	if r.onEvict != nil {
+		r.onEvict(name)
+	}
+	return true
+}
+
+// List snapshots the registered indexes sorted by name.
+func (r *Registry) List() []IndexInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]IndexInfo, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, IndexInfo{
+			Name:      e.name,
+			Bases:     e.idx.Len(),
+			SizeBytes: e.idx.SizeBytes(),
+			Refs:      len(e.idx.Refs()),
+			Queries:   e.queries.Load(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Resident returns the current byte footprint of registered indexes.
+func (r *Registry) Resident() int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.resident
+}
+
+// Budget returns the configured byte budget (0 = unlimited).
+func (r *Registry) Budget() int64 { return r.budget }
+
+// Len returns the number of registered indexes.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}

@@ -1,0 +1,146 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"bwtmatch"
+)
+
+func buildIndex(t *testing.T, seed int64, bases int) *bwtmatch.Index {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	idx, err := bwtmatch.New(randomDNA(rng, bases))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx
+}
+
+func TestRegistryAddGetRemove(t *testing.T) {
+	r := NewRegistry(0)
+	idx := buildIndex(t, 1, 800)
+	if err := r.Add("g", idx); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add("g", idx); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate Add: %v, want ErrExists", err)
+	}
+	if err := r.Add("", idx); err == nil {
+		t.Error("empty name accepted")
+	}
+	got, err := r.Get("g")
+	if err != nil || got != idx {
+		t.Fatalf("Get: %v %v", got, err)
+	}
+	if _, err := r.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get(missing): %v, want ErrNotFound", err)
+	}
+	if !r.Remove("g") || r.Remove("g") {
+		t.Error("Remove semantics wrong")
+	}
+	if r.Len() != 0 || r.Resident() != 0 {
+		t.Errorf("registry not empty after Remove: len=%d resident=%d", r.Len(), r.Resident())
+	}
+}
+
+func TestRegistryLRUEviction(t *testing.T) {
+	a := buildIndex(t, 2, 1000)
+	perIndex := indexBytes(a)
+	// Budget for exactly two indexes of this size.
+	r := NewRegistry(2*perIndex + perIndex/2)
+	var evicted []string
+	r.onEvict = func(name string) { evicted = append(evicted, name) }
+
+	b := buildIndex(t, 3, 1000)
+	c := buildIndex(t, 4, 1000)
+	if err := r.Add("a", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add("b", b); err != nil {
+		t.Fatal(err)
+	}
+	// Touch "a" so "b" becomes the LRU victim.
+	if _, err := r.Get("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add("c", c); err != nil {
+		t.Fatal(err)
+	}
+	if len(evicted) != 1 || evicted[0] != "b" {
+		t.Fatalf("evicted %v, want [b]", evicted)
+	}
+	if _, err := r.Get("b"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("b still resident after eviction")
+	}
+	for _, name := range []string{"a", "c"} {
+		if _, err := r.Get(name); err != nil {
+			t.Errorf("%s missing after eviction: %v", name, err)
+		}
+	}
+	if r.Resident() > r.Budget() {
+		t.Errorf("resident %d exceeds budget %d", r.Resident(), r.Budget())
+	}
+}
+
+func TestRegistryRejectsOversizedIndex(t *testing.T) {
+	idx := buildIndex(t, 5, 2000)
+	r := NewRegistry(indexBytes(idx) / 2)
+	if err := r.Add("g", idx); err == nil {
+		t.Fatal("index larger than the whole budget accepted")
+	}
+	if r.Len() != 0 {
+		t.Error("failed Add left residue")
+	}
+}
+
+func TestRegistryList(t *testing.T) {
+	r := NewRegistry(0)
+	r.Add("zeta", buildIndex(t, 6, 400))
+	r.Add("alpha", buildIndex(t, 7, 600))
+	r.Get("alpha")
+	list := r.List()
+	if len(list) != 2 || list[0].Name != "alpha" || list[1].Name != "zeta" {
+		t.Fatalf("List: %+v", list)
+	}
+	if list[0].Bases != 600 || list[0].Queries != 1 || list[1].Queries != 0 {
+		t.Errorf("List details: %+v", list)
+	}
+}
+
+// TestRegistryConcurrency exercises the RWMutex paths under the race
+// detector: concurrent Gets (read path) against Add/Remove (write path).
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry(0)
+	base := buildIndex(t, 8, 500)
+	r.Add("stable", base)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				switch i % 4 {
+				case 0:
+					r.Get("stable")
+				case 1:
+					name := fmt.Sprintf("t%d", w)
+					if err := r.Add(name, base); err == nil {
+						r.Remove(name)
+					}
+				case 2:
+					r.List()
+				case 3:
+					r.Resident()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if _, err := r.Get("stable"); err != nil {
+		t.Fatalf("stable index lost: %v", err)
+	}
+}

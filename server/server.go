@@ -1,0 +1,361 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"bwtmatch"
+)
+
+// Config tunes a Server. The zero value is usable; see the field
+// comments for the defaults applied by New.
+type Config struct {
+	// Workers is the fan-out width per batch (default GOMAXPROCS via
+	// bwtmatch.MapAll semantics; 0 means 4).
+	Workers int
+	// MaxBatch caps reads per request (default 4096).
+	MaxBatch int
+	// MaxK caps the per-read mismatch budget (default 64).
+	MaxK int
+	// MaxConcurrent caps batches executing simultaneously; further
+	// requests queue until a slot frees (default 16).
+	MaxConcurrent int
+	// DefaultTimeout bounds a request that sets no timeout_ms
+	// (default 30s).
+	DefaultTimeout time.Duration
+	// MaxBodyBytes caps request body size (default 64 MiB).
+	MaxBodyBytes int64
+	// Budget is the registry's LRU byte budget (0 = unlimited).
+	Budget int64
+}
+
+func (c *Config) applyDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 4096
+	}
+	if c.MaxK <= 0 {
+		c.MaxK = 64
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 16
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+}
+
+// Server is the kmserved HTTP service: an index registry, a batched
+// search endpoint, and metrics. Create with New, mount via Handler, and
+// stop with Shutdown (drains in-flight searches, refuses new ones).
+type Server struct {
+	cfg Config
+	reg *Registry
+	met *Metrics
+	mux *http.ServeMux
+	sem chan struct{} // MaxConcurrent slots
+
+	mu       sync.Mutex
+	draining bool
+	inflight sync.WaitGroup
+
+	// testHookSearchStart, when non-nil, runs at the top of every search
+	// batch while it counts as in-flight (used by the drain test).
+	testHookSearchStart func()
+}
+
+// New builds a Server from cfg (zero value = defaults).
+func New(cfg Config) *Server {
+	cfg.applyDefaults()
+	s := &Server{
+		cfg: cfg,
+		reg: NewRegistry(cfg.Budget),
+		met: &Metrics{},
+		mux: http.NewServeMux(),
+		sem: make(chan struct{}, cfg.MaxConcurrent),
+	}
+	s.reg.onEvict = func(string) { s.met.IndexesEvicted.Add(1) }
+	s.mux.HandleFunc("POST /v1/search", s.handleSearch)
+	s.mux.HandleFunc("GET /v1/indexes", s.handleListIndexes)
+	s.mux.HandleFunc("POST /v1/indexes", s.handleRegisterIndex)
+	s.mux.HandleFunc("DELETE /v1/indexes/{name}", s.handleRemoveIndex)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.Handle("GET /metrics", s.met)
+	return s
+}
+
+// Handler returns the HTTP handler tree for mounting into an
+// http.Server (or httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the index registry (for preloading at startup).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Metrics exposes the counters (for tests and embedding).
+func (s *Server) Metrics() *Metrics { return s.met }
+
+// Register loads a saved index file and counts it in the metrics; it is
+// the programmatic form of POST /v1/indexes.
+func (s *Server) Register(name, path string) error {
+	if _, err := s.reg.LoadFile(name, path); err != nil {
+		return err
+	}
+	s.met.IndexesLoaded.Add(1)
+	return nil
+}
+
+// RegisterIndex registers an already-built index under name.
+func (s *Server) RegisterIndex(name string, idx *bwtmatch.Index) error {
+	if err := s.reg.Add(name, idx); err != nil {
+		return err
+	}
+	s.met.IndexesLoaded.Add(1)
+	return nil
+}
+
+// Shutdown stops accepting searches and waits for in-flight batches to
+// drain, or until ctx expires. It is idempotent. Callers running an
+// http.Server should call its Shutdown as well to close listeners.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: shutdown: %w", ctx.Err())
+	}
+}
+
+// beginSearch registers one in-flight batch; it fails once draining has
+// started. The caller must invoke the returned func when done.
+func (s *Server) beginSearch() (func(), bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, false
+	}
+	s.inflight.Add(1)
+	return s.inflight.Done, true
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
+	s.met.RejectedTotal.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleListIndexes(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, IndexListResponse{
+		Indexes:       s.reg.List(),
+		BudgetBytes:   s.reg.Budget(),
+		ResidentBytes: s.reg.Resident(),
+	})
+}
+
+func (s *Server) handleRegisterIndex(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if err := decodeBody(r, s.cfg.MaxBodyBytes, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Name == "" || req.Path == "" {
+		s.fail(w, http.StatusBadRequest, "name and path are required")
+		return
+	}
+	if err := s.Register(req.Name, req.Path); err != nil {
+		switch {
+		case errors.Is(err, ErrExists):
+			s.fail(w, http.StatusConflict, "%v", err)
+		case errors.Is(err, bwtmatch.ErrFormat):
+			s.fail(w, http.StatusUnprocessableEntity, "%v", err)
+		default:
+			s.fail(w, http.StatusBadRequest, "loading %q: %v", req.Path, err)
+		}
+		return
+	}
+	for _, info := range s.reg.List() {
+		if info.Name == req.Name {
+			writeJSON(w, http.StatusCreated, info)
+			return
+		}
+	}
+	// Unreachable unless the index was concurrently evicted; report it.
+	s.fail(w, http.StatusInternalServerError, "index %q evicted immediately after load", req.Name)
+}
+
+func (s *Server) handleRemoveIndex(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.reg.Remove(name) {
+		s.fail(w, http.StatusNotFound, "index %q not registered", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"removed": name})
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req SearchRequest
+	if err := decodeBody(r, s.cfg.MaxBodyBytes, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	method, err := ParseMethod(req.Method)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	reads := req.Reads
+	if req.Seq != "" {
+		if len(reads) > 0 {
+			s.fail(w, http.StatusBadRequest, "set either seq or reads, not both")
+			return
+		}
+		reads = []Read{{Seq: req.Seq}}
+	}
+	if len(reads) == 0 {
+		s.fail(w, http.StatusBadRequest, "no reads in request")
+		return
+	}
+	if len(reads) > s.cfg.MaxBatch {
+		s.fail(w, http.StatusRequestEntityTooLarge,
+			"batch of %d exceeds limit %d", len(reads), s.cfg.MaxBatch)
+		return
+	}
+	queries := make([]bwtmatch.Query, len(reads))
+	for i, rd := range reads {
+		k := req.K
+		if rd.K != nil {
+			k = *rd.K
+		}
+		if k < 0 || k > s.cfg.MaxK {
+			s.fail(w, http.StatusBadRequest,
+				"read %d: k=%d outside [0,%d]", i, k, s.cfg.MaxK)
+			return
+		}
+		clean, _ := bwtmatch.Sanitize([]byte(rd.Seq))
+		queries[i] = bwtmatch.Query{ID: rd.ID, Pattern: clean, K: k}
+	}
+	idx, err := s.reg.Get(req.Index)
+	if err != nil {
+		s.fail(w, http.StatusNotFound, "%v", err)
+		return
+	}
+
+	done, ok := s.beginSearch()
+	if !ok {
+		s.fail(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	defer done()
+	if s.testHookSearchStart != nil {
+		s.testHookSearchStart()
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		if t := time.Duration(req.TimeoutMS) * time.Millisecond; t < timeout {
+			timeout = t
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	// Queue for a concurrency slot; a timeout while queued is billed to
+	// the request, not the server. A free slot is taken unconditionally so
+	// an already-expired deadline still surfaces as per-read errors rather
+	// than racing the two select branches.
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		select {
+		case s.sem <- struct{}{}:
+		case <-ctx.Done():
+			s.fail(w, http.StatusServiceUnavailable, "timed out waiting for a search slot")
+			return
+		}
+	}
+	defer func() { <-s.sem }()
+
+	s.met.InFlight.Add(1)
+	start := time.Now()
+	results := idx.MapAllContext(ctx, queries, method, s.cfg.Workers)
+	elapsed := time.Since(start)
+	s.met.InFlight.Add(-1)
+
+	resp := SearchResponse{
+		Index:   req.Index,
+		Method:  method.String(),
+		Reads:   len(reads),
+		Results: make([]ReadResult, len(results)),
+	}
+	var leaves, steps, memo int64
+	for i, res := range results {
+		rr := ReadResult{ID: queries[i].ID, Matches: []Match{}}
+		if res.Err != nil {
+			rr.Error = res.Err.Error()
+			resp.Errors++
+		} else {
+			rr.Matches = make([]Match, len(res.Matches))
+			for j, m := range res.Matches {
+				rr.Matches[j] = Match{Pos: m.Pos, Mismatches: m.Mismatches}
+			}
+			resp.Matches += len(res.Matches)
+		}
+		leaves += int64(res.Stats.MTreeLeaves)
+		steps += int64(res.Stats.StepCalls)
+		memo += int64(res.Stats.MemoHits)
+		resp.Results[i] = rr
+	}
+	resp.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
+	s.met.ObserveBatch(int(method), elapsed, len(reads), resp.Matches, resp.Errors, leaves, steps, memo)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// decodeBody parses a size-capped JSON body, rejecting trailing garbage.
+func decodeBody(r *http.Request, maxBytes int64, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	// A second decode must hit EOF; anything else is trailing data.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return errors.New("trailing data after JSON body")
+	}
+	return nil
+}
