@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-server vet check bench
+.PHONY: build test race race-server vet kmvet lint invariants fuzz-smoke check bench
 
 build:
 	$(GO) build ./...
@@ -20,8 +20,28 @@ race:
 vet:
 	$(GO) vet ./...
 
+# kmvet is the repo-specific analyzer (cmd/kmvet, DESIGN.md §6): load-path
+# error wrapping, lock copies, context-threaded searches, no library panics.
+kmvet:
+	$(GO) run ./cmd/kmvet
+
+lint: vet kmvet
+
+# The deep runtime invariant layer: CheckInvariants implementations are
+# compiled in under the kminvariants tag (and are no-ops otherwise), so
+# this runs every test with full structural verification, under -race.
+invariants:
+	$(GO) test -race -tags kminvariants ./...
+
+# Short mutation runs of each fuzz target with invariants enabled; long
+# campaigns use `go test -fuzz=<target> -tags kminvariants .` directly.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzSearchMethods -fuzztime=10s -tags kminvariants .
+	$(GO) test -run='^$$' -fuzz=FuzzSaveLoad -fuzztime=10s -tags kminvariants .
+	$(GO) test -run='^$$' -fuzz=FuzzLoadRoundTrip -fuzztime=10s -tags kminvariants .
+
 # The one-stop pre-commit gate.
-check: vet race-server race
+check: lint race-server race invariants fuzz-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

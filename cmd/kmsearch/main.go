@@ -23,6 +23,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"bwtmatch"
@@ -113,8 +115,13 @@ func main() {
 		clean, _ := bwtmatch.Sanitize(rec.Seq)
 		queries[i] = bwtmatch.Query{ID: rec.ID, Pattern: clean, K: *k}
 	}
+	// Thread an interrupt-aware context into the batch so ^C / SIGTERM
+	// stops scheduling new reads instead of orphaning the workers
+	// (kmvet: ctxsearch).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	searchStart := time.Now()
-	results := idx.MapAll(queries, method, *workers)
+	results := idx.MapAllContext(ctx, queries, method, *workers)
 	elapsed := time.Since(searchStart)
 
 	out := bufio.NewWriter(os.Stdout)

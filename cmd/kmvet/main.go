@@ -1,0 +1,81 @@
+// Command kmvet runs the repo-specific static analyzer over the module:
+// four rules (wrapformat, copylocks, ctxsearch, nopanic — see `kmvet
+// -rules` and DESIGN.md §6) that machine-enforce the correctness
+// disciplines of the index load paths and the server's concurrent
+// state. It prints one file:line: [rule] message per finding and exits
+// 1 when any fire, so `make lint` can gate on it.
+//
+//	kmvet            # analyze the module containing the working directory
+//	kmvet -root DIR  # analyze the module rooted at DIR
+//	kmvet -rules     # print the rule catalogue and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"bwtmatch/internal/analyze"
+)
+
+func main() {
+	root := flag.String("root", "", "module root (default: nearest go.mod above the working directory)")
+	rules := flag.Bool("rules", false, "print the rule catalogue and exit")
+	flag.Parse()
+
+	if *rules {
+		for _, r := range analyze.Rules() {
+			fmt.Printf("%-11s %s\n", r.Name, r.Doc)
+		}
+		return
+	}
+
+	dir := *root
+	if dir == "" {
+		var err error
+		dir, err = findModuleRoot()
+		if err != nil {
+			fatal(err)
+		}
+	}
+	a, err := analyze.New(dir)
+	if err != nil {
+		fatal(err)
+	}
+	findings, err := a.CheckModule()
+	if err != nil {
+		fatal(err)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "kmvet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("kmvet: no go.mod above the working directory")
+		}
+		dir = parent
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kmvet:", err)
+	os.Exit(2)
+}

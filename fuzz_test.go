@@ -2,6 +2,7 @@ package bwtmatch
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"bwtmatch/internal/alphabet"
@@ -30,6 +31,11 @@ func FuzzSearchMethods(f *testing.F) {
 		idx, err := New(cleanT)
 		if err != nil {
 			t.Fatalf("New(%q): %v", cleanT, err)
+		}
+		// Deep structural verification under -tags kminvariants (no-op
+		// otherwise): any index the fuzzer searches is fully consistent.
+		if err := idx.searcher.Index().CheckInvariants(); err != nil {
+			t.Fatalf("invariants(%q): %v", cleanT, err)
 		}
 		tr, _ := alphabet.Encode(cleanT)
 		pr, _ := alphabet.Encode(cleanP)
@@ -75,6 +81,9 @@ func FuzzSaveLoad(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		if err := loaded.searcher.Index().CheckInvariants(); err != nil {
+			t.Fatalf("invariants after reload: %v", err)
+		}
 		probe := clean
 		if len(probe) > 10 {
 			probe = probe[:10]
@@ -83,6 +92,63 @@ func FuzzSaveLoad(f *testing.F) {
 		b, _ := loaded.Search(probe, 1)
 		if len(a) != len(b) {
 			t.Fatalf("results differ after reload: %d vs %d", len(a), len(b))
+		}
+	})
+}
+
+// FuzzLoadRoundTrip hammers Load with arbitrary bytes. The contract
+// under test: every rejection is an ErrFormat (never a panic, never a
+// bare io error) with a nil index, and every accepted index is fully
+// usable — the load-time verifyLoad gate plus, under -tags
+// kminvariants, the deep invariant checks guarantee no half-built
+// structure escapes. Seeds include valid saves (with and without
+// reference tables) so mutation explores near-valid headers.
+func FuzzLoadRoundTrip(f *testing.F) {
+	save := func(idx *Index) []byte {
+		var buf bytes.Buffer
+		if err := idx.Save(&buf); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	plain, err := New([]byte("acgtacgtacacagttgacca"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	withRefs, err := NewRefs([]Reference{
+		{Name: "chr1", Seq: []byte("acgtacgtac")},
+		{Name: "chr2", Seq: []byte("ttgacagga")},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid := save(plain)
+	f.Add(valid)
+	f.Add(save(withRefs))
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:8])
+	f.Add([]byte{})
+	f.Add([]byte("not an index at all"))
+	mutated := append([]byte(nil), valid...)
+	mutated[len(mutated)/3] ^= 0xff
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		idx, err := Load(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrFormat) {
+				t.Fatalf("Load error does not wrap ErrFormat: %v", err)
+			}
+			if idx != nil {
+				t.Fatal("Load returned a non-nil index alongside an error")
+			}
+			return
+		}
+		if err := idx.searcher.Index().CheckInvariants(); err != nil {
+			t.Fatalf("loaded index fails invariants: %v", err)
+		}
+		if _, err := idx.Search([]byte("acgt"), 1); err != nil {
+			t.Fatalf("loaded index cannot search: %v", err)
 		}
 	})
 }

@@ -56,15 +56,6 @@ func Rank(b byte) (byte, error) {
 	return r - 1, nil
 }
 
-// MustRank is Rank for inputs already known valid; it panics otherwise.
-func MustRank(b byte) byte {
-	r := rankOf[b]
-	if r == 0 {
-		panic(fmt.Sprintf("alphabet: invalid character %q", b))
-	}
-	return r - 1
-}
-
 // Byte returns the canonical byte for rank r.
 func Byte(r byte) byte {
 	return byteOf[r]

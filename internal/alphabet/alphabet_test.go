@@ -40,18 +40,6 @@ func TestRankInvalid(t *testing.T) {
 	}
 }
 
-func TestMustRank(t *testing.T) {
-	if got := MustRank('g'); got != G {
-		t.Errorf("MustRank('g') = %d", got)
-	}
-	defer func() {
-		if recover() == nil {
-			t.Error("MustRank('x') did not panic")
-		}
-	}()
-	MustRank('x')
-}
-
 func TestValidPredicates(t *testing.T) {
 	if !Valid('$') || !Valid('a') || Valid('x') {
 		t.Error("Valid misbehaved")

@@ -1,0 +1,159 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// runCopyLocks flags value copies of types that (transitively) contain
+// a sync.Mutex or sync.RWMutex: by-value parameters, results and
+// receivers; assignments and var initializers whose right side is an
+// existing value (not a fresh composite literal or call result); call
+// arguments; and range clauses that copy lock-bearing elements.
+//
+// This overlaps go vet's copylocks on purpose — kmvet runs it over the
+// whole module including build configurations vet may skip, and the
+// index registry/server structs are exactly the concurrently-mutated
+// state where a silent lock copy turns into a production bug.
+func runCopyLocks(p *Package) []Finding {
+	var out []Finding
+	report := func(pos ast.Node, what string, t types.Type) {
+		out = append(out, p.finding(pos.Pos(), "copylocks",
+			"%s copies %s, which contains sync.%s; use a pointer", what, types.TypeString(t, types.RelativeTo(p.Types)), lockIn(t)))
+	}
+
+	// Signatures: params, results, receivers declared by value.
+	checkFieldList := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			tv, ok := p.Info.Types[field.Type]
+			if !ok {
+				continue
+			}
+			if lockIn(tv.Type) != "" {
+				report(field.Type, what, tv.Type)
+			}
+		}
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				checkFieldList(fn.Recv, "receiver")
+				checkFieldList(fn.Type.Params, "parameter")
+				checkFieldList(fn.Type.Results, "result")
+			case *ast.FuncLit:
+				checkFieldList(fn.Type.Params, "parameter")
+				checkFieldList(fn.Type.Results, "result")
+			}
+			return true
+		})
+	}
+
+	// Statements and expressions.
+	funcBodies(p.Files, func(body *ast.BlockStmt) {
+		inspectShallow(body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				if len(st.Lhs) == len(st.Rhs) {
+					for _, rhs := range st.Rhs {
+						if t := copiedLockType(p, rhs); t != nil {
+							report(rhs, "assignment", t)
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for _, v := range st.Values {
+					if t := copiedLockType(p, v); t != nil {
+						report(v, "variable initializer", t)
+					}
+				}
+			case *ast.CallExpr:
+				for _, arg := range st.Args {
+					if t := copiedLockType(p, arg); t != nil {
+						report(arg, "call argument", t)
+					}
+				}
+			case *ast.RangeStmt:
+				for _, v := range []ast.Expr{st.Key, st.Value} {
+					if v == nil {
+						continue
+					}
+					id, ok := v.(*ast.Ident)
+					if !ok || id.Name == "_" {
+						continue
+					}
+					obj := p.Info.Defs[id]
+					if obj == nil {
+						obj = p.Info.Uses[id]
+					}
+					if obj != nil && lockIn(obj.Type()) != "" {
+						report(v, "range clause", obj.Type())
+					}
+				}
+			}
+			return true
+		})
+	})
+	return out
+}
+
+// copiedLockType returns the lock-containing type of expr if evaluating
+// it copies an existing value — a variable, field, dereference or index
+// — and nil otherwise (composite literals and call results are fresh
+// values, flagged at their own declaration sites instead).
+func copiedLockType(p *Package, expr ast.Expr) types.Type {
+	switch ast.Unparen(expr).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+	default:
+		return nil
+	}
+	tv, ok := p.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	// A selector resolving to a package-qualified function/type is not a
+	// value copy.
+	if !tv.IsValue() {
+		return nil
+	}
+	if lockIn(tv.Type) == "" {
+		return nil
+	}
+	return tv.Type
+}
+
+// lockIn reports which sync lock t transitively contains by value
+// ("Mutex", "RWMutex"), or "" if none. Pointers, slices, maps and
+// channels stop the recursion: sharing those is fine.
+func lockIn(t types.Type) string {
+	return lockInRec(t, make(map[types.Type]bool))
+}
+
+func lockInRec(t types.Type, seen map[types.Type]bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	seen[t] = true
+	switch tt := t.(type) {
+	case *types.Named:
+		obj := tt.Obj()
+		if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			if obj.Name() == "Mutex" || obj.Name() == "RWMutex" {
+				return obj.Name()
+			}
+		}
+		return lockInRec(tt.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < tt.NumFields(); i++ {
+			if lock := lockInRec(tt.Field(i).Type(), seen); lock != "" {
+				return lock
+			}
+		}
+	case *types.Array:
+		return lockInRec(tt.Elem(), seen)
+	}
+	return ""
+}

@@ -1,0 +1,35 @@
+package analyze
+
+import (
+	"go/ast"
+)
+
+// runCtxSearch flags calls to (*bwtmatch.Index).MapAll outside the root
+// bwtmatch package. MapAll is the context-free convenience wrapper the
+// library keeps for its own API surface; every other layer — server
+// handlers above all — must call MapAllContext with the caller's
+// context so shutdown drains, request deadlines and client
+// cancellations propagate into the batch instead of leaving orphaned
+// worker goroutines grinding through dead queries.
+func runCtxSearch(p *Package) []Finding {
+	if p.Types.Path() == "bwtmatch" {
+		return nil // the defining package implements MapAll itself
+	}
+	var out []Finding
+	funcBodies(p.Files, func(body *ast.BlockStmt) {
+		inspectShallow(body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p, call)
+			if fn == nil || fn.Name() != "MapAll" || fn.Pkg() == nil || fn.Pkg().Path() != "bwtmatch" {
+				return true
+			}
+			out = append(out, p.finding(call.Pos(), "ctxsearch",
+				"bare (*Index).MapAll ignores cancellation; call MapAllContext and thread the caller's context"))
+			return true
+		})
+	})
+	return out
+}

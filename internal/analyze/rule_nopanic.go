@@ -1,0 +1,45 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// runNoPanic flags panic calls in library packages. Commands (package
+// main) may still die loudly, and invariants*.go files — the
+// kminvariants-tagged assertion layer, plus their always-built stubs —
+// are exempt because a tripped structural invariant has no saner
+// recovery than crashing. Everything else in a library returns an
+// error: the server embeds these packages, and a panic in a shared
+// daemon is an outage, not a diagnostic.
+func runNoPanic(p *Package) []Finding {
+	if p.Name == "main" {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		name := filepath.Base(p.Fset.Position(f.Pos()).Filename)
+		if strings.HasPrefix(name, "invariants") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			out = append(out, p.finding(call.Pos(), "nopanic",
+				"panic in library code; return an error (assertions belong in kminvariants-tagged invariants*.go files)"))
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// loadPathPackages are the packages whose Load*/Read* functions
+// constitute "index load paths" for the wrapformat rule. Both already
+// return errors matchable as their package's ErrFormat; the rule
+// enforces that callers re-wrap with %w (adding context, preserving the
+// chain) instead of returning the error bare.
+var loadPathPackages = map[string]bool{
+	"bwtmatch":                  true,
+	"bwtmatch/internal/fmindex": true,
+}
+
+// isLoadPathCall reports whether call invokes a load-path function, and
+// if so returns a printable callee name.
+func isLoadPathCall(p *Package, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(p, call)
+	if fn == nil || fn.Pkg() == nil || !loadPathPackages[fn.Pkg().Path()] {
+		return "", false
+	}
+	name := fn.Name()
+	if len(name) >= 4 && (name[:4] == "Load" || name[:4] == "Read") {
+		return fn.Pkg().Name() + "." + name, true
+	}
+	return "", false
+}
+
+// runWrapFormat flags `return ..., err` where err was produced by an
+// index load-path call and reaches the return untouched. The fix is
+// fmt.Errorf("<context>: %w", err): callers still match ErrFormat via
+// errors.Is, and the failing layer stays identifiable.
+func runWrapFormat(p *Package) []Finding {
+	var out []Finding
+	funcBodies(p.Files, func(body *ast.BlockStmt) {
+		// Pass 1: error variables assigned from load-path calls.
+		errVars := make(map[types.Object]string)
+		inspectShallow(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Rhs) != 1 {
+				return true
+			}
+			call, ok := as.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee, ok := isLoadPathCall(p, call)
+			if !ok {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := p.Info.Defs[id]
+				if obj == nil && as.Tok == token.ASSIGN {
+					obj = p.Info.Uses[id]
+				}
+				if obj != nil && isErrorType(obj.Type()) {
+					errVars[obj] = callee
+				}
+			}
+			return true
+		})
+		if len(errVars) == 0 {
+			return
+		}
+		// Pass 2: returns handing one of those variables back bare.
+		inspectShallow(body, func(n ast.Node) bool {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				return true
+			}
+			for _, res := range ret.Results {
+				id, ok := ast.Unparen(res).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := p.Info.Uses[id]
+				if obj == nil {
+					continue
+				}
+				if callee, hit := errVars[obj]; hit {
+					out = append(out, p.finding(id.Pos(), "wrapformat",
+						"error from %s returned bare; wrap it with fmt.Errorf(\"<context>: %%w\", err) so the ErrFormat chain carries context", callee))
+				}
+			}
+			return true
+		})
+	})
+	return out
+}

@@ -1,0 +1,93 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Rule is one kmvet check.
+type Rule struct {
+	Name string
+	Doc  string
+	Run  func(p *Package) []Finding
+}
+
+// Rules returns every registered rule in reporting order.
+func Rules() []Rule {
+	return []Rule{
+		{
+			Name: "wrapformat",
+			Doc:  "errors from index load paths (bwtmatch.Load*, fmindex.Read*) must be wrapped with %w before being returned, so each layer adds context and errors.Is(err, ErrFormat) keeps matching",
+			Run:  runWrapFormat,
+		},
+		{
+			Name: "copylocks",
+			Doc:  "structs containing sync.Mutex or sync.RWMutex must not be copied by value (parameters, results, receivers, assignments, call arguments, range clauses)",
+			Run:  runCopyLocks,
+		},
+		{
+			Name: "ctxsearch",
+			Doc:  "outside the root bwtmatch package, call (*Index).MapAllContext with the caller's context instead of bare MapAll, so drains and deadlines propagate into batches",
+			Run:  runCtxSearch,
+		},
+		{
+			Name: "nopanic",
+			Doc:  "no panic in library (non-main) packages; assertions belong in kminvariants-tagged invariants*.go files, everything else returns an error",
+			Run:  runNoPanic,
+		},
+	}
+}
+
+// funcBodies visits every function body in the package exactly once
+// (FuncDecl and FuncLit alike) — visit receives the body and must not
+// descend into nested function literals itself.
+func funcBodies(files []*ast.File, visit func(body *ast.BlockStmt)) {
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					visit(fn.Body)
+				}
+			case *ast.FuncLit:
+				if fn.Body != nil {
+					visit(fn.Body)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// inspectShallow walks body without entering nested function literals
+// (they get their own funcBodies visit).
+func inspectShallow(body *ast.BlockStmt, visit func(n ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return visit(n)
+	})
+}
+
+// calleeFunc resolves the called function of a CallExpr to its types
+// object, or nil for builtins, conversions and indirect calls.
+func calleeFunc(p *Package, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return nil
+	}
+	fn, _ := p.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, errorType)
+}

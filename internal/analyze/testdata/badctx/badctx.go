@@ -1,0 +1,20 @@
+// Package badctx violates the ctxsearch rule: it runs a batch search
+// through bare MapAll, which cannot be cancelled, instead of
+// MapAllContext.
+package badctx
+
+import (
+	"context"
+
+	"bwtmatch"
+)
+
+func mapReads(idx *bwtmatch.Index, qs []bwtmatch.Query) []bwtmatch.Result {
+	return idx.MapAll(qs, bwtmatch.AlgorithmA, 4) // want ctxsearch
+}
+
+// mapReadsCtx is compliant: the caller's context is threaded through.
+// No finding here.
+func mapReadsCtx(ctx context.Context, idx *bwtmatch.Index, qs []bwtmatch.Query) []bwtmatch.Result {
+	return idx.MapAllContext(ctx, qs, bwtmatch.AlgorithmA, 4)
+}

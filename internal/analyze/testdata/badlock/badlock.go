@@ -1,0 +1,47 @@
+// Package badlock violates the copylocks rule: it copies structs that
+// contain sync.Mutex / sync.RWMutex by value.
+package badlock
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+type registry struct {
+	mu      sync.RWMutex
+	entries map[string]int
+}
+
+// nested embeds a lock-bearing struct one level down.
+type nested struct {
+	c counter
+}
+
+func snapshot(c counter) int { // want copylocks
+	return c.n
+}
+
+func use() {
+	var a counter
+	b := a // want copylocks
+	_ = b.n
+
+	var r registry
+	r2 := r // want copylocks
+	_ = r2.entries
+
+	var nd nested
+	nd2 := nd // want copylocks
+	_ = nd2.c.n
+
+	snapshot(a) // want copylocks
+}
+
+// byPointer is compliant: locks travel by reference. No finding here.
+func byPointer(c *counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}

@@ -1,0 +1,27 @@
+// Package badpanic violates the nopanic rule: a library package that
+// panics instead of returning an error.
+package badpanic
+
+import "fmt"
+
+func mustPositive(n int) int {
+	if n <= 0 {
+		panic("badpanic: nonpositive input") // want nopanic
+	}
+	return n
+}
+
+// positive is compliant: it reports the same condition as an error.
+// No finding here.
+func positive(n int) (int, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("badpanic: nonpositive input %d", n)
+	}
+	return n, nil
+}
+
+// panic as an identifier (not the builtin) must not be flagged.
+func shadowed() {
+	panic := func(string) {}
+	panic("not the builtin")
+}

@@ -1,0 +1,12 @@
+// invariants_demo.go exercises the nopanic exemption: files whose name
+// starts with "invariants" hold the kminvariants assertion layer, where
+// crashing on a tripped invariant is the intended behavior.
+package badpanic
+
+func assertSorted(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		if xs[i-1] > xs[i] {
+			panic("badpanic: unsorted") // exempt: invariants*.go
+		}
+	}
+}

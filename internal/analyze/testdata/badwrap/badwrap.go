@@ -1,0 +1,34 @@
+// Package badwrap violates the wrapformat rule: it returns errors from
+// index load paths bare instead of wrapping them with %w.
+package badwrap
+
+import (
+	"fmt"
+
+	"bwtmatch"
+)
+
+func open(path string) (*bwtmatch.Index, error) {
+	idx, err := bwtmatch.LoadFile(path)
+	if err != nil {
+		return nil, err // want wrapformat
+	}
+	return idx, nil
+}
+
+func openReader(path string) (*bwtmatch.Index, error) {
+	idx, loadErr := bwtmatch.LoadFile(path)
+	if loadErr != nil {
+		return nil, loadErr // want wrapformat
+	}
+	return idx, nil
+}
+
+// openWrapped is compliant: the same call, wrapped. No finding here.
+func openWrapped(path string) (*bwtmatch.Index, error) {
+	idx, err := bwtmatch.LoadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("badwrap: open %s: %w", path, err)
+	}
+	return idx, nil
+}

@@ -1,0 +1,37 @@
+// Package clean follows every kmvet rule; the analyzer must report zero
+// findings on it.
+package clean
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"bwtmatch"
+)
+
+type registry struct {
+	mu      sync.Mutex
+	entries map[string]*bwtmatch.Index
+}
+
+func (r *registry) open(name, path string) (*bwtmatch.Index, error) {
+	idx, err := bwtmatch.LoadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("clean: loading %q: %w", name, err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.entries == nil {
+		r.entries = make(map[string]*bwtmatch.Index)
+	}
+	r.entries[name] = idx
+	return idx, nil
+}
+
+func mapReads(ctx context.Context, idx *bwtmatch.Index, qs []bwtmatch.Query) ([]bwtmatch.Result, error) {
+	if idx == nil {
+		return nil, fmt.Errorf("clean: nil index")
+	}
+	return idx.MapAllContext(ctx, qs, bwtmatch.AlgorithmA, 2), nil
+}

@@ -1,0 +1,47 @@
+// Package binio provides bounded binary deserialization helpers for the
+// index load paths. Saved-index readers learn element counts from length
+// prefixes in the (untrusted) stream; allocating the full slice up front
+// lets a corrupt header force a multi-gigabyte allocation before the
+// short read is ever noticed. ReadSlice instead grows the result in
+// fixed-size chunks, so memory consumption tracks the bytes actually
+// present in the stream.
+package binio
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+// Scalar enumerates the fixed-size little-endian element types the index
+// serializers use.
+type Scalar interface {
+	~uint8 | ~int8 | ~uint16 | ~int16 | ~uint32 | ~int32 | ~uint64 | ~int64
+}
+
+// chunkElems bounds the per-step allocation of ReadSlice (32Ki elements,
+// at most 256 KiB per chunk for uint64).
+const chunkElems = 1 << 15
+
+// ReadSlice reads exactly n little-endian values of type T from r,
+// allocating in bounded chunks. A truncated stream returns the
+// binary.Read error (io.ErrUnexpectedEOF or io.EOF) with only the
+// already-read prefix allocated.
+func ReadSlice[T Scalar](r io.Reader, n uint64) ([]T, error) {
+	cap0 := n
+	if cap0 > chunkElems {
+		cap0 = chunkElems
+	}
+	out := make([]T, 0, cap0)
+	for uint64(len(out)) < n {
+		c := n - uint64(len(out))
+		if c > chunkElems {
+			c = chunkElems
+		}
+		tmp := make([]T, c)
+		if err := binary.Read(r, binary.LittleEndian, tmp); err != nil {
+			return nil, err
+		}
+		out = append(out, tmp...)
+	}
+	return out, nil
+}

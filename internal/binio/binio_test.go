@@ -1,0 +1,57 @@
+package binio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+)
+
+func TestReadSliceRoundTrip(t *testing.T) {
+	want := make([]uint64, 100_000) // several chunks
+	for i := range want {
+		want[i] = uint64(i) * 0x9e3779b97f4a7c15
+	}
+	var buf bytes.Buffer
+	if err := binary.Write(&buf, binary.LittleEndian, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSlice[uint64](&buf, uint64(len(want)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("got[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadSliceEmpty(t *testing.T) {
+	got, err := ReadSlice[int32](bytes.NewReader(nil), 0)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("ReadSlice(0) = %v, %v", got, err)
+	}
+}
+
+// TestReadSliceTruncated is the point of the package: a header claiming
+// 1<<30 elements over a 16-byte stream must fail after a bounded
+// allocation, not attempt an 8 GiB make.
+func TestReadSliceTruncated(t *testing.T) {
+	data := make([]byte, 16)
+	_, err := ReadSlice[uint64](bytes.NewReader(data), 1<<30)
+	if err != io.ErrUnexpectedEOF && err != io.EOF {
+		t.Fatalf("truncated read error = %v", err)
+	}
+}
+
+func TestReadSliceBytes(t *testing.T) {
+	src := []byte("hello bounded world")
+	got, err := ReadSlice[byte](bytes.NewReader(src), uint64(len(src)))
+	if err != nil || !bytes.Equal(got, src) {
+		t.Fatalf("ReadSlice bytes = %q, %v", got, err)
+	}
+}

@@ -1,0 +1,93 @@
+//go:build kminvariants
+
+package fmindex
+
+import (
+	"math/rand"
+	"testing"
+
+	"bwtmatch/internal/alphabet"
+)
+
+// TestCheckInvariantsDetectsCorruption tampers with each component of
+// the index and requires CheckInvariants (or CheckAgainstText) to
+// notice. Only built under the kminvariants tag.
+func TestCheckInvariantsDetectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	text := make([]byte, 1200)
+	for i := range text {
+		text[i] = byte(alphabet.A + rng.Intn(alphabet.Bases))
+	}
+
+	build := func(opts Options) *Index {
+		idx, err := Build(text, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := idx.CheckInvariants(); err != nil {
+			t.Fatalf("pristine index rejected: %v", err)
+		}
+		return idx
+	}
+
+	flat := Options{OccRate: 4, SARate: 16}
+
+	t.Run("occ checkpoint", func(t *testing.T) {
+		idx := build(flat)
+		idx.occ[5]++
+		if err := idx.CheckInvariants(); err == nil {
+			t.Error("corrupt occ checkpoint not detected")
+		}
+	})
+	t.Run("c array", func(t *testing.T) {
+		idx := build(flat)
+		idx.c[alphabet.C]++
+		if err := idx.CheckInvariants(); err == nil {
+			t.Error("corrupt C array not detected")
+		}
+	})
+	t.Run("bwt byte", func(t *testing.T) {
+		idx := build(flat)
+		// Swap two distinct BWT characters away from the sentinel.
+		for i := range idx.bwt {
+			j := (i + 1) % len(idx.bwt)
+			if idx.bwt[i] != idx.bwt[j] &&
+				idx.bwt[i] != alphabet.Sentinel && idx.bwt[j] != alphabet.Sentinel {
+				idx.bwt[i], idx.bwt[j] = idx.bwt[j], idx.bwt[i]
+				break
+			}
+		}
+		if err := idx.CheckInvariants(); err == nil {
+			t.Error("corrupt BWT not detected")
+		}
+	})
+	t.Run("sa sample", func(t *testing.T) {
+		idx := build(flat)
+		idx.saSamples[len(idx.saSamples)/2]++
+		if err := idx.CheckInvariants(); err == nil {
+			t.Error("corrupt SA sample not detected")
+		}
+	})
+	t.Run("packed word", func(t *testing.T) {
+		idx := build(Options{OccRate: 32, SARate: 16, PackedBWT: true})
+		idx.packed.words[2] ^= 3
+		if err := idx.CheckInvariants(); err == nil {
+			t.Error("corrupt packed BWT word not detected")
+		}
+	})
+	t.Run("twolevel block", func(t *testing.T) {
+		idx := build(Options{SARate: 16, TwoLevelOcc: true})
+		idx.occ2.block[7]++
+		if err := idx.CheckInvariants(); err == nil {
+			t.Error("corrupt two-level block count not detected")
+		}
+	})
+	t.Run("wrong text", func(t *testing.T) {
+		idx := build(flat)
+		other := append([]byte(nil), text...)
+		other[100] = alphabet.A + (other[100]-alphabet.A+1)%alphabet.Bases
+		if err := idx.CheckAgainstText(other); err == nil {
+			t.Error("index accepted against a different text")
+		}
+	})
+}

@@ -1,0 +1,15 @@
+//go:build !kminvariants
+
+package fmindex
+
+// InvariantsEnabled reports whether this build carries the deep
+// invariant checks (the kminvariants build tag).
+const InvariantsEnabled = false
+
+// CheckInvariants is a no-op in default builds; compile with
+// -tags kminvariants for the real verification.
+func (idx *Index) CheckInvariants() error { return nil }
+
+// CheckAgainstText is a no-op in default builds; compile with
+// -tags kminvariants for the real verification.
+func (idx *Index) CheckAgainstText(text []byte) error { return nil }

@@ -1,0 +1,69 @@
+package fmindex
+
+import (
+	"math/rand"
+	"testing"
+
+	"bwtmatch/internal/alphabet"
+)
+
+// invariantOptions enumerates the storage layout combinations the
+// invariant checks must hold for.
+func invariantOptions() map[string]Options {
+	return map[string]Options{
+		"default":           {OccRate: 4, SARate: 16},
+		"sparse-occ":        {OccRate: 32, SARate: 8},
+		"packed":            {OccRate: 32, SARate: 16, PackedBWT: true},
+		"twolevel":          {SARate: 16, TwoLevelOcc: true},
+		"packed-twolevel":   {SARate: 4, PackedBWT: true, TwoLevelOcc: true},
+		"dense-sa-sampling": {OccRate: 4, SARate: 1},
+	}
+}
+
+// TestCheckInvariantsLayouts exercises the deep index verification,
+// including the wavelet-tree rankall cross-check and the text
+// round-trip, for every storage layout. In default builds the checks
+// are no-ops; under -tags kminvariants they run in full.
+func TestCheckInvariantsLayouts(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	text := make([]byte, 2000)
+	for i := range text {
+		text[i] = byte(alphabet.A + rng.Intn(alphabet.Bases))
+	}
+	for name, opts := range invariantOptions() {
+		t.Run(name, func(t *testing.T) {
+			idx, err := Build(text, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := idx.CheckInvariants(); err != nil {
+				t.Errorf("CheckInvariants: %v", err)
+			}
+			if err := idx.CheckAgainstText(text); err != nil {
+				t.Errorf("CheckAgainstText: %v", err)
+			}
+		})
+	}
+}
+
+// TestCheckInvariantsTinyTexts covers degenerate sizes where off-by-one
+// bugs in checkpointing and sampling hide.
+func TestCheckInvariantsTinyTexts(t *testing.T) {
+	for _, text := range [][]byte{
+		{alphabet.A},
+		{alphabet.T, alphabet.T},
+		{alphabet.A, alphabet.C, alphabet.G, alphabet.T},
+		{alphabet.G, alphabet.G, alphabet.G, alphabet.G, alphabet.G},
+	} {
+		idx, err := Build(text, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := idx.CheckInvariants(); err != nil {
+			t.Errorf("n=%d: %v", len(text), err)
+		}
+		if err := idx.CheckAgainstText(text); err != nil {
+			t.Errorf("n=%d against text: %v", len(text), err)
+		}
+	}
+}

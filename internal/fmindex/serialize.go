@@ -6,7 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"slices"
 
+	"bwtmatch/internal/alphabet"
+	"bwtmatch/internal/binio"
 	"bwtmatch/internal/bitvec"
 )
 
@@ -131,6 +134,10 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	if n > maxLen {
 		return nil, fmt.Errorf("%w: n %d", ErrFormat, n)
 	}
+	const maxRate = 1 << 28 // no plausible sampling rate is this sparse
+	if occRate > maxRate || saRate > maxRate {
+		return nil, fmt.Errorf("%w: rates occ=%d sa=%d", ErrFormat, occRate, saRate)
+	}
 
 	switch layout {
 	case layoutPacked:
@@ -142,16 +149,18 @@ func ReadIndex(r io.Reader) (*Index, error) {
 		if words > maxLen {
 			return nil, fmt.Errorf("%w: words %d", ErrFormat, words)
 		}
-		p.words = make([]uint64, words)
-		if err := get(p.words); err != nil {
+		payload, err := binio.ReadSlice[uint64](br, words)
+		if err != nil {
 			return nil, fmt.Errorf("%w: packed words: %v", ErrFormat, err)
 		}
+		p.words = payload
 		idx.packed = p
 	case layoutByte:
-		idx.bwt = make([]byte, n+1)
-		if _, err := io.ReadFull(br, idx.bwt); err != nil {
+		bwt, err := binio.ReadSlice[byte](br, n+1)
+		if err != nil {
 			return nil, fmt.Errorf("%w: bwt: %v", ErrFormat, err)
 		}
+		idx.bwt = bwt
 	default:
 		return nil, fmt.Errorf("%w: layout %d", ErrFormat, layout)
 	}
@@ -171,27 +180,30 @@ func ReadIndex(r io.Reader) (*Index, error) {
 		if err := get(&superLen); err != nil || superLen > maxLen {
 			return nil, fmt.Errorf("%w: super length", ErrFormat)
 		}
-		occ2.super = make([]uint32, superLen)
-		if err := get(occ2.super); err != nil {
+		super, err := binio.ReadSlice[uint32](br, superLen)
+		if err != nil {
 			return nil, fmt.Errorf("%w: super: %v", ErrFormat, err)
 		}
+		occ2.super = super
 		if err := get(&blockLen); err != nil || blockLen > maxLen {
 			return nil, fmt.Errorf("%w: block length", ErrFormat)
 		}
-		occ2.block = make([]uint8, blockLen)
-		if err := get(occ2.block); err != nil {
+		block, err := binio.ReadSlice[uint8](br, blockLen)
+		if err != nil {
 			return nil, fmt.Errorf("%w: block: %v", ErrFormat, err)
 		}
+		occ2.block = block
 		idx.occ2 = occ2
 	case 0:
 		var occLen uint64
 		if err := get(&occLen); err != nil || occLen > maxLen {
 			return nil, fmt.Errorf("%w: occ length", ErrFormat)
 		}
-		idx.occ = make([]int32, occLen)
-		if err := get(idx.occ); err != nil {
+		occ, err := binio.ReadSlice[int32](br, occLen)
+		if err != nil {
 			return nil, fmt.Errorf("%w: occ: %v", ErrFormat, err)
 		}
+		idx.occ = occ
 	default:
 		return nil, fmt.Errorf("%w: occ layout %d", ErrFormat, occLayout)
 	}
@@ -199,8 +211,8 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	if err := get(&markWords); err != nil || markWords > maxLen {
 		return nil, fmt.Errorf("%w: mark length", ErrFormat)
 	}
-	bits := make([]uint64, markWords)
-	if err := get(bits); err != nil {
+	bits, err := binio.ReadSlice[uint64](br, markWords)
+	if err != nil {
 		return nil, fmt.Errorf("%w: marks: %v", ErrFormat, err)
 	}
 	idx.saMarked = bitvec.NewRank(bitvec.FromWords(bits, idx.n+1))
@@ -208,14 +220,153 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	if err := get(&samples); err != nil || samples > maxLen {
 		return nil, fmt.Errorf("%w: sample length", ErrFormat)
 	}
-	idx.saSamples = make([]int32, samples)
-	if err := get(idx.saSamples); err != nil {
+	saSamples, err := binio.ReadSlice[int32](br, samples)
+	if err != nil {
 		return nil, fmt.Errorf("%w: samples: %v", ErrFormat, err)
 	}
+	idx.saSamples = saSamples
 	if int(samples) != idx.saMarked.Ones() {
 		return nil, fmt.Errorf("%w: %d samples for %d marked rows", ErrFormat, samples, idx.saMarked.Ones())
 	}
+	if err := idx.verifyLoad(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
 	return idx, nil
+}
+
+// verifyLoad cross-checks the structures decoded from an untrusted
+// stream against each other in O(n): the C array must be the prefix sums
+// of the BWT's character counts, the rankall checkpoints must equal a
+// fresh recount, and the LF mapping must form a single cycle through all
+// n+1 rows whose recovered text positions match every stored SA sample.
+// An index that passes is fully internally consistent — Step, Locate and
+// the LF walk cannot index out of range or loop forever on it — so a
+// corrupt file is rejected here rather than surfacing as a panic deep in
+// a search. The deeper (and slower) oracle cross-checks live behind the
+// kminvariants build tag; this gate is cheap enough to run on every
+// load.
+func (idx *Index) verifyLoad() error {
+	rows := idx.n + 1
+	if idx.sentPos < 0 || int(idx.sentPos) >= rows {
+		return fmt.Errorf("sentinel position %d outside %d rows", idx.sentPos, rows)
+	}
+	if p := idx.packed; p != nil {
+		if int(p.n) != rows || p.sentPos != idx.sentPos {
+			return fmt.Errorf("packed header (n=%d sent=%d) disagrees with index (n=%d sent=%d)",
+				p.n, p.sentPos, rows, idx.sentPos)
+		}
+		if len(p.words) != (rows+codesPerWord-1)/codesPerWord {
+			return fmt.Errorf("packed payload %d words for %d rows", len(p.words), rows)
+		}
+	} else if len(idx.bwt) != rows {
+		return fmt.Errorf("bwt payload %d bytes for %d rows", len(idx.bwt), rows)
+	}
+
+	// Character census; in the byte layout also reject junk values and
+	// stray sentinels (the packed layout cannot represent either).
+	var counts [alphabet.Size]int32
+	if idx.packed == nil {
+		for i, ch := range idx.bwt {
+			if ch >= alphabet.Size {
+				return fmt.Errorf("bwt value %d at row %d", ch, i)
+			}
+			if ch == alphabet.Sentinel && int32(i) != idx.sentPos {
+				return fmt.Errorf("stray sentinel at row %d (header says %d)", i, idx.sentPos)
+			}
+			counts[ch]++
+		}
+	} else {
+		for i := int32(0); int(i) < rows; i++ {
+			counts[idx.bwtAt(i)]++
+		}
+	}
+	if counts[alphabet.Sentinel] != 1 {
+		return fmt.Errorf("%d sentinels in bwt", counts[alphabet.Sentinel])
+	}
+	var sum int32
+	for x := 0; x < alphabet.Size; x++ {
+		if idx.c[x] != sum {
+			return fmt.Errorf("c[%d] = %d, recount %d", x, idx.c[x], sum)
+		}
+		sum += counts[x]
+	}
+	if idx.c[alphabet.Size] != sum || int(sum) != rows {
+		return fmt.Errorf("c total %d, recount %d over %d rows", idx.c[alphabet.Size], sum, rows)
+	}
+
+	// Rankall checkpoints: recompute from the BWT and demand equality.
+	bwt := idx.BWT()
+	if idx.occ2 != nil {
+		fresh := buildTwoLevel(bwt)
+		if !slices.Equal(fresh.super, idx.occ2.super) || !slices.Equal(fresh.block, idx.occ2.block) {
+			return fmt.Errorf("two-level occ directory disagrees with bwt recount")
+		}
+	} else {
+		rate := idx.opts.OccRate
+		nChk := rows/rate + 1
+		if len(idx.occ) != nChk*alphabet.Bases {
+			return fmt.Errorf("occ table %d entries, want %d", len(idx.occ), nChk*alphabet.Bases)
+		}
+		var running [alphabet.Bases]int32
+		for p := 0; p <= rows; p++ {
+			if p%rate == 0 {
+				chk := (p / rate) * alphabet.Bases
+				for x := 0; x < alphabet.Bases; x++ {
+					if idx.occ[chk+x] != running[x] {
+						return fmt.Errorf("occ checkpoint %d base %d = %d, recount %d",
+							p/rate, x, idx.occ[chk+x], running[x])
+					}
+				}
+			}
+			if p < rows {
+				if ch := bwt[p]; ch != alphabet.Sentinel {
+					running[ch-1]++
+				}
+			}
+		}
+	}
+
+	// SA samples: the LF mapping, computed by one sequential scan, must
+	// trace a single cycle visiting every row exactly once, and the text
+	// position recovered at each marked row must equal the stored sample.
+	if idx.saMarked.Len() != rows {
+		return fmt.Errorf("mark bitvector %d bits for %d rows", idx.saMarked.Len(), rows)
+	}
+	if idx.saMarked.Ones() == 0 {
+		return fmt.Errorf("no sampled SA rows")
+	}
+	lf := make([]int32, rows)
+	var running [alphabet.Size]int32
+	for i := 0; i < rows; i++ {
+		ch := bwt[i]
+		if ch == alphabet.Sentinel {
+			lf[i] = 0
+		} else {
+			lf[i] = idx.c[ch] + running[ch]
+		}
+		running[ch]++
+	}
+	visited := bitvec.New(rows)
+	row := int32(0) // row 0 holds the bare-sentinel suffix, text position n
+	for pos := idx.n; ; pos-- {
+		if visited.Get(int(row)) {
+			return fmt.Errorf("LF cycle revisits row %d with %d positions left", row, pos+1)
+		}
+		visited.Set(int(row))
+		if idx.saMarked.Get(int(row)) {
+			if got := idx.saSamples[idx.saMarked.Rank1(int(row))]; got != int32(pos) {
+				return fmt.Errorf("SA sample at row %d = %d, LF walk says %d", row, got, pos)
+			}
+		}
+		if pos == 0 {
+			break
+		}
+		row = lf[row]
+	}
+	if lf[row] != 0 {
+		return fmt.Errorf("LF walk ends at row %d, not the sentinel row", lf[row])
+	}
+	return nil
 }
 
 func markedBits(r *bitvec.Rank) []uint64 {

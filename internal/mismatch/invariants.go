@@ -1,0 +1,80 @@
+//go:build kminvariants
+
+package mismatch
+
+import (
+	"fmt"
+	"slices"
+)
+
+// InvariantsEnabled reports whether this build carries the deep
+// invariant checks (the kminvariants build tag).
+const InvariantsEnabled = true
+
+// CheckInvariants verifies the LCE-built R arrays against the O(m^2 k)
+// brute-force reference and their structural properties: every row i
+// lists strictly increasing 1-based positions t <= m-i that are true
+// mismatches pat[t] != pat[t+i] (paper notation), truncated at Cap.
+// Tests and fuzz harnesses only; no-op in default builds.
+func (r *R) CheckInvariants(pat []byte) error {
+	if len(pat) != r.m {
+		return fmt.Errorf("mismatch: pattern length %d, R built for m=%d", len(pat), r.m)
+	}
+	if r.m == 0 {
+		if len(r.rows) != 0 {
+			return fmt.Errorf("mismatch: empty pattern with %d rows", len(r.rows))
+		}
+		return nil
+	}
+	if r.cap < 2 {
+		return fmt.Errorf("mismatch: cap %d < 2 (must be k+2 with k >= 0)", r.cap)
+	}
+	if len(r.rows) != r.m {
+		return fmt.Errorf("mismatch: %d rows, want %d", len(r.rows), r.m)
+	}
+	if len(r.rows[0]) != 0 {
+		return fmt.Errorf("mismatch: R_0 must be empty, has %d entries", len(r.rows[0]))
+	}
+	ref := BuildRNaive(pat, r.cap-2)
+	for i := 1; i < r.m; i++ {
+		row := r.rows[i]
+		if len(row) > r.cap {
+			return fmt.Errorf("mismatch: R_%d has %d entries, cap %d", i, len(row), r.cap)
+		}
+		for j, t := range row {
+			if t < 1 || int(t) > r.m-i {
+				return fmt.Errorf("mismatch: R_%d[%d] = %d out of range [1,%d]", i, j, t, r.m-i)
+			}
+			if j > 0 && row[j-1] >= t {
+				return fmt.Errorf("mismatch: R_%d not strictly increasing at entry %d", i, j)
+			}
+			if pat[t-1] == pat[int(t)+i-1] {
+				return fmt.Errorf("mismatch: R_%d[%d] = %d is not a mismatch", i, j, t)
+			}
+		}
+		if !slices.Equal(row, ref.rows[i]) {
+			return fmt.Errorf("mismatch: R_%d = %v, brute force %v", i, row, ref.rows[i])
+		}
+	}
+	return nil
+}
+
+// CheckMerge verifies a Merge result against a brute-force Hamming walk
+// over beta and gamma, truncated at limit. The caller must keep limit
+// within the exact regime (<= k+1 when the inputs carried k+2 entries,
+// per §IV-B). Tests and fuzz harnesses only; no-op in default builds.
+func CheckMerge(got []int32, beta, gamma []byte, limit int) error {
+	if len(beta) != len(gamma) {
+		return fmt.Errorf("mismatch: CheckMerge on unequal lengths %d, %d", len(beta), len(gamma))
+	}
+	var want []int32
+	for t := 1; t <= len(beta) && len(want) < limit; t++ {
+		if beta[t-1] != gamma[t-1] {
+			want = append(want, int32(t))
+		}
+	}
+	if !slices.Equal(got, want) {
+		return fmt.Errorf("mismatch: merge = %v, brute force %v (limit %d)", got, want, limit)
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+//go:build kminvariants
+
+package mismatch
+
+import "testing"
+
+// TestCheckInvariantsDetectsCorruption tampers with R arrays and merge
+// outputs and requires the checks to reject them. Only built under the
+// kminvariants tag.
+func TestCheckInvariantsDetectsCorruption(t *testing.T) {
+	pat := []byte{1, 2, 3, 4, 1, 2, 3, 4, 2, 1}
+	r := BuildR(pat, 2)
+	if err := r.CheckInvariants(pat); err != nil {
+		t.Fatalf("pristine R rejected: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		tamper func(r *R)
+	}{
+		{"out-of-range entry", func(r *R) { r.rows[1] = []int32{0} }},
+		{"non-mismatch entry", func(r *R) {
+			// Position 4 of shift 4 compares pat[3] with pat[7]: both 4.
+			r.rows[4] = []int32{4}
+		}},
+		{"dropped entry", func(r *R) { r.rows[1] = r.rows[1][1:] }},
+		{"unsorted row", func(r *R) {
+			row := append([]int32(nil), r.rows[1]...)
+			row[0], row[1] = row[1], row[0]
+			r.rows[1] = row
+		}},
+	}
+	for _, tc := range cases {
+		r := BuildR(pat, 2)
+		tc.tamper(r)
+		if err := r.CheckInvariants(pat); err == nil {
+			t.Errorf("%s: corruption not detected", tc.name)
+		}
+	}
+
+	beta := []byte{1, 2, 3, 1}
+	gamma := []byte{1, 3, 3, 2}
+	if err := CheckMerge([]int32{1}, beta, gamma, 4); err == nil {
+		t.Error("fabricated merge output not detected")
+	}
+	if err := CheckMerge([]int32{2, 4}, beta, gamma, 1); err == nil {
+		t.Error("over-limit merge output not detected")
+	}
+}

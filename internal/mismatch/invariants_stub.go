@@ -1,0 +1,15 @@
+//go:build !kminvariants
+
+package mismatch
+
+// InvariantsEnabled reports whether this build carries the deep
+// invariant checks (the kminvariants build tag).
+const InvariantsEnabled = false
+
+// CheckInvariants is a no-op in default builds; compile with
+// -tags kminvariants for the real verification.
+func (r *R) CheckInvariants(pat []byte) error { return nil }
+
+// CheckMerge is a no-op in default builds; compile with
+// -tags kminvariants for the real verification.
+func CheckMerge(got []int32, beta, gamma []byte, limit int) error { return nil }

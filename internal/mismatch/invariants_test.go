@@ -1,0 +1,69 @@
+package mismatch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRCheckInvariants exercises the deep R-array verification against
+// the brute-force reference on assorted patterns. In default builds
+// CheckInvariants is a no-op; under -tags kminvariants it runs the real
+// checks.
+func TestRCheckInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	long := make([]byte, 300)
+	for i := range long {
+		long[i] = byte(1 + rng.Intn(4))
+	}
+	patterns := [][]byte{
+		nil,
+		{1},
+		{1, 1, 1, 1, 1},
+		{1, 2, 1, 2, 1, 2},
+		{1, 2, 3, 4, 1, 2, 3, 4, 2},
+		long,
+	}
+	for _, pat := range patterns {
+		for _, k := range []int{0, 1, 3, 6} {
+			r := BuildR(pat, k)
+			if err := r.CheckInvariants(pat); err != nil {
+				t.Errorf("m=%d k=%d: %v", len(pat), k, err)
+			}
+		}
+	}
+}
+
+// TestCheckMergeAgreement verifies Merge against the brute-force
+// Hamming walk via CheckMerge, using untruncated inputs (the exact
+// regime for every limit).
+func TestCheckMergeAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 50; trial++ {
+		m := 1 + rng.Intn(60)
+		alpha := make([]byte, m)
+		beta := make([]byte, m)
+		gamma := make([]byte, m)
+		for i := 0; i < m; i++ {
+			alpha[i] = byte(1 + rng.Intn(3))
+			beta[i] = byte(1 + rng.Intn(3))
+			gamma[i] = byte(1 + rng.Intn(3))
+		}
+		mismatches := func(a, b []byte) []int32 {
+			var out []int32
+			for t := 1; t <= m; t++ {
+				if a[t-1] != b[t-1] {
+					out = append(out, int32(t))
+				}
+			}
+			return out
+		}
+		a1 := mismatches(alpha, beta)
+		a2 := mismatches(alpha, gamma)
+		for _, limit := range []int{0, 1, 3, m, m + 1} {
+			got := Merge(a1, a2, beta, gamma, limit)
+			if err := CheckMerge(got, beta, gamma, limit); err != nil {
+				t.Fatalf("trial %d limit %d: %v", trial, limit, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,102 @@
+//go:build kminvariants
+
+package suffixarray
+
+import "fmt"
+
+// InvariantsEnabled reports whether this build carries the deep
+// invariant checks (the kminvariants build tag).
+const InvariantsEnabled = true
+
+// CheckSA verifies that sa is the suffix array of text:
+//   - sa is a permutation of 0..n-1
+//   - adjacent suffixes strictly increase (direct byte comparison, so
+//     the cost is the sum of adjacent common prefixes — O(n) expected
+//     on non-degenerate inputs)
+//   - the Kasai LCP array matches the common prefixes measured during
+//     the sortedness scan
+//   - the LF mapping round-trips: suffixes sharing a preceding
+//     character keep their relative order when that character is
+//     prepended, i.e. rank[sa[i]-1] == C[c] + seen[c] row by row
+//
+// Tests and fuzz harnesses only; no-op in default builds.
+func CheckSA(text []byte, sa []int32) error {
+	n := len(text)
+	if len(sa) != n {
+		return fmt.Errorf("suffixarray: len(sa) = %d, want %d", len(sa), n)
+	}
+	seen := make([]bool, n)
+	for i, p := range sa {
+		if p < 0 || int(p) >= n {
+			return fmt.Errorf("suffixarray: sa[%d] = %d out of range", i, p)
+		}
+		if seen[p] {
+			return fmt.Errorf("suffixarray: position %d appears twice", p)
+		}
+		seen[p] = true
+	}
+
+	// Sortedness and LCP in one scan: measure the common prefix of each
+	// adjacent pair, then require a strict < at the first difference (or
+	// the earlier suffix to be the shorter, proper prefix).
+	lcp := LCP(text, sa)
+	if len(lcp) != n {
+		return fmt.Errorf("suffixarray: len(lcp) = %d, want %d", len(lcp), n)
+	}
+	for i := 1; i < n; i++ {
+		a, b := int(sa[i-1]), int(sa[i])
+		h := 0
+		for a+h < n && b+h < n && text[a+h] == text[b+h] {
+			h++
+		}
+		if int(lcp[i]) != h {
+			return fmt.Errorf("suffixarray: lcp[%d] = %d, want %d", i, lcp[i], h)
+		}
+		switch {
+		case b+h == n: // suffix b is a proper prefix of (or equal to) a
+			return fmt.Errorf("suffixarray: sa[%d]=%d, sa[%d]=%d out of order (prefix)", i-1, a, i, b)
+		case a+h == n: // a ran out first: a < b, fine
+		case text[a+h] >= text[b+h]:
+			return fmt.Errorf("suffixarray: sa[%d]=%d, sa[%d]=%d out of order at offset %d", i-1, a, i, b, h)
+		}
+	}
+
+	// LF round-trip. rank is the inverse permutation; prepending the
+	// character c = text[p-1] to suffix p must land suffix p-1 at row
+	// C[c] + (number of earlier rows whose suffix is also preceded by
+	// c). This is the counting argument behind the BWT's LF mapping and
+	// fails loudly for any mis-sorted bucket.
+	rank := make([]int32, n)
+	for i, p := range sa {
+		rank[p] = int32(i)
+	}
+	var cnt [256]int32
+	for _, b := range text {
+		cnt[b]++
+	}
+	var c [257]int32
+	for x := 0; x < 256; x++ {
+		c[x+1] = c[x] + cnt[x]
+	}
+	var running [256]int32
+	if n > 0 {
+		// The suffix starting at the last position is never reached as a
+		// predecessor (there is no row for the empty suffix), yet it is
+		// the shortest — hence first — suffix of its character bucket.
+		// With a sentinel row (as in fmindex) this seed is unnecessary.
+		running[text[n-1]]++
+	}
+	for i := 0; i < n; i++ {
+		p := sa[i]
+		if p == 0 {
+			continue // no predecessor character
+		}
+		ch := text[p-1]
+		if got, want := rank[p-1], c[ch]+running[ch]; got != want {
+			return fmt.Errorf("suffixarray: LF round-trip: rank[%d] = %d, want %d (row %d, char %d)",
+				p-1, got, want, i, ch)
+		}
+		running[ch]++
+	}
+	return nil
+}

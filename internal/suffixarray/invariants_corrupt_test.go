@@ -1,0 +1,45 @@
+//go:build kminvariants
+
+package suffixarray
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCheckSADetectsCorruption feeds CheckSA broken arrays and requires
+// it to reject each. Only built under the kminvariants tag.
+func TestCheckSADetectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	text := make([]byte, 500)
+	for i := range text {
+		text[i] = "acgt"[rng.Intn(4)]
+	}
+	pristine := Build(text)
+	if err := CheckSA(text, pristine); err != nil {
+		t.Fatalf("pristine SA rejected: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		tamper func(sa []int32)
+	}{
+		{"swapped entries", func(sa []int32) { sa[10], sa[11] = sa[11], sa[10] }},
+		{"duplicate entry", func(sa []int32) { sa[0] = sa[1] }},
+		{"out of range", func(sa []int32) { sa[5] = int32(len(sa)) }},
+		{"rotated tail", func(sa []int32) {
+			tail := sa[len(sa)-3:]
+			tail[0], tail[1], tail[2] = tail[2], tail[0], tail[1]
+		}},
+	}
+	for _, tc := range cases {
+		sa := append([]int32(nil), pristine...)
+		tc.tamper(sa)
+		if err := CheckSA(text, sa); err == nil {
+			t.Errorf("%s: corruption not detected", tc.name)
+		}
+	}
+	if err := CheckSA(text, pristine[:len(pristine)-1]); err == nil {
+		t.Error("truncated SA not detected")
+	}
+}

@@ -1,0 +1,11 @@
+//go:build !kminvariants
+
+package suffixarray
+
+// InvariantsEnabled reports whether this build carries the deep
+// invariant checks (the kminvariants build tag).
+const InvariantsEnabled = false
+
+// CheckSA is a no-op in default builds; compile with -tags kminvariants
+// for the real verification.
+func CheckSA(text []byte, sa []int32) error { return nil }

@@ -1,0 +1,38 @@
+package suffixarray
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCheckSA exercises the deep suffix-array verification over both
+// construction algorithms and assorted texts. In default builds CheckSA
+// is a no-op; under -tags kminvariants it runs the real checks.
+func TestCheckSA(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	dna := make([]byte, 3000)
+	for i := range dna {
+		dna[i] = "acgt"[rng.Intn(4)]
+	}
+	texts := [][]byte{
+		nil,
+		[]byte("a"),
+		[]byte("banana"),
+		[]byte("mississippi"),
+		[]byte("aaaaaaaaaa"),
+		[]byte("abababababab"),
+		dna,
+	}
+	for _, text := range texts {
+		label := string(text)
+		if len(label) > 20 {
+			label = label[:20] + "..."
+		}
+		if err := CheckSA(text, Build(text)); err != nil {
+			t.Errorf("SA-IS %q: %v", label, err)
+		}
+		if err := CheckSA(text, BuildDC3(text)); err != nil {
+			t.Errorf("DC3 %q: %v", label, err)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+//go:build kminvariants
+
+package wavelet
+
+import "fmt"
+
+// InvariantsEnabled reports whether this build carries the deep
+// invariant checks (the kminvariants build tag).
+const InvariantsEnabled = true
+
+// CheckInvariants reconstructs the encoded sequence via Access and then
+// verifies the whole tree against it with CheckAgainst. O(n log sigma);
+// tests and fuzz harnesses only (no-op in default builds).
+func (t *Tree) CheckInvariants() error {
+	// Shape first: Access indexes child bitmaps through parent ranks,
+	// so a malformed tree could read out of range before CheckAgainst
+	// ever saw it.
+	if err := checkShape(t.root, 0, t.sigma, t.n); err != nil {
+		return err
+	}
+	seq := make([]byte, t.n)
+	for i := range seq {
+		seq[i] = t.Access(i)
+	}
+	return t.CheckAgainst(seq)
+}
+
+// checkShape verifies node ranges and bitmap lengths bottom out
+// consistently: the left child holds the parent's zeros, the right its
+// ones. It touches no sequence data, so it is safe on arbitrary trees.
+func checkShape(v *node, lo, hi, n int) error {
+	if hi-lo <= 1 {
+		if v != nil {
+			return fmt.Errorf("wavelet: leaf range [%d,%d) has an internal node", lo, hi)
+		}
+		return nil
+	}
+	if v == nil {
+		return fmt.Errorf("wavelet: missing node for range [%d,%d)", lo, hi)
+	}
+	if v.lo != lo || v.hi != hi {
+		return fmt.Errorf("wavelet: node range [%d,%d), want [%d,%d)", v.lo, v.hi, lo, hi)
+	}
+	if v.bits.Len() != n {
+		return fmt.Errorf("wavelet: node [%d,%d) bitmap length %d, want %d", lo, hi, v.bits.Len(), n)
+	}
+	mid := (lo + hi) / 2
+	ones := v.bits.Ones()
+	if err := checkShape(v.left, lo, mid, n-ones); err != nil {
+		return err
+	}
+	return checkShape(v.right, mid, hi, ones)
+}
+
+// CheckAgainst verifies the tree is exactly the wavelet tree of seq:
+//   - the node shape matches the recursion (a node exists iff its symbol
+//     range holds more than one symbol; ranges partition at mid)
+//   - every node's bitmap routes each position to the correct half and
+//     passes the bitvec rank invariants
+//   - Access reproduces seq
+//   - Rank matches a running per-symbol count at sampled prefixes
+//   - Select round-trips through Rank for every symbol
+func (t *Tree) CheckAgainst(seq []byte) error {
+	if len(seq) != t.n {
+		return fmt.Errorf("wavelet: tree length %d, sequence length %d", t.n, len(seq))
+	}
+	if t.sigma < 1 || t.sigma > 256 {
+		return fmt.Errorf("wavelet: invalid sigma %d", t.sigma)
+	}
+	for i, b := range seq {
+		if int(b) >= t.sigma {
+			return fmt.Errorf("wavelet: symbol %d at %d out of range [0,%d)", b, i, t.sigma)
+		}
+	}
+	if err := checkNode(t.root, 0, t.sigma, seq); err != nil {
+		return err
+	}
+	for i, b := range seq {
+		if got := t.Access(i); got != b {
+			return fmt.Errorf("wavelet: Access(%d) = %d, want %d", i, got, b)
+		}
+	}
+
+	// Rank vs running counts at sampled prefixes (always including the
+	// full prefix), then Select round-trips per symbol.
+	counts := make([]int, t.sigma)
+	stride := 1
+	if t.n > 2048 {
+		stride = t.n / 2048
+	}
+	check := func(i int) error {
+		for c := 0; c < t.sigma; c++ {
+			if got := t.Rank(byte(c), i); got != counts[c] {
+				return fmt.Errorf("wavelet: Rank(%d, %d) = %d, want %d", c, i, got, counts[c])
+			}
+		}
+		return nil
+	}
+	for i := 0; i < t.n; i++ {
+		if i%stride == 0 {
+			if err := check(i); err != nil {
+				return err
+			}
+		}
+		counts[seq[i]]++
+	}
+	if err := check(t.n); err != nil {
+		return err
+	}
+	for c := 0; c < t.sigma; c++ {
+		jStride := 1
+		if counts[c] > 512 {
+			jStride = counts[c] / 512
+		}
+		for j := 1; j <= counts[c]; j += jStride {
+			p := t.Select(byte(c), j)
+			if p < 0 || p >= t.n || seq[p] != byte(c) || t.Rank(byte(c), p) != j-1 {
+				return fmt.Errorf("wavelet: Select(%d, %d) = %d fails round-trip", c, j, p)
+			}
+		}
+		if p := t.Select(byte(c), counts[c]+1); p != -1 {
+			return fmt.Errorf("wavelet: Select(%d, %d) = %d, want -1", c, counts[c]+1, p)
+		}
+	}
+	return nil
+}
+
+// checkNode recursively verifies the subtree covering symbol range
+// [lo, hi) against its subsequence.
+func checkNode(v *node, lo, hi int, seq []byte) error {
+	if hi-lo <= 1 {
+		if v != nil {
+			return fmt.Errorf("wavelet: leaf range [%d,%d) has an internal node", lo, hi)
+		}
+		return nil
+	}
+	if v == nil {
+		return fmt.Errorf("wavelet: missing node for range [%d,%d)", lo, hi)
+	}
+	if v.lo != lo || v.hi != hi {
+		return fmt.Errorf("wavelet: node range [%d,%d), want [%d,%d)", v.lo, v.hi, lo, hi)
+	}
+	if v.bits.Len() != len(seq) {
+		return fmt.Errorf("wavelet: node [%d,%d) bitmap length %d, subsequence length %d",
+			lo, hi, v.bits.Len(), len(seq))
+	}
+	if err := v.bits.CheckInvariants(); err != nil {
+		return fmt.Errorf("wavelet: node [%d,%d): %w", lo, hi, err)
+	}
+	mid := (lo + hi) / 2
+	var left, right []byte
+	for i, b := range seq {
+		if int(b) < lo || int(b) >= hi {
+			return fmt.Errorf("wavelet: symbol %d routed into range [%d,%d)", b, lo, hi)
+		}
+		if int(b) >= mid {
+			if !v.bits.Get(i) {
+				return fmt.Errorf("wavelet: node [%d,%d) bit %d clear for upper-half symbol %d",
+					lo, hi, i, b)
+			}
+			right = append(right, b)
+		} else {
+			if v.bits.Get(i) {
+				return fmt.Errorf("wavelet: node [%d,%d) bit %d set for lower-half symbol %d",
+					lo, hi, i, b)
+			}
+			left = append(left, b)
+		}
+	}
+	if err := checkNode(v.left, lo, mid, left); err != nil {
+		return err
+	}
+	return checkNode(v.right, mid, hi, right)
+}

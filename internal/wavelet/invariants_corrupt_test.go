@@ -1,0 +1,65 @@
+//go:build kminvariants
+
+package wavelet
+
+import (
+	"math/rand"
+	"testing"
+
+	"bwtmatch/internal/bitvec"
+)
+
+// TestCheckInvariantsDetectsCorruption tampers with the tree structure
+// and bitmap payloads and requires the checks to notice. Only built
+// under the kminvariants tag.
+func TestCheckInvariantsDetectsCorruption(t *testing.T) {
+	build := func() (*Tree, []byte) {
+		rng := rand.New(rand.NewSource(17))
+		seq := make([]byte, 800)
+		for i := range seq {
+			seq[i] = byte(rng.Intn(5))
+		}
+		tr, err := New(seq, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr, seq
+	}
+
+	tr, seq := build()
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("pristine tree rejected: %v", err)
+	}
+
+	// Swapped children: the left child now claims the upper symbol range.
+	tr.root.left, tr.root.right = tr.root.right, tr.root.left
+	if err := tr.CheckInvariants(); err == nil {
+		t.Error("swapped children not detected")
+	}
+
+	// Flipped routing bit (rank directory rebuilt, so only the routing
+	// is wrong): the tree no longer encodes the source sequence.
+	tr, seq = build()
+	tr.root.bits = flipBit(tr.root.bits, 40)
+	if err := tr.CheckAgainst(seq); err == nil {
+		t.Error("flipped root bit not detected against source sequence")
+	}
+
+	// Truncated subtree: an internal range with a missing node.
+	tr, _ = build()
+	tr.root.right = nil
+	if err := tr.CheckInvariants(); err == nil {
+		t.Error("missing subtree not detected")
+	}
+}
+
+// flipBit rebuilds a rank structure with payload bit i flipped.
+func flipBit(r *bitvec.Rank, i int) *bitvec.Rank {
+	v := bitvec.New(r.Len())
+	for p := 0; p < r.Len(); p++ {
+		if r.Get(p) != (p == i) {
+			v.Set(p)
+		}
+	}
+	return bitvec.NewRank(v)
+}

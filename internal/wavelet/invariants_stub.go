@@ -1,0 +1,15 @@
+//go:build !kminvariants
+
+package wavelet
+
+// InvariantsEnabled reports whether this build carries the deep
+// invariant checks (the kminvariants build tag).
+const InvariantsEnabled = false
+
+// CheckInvariants is a no-op in default builds; compile with
+// -tags kminvariants for the real verification.
+func (t *Tree) CheckInvariants() error { return nil }
+
+// CheckAgainst is a no-op in default builds; compile with
+// -tags kminvariants for the real verification.
+func (t *Tree) CheckAgainst(seq []byte) error { return nil }

@@ -1,0 +1,31 @@
+package wavelet
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCheckInvariants exercises the deep verification across alphabet
+// sizes and shapes. In default builds CheckInvariants/CheckAgainst are
+// no-ops; under -tags kminvariants they run the real checks.
+func TestCheckInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, sigma := range []int{1, 2, 3, 5, 8, 17} {
+		for _, n := range []int{0, 1, 2, 100, 1500} {
+			seq := make([]byte, n)
+			for i := range seq {
+				seq[i] = byte(rng.Intn(sigma))
+			}
+			tr, err := New(seq, sigma)
+			if err != nil {
+				t.Fatalf("New(sigma=%d, n=%d): %v", sigma, n, err)
+			}
+			if err := tr.CheckInvariants(); err != nil {
+				t.Errorf("sigma=%d n=%d: %v", sigma, n, err)
+			}
+			if err := tr.CheckAgainst(seq); err != nil {
+				t.Errorf("sigma=%d n=%d against source: %v", sigma, n, err)
+			}
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"io"
 	"os"
 
+	"bwtmatch/internal/binio"
 	"bwtmatch/internal/core"
 	"bwtmatch/internal/fmindex"
 )
@@ -95,8 +96,8 @@ func Load(r io.Reader) (*Index, error) {
 	if n > maxLen || words > maxLen || words*32 < n {
 		return nil, fmt.Errorf("%w: text %d bases in %d words", ErrFormat, n, words)
 	}
-	payload := make([]uint64, words)
-	if err := binary.Read(br, binary.LittleEndian, payload); err != nil {
+	payload, err := binio.ReadSlice[uint64](br, words)
+	if err != nil {
 		return nil, fmt.Errorf("%w: text payload: %v", ErrFormat, err)
 	}
 	text := unpackWords(payload, int(n))

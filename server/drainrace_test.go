@@ -1,0 +1,91 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bwtmatch"
+)
+
+// TestRegisterDuringDrain is a regression test for the shutdown drain
+// racing index registration: while Shutdown waits on an in-flight
+// search, concurrent RegisterIndex calls and registry reads must
+// complete without deadlock (Shutdown must not hold the server mutex
+// across the drain wait) and without data races (run under -race).
+func TestRegisterDuringDrain(t *testing.T) {
+	s, target := newTestServer(t, Config{}, 3000)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	s.testHookSearchStart = func() {
+		once.Do(func() { close(started) })
+		<-release
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// An in-flight search pins the drain open.
+	searchDone := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/search", "application/json",
+			strings.NewReader(fmt.Sprintf(`{"index":"g","k":1,"seq":%q}`, string(target[10:50]))))
+		if err == nil {
+			resp.Body.Close()
+		}
+		searchDone <- err
+	}()
+	<-started
+
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownErr <- s.Shutdown(ctx)
+	}()
+
+	// Registration and listing racing the drain. A deadlock here (e.g.
+	// Shutdown holding the server lock across inflight.Wait) trips the
+	// timeout; a locking bug trips the race detector.
+	regDone := make(chan error, 1)
+	go func() {
+		idx, err := bwtmatch.New(randomDNA(rand.New(rand.NewSource(43)), 400))
+		if err != nil {
+			regDone <- err
+			return
+		}
+		regDone <- s.RegisterIndex("late", idx)
+	}()
+	select {
+	case err := <-regDone:
+		if err != nil {
+			t.Fatalf("RegisterIndex during drain: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RegisterIndex deadlocked against Shutdown")
+	}
+	if got := s.reg.Len(); got != 2 {
+		t.Errorf("registry has %d indexes during drain, want 2", got)
+	}
+
+	// The drain must still be pinned by the blocked search.
+	select {
+	case err := <-shutdownErr:
+		t.Fatalf("Shutdown returned %v with a search in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(release)
+	if err := <-searchDone; err != nil {
+		t.Fatalf("pinned search failed: %v", err)
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("Shutdown after release: %v", err)
+	}
+}

@@ -105,7 +105,9 @@ func (r *Registry) evictLocked(incoming int64) {
 func (r *Registry) LoadFile(name, path string) (*bwtmatch.Index, error) {
 	idx, err := bwtmatch.LoadFile(path)
 	if err != nil {
-		return nil, err
+		// %w keeps bwtmatch.ErrFormat matchable while recording which
+		// registration failed (kmvet: wrapformat).
+		return nil, fmt.Errorf("server: loading index %q from %s: %w", name, path, err)
 	}
 	if err := r.Add(name, idx); err != nil {
 		return nil, err
