@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-server vet kmvet lint invariants fuzz-smoke check bench
+.PHONY: build test race race-server vet kmvet lint invariants fuzz-smoke obs-smoke check bench bench-json
 
 build:
 	$(GO) build ./...
@@ -40,8 +40,20 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzSaveLoad -fuzztime=10s -tags kminvariants .
 	$(GO) test -run='^$$' -fuzz=FuzzLoadRoundTrip -fuzztime=10s -tags kminvariants .
 
+# Observability smoke test: boots kmserved, scrapes /metrics, and
+# validates the Prometheus text exposition with the in-repo validator
+# (internal/obs.ValidateExposition) — no external dependencies.
+obs-smoke:
+	$(GO) test -run='^TestObsSmoke$$' -count=1 ./server/...
+
 # The one-stop pre-commit gate.
-check: lint race-server race invariants fuzz-smoke
+check: lint race-server race invariants fuzz-smoke obs-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Machine-readable search benchmark (ns/read + work counters + peak RSS);
+# commit the output as a BENCH_*.json trajectory file.
+bench-json:
+	$(GO) run ./cmd/kmbench -json -scale 64 -reads 20 -rounds 5 -out BENCH_latest.json
+	@cat BENCH_latest.json

@@ -12,6 +12,7 @@ import (
 	"bwtmatch/internal/fmindex"
 	"bwtmatch/internal/kerrors"
 	"bwtmatch/internal/naive"
+	"bwtmatch/internal/obs"
 	"bwtmatch/internal/seedext"
 	"bwtmatch/internal/suffixtree"
 	"bwtmatch/internal/wildcard"
@@ -169,9 +170,23 @@ func (x *Index) Count(pattern []byte, k int) (int, error) {
 	return len(m), err
 }
 
+// Tracer receives per-query telemetry from SearchMethodTraced: phase
+// spans (phi, traverse, locate) plus one event per unit of the paper's
+// work measures (M-tree leaves, merges, fallbacks). internal/obs.Recorder
+// is the in-repo implementation; a nil Tracer costs nothing.
+type Tracer = obs.Tracer
+
 // SearchMethod runs one of the implemented matchers and reports work
 // statistics alongside the matches.
 func (x *Index) SearchMethod(pattern []byte, k int, method Method) ([]Match, Stats, error) {
+	return x.SearchMethodTraced(pattern, k, method, nil)
+}
+
+// SearchMethodTraced is SearchMethod with per-query telemetry. For the
+// BWT-path methods (AlgorithmA, BWTBaseline, STree, AlgorithmANoPhi) the
+// tracer observes the full phase timeline and per-event work counters;
+// the other baselines run inside a single span named after the method.
+func (x *Index) SearchMethodTraced(pattern []byte, k int, method Method, tr Tracer) ([]Match, Stats, error) {
 	var st Stats
 	p, err := alphabet.Encode(pattern)
 	if err != nil {
@@ -183,15 +198,8 @@ func (x *Index) SearchMethod(pattern []byte, k int, method Method) ([]Match, Sta
 	if k < 0 {
 		return nil, st, fmt.Errorf("%w: negative k", ErrInput)
 	}
-	switch method {
-	case AlgorithmA, BWTBaseline, STree, AlgorithmANoPhi:
-		cm := map[Method]core.Method{
-			AlgorithmA:      core.MethodMTree,
-			BWTBaseline:     core.MethodSTreePhi,
-			STree:           core.MethodSTree,
-			AlgorithmANoPhi: core.MethodMTreeNoPhi,
-		}[method]
-		ms, cs, err := x.searcher.Find(p, k, cm)
+	if cm, ok := coreMethods[method]; ok {
+		ms, cs, err := x.searcher.FindTraced(p, k, cm, tr)
 		if err != nil {
 			return nil, st, err
 		}
@@ -199,6 +207,12 @@ func (x *Index) SearchMethod(pattern []byte, k int, method Method) ([]Match, Sta
 		st.StepCalls = cs.StepCalls
 		st.MemoHits = cs.MemoHits
 		return convertCore(ms), st, nil
+	}
+	if tr != nil {
+		tr.Begin(method.String())
+		defer tr.End()
+	}
+	switch method {
 	case Amir:
 		x.amirOnce.Do(func() { x.amirM = amir.New(x.text) })
 		ms, as, err := x.amirM.Find(p, k)
@@ -412,6 +426,14 @@ func (x *Index) MTreeLeaves(pattern []byte, k int) (int, error) {
 		return 0, err
 	}
 	return cs.MTreeLeaves, nil
+}
+
+// coreMethods maps the public BWT-path methods onto core's selectors.
+var coreMethods = map[Method]core.Method{
+	AlgorithmA:      core.MethodMTree,
+	BWTBaseline:     core.MethodSTreePhi,
+	STree:           core.MethodSTree,
+	AlgorithmANoPhi: core.MethodMTreeNoPhi,
 }
 
 func convertCore(ms []core.Match) []Match {

@@ -100,6 +100,26 @@ func TestCLIEndToEnd(t *testing.T) {
 	if !strings.Contains(bench, "rat-sim") {
 		t.Fatalf("kmbench output: %s", bench)
 	}
+
+	// -trace must produce loadable Chrome trace-event JSON with one span
+	// per read, and the same match counts as the untraced run.
+	tracePath := filepath.Join(work, "trace.json")
+	traced := run(t, filepath.Join(bins, "kmsearch"),
+		"-index", index, "-reads", reads, "-k", "4", "-v", "-trace", tracePath)
+	if extractMatches(first) != extractMatches(traced) {
+		t.Fatalf("traced run disagrees:\n%s\nvs\n%s", first, traced)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkChromeTrace(t, data)
+	trace := string(data)
+	for _, want := range []string{`"name":"read0 `, `"name":"read19 `, `"name":"traverse"`, `"name":"leaf"`} {
+		if !strings.Contains(trace, want) {
+			t.Errorf("trace missing %s event", want)
+		}
+	}
 }
 
 // extractMatches drops stderr-style status lines that vary between runs.

@@ -5,18 +5,27 @@
 //
 //	kmbench -exp fig11a            # one experiment
 //	kmbench -exp all -scale 8      # everything, 2 MiB largest genome
+//	kmbench -json -out BENCH.json  # machine-readable search grid
 //
 // Experiments: table1, table2, fig11a, fig11b, fig12, fig13, ablation.
 // See EXPERIMENTS.md for the mapping to the paper's artifacts.
+//
+// -json switches to the telemetry pipeline: instead of the paper's text
+// tables it emits one kmbench/v1 JSON document (ns/read, work counters,
+// peak RSS) suitable for committing as a BENCH_*.json trajectory file.
+// -trace additionally writes a Chrome trace-event timeline (load it in
+// chrome://tracing or https://ui.perfetto.dev).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"bwtmatch/internal/bench"
+	"bwtmatch/internal/obs"
 )
 
 func main() {
@@ -24,20 +33,78 @@ func main() {
 	scale := flag.Int("scale", 8, "divide genome sizes by this factor (1 = 16 MiB largest)")
 	reads := flag.Int("reads", 50, "reads per configuration")
 	seed := flag.Int64("seed", 42, "workload seed")
+	jsonMode := flag.Bool("json", false, "emit the machine-readable search grid instead of text experiments")
+	out := flag.String("out", "", "with -json: write the report here instead of stdout")
+	rounds := flag.Int("rounds", 5, "with -json: timing rounds per cell (best kept)")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file")
 	flag.Parse()
 
 	cfg := bench.Config{Scale: *scale, Reads: *reads, Seed: *seed}
-	ids := []string{*exp}
-	if *exp == "all" {
+	var tr *obs.Recorder
+	if *tracePath != "" {
+		tr = obs.NewRecorder()
+	}
+
+	if err := run(cfg, *exp, *jsonMode, *out, *rounds, tr); err != nil {
+		fmt.Fprintf(os.Stderr, "kmbench: %v\n", err)
+		os.Exit(1)
+	}
+	if tr != nil {
+		if err := writeTrace(*tracePath, tr); err != nil {
+			fmt.Fprintf(os.Stderr, "kmbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func run(cfg bench.Config, exp string, jsonMode bool, out string, rounds int, tr *obs.Recorder) error {
+	if jsonMode {
+		var w io.Writer = os.Stdout
+		if out != "" {
+			f, err := os.Create(out)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		// The Recorder interface value must stay nil when no -trace was
+		// asked for, so the benchmark runs the zero-cost path.
+		if tr != nil {
+			return bench.RunJSON(w, cfg, rounds, tr)
+		}
+		return bench.RunJSON(w, cfg, rounds, nil)
+	}
+	ids := []string{exp}
+	if exp == "all" {
 		ids = bench.Experiments()
 	}
 	for i, id := range ids {
 		if i > 0 {
 			fmt.Println()
 		}
-		if err := bench.Run(id, os.Stdout, cfg); err != nil {
-			fmt.Fprintf(os.Stderr, "kmbench: %s: %v\n", id, err)
-			os.Exit(1)
+		if tr != nil {
+			tr.Begin(id)
+		}
+		err := bench.Run(id, os.Stdout, cfg)
+		if tr != nil {
+			tr.End()
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
 		}
 	}
+	return nil
+}
+
+func writeTrace(path string, tr *obs.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -11,6 +11,11 @@
 //	kmsearch -index g.bwt -reads r.fq -k 4 [-method a|bwt|stree|amir|cole|online]
 //	kmsearch -genome g.fa -reads r.fq -k 4 -p 8      # 8 worker goroutines
 //
+// -trace records the search path of every read as Chrome trace-event
+// JSON (phase spans plus the paper's leaf/merge/fallback instants):
+//
+//	kmsearch -genome g.fa -reads r.fq -k 4 -trace out.json
+//
 // With -server it acts as a remote client of a running kmserved daemon,
 // in which case -index names a registered index instead of a local file:
 //
@@ -28,6 +33,7 @@ import (
 	"time"
 
 	"bwtmatch"
+	"bwtmatch/internal/obs"
 	"bwtmatch/internal/seqio"
 	"bwtmatch/server"
 	"bwtmatch/server/client"
@@ -54,6 +60,7 @@ func main() {
 	verbose := flag.Bool("v", false, "print per-read positions")
 	sam := flag.Bool("sam", false, "emit SAM records instead of the compact format")
 	serverURL := flag.String("server", "", "kmserved base URL; -index then names a registered index")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file (serializes the search)")
 	flag.Parse()
 
 	method, ok := methods[*methodName]
@@ -62,6 +69,9 @@ func main() {
 	}
 
 	if *serverURL != "" {
+		if *tracePath != "" {
+			fatal(fmt.Errorf("-trace needs a local search; it cannot observe a remote server"))
+		}
 		if err := runRemote(*serverURL, *indexPath, *readsPath, *methodName, *k, *verbose); err != nil {
 			fatal(err)
 		}
@@ -121,7 +131,26 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	searchStart := time.Now()
-	results := idx.MapAllContext(ctx, queries, method, *workers)
+	var results []bwtmatch.Result
+	if *tracePath != "" {
+		// Tracing serializes the batch so the timeline stays readable:
+		// each read gets its own span on its own logical track.
+		rec := obs.NewRecorder()
+		results = make([]bwtmatch.Result, len(queries))
+		for i, q := range queries {
+			rec.SetTID(i + 1)
+			rec.Begin(q.ID)
+			m, st, err := idx.SearchMethodTraced(q.Pattern, q.K, method, rec)
+			rec.End(obs.Arg{Key: "matches", Val: int64(len(m))})
+			results[i] = bwtmatch.Result{Matches: m, Stats: st, Err: err}
+		}
+		if err := writeTrace(*tracePath, rec); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote trace for %d reads to %s\n", len(queries), *tracePath)
+	} else {
+		results = idx.MapAllContext(ctx, queries, method, *workers)
+	}
 	elapsed := time.Since(searchStart)
 
 	out := bufio.NewWriter(os.Stdout)
@@ -291,6 +320,20 @@ func firstWord(s string) string {
 		}
 	}
 	return s
+}
+
+// writeTrace saves the recorded timeline as Chrome trace-event JSON
+// (load in about:tracing or https://ui.perfetto.dev).
+func writeTrace(path string, rec *obs.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

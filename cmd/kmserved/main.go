@@ -16,6 +16,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -51,8 +52,22 @@ func main() {
 	budgetMiB := flag.Int64("budget", 0, "registry byte budget in MiB (0 = unlimited)")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request timeout")
 	drainWait := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain limit")
+	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON instead of logfmt-style text")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+	debug := flag.Bool("debug", false, "expose /debug/pprof/ and /debug/stats")
 	flag.Var(&loads, "load", "preload a saved index as name=path (repeatable)")
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fatal(fmt.Errorf("bad -log-level %q: %w", *logLevel, err))
+	}
+	hopts := &slog.HandlerOptions{Level: level}
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, hopts)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, hopts)
+	}
+	logger := slog.New(handler)
 
 	srv := server.New(server.Config{
 		Workers:        *workers,
@@ -61,6 +76,8 @@ func main() {
 		MaxConcurrent:  *maxConc,
 		DefaultTimeout: *timeout,
 		Budget:         *budgetMiB << 20,
+		Logger:         logger,
+		EnableDebug:    *debug,
 	})
 	for _, nv := range loads {
 		start := time.Now()

@@ -18,6 +18,10 @@
 //   - nopanic: no panic in library (non-main) packages, except in
 //     kminvariants-tagged invariants*.go files where assertion failure
 //     is the point.
+//   - nostdlog: no fmt.Print*/log.Print* (or log.Fatal*/Panic*) in
+//     library packages; daemon-embedded code logs through an injected
+//     *slog.Logger or writes to a caller-supplied io.Writer, keeping
+//     stdout machine-readable and the log stream structured.
 //
 // Each rule reports findings as file:line: [rule] message; cmd/kmvet
 // exits nonzero when any fire.

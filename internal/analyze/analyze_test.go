@@ -135,7 +135,7 @@ func sortKeys(ks []key) {
 // TestRuleFixtures demonstrates each rule firing on a deliberately-bad
 // fixture package, at exactly the marked positions.
 func TestRuleFixtures(t *testing.T) {
-	for _, name := range []string{"badwrap", "badlock", "badctx", "badpanic"} {
+	for _, name := range []string{"badwrap", "badlock", "badctx", "badpanic", "badlog"} {
 		t.Run(name, func(t *testing.T) { checkFixture(t, name) })
 	}
 }
@@ -146,11 +146,11 @@ func TestCleanFixture(t *testing.T) {
 	checkFixture(t, "clean")
 }
 
-// TestRulesCatalogue pins the rule set: four rules, stable names,
+// TestRulesCatalogue pins the rule set: five rules, stable names,
 // non-empty docs (kmvet -rules prints these).
 func TestRulesCatalogue(t *testing.T) {
 	rules := analyze.Rules()
-	want := []string{"wrapformat", "copylocks", "ctxsearch", "nopanic"}
+	want := []string{"wrapformat", "copylocks", "ctxsearch", "nopanic", "nostdlog"}
 	if len(rules) != len(want) {
 		t.Fatalf("got %d rules, want %d", len(rules), len(want))
 	}

@@ -1,0 +1,55 @@
+package analyze
+
+import (
+	"go/ast"
+)
+
+// stdlogCalls maps package path -> forbidden package-level functions.
+// fmt's writer-taking variants (Fprintf etc.) and log.New loggers are
+// fine; what the rule bans is writing to process-global stdout/stderr
+// from code that may run inside a daemon.
+var stdlogCalls = map[string]map[string]bool{
+	"fmt": {"Print": true, "Printf": true, "Println": true},
+	"log": {
+		"Print": true, "Printf": true, "Println": true,
+		"Fatal": true, "Fatalf": true, "Fatalln": true,
+		"Panic": true, "Panicf": true, "Panicln": true,
+	},
+}
+
+// runNoStdLog flags fmt.Print*/log.Print* (and log.Fatal*/Panic*) in
+// library packages. Commands own their process and may print; library
+// and server code runs embedded in kmserved, where ad-hoc writes to
+// stdout corrupt machine-readable output and bypass the structured
+// log stream. Such code must log through an injected *slog.Logger
+// (server.Config.Logger) or write to a caller-supplied io.Writer.
+func runNoStdLog(p *Package) []Finding {
+	if p.Name == "main" {
+		return nil
+	}
+	var out []Finding
+	funcBodies(p.Files, func(body *ast.BlockStmt) {
+		inspectShallow(body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			banned := stdlogCalls[fn.Pkg().Path()]
+			if banned == nil || !banned[fn.Name()] {
+				return true
+			}
+			if fn.Signature().Recv() != nil {
+				return true // a method like (*log.Logger).Printf targets an explicit sink
+			}
+			out = append(out, p.finding(call.Pos(), "nostdlog",
+				"%s.%s writes to process-global output from library code; use an injected *slog.Logger or a caller-supplied io.Writer",
+				fn.Pkg().Name(), fn.Name()))
+			return true
+		})
+	})
+	return out
+}

@@ -35,6 +35,11 @@ func Rules() []Rule {
 			Doc:  "no panic in library (non-main) packages; assertions belong in kminvariants-tagged invariants*.go files, everything else returns an error",
 			Run:  runNoPanic,
 		},
+		{
+			Name: "nostdlog",
+			Doc:  "no fmt.Print*/log.Print* in library (non-main) packages; log through an injected *slog.Logger or write to a caller-supplied io.Writer so daemons keep one structured log stream",
+			Run:  runNoStdLog,
+		},
 	}
 }
 

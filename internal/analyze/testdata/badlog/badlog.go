@@ -1,0 +1,33 @@
+// Package badlog violates the nostdlog rule: a library package writing
+// to process-global stdout/stderr instead of an injected logger.
+package badlog
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"log/slog"
+	"os"
+)
+
+func report(n int) {
+	fmt.Println("matches:", n)         // want nostdlog
+	fmt.Printf("matches: %d\n", n)     // want nostdlog
+	fmt.Print(n)                       // want nostdlog
+	log.Printf("searched %d reads", n) // want nostdlog
+	log.Println("done")                // want nostdlog
+}
+
+func die(err error) {
+	log.Fatal(err) // want nostdlog
+}
+
+// Compliant variants: explicit sinks and injected loggers produce no
+// findings, nor do the fmt formatters that return strings.
+func reportTo(w io.Writer, lg *slog.Logger, n int) string {
+	fmt.Fprintf(w, "matches: %d\n", n)
+	lg.Info("searched", "reads", n)
+	custom := log.New(os.Stderr, "bench: ", 0)
+	custom.Printf("searched %d reads", n)
+	return fmt.Sprintf("%d", n)
+}

@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"bwtmatch"
+	"bwtmatch/internal/obs"
+)
+
+// JSONResult is one (method, k) cell of the machine-readable search
+// benchmark: timing plus the paper's work counters, so trajectory files
+// record *why* a run was fast or slow, not just how fast it was.
+type JSONResult struct {
+	Experiment  string  `json:"experiment"`
+	Genome      string  `json:"genome"`
+	Method      string  `json:"method"`
+	K           int     `json:"k"`
+	ReadLen     int     `json:"read_len"`
+	Reads       int     `json:"reads"`
+	NSPerRead   int64   `json:"ns_per_read"` // best of Rounds
+	MSPerRead   float64 `json:"ms_per_read"`
+	Matches     int     `json:"matches"`
+	MTreeLeaves int64   `json:"mtree_leaves"` // Σ n′ across reads
+	MemoHits    int64   `json:"memo_hits"`    // Σ merge short-circuits
+	StepCalls   int64   `json:"step_calls"`   // Σ BWT rank operations
+}
+
+// JSONReport is the top-level document emitted by kmbench -json.
+type JSONReport struct {
+	Schema       string       `json:"schema"` // "kmbench/v1"
+	Scale        int          `json:"scale"`
+	Reads        int          `json:"reads"`
+	Seed         int64        `json:"seed"`
+	Rounds       int          `json:"rounds"`
+	GOOS         string       `json:"goos"`
+	GOARCH       string       `json:"goarch"`
+	GoVersion    string       `json:"go_version"`
+	PeakRSSBytes int64        `json:"peak_rss_bytes"`
+	Results      []JSONResult `json:"results"`
+}
+
+// jsonMethods are the BWT-path matchers the search benchmarks compare
+// (the methods the Tracer instruments), in ablation order.
+var jsonMethods = []bwtmatch.Method{
+	bwtmatch.STree, bwtmatch.BWTBaseline,
+	bwtmatch.AlgorithmANoPhi, bwtmatch.AlgorithmA,
+}
+
+// jsonKs are the mismatch budgets swept per method.
+var jsonKs = []int{2, 4}
+
+// RunJSON runs the search benchmark grid (jsonMethods × jsonKs, reads
+// of length 100 on the largest genome) rounds times per cell, keeps the
+// best wall time, and writes one JSONReport to w. When tr is non-nil
+// each cell is wrapped in a trace span, so a -json -trace run yields a
+// timeline of the whole grid.
+func RunJSON(w io.Writer, cfg Config, rounds int, tr obs.Tracer) error {
+	cfg.normalize()
+	if rounds < 1 {
+		rounds = 1
+	}
+	spec := Specs(cfg.Scale)[0]
+	c, err := BuildCorpus(spec)
+	if err != nil {
+		return err
+	}
+	reads, err := c.Reads(100, cfg.Reads, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	rep := JSONReport{
+		Schema:    "kmbench/v1",
+		Scale:     cfg.Scale,
+		Reads:     len(reads),
+		Seed:      cfg.Seed,
+		Rounds:    rounds,
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		GoVersion: runtime.Version(),
+	}
+	for _, k := range jsonKs {
+		for _, m := range jsonMethods {
+			if tr != nil {
+				tr.Begin(fmt.Sprintf("%v/k=%d", m, k))
+			}
+			cell, err := timeCell(c.Index, reads, k, m, rounds)
+			if err != nil {
+				return err
+			}
+			cell.Experiment = "search"
+			cell.Genome = spec.Name
+			if tr != nil {
+				tr.End(
+					obs.Arg{Key: "ns_per_read", Val: cell.NSPerRead},
+					obs.Arg{Key: "mtree_leaves", Val: cell.MTreeLeaves},
+					obs.Arg{Key: "memo_hits", Val: cell.MemoHits},
+				)
+			}
+			rep.Results = append(rep.Results, cell)
+		}
+	}
+	rep.PeakRSSBytes = peakRSS()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// timeCell measures one (method, k) cell: every read once per round,
+// best round kept; work counters are summed over the reads of one round
+// (they are deterministic across rounds).
+func timeCell(idx *bwtmatch.Index, reads [][]byte, k int, m bwtmatch.Method, rounds int) (JSONResult, error) {
+	cell := JSONResult{Method: m.String(), K: k, ReadLen: len(reads[0]), Reads: len(reads)}
+	// Warm lazy structures outside the timing.
+	if _, _, err := idx.SearchMethod(reads[0], k, m); err != nil {
+		return cell, err
+	}
+	best := time.Duration(-1)
+	for r := 0; r < rounds; r++ {
+		var leaves, memo, steps int64
+		matches := 0
+		start := time.Now()
+		for _, rd := range reads {
+			ms, st, err := idx.SearchMethod(rd, k, m)
+			if err != nil {
+				return cell, err
+			}
+			matches += len(ms)
+			leaves += int64(st.MTreeLeaves)
+			memo += int64(st.MemoHits)
+			steps += int64(st.StepCalls)
+		}
+		if d := time.Since(start); best < 0 || d < best {
+			best = d
+		}
+		cell.Matches = matches
+		cell.MTreeLeaves = leaves
+		cell.MemoHits = memo
+		cell.StepCalls = steps
+	}
+	cell.NSPerRead = best.Nanoseconds() / int64(len(reads))
+	cell.MSPerRead = float64(cell.NSPerRead) / 1e6
+	return cell, nil
+}
+
+// peakRSS reads the process high-water resident set (VmHWM) from
+// /proc/self/status, in bytes. On platforms without procfs it falls
+// back to the Go runtime's total obtained-from-OS bytes, which at least
+// bounds the footprint.
+func peakRSS() int64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			rest, ok := strings.CutPrefix(line, "VmHWM:")
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(rest)
+			if len(fields) >= 1 {
+				if kb, err := strconv.ParseInt(fields[0], 10, 64); err == nil {
+					return kb << 10
+				}
+			}
+		}
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.Sys)
+}

@@ -4,6 +4,7 @@ import (
 	"bwtmatch/internal/alphabet"
 	"bwtmatch/internal/fmindex"
 	"bwtmatch/internal/mismatch"
+	"bwtmatch/internal/obs"
 )
 
 // Algorithm A (paper §IV-C/D). The S-tree is explored depth-first, but
@@ -115,6 +116,37 @@ type asearch struct {
 	brs   []mbranch
 	out   []leaf
 	stats *Stats
+	tr    obs.Tracer // nil unless the query is traced
+}
+
+// leafTerm records a maximal-path terminal that is not a surviving leaf
+// (φ cut, dead end, exhausted budget): the paper's n′ counts these too.
+// Every MTreeLeaves increment goes through leafTerm or emit, so a traced
+// query sees exactly Stats.MTreeLeaves EvLeaf events.
+func (a *asearch) leafTerm() {
+	a.stats.MTreeLeaves++
+	if a.tr != nil {
+		a.tr.Emit(obs.EvLeaf)
+	}
+}
+
+// memoHit records a repeated interval resolved by derivation (a merge in
+// the paper's terms) at run ri under alignment position j.
+func (a *asearch) memoHit(ri int32, j int) {
+	a.stats.MemoHits++
+	if a.tr != nil {
+		a.tr.Emit(obs.EvMerge,
+			obs.Arg{Key: "run", Val: int64(ri)},
+			obs.Arg{Key: "pos", Val: int64(j)})
+	}
+}
+
+// fallback records a derivation that had to resume live search.
+func (a *asearch) fallback() {
+	a.stats.LiveFallbacks++
+	if a.tr != nil {
+		a.tr.Emit(obs.EvFallback)
+	}
 }
 
 func ivKey(iv fmindex.Interval) uint64 {
@@ -124,7 +156,7 @@ func ivKey(iv fmindex.Interval) uint64 {
 // searchMTree runs Algorithm A for one pattern. usePhi composes the φ(i)
 // bound with the derivation machinery (the production configuration);
 // disabling it reproduces the paper's unpruned Algorithm A for ablations.
-func (s *Searcher) searchMTree(pattern []byte, k int, usePhi bool, stats *Stats) []leaf {
+func (s *Searcher) searchMTree(pattern []byte, k int, usePhi bool, stats *Stats, tr obs.Tracer) []leaf {
 	a := &asearch{
 		s:     s,
 		r:     pattern,
@@ -133,9 +165,19 @@ func (s *Searcher) searchMTree(pattern []byte, k int, usePhi bool, stats *Stats)
 		src:   mismatch.NewIterSource(pattern),
 		memo:  make(map[uint64]int32),
 		stats: stats,
+		tr:    tr,
 	}
 	if usePhi {
-		a.phi = s.computePhi(pattern)
+		if tr != nil {
+			tr.Begin("phi")
+		}
+		var phiSteps int
+		a.phi, phiSteps = s.computePhi(pattern)
+		if tr != nil {
+			tr.End(
+				obs.Arg{Key: "phi0", Val: int64(a.phi[0])},
+				obs.Arg{Key: "step_calls", Val: int64(phiSteps)})
+		}
 	} else {
 		a.phi = make([]int, len(pattern)+1)
 	}
@@ -157,7 +199,7 @@ func (a *asearch) walk(iv fmindex.Interval, j, brem, e int) {
 		return
 	}
 	if ri, ok := a.memo[ivKey(iv)]; ok && int(a.runs[ri].bRem) >= brem {
-		a.stats.MemoHits++
+		a.memoHit(ri, j)
 		a.derive(ri, j, brem, e)
 		return
 	}
@@ -178,7 +220,7 @@ func (a *asearch) smallWalk(iv fmindex.Interval, j, brem, e int) {
 		return
 	}
 	if brem < a.phi[j] {
-		a.stats.MTreeLeaves++ // φ-pruned path terminal
+		a.leafTerm() // φ-pruned path terminal
 		return
 	}
 	var kids [alphabet.Bases]fmindex.Interval
@@ -206,7 +248,7 @@ func (a *asearch) smallWalk(iv fmindex.Interval, j, brem, e int) {
 		}
 	}
 	if !progressed {
-		a.stats.MTreeLeaves++
+		a.leafTerm()
 	}
 }
 
@@ -221,19 +263,19 @@ func (a *asearch) singletonWalk(iv fmindex.Interval, j, brem, e int) {
 			return
 		}
 		if brem < a.phi[j] {
-			a.stats.MTreeLeaves++ // φ-pruned path terminal
+			a.leafTerm() // φ-pruned path terminal
 			return
 		}
 		x, child, ok := a.s.idx.StepSingleton(iv)
 		a.stats.StepCalls++
 		a.stats.Nodes++
 		if !ok {
-			a.stats.MTreeLeaves++ // ran into the text start
+			a.leafTerm() // ran into the text start
 			return
 		}
 		if x != a.r[j] {
 			if brem == 0 {
-				a.stats.MTreeLeaves++
+				a.leafTerm()
 				return
 			}
 			brem--
@@ -249,6 +291,11 @@ func (a *asearch) singletonWalk(iv fmindex.Interval, j, brem, e int) {
 // derivation. Branch children consult the memo again, so repeats are
 // caught at any level. It returns the new run's index.
 func (a *asearch) exploreFresh(iv fmindex.Interval, j, brem, e int) int32 {
+	if a.tr != nil {
+		a.tr.Emit(obs.EvExpand,
+			obs.Arg{Key: "rows", Val: int64(iv.Len())},
+			obs.Arg{Key: "pos", Val: int64(j)})
+	}
 	ri := int32(len(a.runs))
 	a.runs = append(a.runs, mrun{
 		entryIv:     iv,
@@ -270,7 +317,7 @@ func (a *asearch) exploreFresh(iv fmindex.Interval, j, brem, e int) int32 {
 		}
 		if brem < a.phi[t] {
 			end = endPhiCut
-			a.stats.MTreeLeaves++ // φ-pruned path terminal
+			a.leafTerm() // φ-pruned path terminal
 			break
 		}
 		a.s.idx.StepAll(cur, &kids)
@@ -334,7 +381,7 @@ func (a *asearch) exploreFresh(iv fmindex.Interval, j, brem, e int) int32 {
 // child is explored fresh.
 func (a *asearch) exploreBranch(iv fmindex.Interval, j, brem, e int) int32 {
 	if ri, ok := a.memo[ivKey(iv)]; ok && int(a.runs[ri].bRem) >= brem {
-		a.stats.MemoHits++
+		a.memoHit(ri, j)
 		a.derive(ri, j, brem, e)
 		return ri
 	}
@@ -367,7 +414,7 @@ func (a *asearch) derive(ri int32, jNew, rem, e int) {
 	if rem > int(a.runs[ri].bRem) {
 		// The cached exploration pruned branches this alignment can
 		// afford: re-explore (memoized, replaces the weaker entry).
-		a.stats.LiveFallbacks++
+		a.fallback()
 		a.exploreFresh(a.runs[ri].entryIv, jNew, rem, e)
 		return
 	}
@@ -405,7 +452,7 @@ func (a *asearch) derive(ri int32, jNew, rem, e int) {
 		if budget < a.phi[jNew+t] {
 			// No completion of r[jNew+t..] fits the remaining budget, for
 			// any continuation below this node.
-			a.stats.MTreeLeaves++ // φ-pruned path terminal
+			a.leafTerm() // φ-pruned path terminal
 			return
 		}
 		// Branches leaving the node after t run characters.
@@ -426,7 +473,7 @@ func (a *asearch) derive(ri int32, jNew, rem, e int) {
 			case branchStub:
 				// φ-pruned under the cached alignment; this alignment can
 				// afford it, so explore it now.
-				a.stats.LiveFallbacks++
+				a.fallback()
 				a.exploreFresh(b.iv, jNew+t+1, nb, e+cost)
 			default:
 				a.derive(b.child, jNew+t+1, nb, e+cost)
@@ -447,7 +494,7 @@ func (a *asearch) derive(ri int32, jNew, rem, e int) {
 				// from the run character here; it lives among the
 				// branches just processed when they were recorded at all.
 				if runBRem == 0 {
-					a.stats.LiveFallbacks++
+					a.fallback()
 					a.walkLive(a.runIvAt(ri, t), jNew+t, 0, e)
 				}
 				return
@@ -485,20 +532,20 @@ func (a *asearch) deriveRunEnd(ri int32, t, jNew, budget, e int) {
 		// A cached leaf that is interior for the deeper new alignment, or
 		// a cut by the cached alignment's φ bound: this alignment passed
 		// its own checks, so resume live.
-		a.stats.LiveFallbacks++
+		a.fallback()
 		a.walkLive(endIv, jNew+t, budget, e)
 	case endDead:
 		oldMatch := a.r[int(a.runs[ri].basePos)+t]
 		newMatch := a.r[jNew+t]
 		if newMatch != oldMatch && a.runs[ri].bRem == 0 {
 			// The new match character's continuation was never probed.
-			a.stats.LiveFallbacks++
+			a.fallback()
 			a.walkLive(endIv, jNew+t, budget, e)
 			return
 		}
 		// Otherwise every continuation was either the (empty) old match
 		// character or a recorded branch, already handled by the caller.
-		a.stats.MTreeLeaves++
+		a.leafTerm()
 	}
 }
 
@@ -507,6 +554,11 @@ func (a *asearch) emit(iv fmindex.Interval, e int, derived bool) {
 	a.stats.MTreeLeaves++
 	if derived {
 		a.stats.DerivedLeaves++
+	}
+	if a.tr != nil {
+		a.tr.Emit(obs.EvLeaf,
+			obs.Arg{Key: "mism", Val: int64(e)},
+			obs.Arg{Key: "rows", Val: int64(iv.Len())})
 	}
 	a.out = append(a.out, leaf{iv: iv, mism: e})
 }

@@ -18,6 +18,7 @@ import (
 
 	"bwtmatch/internal/alphabet"
 	"bwtmatch/internal/fmindex"
+	"bwtmatch/internal/obs"
 )
 
 // Method selects the search strategy.
@@ -123,6 +124,17 @@ func (s *Searcher) Index() *fmindex.Index { return s.idx }
 // Find returns all k-mismatch occurrences of the rank-encoded pattern,
 // sorted by position, along with search statistics.
 func (s *Searcher) Find(pattern []byte, k int, method Method) ([]Match, Stats, error) {
+	return s.FindTraced(pattern, k, method, nil)
+}
+
+// FindTraced is Find with per-query telemetry. When tr is non-nil the
+// search is wrapped in phase spans (phi, traverse, locate) and the
+// traversal emits one EvLeaf per maximal M-tree path — so the EvLeaf
+// count equals Stats.MTreeLeaves (the paper's n′) — one EvMerge per
+// memoized derivation (equals Stats.MemoHits), one EvFallback per live
+// fallback, and EvExpand for every fresh multi-row expansion. A nil tr
+// follows the exact untraced code path.
+func (s *Searcher) FindTraced(pattern []byte, k int, method Method, tr obs.Tracer) ([]Match, Stats, error) {
 	var stats Stats
 	if len(pattern) == 0 {
 		return nil, stats, fmt.Errorf("%w: empty", ErrPattern)
@@ -139,31 +151,58 @@ func (s *Searcher) Find(pattern []byte, k int, method Method) ([]Match, Stats, e
 		return nil, stats, nil
 	}
 
+	if tr != nil {
+		tr.Begin("traverse")
+	}
 	var leaves []leaf
 	switch method {
 	case MethodSTree:
-		leaves = s.searchSTree(pattern, k, false, &stats)
+		leaves = s.searchSTree(pattern, k, false, &stats, tr)
 	case MethodSTreePhi:
-		leaves = s.searchSTree(pattern, k, true, &stats)
+		leaves = s.searchSTree(pattern, k, true, &stats, tr)
 	case MethodMTree:
-		leaves = s.searchMTree(pattern, k, true, &stats)
+		leaves = s.searchMTree(pattern, k, true, &stats, tr)
 	case MethodMTreeNoPhi:
-		leaves = s.searchMTree(pattern, k, false, &stats)
+		leaves = s.searchMTree(pattern, k, false, &stats, tr)
 	default:
+		if tr != nil {
+			tr.End()
+		}
 		return nil, stats, fmt.Errorf("core: unknown method %d", method)
+	}
+	if tr != nil {
+		tr.End(
+			obs.Arg{Key: "step_calls", Val: int64(stats.StepCalls)},
+			obs.Arg{Key: "nodes", Val: int64(stats.Nodes)},
+			obs.Arg{Key: "leaves", Val: int64(stats.MTreeLeaves)},
+			obs.Arg{Key: "memo_hits", Val: int64(stats.MemoHits)},
+			obs.Arg{Key: "fallbacks", Val: int64(stats.LiveFallbacks)})
+		tr.Begin("locate")
 	}
 	stats.Occurrences = 0
 	var out []Match
 	var buf []int32
 	m := len(pattern)
-	for _, lf := range leaves {
-		buf = s.idx.Locate(lf.iv, buf[:0])
-		for _, p := range buf {
-			out = append(out, Match{Pos: int32(s.n) - p - int32(m), Mismatches: lf.mism})
+	if tr == nil {
+		for _, lf := range leaves {
+			buf = s.idx.Locate(lf.iv, buf[:0])
+			for _, p := range buf {
+				out = append(out, Match{Pos: int32(s.n) - p - int32(m), Mismatches: lf.mism})
+			}
+		}
+	} else {
+		for _, lf := range leaves {
+			buf = s.idx.LocateTraced(lf.iv, buf[:0], tr)
+			for _, p := range buf {
+				out = append(out, Match{Pos: int32(s.n) - p - int32(m), Mismatches: lf.mism})
+			}
 		}
 	}
 	stats.Occurrences = len(out)
 	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	if tr != nil {
+		tr.End(obs.Arg{Key: "occurrences", Val: int64(stats.Occurrences)})
+	}
 	return out, stats, nil
 }
 
@@ -181,6 +220,6 @@ func (s *Searcher) CountLeaves(pattern []byte, k int) (Stats, error) {
 	if len(pattern) == 0 || len(pattern) > s.n {
 		return stats, nil
 	}
-	s.searchMTree(pattern, k, true, &stats)
+	s.searchMTree(pattern, k, true, &stats, nil)
 	return stats, nil
 }

@@ -3,18 +3,30 @@ package core
 import (
 	"bwtmatch/internal/alphabet"
 	"bwtmatch/internal/fmindex"
+	"bwtmatch/internal/obs"
 )
 
 // searchSTree is the brute-force S-tree traversal of [34] (§IV-A): a DFS
 // over ⟨x, [α, β]⟩ pairs, branching into all four bases at every level and
 // charging one mismatch whenever the consumed base differs from the
 // pattern character at that level. When usePhi is set, the φ(i) heuristic
-// prunes branches that provably cannot finish within budget.
-func (s *Searcher) searchSTree(pattern []byte, k int, usePhi bool, stats *Stats) []leaf {
+// prunes branches that provably cannot finish within budget. A non-nil tr
+// receives a phi span plus one EvLeaf per maximal path, matching
+// Stats.MTreeLeaves exactly as in the M-tree search.
+func (s *Searcher) searchSTree(pattern []byte, k int, usePhi bool, stats *Stats, tr obs.Tracer) []leaf {
 	m := len(pattern)
 	var phi []int
 	if usePhi {
-		phi = s.computePhi(pattern)
+		if tr != nil {
+			tr.Begin("phi")
+		}
+		var phiSteps int
+		phi, phiSteps = s.computePhi(pattern)
+		if tr != nil {
+			tr.End(
+				obs.Arg{Key: "phi0", Val: int64(phi[0])},
+				obs.Arg{Key: "step_calls", Val: int64(phiSteps)})
+		}
 	}
 
 	type frame struct {
@@ -31,6 +43,11 @@ func (s *Searcher) searchSTree(pattern []byte, k int, usePhi bool, stats *Stats)
 		stats.Nodes++
 		if f.j == m {
 			stats.MTreeLeaves++
+			if tr != nil {
+				tr.Emit(obs.EvLeaf,
+					obs.Arg{Key: "mism", Val: int64(f.mism)},
+					obs.Arg{Key: "rows", Val: int64(f.iv.Len())})
+			}
 			leaves = append(leaves, leaf{iv: f.iv, mism: f.mism})
 			continue
 		}
@@ -59,6 +76,9 @@ func (s *Searcher) searchSTree(pattern []byte, k int, usePhi bool, stats *Stats)
 		if !pushed {
 			// Dead end: a maximal path terminates here.
 			stats.MTreeLeaves++
+			if tr != nil {
+				tr.Emit(obs.EvLeaf)
+			}
 		}
 	}
 	return leaves
@@ -68,19 +88,24 @@ func (s *Searcher) searchSTree(pattern []byte, k int, usePhi bool, stats *Stats)
 // consecutive, disjoint substrings of pattern[i:] that do not occur in the
 // target (§IV-A). Each absent substring forces at least one mismatch, so a
 // branch with e mismatches spent at position i is hopeless if e + φ[i] > k.
+// The second result is the number of backward-search steps spent on the
+// occurrence tests (reported in the traced phi span; not part of
+// Stats.StepCalls, which counts only traversal work).
 //
 // absentEnd[i] = the smallest q such that pattern[i..q] is absent from the
 // target (or m if no prefix of pattern[i:] is absent). Occurrence tests are
 // forward extensions of the pattern, which on the reverse-text index are
 // plain backward-search steps.
-func (s *Searcher) computePhi(pattern []byte) []int {
+func (s *Searcher) computePhi(pattern []byte) ([]int, int) {
 	m := len(pattern)
+	steps := 0
 	absentEnd := make([]int, m)
 	for i := 0; i < m; i++ {
 		iv := s.idx.Full()
 		q := i
 		for q < m {
 			iv = s.idx.Step(pattern[q], iv)
+			steps++
 			if iv.Empty() {
 				break
 			}
@@ -96,5 +121,5 @@ func (s *Searcher) computePhi(pattern []byte) []int {
 			phi[i] = 1 + phi[absentEnd[i]+1]
 		}
 	}
-	return phi
+	return phi, steps
 }

@@ -17,6 +17,7 @@ import (
 
 	"bwtmatch/internal/alphabet"
 	"bwtmatch/internal/bitvec"
+	"bwtmatch/internal/obs"
 	"bwtmatch/internal/suffixarray"
 )
 
@@ -304,6 +305,24 @@ func (idx *Index) Search(pattern []byte) Interval {
 // Count returns the number of exact occurrences of pattern.
 func (idx *Index) Count(pattern []byte) int { return idx.Search(pattern).Len() }
 
+// SearchTraced is Search with telemetry: when tr is non-nil every
+// backward-extension step emits one EvStep event carrying the pattern
+// position consumed and the width of the resulting interval. A nil tr
+// takes the plain Search path.
+func (idx *Index) SearchTraced(pattern []byte, tr obs.Tracer) Interval {
+	if tr == nil {
+		return idx.Search(pattern)
+	}
+	iv := idx.Full()
+	for i := len(pattern) - 1; i >= 0 && !iv.Empty(); i-- {
+		iv = idx.Step(pattern[i], iv)
+		tr.Emit(obs.EvStep,
+			obs.Arg{Key: "pos", Val: int64(i)},
+			obs.Arg{Key: "rows", Val: int64(iv.Len())})
+	}
+	return iv
+}
+
 // lfStep is the LF-mapping: the row of the suffix obtained by prepending
 // bwt[row] to the suffix of row.
 func (idx *Index) lfStep(row int32) int32 {
@@ -326,6 +345,31 @@ func (idx *Index) Locate(iv Interval, dst []int32) []int32 {
 		}
 		dst = append(dst, idx.saSamples[idx.saMarked.Rank1(int(r))]+steps)
 	}
+	return dst
+}
+
+// LocateTraced is Locate with telemetry: when tr is non-nil it emits one
+// EvLocate event per call carrying the number of rows resolved and the
+// total LF-mapping steps walked to reach sampled rows (the suffix-array
+// sampling cost the SARate option trades space against). A nil tr takes
+// the plain Locate path.
+func (idx *Index) LocateTraced(iv Interval, dst []int32, tr obs.Tracer) []int32 {
+	if tr == nil {
+		return idx.Locate(iv, dst)
+	}
+	var lf int64
+	for row := iv.Lo; row < iv.Hi; row++ {
+		r, steps := row, int32(0)
+		for !idx.saMarked.Get(int(r)) {
+			r = idx.lfStep(r)
+			steps++
+		}
+		lf += int64(steps)
+		dst = append(dst, idx.saSamples[idx.saMarked.Rank1(int(r))]+steps)
+	}
+	tr.Emit(obs.EvLocate,
+		obs.Arg{Key: "rows", Val: int64(iv.Len())},
+		obs.Arg{Key: "lf_steps", Val: lf})
 	return dst
 }
 

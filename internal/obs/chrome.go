@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format ("JSON
+// Object Format" with a traceEvents wrapper), the schema understood by
+// about:tracing and Perfetto. Timestamps are microseconds.
+type chromeEvent struct {
+	Name string           `json:"name"`
+	Ph   string           `json:"ph"`
+	TS   float64          `json:"ts"`
+	PID  int              `json:"pid"`
+	TID  int              `json:"tid"`
+	S    string           `json:"s,omitempty"` // instant-event scope
+	Args map[string]int64 `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level document.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders the recorded events as Chrome trace-event
+// JSON: spans become B/E duration events, everything else a
+// thread-scoped instant event. Load the output in about:tracing or
+// https://ui.perfetto.dev.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	events := r.Events()
+	out := chromeTrace{TraceEvents: make([]chromeEvent, 0, len(events)), DisplayTimeUnit: "ms"}
+	for _, e := range events {
+		ce := chromeEvent{
+			Name: e.Name,
+			TS:   float64(e.T.Nanoseconds()) / 1e3,
+			PID:  1,
+			TID:  e.TID,
+		}
+		if ce.TID == 0 {
+			ce.TID = 1
+		}
+		switch e.Kind {
+		case EvBegin:
+			ce.Ph = "B"
+		case EvEnd:
+			ce.Ph = "E"
+		default:
+			ce.Ph = "i"
+			ce.S = "t"
+		}
+		if len(e.Args) > 0 {
+			ce.Args = make(map[string]int64, len(e.Args))
+			for _, a := range e.Args {
+				ce.Args[a.Key] = a.Val
+			}
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,19 @@
+package obs
+
+import "context"
+
+// ridKey is the context key for request IDs.
+type ridKey struct{}
+
+// WithRequestID returns a context carrying the request ID. kmserved
+// stamps one per HTTP request and threads it through MapAllContext so
+// every log line of a batch can be correlated.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ridKey{}, id)
+}
+
+// RequestID extracts the request ID, if any.
+func RequestID(ctx context.Context) (string, bool) {
+	id, ok := ctx.Value(ridKey{}).(string)
+	return id, ok
+}

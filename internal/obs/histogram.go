@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// defaultBounds are the default latency bucket upper bounds in
+// milliseconds. Log-spaced so both a 50µs cached lookup and a
+// multi-second batch land in a useful bucket. The array form makes the
+// bucket count a compile-time constant (DefaultBucketCount), which is
+// what the old server histogram spelled out by hand as `len11`.
+var defaultBounds = [...]float64{0.1, 0.3, 1, 3, 10, 30, 100, 300, 1000, 3000}
+
+// DefaultBucketCount is len(default bounds) + 1 (the +Inf overflow
+// bucket), checked by the compiler rather than by a hand-maintained
+// constant.
+const DefaultBucketCount = len(defaultBounds) + 1
+
+// DefaultLatencyBounds returns a fresh copy of the default bucket
+// bounds (milliseconds).
+func DefaultLatencyBounds() []float64 {
+	return append([]float64(nil), defaultBounds[:]...)
+}
+
+// Histogram is a fixed-bucket duration histogram safe for concurrent
+// use. Bucket i counts observations with value <= bounds[i] (ms); the
+// final bucket is unbounded. Construct with NewHistogram or
+// NewLatencyHistogram; the zero value is not usable.
+type Histogram struct {
+	bounds  []float64 // ascending, finite, deduplicated
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sumUS   atomic.Int64 // sum in microseconds (integers keep it atomic)
+}
+
+// NewHistogram builds a histogram over the given upper bounds in
+// milliseconds. Bounds are copied, sorted, deduplicated; non-finite
+// entries are dropped (the +Inf bucket is implicit). An empty set falls
+// back to DefaultLatencyBounds.
+func NewHistogram(boundsMS []float64) *Histogram {
+	b := append([]float64(nil), boundsMS...)
+	sort.Float64s(b)
+	kept := b[:0]
+	for _, v := range b {
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			continue
+		}
+		if len(kept) > 0 && kept[len(kept)-1] == v {
+			continue
+		}
+		kept = append(kept, v)
+	}
+	if len(kept) == 0 {
+		kept = DefaultLatencyBounds()
+	}
+	return &Histogram{bounds: kept, buckets: make([]atomic.Int64, len(kept)+1)}
+}
+
+// NewLatencyHistogram builds a histogram over DefaultLatencyBounds.
+func NewLatencyHistogram() *Histogram { return NewHistogram(defaultBounds[:]) }
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	i := 0
+	for i < len(h.bounds) && ms > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumUS.Add(int64(d / time.Microsecond))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// SumMS returns the sum of observations in milliseconds.
+func (h *Histogram) SumMS() float64 { return float64(h.sumUS.Load()) / 1000 }
+
+// Bounds returns a copy of the bucket upper bounds (milliseconds).
+func (h *Histogram) Bounds() []float64 {
+	return append([]float64(nil), h.bounds...)
+}
+
+// Snapshot renders the histogram as a JSON-ready map (the
+// /metrics.json shape): per-bucket counts keyed "le<bound>" plus
+// "+inf", count, sum_ms, and mean_ms when non-empty.
+func (h *Histogram) Snapshot() map[string]any {
+	counts := make(map[string]int64, len(h.buckets))
+	for i, b := range h.bounds {
+		counts[FormatBound(b)] = h.buckets[i].Load()
+	}
+	counts[FormatBound(math.Inf(1))] = h.buckets[len(h.bounds)].Load()
+	n := h.count.Load()
+	out := map[string]any{
+		"count":      n,
+		"sum_ms":     h.SumMS(),
+		"buckets_ms": counts,
+	}
+	if n > 0 {
+		out["mean_ms"] = h.SumMS() / float64(n)
+	}
+	return out
+}
+
+// FormatBound renders a bucket upper bound as the JSON snapshot keys
+// it: "le0.1", "le1000"; the +Inf overflow bucket is "+inf".
+func FormatBound(b float64) string {
+	if math.IsInf(b, 1) {
+		return "+inf"
+	}
+	return "le" + strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+// WritePrometheus emits the histogram in Prometheus text exposition:
+// cumulative name_bucket series (le label in milliseconds, matching the
+// _ms metric-name suffix convention used by the server), then name_sum
+// and name_count. labels is a pre-rendered label list without braces
+// (`method="a"`) or empty. The caller is responsible for the # HELP and
+// # TYPE header lines (see WriteHistogramMeta).
+func (h *Histogram) WritePrometheus(w io.Writer, name, labels string) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(w, "%s_bucket{%s%sle=\"%s\"} %d\n",
+			name, labels, sep, strconv.FormatFloat(b, 'g', -1, 64), cum)
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %s\n", name, strconv.FormatFloat(h.SumMS(), 'g', -1, 64))
+		fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+		return
+	}
+	fmt.Fprintf(w, "%s_sum{%s} %s\n", name, labels, strconv.FormatFloat(h.SumMS(), 'g', -1, 64))
+	fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, h.count.Load())
+}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewLatencyHistogram()
+	for _, d := range []time.Duration{
+		50 * time.Microsecond,  // le0.1
+		500 * time.Microsecond, // le1
+		5 * time.Millisecond,   // le10
+		2 * time.Second,        // le3000
+		10 * time.Second,       // +inf
+	} {
+		h.Observe(d)
+	}
+	snap := h.Snapshot()
+	if snap["count"].(int64) != 5 {
+		t.Fatalf("count = %v", snap["count"])
+	}
+	buckets := snap["buckets_ms"].(map[string]int64)
+	for _, want := range []string{"le0.1", "le1", "le10", "le3000", "+inf"} {
+		if buckets[want] != 1 {
+			t.Errorf("bucket %s = %d, want 1", want, buckets[want])
+		}
+	}
+	sum := snap["sum_ms"].(float64)
+	if sum < 12000 || sum > 12010 {
+		t.Errorf("sum_ms = %v", sum)
+	}
+	if mean := snap["mean_ms"].(float64); mean < 2400 || mean > 2403 {
+		t.Errorf("mean_ms = %v", mean)
+	}
+}
+
+func TestNewHistogramNormalizesBounds(t *testing.T) {
+	h := NewHistogram([]float64{3, 1, 1, math.Inf(1), math.NaN(), 2})
+	want := []float64{1, 2, 3}
+	got := h.Bounds()
+	if len(got) != len(want) {
+		t.Fatalf("bounds = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bounds = %v, want %v", got, want)
+		}
+	}
+	// Empty and all-invalid inputs fall back to the default set.
+	if n := len(NewHistogram(nil).Bounds()); n != DefaultBucketCount-1 {
+		t.Errorf("empty-bounds histogram has %d bounds, want %d", n, DefaultBucketCount-1)
+	}
+}
+
+func TestFormatBound(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0.1, "le0.1"},
+		{0.05, "le0.05"},   // sub-millisecond
+		{0.001, "le0.001"}, // one microsecond
+		{1, "le1"},
+		{3000, "le3000"},
+		{math.Inf(1), "+inf"}, // overflow bucket
+	}
+	for _, c := range cases {
+		if got := FormatBound(c.in); got != c.want {
+			t.Errorf("FormatBound(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestHistogramWritePrometheusCumulative(t *testing.T) {
+	h := NewHistogram([]float64{1, 10})
+	h.Observe(500 * time.Microsecond) // le1
+	h.Observe(5 * time.Millisecond)   // le10
+	h.Observe(50 * time.Millisecond)  // +Inf
+	var sb strings.Builder
+	WriteHistogramMeta(&sb, "x_ms", "test histogram")
+	h.WritePrometheus(&sb, "x_ms", `method="a"`)
+	out := sb.String()
+	for _, want := range []string{
+		`x_ms_bucket{method="a",le="1"} 1`,
+		`x_ms_bucket{method="a",le="10"} 2`,
+		`x_ms_bucket{method="a",le="+Inf"} 3`,
+		`x_ms_count{method="a"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if err := ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Errorf("exposition invalid: %v\n%s", err, out)
+	}
+
+	// Unlabelled series must not emit empty braces.
+	sb.Reset()
+	WriteHistogramMeta(&sb, "y_ms", "test")
+	h.WritePrometheus(&sb, "y_ms", "")
+	if strings.Contains(sb.String(), "{}") {
+		t.Errorf("empty label braces in:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "y_ms_sum ") {
+		t.Errorf("missing bare y_ms_sum in:\n%s", sb.String())
+	}
+	if err := ValidateExposition(strings.NewReader(sb.String())); err != nil {
+		t.Errorf("exposition invalid: %v\n%s", err, sb.String())
+	}
+}

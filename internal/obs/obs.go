@@ -1,0 +1,31 @@
+// Package obs is the repo's observability core: low-overhead primitives
+// shared by the library hot path, the kmserved daemon and the benchmark
+// tooling. Everything here is stdlib-only and allocation-conscious:
+//
+//   - Histogram: a fixed-bucket latency histogram safe for concurrent
+//     use, with a JSON snapshot (the kmserved /metrics.json shape) and a
+//     Prometheus text-exposition renderer. Bounds are a slice, checked
+//     and normalized at construction, replacing the old fixed-size-array
+//     histogram in the server package.
+//
+//   - Tracer: a per-query tracing interface threaded through the search
+//     hot path (internal/core, internal/fmindex). The disabled state is
+//     a nil Tracer, so an untraced search pays exactly one nil-compare
+//     per potential event. Recorder implements Tracer by recording
+//     timestamped events and can render them as Chrome trace-event JSON
+//     (loadable in about:tracing or Perfetto).
+//
+//   - Prometheus text helpers plus ValidateExposition, a small
+//     line-format validator used by the obs-smoke test so the /metrics
+//     endpoint can be checked without external dependencies.
+//
+//   - Request-ID context plumbing (WithRequestID / RequestID) used by
+//     kmserved to correlate structured log lines with batches flowing
+//     through MapAllContext.
+//
+// The event vocabulary mirrors the paper's work accounting: EvLeaf fires
+// exactly once per M-tree maximal-path terminal (so the number of EvLeaf
+// events of a traced search equals Stats.MTreeLeaves, the paper's n′),
+// and EvMerge fires once per repeated-interval derivation (equals
+// Stats.MemoHits). See DESIGN.md §7.
+package obs

@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// WriteCounter emits one counter metric with its HELP/TYPE header.
+func WriteCounter(w io.Writer, name, help string, v int64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+}
+
+// WriteGauge emits one gauge metric with its HELP/TYPE header.
+func WriteGauge(w io.Writer, name, help string, v int64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+}
+
+// WriteHistogramMeta emits the HELP/TYPE header of a histogram metric;
+// the per-label series follow via Histogram.WritePrometheus.
+func WriteHistogramMeta(w io.Writer, name, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+}
+
+var (
+	promNameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promLabelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// promTypes are the metric types the exposition format allows.
+var promTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true,
+	"summary": true, "untyped": true,
+}
+
+// ValidateExposition checks that r is well-formed Prometheus text
+// exposition (version 0.0.4): every line is blank, a # HELP/# TYPE/#
+// comment, or a sample `name{labels} value [timestamp]`; metric and
+// label names are legal; values parse as floats (+Inf/-Inf/NaN
+// allowed); every sample's metric has a preceding # TYPE (histogram
+// samples may use the base name of their _bucket/_sum/_count series);
+// and at least one sample is present. It is deliberately a line-format
+// validator, not a full parser — enough for the obs-smoke test to catch
+// a malformed /metrics endpoint without external dependencies.
+func ValidateExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	typed := make(map[string]string)
+	samples := 0
+	for ln := 1; sc.Scan(); ln++ {
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, _, found := strings.Cut(rest, " ")
+			if !found || !promNameRe.MatchString(name) {
+				return fmt.Errorf("line %d: malformed HELP line %q", ln, line)
+			}
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, typ, found := strings.Cut(rest, " ")
+			if !found || !promNameRe.MatchString(name) || !promTypes[strings.TrimSpace(typ)] {
+				return fmt.Errorf("line %d: malformed TYPE line %q", ln, line)
+			}
+			typed[name] = strings.TrimSpace(typ)
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // plain comment
+		}
+		name, err := validateSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", ln, err)
+		}
+		if !sampleTyped(typed, name) {
+			return fmt.Errorf("line %d: sample %q has no preceding # TYPE", ln, name)
+		}
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if samples == 0 {
+		return fmt.Errorf("no samples in exposition")
+	}
+	return nil
+}
+
+// sampleTyped reports whether the sample name (or, for histogram and
+// summary series, its base name) has a TYPE declaration.
+func sampleTyped(typed map[string]string, name string) bool {
+	if _, ok := typed[name]; ok {
+		return true
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(name, suffix)
+		if !ok {
+			continue
+		}
+		if t := typed[base]; t == "histogram" || t == "summary" {
+			return true
+		}
+	}
+	return false
+}
+
+// validateSample checks one sample line and returns the metric name.
+func validateSample(line string) (string, error) {
+	rest := line
+	name := rest
+	if i := strings.IndexAny(rest, "{ "); i >= 0 {
+		name = rest[:i]
+		rest = rest[i:]
+	} else {
+		rest = ""
+	}
+	if !promNameRe.MatchString(name) {
+		return "", fmt.Errorf("bad metric name in %q", line)
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return "", fmt.Errorf("unterminated label block in %q", line)
+		}
+		if err := validateLabels(rest[1:end]); err != nil {
+			return "", fmt.Errorf("%v in %q", err, line)
+		}
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", fmt.Errorf("want `value [timestamp]` after name in %q", line)
+	}
+	if !validFloat(fields[0]) {
+		return "", fmt.Errorf("bad sample value %q", fields[0])
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return name, nil
+}
+
+// validateLabels checks a comma-separated `name="value"` list (the
+// inside of a label block). Escaped quotes inside values are handled.
+func validateLabels(s string) error {
+	s = strings.TrimSuffix(strings.TrimSpace(s), ",")
+	for s != "" {
+		name, rest, found := strings.Cut(s, "=")
+		if !found || !promLabelRe.MatchString(strings.TrimSpace(name)) {
+			return fmt.Errorf("bad label name")
+		}
+		rest = strings.TrimSpace(rest)
+		if !strings.HasPrefix(rest, `"`) {
+			return fmt.Errorf("unquoted label value")
+		}
+		// Find the closing quote, skipping \" escapes.
+		end := -1
+		for i := 1; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return fmt.Errorf("unterminated label value")
+		}
+		s = strings.TrimPrefix(strings.TrimSpace(rest[end+1:]), ",")
+		s = strings.TrimSpace(s)
+	}
+	return nil
+}
+
+// validFloat accepts what the exposition format accepts as a value.
+func validFloat(s string) bool {
+	switch s {
+	case "+Inf", "-Inf", "NaN":
+		return true
+	}
+	_, err := strconv.ParseFloat(s, 64)
+	return err == nil
+}

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateExpositionAccepts(t *testing.T) {
+	good := strings.Join([]string{
+		"# HELP kmserved_queries_total reads searched",
+		"# TYPE kmserved_queries_total counter",
+		"kmserved_queries_total 123",
+		"",
+		"# a free-form comment",
+		"# HELP kmserved_in_flight searches executing",
+		"# TYPE kmserved_in_flight gauge",
+		"kmserved_in_flight 0",
+		"# TYPE kmserved_latency_ms histogram",
+		`kmserved_latency_ms_bucket{method="a",le="0.1"} 1`,
+		`kmserved_latency_ms_bucket{method="a",le="+Inf"} 2`,
+		`kmserved_latency_ms_sum{method="a"} 3.5`,
+		`kmserved_latency_ms_count{method="a"} 2`,
+		"# TYPE with_ts untyped",
+		"with_ts 1.5e3 1700000000000",
+	}, "\n")
+	if err := ValidateExposition(strings.NewReader(good)); err != nil {
+		t.Fatalf("valid exposition rejected: %v", err)
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"no samples", "# HELP x y\n# TYPE x counter\n"},
+		{"bad metric name", "# TYPE 9bad counter\n9bad 1\n"},
+		{"bad value", "# TYPE x counter\nx notanumber\n"},
+		{"missing type", "x 1\n"},
+		{"unterminated labels", "# TYPE x counter\nx{a=\"b 1\n"},
+		{"unquoted label value", "# TYPE x counter\nx{a=b} 1\n"},
+		{"bad label name", "# TYPE x counter\nx{9a=\"b\"} 1\n"},
+		{"malformed type line", "# TYPE x notatype\nx 1\n"},
+		{"trailing garbage", "# TYPE x counter\nx 1 2 3\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := ValidateExposition(strings.NewReader(c.in)); err == nil {
+				t.Errorf("accepted invalid exposition:\n%s", c.in)
+			}
+		})
+	}
+}
+
+func TestWriteCounterGaugeValidate(t *testing.T) {
+	var sb strings.Builder
+	WriteCounter(&sb, "a_total", "things", 7)
+	WriteGauge(&sb, "b", "level", -2)
+	out := sb.String()
+	if !strings.Contains(out, "a_total 7\n") || !strings.Contains(out, "b -2\n") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+	if err := ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("helper output invalid: %v\n%s", err, out)
+	}
+}

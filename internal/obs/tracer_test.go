@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+func TestRecorderSpansAndEvents(t *testing.T) {
+	r := NewRecorder()
+	r.Begin("search")
+	r.Begin("traverse")
+	r.Emit(EvExpand, Arg{"width", 100})
+	r.Emit(EvMerge)
+	r.Emit(EvLeaf)
+	r.Emit(EvLeaf)
+	r.End(Arg{"steps", 42})
+	r.Begin("locate")
+	r.Emit(EvLocate, Arg{"rows", 3}, Arg{"lf_steps", 7})
+	r.End()
+	r.End()
+
+	if got := r.CountKind(EvLeaf); got != 2 {
+		t.Errorf("leaf events = %d, want 2", got)
+	}
+	if got := r.CountKind(EvMerge); got != 1 {
+		t.Errorf("merge events = %d, want 1", got)
+	}
+	if got := r.SumArg(EvLocate, "lf_steps"); got != 7 {
+		t.Errorf("lf_steps sum = %d, want 7", got)
+	}
+	events := r.Events()
+	// End events must carry the matching span names, innermost first.
+	var endNames []string
+	for _, e := range events {
+		if e.Kind == EvEnd {
+			endNames = append(endNames, e.Name)
+		}
+	}
+	want := []string{"traverse", "locate", "search"}
+	if len(endNames) != len(want) {
+		t.Fatalf("end names = %v, want %v", endNames, want)
+	}
+	for i := range want {
+		if endNames[i] != want[i] {
+			t.Fatalf("end names = %v, want %v", endNames, want)
+		}
+	}
+	// Timestamps must be monotonic.
+	for i := 1; i < len(events); i++ {
+		if events[i].T < events[i-1].T {
+			t.Fatalf("timestamps not monotonic at %d: %v < %v", i, events[i].T, events[i-1].T)
+		}
+	}
+}
+
+// TestChromeTraceSchema checks the -trace output loads as Chrome
+// trace-event JSON: a traceEvents array whose entries all carry a name,
+// a legal phase, a timestamp and pid/tid, with B/E events balanced.
+func TestChromeTraceSchema(t *testing.T) {
+	r := NewRecorder()
+	r.SetTID(3)
+	r.Begin("read1")
+	r.Emit(EvLeaf, Arg{"mism", 2})
+	r.End(Arg{"leaves", 1})
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string           `json:"name"`
+			Ph   string           `json:"ph"`
+			TS   *float64         `json:"ts"`
+			PID  int              `json:"pid"`
+			TID  int              `json:"tid"`
+			Args map[string]int64 `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("got %d events, want 3", len(doc.TraceEvents))
+	}
+	depth := 0
+	for i, e := range doc.TraceEvents {
+		if e.Name == "" || e.TS == nil || e.PID == 0 || e.TID != 3 {
+			t.Errorf("event %d incomplete: %+v", i, e)
+		}
+		switch e.Ph {
+		case "B":
+			depth++
+		case "E":
+			depth--
+		case "i", "I":
+		default:
+			t.Errorf("event %d has unknown phase %q", i, e.Ph)
+		}
+	}
+	if depth != 0 {
+		t.Errorf("unbalanced B/E events (depth %d)", depth)
+	}
+	if doc.TraceEvents[1].Args["mism"] != 2 {
+		t.Errorf("instant event lost args: %+v", doc.TraceEvents[1])
+	}
+}
+
+func TestRequestIDContext(t *testing.T) {
+	ctx := context.Background()
+	if id, ok := RequestID(ctx); ok || id != "" {
+		t.Fatalf("unexpected request id %q on fresh context", id)
+	}
+	ctx = WithRequestID(ctx, "req-42")
+	if id, ok := RequestID(ctx); !ok || id != "req-42" {
+		t.Fatalf("request id = %q, %v", id, ok)
+	}
+}

@@ -134,10 +134,11 @@ func (c *Client) Search(ctx context.Context, req server.SearchRequest) (*server.
 	return &out, nil
 }
 
-// Metrics fetches the /metrics snapshot as raw JSON keys.
+// Metrics fetches the /metrics.json snapshot as raw JSON keys. (The
+// /metrics path serves the Prometheus text exposition for scrapers.)
 func (c *Client) Metrics(ctx context.Context) (map[string]any, error) {
 	var out map[string]any
-	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &out); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/metrics.json", nil, &out); err != nil {
 		return nil, err
 	}
 	return out, nil

@@ -2,66 +2,21 @@ package server
 
 import (
 	"encoding/json"
+	"fmt"
+	"io"
 	"net/http"
 	"sync/atomic"
 	"time"
+
+	"bwtmatch/internal/obs"
 )
 
-// histBounds are the upper bounds (milliseconds) of the latency
-// histogram buckets; the final bucket is unbounded. Log-spaced so both a
-// 50µs cached lookup and a multi-second batch land in a useful bucket.
-var histBounds = []float64{0.1, 0.3, 1, 3, 10, 30, 100, 300, 1000, 3000}
-
-// histogram is a fixed-bucket latency histogram safe for concurrent use.
-type histogram struct {
-	buckets [len11]atomic.Int64 // one per bound plus overflow
-	count   atomic.Int64
-	sumUS   atomic.Int64 // sum in microseconds (integers keep it atomic)
-}
-
-const len11 = 11 // len(histBounds) + 1, spelled out for the array type
-
-// observe records one duration.
-func (h *histogram) observe(d time.Duration) {
-	ms := float64(d) / float64(time.Millisecond)
-	i := 0
-	for i < len(histBounds) && ms > histBounds[i] {
-		i++
-	}
-	h.buckets[i].Add(1)
-	h.count.Add(1)
-	h.sumUS.Add(int64(d / time.Microsecond))
-}
-
-// snapshot renders the histogram for /metrics.
-func (h *histogram) snapshot() map[string]any {
-	counts := make(map[string]int64, len11)
-	for i, b := range histBounds {
-		counts[formatBound(b)] = h.buckets[i].Load()
-	}
-	counts["+inf"] = h.buckets[len(histBounds)].Load()
-	n := h.count.Load()
-	out := map[string]any{
-		"count":      n,
-		"sum_ms":     float64(h.sumUS.Load()) / 1000,
-		"buckets_ms": counts,
-	}
-	if n > 0 {
-		out["mean_ms"] = float64(h.sumUS.Load()) / 1000 / float64(n)
-	}
-	return out
-}
-
-func formatBound(b float64) string {
-	v, _ := json.Marshal(b)
-	return "le" + string(v)
-}
-
 // Metrics aggregates server-wide counters. All fields are atomics so the
-// hot path never takes a lock; /metrics renders a point-in-time snapshot.
-// Unlike the stdlib expvar package the counters are per-Server, so tests
-// can run many servers in one process without global registration
-// collisions.
+// hot path never takes a lock; /metrics renders a point-in-time Prometheus
+// exposition and /metrics.json the same data as JSON. Unlike the stdlib
+// expvar package the counters are per-Server, so tests can run many
+// servers in one process without global registration collisions.
+// Construct with NewMetrics: the per-method histograms need allocation.
 type Metrics struct {
 	QueriesTotal  atomic.Int64 // individual reads searched
 	MatchesTotal  atomic.Int64 // matches emitted across all reads
@@ -78,7 +33,17 @@ type Metrics struct {
 	IndexesLoaded  atomic.Int64
 	IndexesEvicted atomic.Int64
 
-	perMethod [8]histogram // indexed by bwtmatch.Method
+	perMethod [8]*obs.Histogram // indexed by bwtmatch.Method
+}
+
+// NewMetrics builds Metrics with one latency histogram per method, each
+// with the obs default bucket set (obs.DefaultBucketCount buckets).
+func NewMetrics() *Metrics {
+	m := &Metrics{}
+	for i := range m.perMethod {
+		m.perMethod[i] = obs.NewLatencyHistogram()
+	}
+	return m
 }
 
 // ObserveBatch records one completed search batch.
@@ -91,19 +56,19 @@ func (m *Metrics) ObserveBatch(method int, d time.Duration, reads, matches, errs
 	m.StepCallsTotal.Add(steps)
 	m.MemoHitsTotal.Add(memo)
 	if method >= 0 && method < len(m.perMethod) {
-		m.perMethod[method].observe(d)
+		m.perMethod[method].Observe(d)
 	}
 }
 
-// Snapshot renders all counters as a JSON-ready map.
+// Snapshot renders all counters as a JSON-ready map (the /metrics.json
+// document).
 func (m *Metrics) Snapshot() map[string]any {
 	methods := make(map[string]any)
 	for i := range m.perMethod {
-		if m.perMethod[i].count.Load() == 0 {
+		if m.perMethod[i].Count() == 0 {
 			continue
 		}
-		name := methodNameFor(i)
-		methods[name] = m.perMethod[i].snapshot()
+		methods[methodNameFor(i)] = m.perMethod[i].Snapshot()
 	}
 	return map[string]any{
 		"queries_total":       m.QueriesTotal.Load(),
@@ -121,6 +86,30 @@ func (m *Metrics) Snapshot() map[string]any {
 	}
 }
 
+// WritePrometheus emits every counter in Prometheus text exposition
+// format 0.0.4. Metric names are documented in README.md ("Observing").
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	obs.WriteCounter(w, "kmserved_queries_total", "individual reads searched", m.QueriesTotal.Load())
+	obs.WriteCounter(w, "kmserved_matches_total", "matches emitted across all reads", m.MatchesTotal.Load())
+	obs.WriteCounter(w, "kmserved_errors_total", "per-read errors (bad input, cancelled)", m.ErrorsTotal.Load())
+	obs.WriteCounter(w, "kmserved_batches_total", "search batches served", m.BatchesTotal.Load())
+	obs.WriteCounter(w, "kmserved_rejected_total", "requests refused with 4xx/503", m.RejectedTotal.Load())
+	obs.WriteGauge(w, "kmserved_in_flight", "search batches currently executing", m.InFlight.Load())
+	obs.WriteCounter(w, "kmserved_mtree_leaves_total", "total M-tree leaves (the paper's n')", m.MTreeLeavesTotal.Load())
+	obs.WriteCounter(w, "kmserved_step_calls_total", "total BWT rank operations", m.StepCallsTotal.Load())
+	obs.WriteCounter(w, "kmserved_memo_hits_total", "total M-tree derivations", m.MemoHitsTotal.Load())
+	obs.WriteCounter(w, "kmserved_indexes_loaded_total", "indexes registered since start", m.IndexesLoaded.Load())
+	obs.WriteCounter(w, "kmserved_indexes_evicted_total", "indexes evicted by the LRU budget", m.IndexesEvicted.Load())
+	obs.WriteHistogramMeta(w, "kmserved_search_latency_ms", "per-batch search wall time by method")
+	for i := range m.perMethod {
+		if m.perMethod[i].Count() == 0 {
+			continue
+		}
+		m.perMethod[i].WritePrometheus(w, "kmserved_search_latency_ms",
+			fmt.Sprintf("method=%q", methodNameFor(i)))
+	}
+}
+
 // methodNameFor inverts methodNames for display.
 func methodNameFor(m int) string {
 	for name, method := range methodNames {
@@ -131,8 +120,16 @@ func methodNameFor(m int) string {
 	return "unknown"
 }
 
-// ServeHTTP renders the snapshot, making Metrics mountable directly.
+// ServeHTTP renders the Prometheus exposition, making Metrics mountable
+// directly as the /metrics endpoint.
 func (m *Metrics) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	m.WritePrometheus(w)
+}
+
+// ServeJSON renders the JSON snapshot (the /metrics.json endpoint, and
+// what /metrics served before the Prometheus migration).
+func (m *Metrics) ServeJSON(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

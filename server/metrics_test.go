@@ -1,42 +1,15 @@
 package server
 
 import (
+	"strings"
 	"testing"
 	"time"
+
+	"bwtmatch/internal/obs"
 )
 
-func TestHistogramBuckets(t *testing.T) {
-	var h histogram
-	for _, d := range []time.Duration{
-		50 * time.Microsecond,  // le0.1
-		500 * time.Microsecond, // le1
-		5 * time.Millisecond,   // le10
-		2 * time.Second,        // le3000
-		10 * time.Second,       // +inf
-	} {
-		h.observe(d)
-	}
-	snap := h.snapshot()
-	if snap["count"].(int64) != 5 {
-		t.Fatalf("count = %v", snap["count"])
-	}
-	buckets := snap["buckets_ms"].(map[string]int64)
-	for _, want := range []string{"le0.1", "le1", "le10", "le3000", "+inf"} {
-		if buckets[want] != 1 {
-			t.Errorf("bucket %s = %d, want 1", want, buckets[want])
-		}
-	}
-	sum := snap["sum_ms"].(float64)
-	if sum < 12000 || sum > 12010 {
-		t.Errorf("sum_ms = %v", sum)
-	}
-	if mean := snap["mean_ms"].(float64); mean < 2400 || mean > 2403 {
-		t.Errorf("mean_ms = %v", mean)
-	}
-}
-
 func TestMetricsSnapshotOmitsIdleMethods(t *testing.T) {
-	var m Metrics
+	m := NewMetrics()
 	m.ObserveBatch(0, time.Millisecond, 10, 3, 1, 100, 200, 5)
 	snap := m.Snapshot()
 	lat := snap["method_latencies_ms"].(map[string]any)
@@ -50,6 +23,51 @@ func TestMetricsSnapshotOmitsIdleMethods(t *testing.T) {
 	if snap["mtree_leaves_total"].(int64) != 100 || snap["step_calls_total"].(int64) != 200 ||
 		snap["memo_hits_total"].(int64) != 5 {
 		t.Errorf("paper counters: %v", snap)
+	}
+	hist := lat["a"].(map[string]any)
+	if hist["count"].(int64) != 1 {
+		t.Errorf("histogram count: %v", hist)
+	}
+	// The per-method histograms carry the obs default bucket set, whose
+	// size the compiler derives from the bounds array (no len11 hack).
+	buckets := hist["buckets_ms"].(map[string]int64)
+	if len(buckets) != obs.DefaultBucketCount {
+		t.Errorf("bucket count = %d, want %d", len(buckets), obs.DefaultBucketCount)
+	}
+}
+
+func TestMetricsWritePrometheus(t *testing.T) {
+	m := NewMetrics()
+	m.ObserveBatch(0, 2*time.Millisecond, 7, 2, 0, 50, 80, 3)
+	m.ObserveBatch(1, 40*time.Millisecond, 1, 0, 1, 9, 12, 0)
+	var sb strings.Builder
+	m.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE kmserved_queries_total counter",
+		"kmserved_queries_total 8",
+		"kmserved_mtree_leaves_total 59",
+		"kmserved_in_flight 0",
+		"# TYPE kmserved_search_latency_ms histogram",
+		`kmserved_search_latency_ms_bucket{method="a",le="+Inf"} 1`,
+		`kmserved_search_latency_ms_count{method="bwt"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in exposition:\n%s", want, out)
+		}
+	}
+	if err := obs.ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, out)
+	}
+}
+
+func TestMetricsPrometheusValidWhenIdle(t *testing.T) {
+	// A freshly started server must still serve a valid exposition (the
+	// histogram series are absent, but every counter is present).
+	var sb strings.Builder
+	NewMetrics().WritePrometheus(&sb)
+	if err := obs.ValidateExposition(strings.NewReader(sb.String())); err != nil {
+		t.Fatalf("invalid idle exposition: %v\n%s", err, sb.String())
 	}
 }
 

@@ -1,0 +1,89 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"math/rand"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"bwtmatch"
+	"bwtmatch/internal/obs"
+	"bwtmatch/server"
+	"bwtmatch/server/client"
+)
+
+// TestObsSmoke is the `make obs-smoke` gate: boot a real kmserved, serve
+// one search, then scrape GET /metrics and require a valid Prometheus
+// text exposition carrying the documented kmserved_* series. It needs no
+// external scraper — obs.ValidateExposition is the in-repo validator.
+func TestObsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	work := t.TempDir()
+	rng := rand.New(rand.NewSource(7))
+	target := make([]byte, 8192)
+	for i := range target {
+		target[i] = "acgt"[rng.Intn(4)]
+	}
+	idx, err := bwtmatch.New(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexPath := filepath.Join(work, "g.bwt")
+	if err := idx.SaveFile(indexPath); err != nil {
+		t.Fatal(err)
+	}
+
+	base, _ := startDaemon(t, work, "-load", "g="+indexPath, "-log-level", "warn")
+	c := client.New(base)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if _, err := c.Search(ctx, server.SearchRequest{
+		Index: "g", K: 2, Seq: string(target[100:160]),
+	}); err != nil {
+		t.Fatalf("search: %v", err)
+	}
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content-type = %q, want Prometheus text 0.0.4", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateExposition(bytes.NewReader(body)); err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, body)
+	}
+	out := string(body)
+	for _, want := range []string{
+		"kmserved_queries_total 1",
+		"kmserved_batches_total 1",
+		"kmserved_mtree_leaves_total",
+		"kmserved_step_calls_total",
+		"kmserved_indexes_loaded_total 1",
+		"# TYPE kmserved_search_latency_ms histogram",
+		`kmserved_search_latency_ms_bucket{method="a",le="+Inf"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// The M-tree must have done real work for the served search.
+	if strings.Contains(out, "kmserved_mtree_leaves_total 0\n") {
+		t.Error("mtree_leaves_total stayed 0 after a search")
+	}
+}

@@ -6,11 +6,16 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bwtmatch"
+	"bwtmatch/internal/obs"
 )
 
 // Config tunes a Server. The zero value is usable; see the field
@@ -33,6 +38,15 @@ type Config struct {
 	MaxBodyBytes int64
 	// Budget is the registry's LRU byte budget (0 = unlimited).
 	Budget int64
+	// Logger receives structured request logs; nil discards them. Every
+	// search batch logs one line carrying the request ID that is also
+	// threaded through the batch's context (obs.WithRequestID).
+	Logger *slog.Logger
+	// EnableDebug mounts net/http/pprof under /debug/pprof/ and a
+	// runtime stats endpoint at /debug/stats. Off by default: these
+	// endpoints expose internals and cost memory to serve, so they are
+	// opt-in (kmserved -debug).
+	EnableDebug bool
 }
 
 func (c *Config) applyDefaults() {
@@ -60,11 +74,14 @@ func (c *Config) applyDefaults() {
 // search endpoint, and metrics. Create with New, mount via Handler, and
 // stop with Shutdown (drains in-flight searches, refuses new ones).
 type Server struct {
-	cfg Config
-	reg *Registry
-	met *Metrics
-	mux *http.ServeMux
-	sem chan struct{} // MaxConcurrent slots
+	cfg   Config
+	reg   *Registry
+	met   *Metrics
+	mux   *http.ServeMux
+	sem   chan struct{} // MaxConcurrent slots
+	log   *slog.Logger
+	start time.Time
+	reqID atomic.Int64 // request ID sequence
 
 	mu       sync.Mutex
 	draining bool
@@ -79,20 +96,59 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg.applyDefaults()
 	s := &Server{
-		cfg: cfg,
-		reg: NewRegistry(cfg.Budget),
-		met: &Metrics{},
-		mux: http.NewServeMux(),
-		sem: make(chan struct{}, cfg.MaxConcurrent),
+		cfg:   cfg,
+		reg:   NewRegistry(cfg.Budget),
+		met:   NewMetrics(),
+		mux:   http.NewServeMux(),
+		sem:   make(chan struct{}, cfg.MaxConcurrent),
+		log:   cfg.Logger,
+		start: time.Now(),
 	}
-	s.reg.onEvict = func(string) { s.met.IndexesEvicted.Add(1) }
+	if s.log == nil {
+		s.log = slog.New(slog.DiscardHandler)
+	}
+	s.reg.onEvict = func(name string) {
+		s.met.IndexesEvicted.Add(1)
+		s.log.Info("index evicted", "index", name)
+	}
 	s.mux.HandleFunc("POST /v1/search", s.handleSearch)
 	s.mux.HandleFunc("GET /v1/indexes", s.handleListIndexes)
 	s.mux.HandleFunc("POST /v1/indexes", s.handleRegisterIndex)
 	s.mux.HandleFunc("DELETE /v1/indexes/{name}", s.handleRemoveIndex)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.Handle("GET /metrics", s.met)
+	s.mux.HandleFunc("GET /metrics.json", s.met.ServeJSON)
+	if cfg.EnableDebug {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+		s.mux.HandleFunc("GET /debug/stats", s.handleDebugStats)
+	}
 	return s
+}
+
+// handleDebugStats reports point-in-time Go runtime statistics (the
+// /debug/vars-style endpoint, but per-Server and read-only).
+func (s *Server) handleDebugStats(w http.ResponseWriter, r *http.Request) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_seconds":  time.Since(s.start).Seconds(),
+		"goroutines":      runtime.NumGoroutine(),
+		"gomaxprocs":      runtime.GOMAXPROCS(0),
+		"go_version":      runtime.Version(),
+		"heap_alloc":      ms.HeapAlloc,
+		"heap_sys":        ms.HeapSys,
+		"sys":             ms.Sys,
+		"num_gc":          ms.NumGC,
+		"pause_total_ms":  float64(ms.PauseTotalNs) / 1e6,
+		"next_gc":         ms.NextGC,
+		"resident_bytes":  s.reg.Resident(),
+		"indexes_loaded":  s.met.IndexesLoaded.Load(),
+		"indexes_evicted": s.met.IndexesEvicted.Load(),
+	})
 }
 
 // Handler returns the HTTP handler tree for mounting into an
@@ -112,6 +168,7 @@ func (s *Server) Register(name, path string) error {
 		return err
 	}
 	s.met.IndexesLoaded.Add(1)
+	s.log.Info("index registered", "index", name, "path", path)
 	return nil
 }
 
@@ -121,6 +178,7 @@ func (s *Server) RegisterIndex(name string, idx *bwtmatch.Index) error {
 		return err
 	}
 	s.met.IndexesLoaded.Add(1)
+	s.log.Info("index registered", "index", name, "bytes", idx.SizeBytes())
 	return nil
 }
 
@@ -158,9 +216,19 @@ func (s *Server) beginSearch() (func(), bool) {
 
 func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
 	s.met.RejectedTotal.Add(1)
+	msg := fmt.Sprintf(format, args...)
+	s.log.Warn("request rejected", "code", code, "error", msg)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(ErrorResponse{Error: fmt.Sprintf(format, args...)})
+	json.NewEncoder(w).Encode(ErrorResponse{Error: msg})
+}
+
+// nextRequestID issues a per-server-unique request ID. It is stamped on
+// the batch context (obs.WithRequestID) before MapAllContext fans out,
+// so anything below the search — and the batch's own log line — can be
+// correlated.
+func (s *Server) nextRequestID() string {
+	return fmt.Sprintf("req-%06d", s.reqID.Add(1))
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -292,7 +360,8 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			timeout = t
 		}
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	rid := s.nextRequestID()
+	ctx, cancel := context.WithTimeout(obs.WithRequestID(r.Context(), rid), timeout)
 	defer cancel()
 
 	// Queue for a concurrency slot; a timeout while queued is billed to
@@ -343,6 +412,17 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
 	s.met.ObserveBatch(int(method), elapsed, len(reads), resp.Matches, resp.Errors, leaves, steps, memo)
+	s.log.Info("search",
+		"rid", rid,
+		"index", req.Index,
+		"method", method.String(),
+		"reads", len(reads),
+		"matches", resp.Matches,
+		"errors", resp.Errors,
+		"mtree_leaves", leaves,
+		"step_calls", steps,
+		"memo_hits", memo,
+		"elapsed_ms", resp.ElapsedMS)
 	writeJSON(w, http.StatusOK, resp)
 }
 

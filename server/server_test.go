@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -16,6 +17,7 @@ import (
 	"time"
 
 	"bwtmatch"
+	"bwtmatch/internal/obs"
 )
 
 func randomDNA(rng *rand.Rand, n int) []byte {
@@ -290,7 +292,7 @@ func TestHealthAndMetricsEndpoints(t *testing.T) {
 
 	postJSON(t, ts, "/v1/search", fmt.Sprintf(`{"index":"g","k":1,"seq":%q}`, string(target[5:35])))
 
-	resp, err = http.Get(ts.URL + "/metrics")
+	resp, err = http.Get(ts.URL + "/metrics.json")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -303,6 +305,23 @@ func TestHealthAndMetricsEndpoints(t *testing.T) {
 	lat, ok := m["method_latencies_ms"].(map[string]any)
 	if !ok || lat["a"] == nil {
 		t.Errorf("metrics missing method latency histogram: %v", m["method_latencies_ms"])
+	}
+
+	// /metrics now serves the Prometheus text exposition.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metrics content-type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "kmserved_queries_total 1") {
+		t.Errorf("prometheus exposition missing query counter:\n%s", body)
+	}
+	if err := obs.ValidateExposition(bytes.NewReader(body)); err != nil {
+		t.Errorf("invalid exposition: %v", err)
 	}
 }
 
