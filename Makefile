@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-server vet kmvet lint invariants fuzz-smoke obs-smoke check bench bench-json
+.PHONY: build test race race-server vet kmvet lint invariants fuzz-smoke obs-smoke benchdiff-smoke check bench bench-json bench-compare
 
 build:
 	$(GO) build ./...
@@ -46,8 +46,16 @@ fuzz-smoke:
 obs-smoke:
 	$(GO) test -run='^TestObsSmoke$$' -count=1 ./server/...
 
+# Regression-gate smoke test: kmbenchdiff must pass a clean diff and
+# fail a fabricated 20% regression (fixtures in cmd/kmbenchdiff/testdata).
+benchdiff-smoke:
+	$(GO) run ./cmd/kmbenchdiff cmd/kmbenchdiff/testdata/old.json cmd/kmbenchdiff/testdata/new_ok.json
+	@if $(GO) run ./cmd/kmbenchdiff cmd/kmbenchdiff/testdata/old.json cmd/kmbenchdiff/testdata/new_regressed.json >/dev/null 2>&1; then \
+		echo "benchdiff-smoke: FAIL (regression fixture was not flagged)"; exit 1; \
+	else echo "benchdiff-smoke: regression fixture correctly rejected"; fi
+
 # The one-stop pre-commit gate.
-check: lint race-server race invariants fuzz-smoke obs-smoke
+check: lint race-server race invariants fuzz-smoke obs-smoke benchdiff-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
@@ -57,3 +65,10 @@ bench:
 bench-json:
 	$(GO) run ./cmd/kmbench -json -scale 64 -reads 20 -rounds 5 -out BENCH_latest.json
 	@cat BENCH_latest.json
+
+# Compare two benchmark reports and fail on >10% ns/read regressions:
+#   make bench-compare OLD=BENCH_pr4_before.json NEW=BENCH_pr4_after.json
+OLD ?= BENCH_pr4_before.json
+NEW ?= BENCH_pr4_after.json
+bench-compare:
+	$(GO) run ./cmd/kmbenchdiff $(OLD) $(NEW)

@@ -95,6 +95,10 @@ type Stats struct {
 	Candidates int
 	// Visited counts suffix tree nodes touched (Cole).
 	Visited int
+	// LocateNS is the wall time (nanoseconds) spent resolving surviving
+	// BWT intervals to text positions, for the BWT-path methods. It lets
+	// benchmarks separate traversal cost from SA-sample walk cost.
+	LocateNS int64
 }
 
 // Index is an immutable k-mismatch search index over one target sequence.
@@ -199,14 +203,17 @@ func (x *Index) SearchMethodTraced(pattern []byte, k int, method Method, tr Trac
 		return nil, st, fmt.Errorf("%w: negative k", ErrInput)
 	}
 	if cm, ok := coreMethods[method]; ok {
-		ms, cs, err := x.searcher.FindTraced(p, k, cm, tr)
+		sc := scratchPool.Get().(*Scratch)
+		cms, cs, err := x.searcher.FindScratch(sc.core, sc.cms[:0], p, k, cm, tr)
+		sc.cms = cms
 		if err != nil {
+			scratchPool.Put(sc)
 			return nil, st, err
 		}
-		st.MTreeLeaves = cs.MTreeLeaves
-		st.StepCalls = cs.StepCalls
-		st.MemoHits = cs.MemoHits
-		return convertCore(ms), st, nil
+		st.fromCore(cs)
+		out := convertCore(cms)
+		scratchPool.Put(sc)
+		return out, st, nil
 	}
 	if tr != nil {
 		tr.Begin(method.String())

@@ -1,0 +1,155 @@
+// Command kmbenchdiff compares two kmbench -json reports and flags
+// performance regressions, so BENCH_*.json trajectory files can gate a
+// change instead of only documenting it.
+//
+// Usage:
+//
+//	kmbenchdiff old.json new.json              # report, exit 1 on regression
+//	kmbenchdiff -threshold 5 old.json new.json # stricter gate (percent)
+//
+// Cells are matched by (experiment, method, k). For every matched cell
+// it prints the ns/read delta plus the work-counter deltas that explain
+// it; cells present in only one report are listed but never gate (the
+// sweep grid is allowed to grow). The exit status is non-zero when any
+// matched cell's ns_per_read regressed by more than -threshold percent
+// (default 10).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// result mirrors the fields of bench.JSONResult that the diff consumes.
+// It is declared locally so the tool can compare reports from any build,
+// including ones predating fields like locate_ns_per_read.
+type result struct {
+	Experiment  string `json:"experiment"`
+	Method      string `json:"method"`
+	K           int    `json:"k"`
+	NSPerRead   int64  `json:"ns_per_read"`
+	LocateNS    int64  `json:"locate_ns_per_read"`
+	Matches     int    `json:"matches"`
+	MTreeLeaves int64  `json:"mtree_leaves"`
+	MemoHits    int64  `json:"memo_hits"`
+	StepCalls   int64  `json:"step_calls"`
+}
+
+type report struct {
+	Schema       string   `json:"schema"`
+	Scale        int      `json:"scale"`
+	Reads        int      `json:"reads"`
+	Seed         int64    `json:"seed"`
+	PeakRSSBytes int64    `json:"peak_rss_bytes"`
+	Results      []result `json:"results"`
+}
+
+type cellKey struct {
+	experiment, method string
+	k                  int
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 10, "fail when ns/read regresses by more than this percent")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: kmbenchdiff [-threshold pct] old.json new.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold); err != nil {
+		fmt.Fprintf(os.Stderr, "kmbenchdiff: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, oldPath, newPath string, threshold float64) error {
+	oldRep, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	if oldRep.Scale != newRep.Scale || oldRep.Reads != newRep.Reads || oldRep.Seed != newRep.Seed {
+		fmt.Fprintf(w, "note: workloads differ (scale %d/%d, reads %d/%d, seed %d/%d); deltas may not be comparable\n",
+			oldRep.Scale, newRep.Scale, oldRep.Reads, newRep.Reads, oldRep.Seed, newRep.Seed)
+	}
+
+	oldCells := make(map[cellKey]result, len(oldRep.Results))
+	for _, r := range oldRep.Results {
+		oldCells[cellKey{r.Experiment, r.Method, r.K}] = r
+	}
+
+	fmt.Fprintf(w, "%-14s %2s  %12s %12s %8s  %10s %10s\n",
+		"method", "k", "old ns/read", "new ns/read", "delta", "locate ns", "leaves Δ")
+	var regressions []string
+	matched := 0
+	for _, nr := range newRep.Results {
+		key := cellKey{nr.Experiment, nr.Method, nr.K}
+		or, ok := oldCells[key]
+		if !ok {
+			fmt.Fprintf(w, "%-14s %2d  %12s %12d %8s  %10d %10s  (new cell)\n",
+				nr.Method, nr.K, "-", nr.NSPerRead, "-", nr.LocateNS, "-")
+			continue
+		}
+		delete(oldCells, key)
+		matched++
+		pct := 100 * (float64(nr.NSPerRead) - float64(or.NSPerRead)) / float64(or.NSPerRead)
+		mark := ""
+		if pct > threshold {
+			mark = "  REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("%s k=%d: %d -> %d ns/read (%+.1f%%)", nr.Method, nr.K, or.NSPerRead, nr.NSPerRead, pct))
+		}
+		fmt.Fprintf(w, "%-14s %2d  %12d %12d %+7.1f%%  %10d %10d%s\n",
+			nr.Method, nr.K, or.NSPerRead, nr.NSPerRead, pct, nr.LocateNS, nr.MTreeLeaves-or.MTreeLeaves, mark)
+		if nr.Matches != or.Matches {
+			fmt.Fprintf(w, "  warning: %s k=%d match count changed %d -> %d (results differ, not just speed)\n",
+				nr.Method, nr.K, or.Matches, nr.Matches)
+		}
+	}
+	for key := range oldCells {
+		fmt.Fprintf(w, "%-14s %2d  (cell dropped from new report)\n", key.method, key.k)
+	}
+	if oldRep.PeakRSSBytes > 0 && newRep.PeakRSSBytes > 0 {
+		pct := 100 * (float64(newRep.PeakRSSBytes) - float64(oldRep.PeakRSSBytes)) / float64(oldRep.PeakRSSBytes)
+		fmt.Fprintf(w, "peak RSS: %d -> %d bytes (%+.1f%%)\n", oldRep.PeakRSSBytes, newRep.PeakRSSBytes, pct)
+	}
+	if matched == 0 {
+		return fmt.Errorf("no cells in common between %s and %s", oldPath, newPath)
+	}
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintln(w, "FAIL:", r)
+		}
+		return fmt.Errorf("%d cell(s) regressed more than %.0f%% ns/read", len(regressions), threshold)
+	}
+	fmt.Fprintf(w, "ok: %d cells compared, none regressed more than %.0f%%\n", matched, threshold)
+	return nil
+}
+
+func load(path string) (report, error) {
+	var rep report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Schema != "kmbench/v1" {
+		return rep, fmt.Errorf("%s: unexpected schema %q (want kmbench/v1)", path, rep.Schema)
+	}
+	if len(rep.Results) == 0 {
+		return rep, fmt.Errorf("%s: no results", path)
+	}
+	return rep, nil
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func td(name string) string { return filepath.Join("testdata", name) }
+
+// TestDiffPasses: an improved report (with an extra k=3 cell the old
+// grid lacked) must pass the 10% gate and report the new cell without
+// gating on it.
+func TestDiffPasses(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, td("old.json"), td("new_ok.json"), 10); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"ok: 2 cells compared", "(new cell)", "peak RSS"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestDiffFailsOnRegression: a 20% ns/read regression on one cell must
+// make run return an error naming the cell.
+func TestDiffFailsOnRegression(t *testing.T) {
+	var out strings.Builder
+	err := run(&out, td("old.json"), td("new_regressed.json"), 10)
+	if err == nil {
+		t.Fatalf("expected regression error, got nil\noutput:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") || !strings.Contains(out.String(), "A()") {
+		t.Errorf("output should flag the A() cell:\n%s", out.String())
+	}
+}
+
+// TestDiffThresholdTunable: at -threshold 25 the same regressed report
+// passes (the regression is 20%).
+func TestDiffThresholdTunable(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, td("old.json"), td("new_regressed.json"), 25); err != nil {
+		t.Fatalf("run at threshold 25: %v\noutput:\n%s", err, out.String())
+	}
+}
+
+// TestDiffRejectsBadInput pins the failure modes: missing file, wrong
+// schema, empty results.
+func TestDiffRejectsBadInput(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, td("nope.json"), td("new_ok.json"), 10); err == nil {
+		t.Error("missing old file: want error")
+	}
+	if err := run(&out, td("old.json"), td("nope.json"), 10); err == nil {
+		t.Error("missing new file: want error")
+	}
+}

@@ -12,7 +12,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"bwtmatch"
 	"bwtmatch/internal/alphabet"
 	"bwtmatch/internal/dna"
 	"bwtmatch/internal/seqio"
@@ -33,6 +35,8 @@ func main() {
 	errRate := flag.Float64("error", 0.02, "per-base substitution rate")
 	rc := flag.Bool("rc", false, "emit reverse-complement reads half the time")
 	seed := flag.Int64("seed", 1, "generator seed")
+	indexOut := flag.String("index", "", "with -genome: also build a search index and save it to this file")
+	buildP := flag.Int("build-p", 1, "parallel workers for -index construction")
 	flag.Parse()
 
 	switch {
@@ -57,6 +61,22 @@ func main() {
 		}
 		fmt.Printf("wrote %d chromosome(s), %d bases total to %s\n",
 			len(recs), per*len(recs), *genomeOut)
+		if *indexOut != "" {
+			refs := make([]bwtmatch.Reference, len(recs))
+			for i, rec := range recs {
+				refs[i] = bwtmatch.Reference{Name: rec.ID, Seq: rec.Seq}
+			}
+			start := time.Now()
+			idx, err := bwtmatch.NewRefs(refs, bwtmatch.WithBuildWorkers(*buildP))
+			if err != nil {
+				fatal(err)
+			}
+			if err := idx.SaveFile(*indexOut); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("built index (%d workers) in %v, saved to %s (%d bytes)\n",
+				*buildP, time.Since(start).Round(time.Millisecond), *indexOut, idx.SizeBytes())
+		}
 	case *readsOut != "":
 		if *from == "" {
 			fatal(fmt.Errorf("-reads requires -from <genome file>"))

@@ -61,6 +61,7 @@ func main() {
 	sam := flag.Bool("sam", false, "emit SAM records instead of the compact format")
 	serverURL := flag.String("server", "", "kmserved base URL; -index then names a registered index")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file (serializes the search)")
+	buildP := flag.Int("build-p", 1, "parallel workers for index construction (-g path only)")
 	flag.Parse()
 
 	method, ok := methods[*methodName]
@@ -88,7 +89,7 @@ func main() {
 		var refs []bwtmatch.Reference
 		refs, err = readGenome(*genomePath)
 		if err == nil {
-			idx, err = bwtmatch.NewRefs(refs)
+			idx, err = bwtmatch.NewRefs(refs, bwtmatch.WithBuildWorkers(*buildP))
 		}
 	default:
 		flag.Usage()

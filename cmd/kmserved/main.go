@@ -43,12 +43,13 @@ func (l *loadFlags) Set(v string) error {
 }
 
 func main() {
-	var loads loadFlags
+	var loads, genomeLoads loadFlags
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
 	workers := flag.Int("p", 4, "worker goroutines per search batch")
 	maxBatch := flag.Int("max-batch", 4096, "maximum reads per request")
 	maxK := flag.Int("max-k", 64, "maximum per-read mismatch budget")
 	maxConc := flag.Int("max-concurrent", 16, "maximum concurrently executing batches")
+	buildP := flag.Int("build-p", 1, "parallel workers for -load-genome index construction")
 	budgetMiB := flag.Int64("budget", 0, "registry byte budget in MiB (0 = unlimited)")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request timeout")
 	drainWait := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain limit")
@@ -56,6 +57,7 @@ func main() {
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	debug := flag.Bool("debug", false, "expose /debug/pprof/ and /debug/stats")
 	flag.Var(&loads, "load", "preload a saved index as name=path (repeatable)")
+	flag.Var(&genomeLoads, "load-genome", "build and register an index from a FASTA genome as name=path (repeatable)")
 	flag.Parse()
 
 	var level slog.Level
@@ -76,6 +78,7 @@ func main() {
 		MaxConcurrent:  *maxConc,
 		DefaultTimeout: *timeout,
 		Budget:         *budgetMiB << 20,
+		BuildWorkers:   *buildP,
 		Logger:         logger,
 		EnableDebug:    *debug,
 	})
@@ -86,6 +89,14 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "kmserved: loaded index %q from %s in %v\n",
 			nv[0], nv[1], time.Since(start).Round(time.Millisecond))
+	}
+	for _, nv := range genomeLoads {
+		start := time.Now()
+		if err := srv.RegisterGenome(nv[0], nv[1]); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "kmserved: built index %q from genome %s in %v (%d workers)\n",
+			nv[0], nv[1], time.Since(start).Round(time.Millisecond), *buildP)
 	}
 
 	ln, err := net.Listen("tcp", *addr)

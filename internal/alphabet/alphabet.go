@@ -85,6 +85,25 @@ func Encode(s []byte) ([]byte, error) {
 	return out, nil
 }
 
+// AppendEncode appends the ranks of s to dst and returns the extended
+// slice, allocating only when dst lacks capacity. Validation matches
+// Encode; on error the returned slice is dst unmodified (its length is
+// restored even if some bytes were staged).
+func AppendEncode(dst []byte, s []byte) ([]byte, error) {
+	n := len(dst)
+	for i, b := range s {
+		if b == SentinelByte {
+			return dst[:n], fmt.Errorf("%w: sentinel %q at position %d", ErrInvalidChar, b, i)
+		}
+		r := rankOf[b]
+		if r == 0 {
+			return dst[:n], fmt.Errorf("%w: %q at position %d", ErrInvalidChar, b, i)
+		}
+		dst = append(dst, r-1)
+	}
+	return dst, nil
+}
+
 // Decode converts ranks back to a canonical lower-case DNA string.
 func Decode(ranks []byte) []byte {
 	out := make([]byte, len(ranks))

@@ -24,7 +24,8 @@ type JSONResult struct {
 	K           int     `json:"k"`
 	ReadLen     int     `json:"read_len"`
 	Reads       int     `json:"reads"`
-	NSPerRead   int64   `json:"ns_per_read"` // best of Rounds
+	NSPerRead   int64   `json:"ns_per_read"`        // best of Rounds
+	LocateNS    int64   `json:"locate_ns_per_read"` // Σ locate wall time / reads, best round
 	MSPerRead   float64 `json:"ms_per_read"`
 	Matches     int     `json:"matches"`
 	MTreeLeaves int64   `json:"mtree_leaves"` // Σ n′ across reads
@@ -54,7 +55,7 @@ var jsonMethods = []bwtmatch.Method{
 }
 
 // jsonKs are the mismatch budgets swept per method.
-var jsonKs = []int{2, 4}
+var jsonKs = []int{1, 2, 3}
 
 // RunJSON runs the search benchmark grid (jsonMethods × jsonKs, reads
 // of length 100 on the largest genome) rounds times per cell, keeps the
@@ -123,7 +124,7 @@ func timeCell(idx *bwtmatch.Index, reads [][]byte, k int, m bwtmatch.Method, rou
 	}
 	best := time.Duration(-1)
 	for r := 0; r < rounds; r++ {
-		var leaves, memo, steps int64
+		var leaves, memo, steps, locNS int64
 		matches := 0
 		start := time.Now()
 		for _, rd := range reads {
@@ -135,9 +136,11 @@ func timeCell(idx *bwtmatch.Index, reads [][]byte, k int, m bwtmatch.Method, rou
 			leaves += int64(st.MTreeLeaves)
 			memo += int64(st.MemoHits)
 			steps += int64(st.StepCalls)
+			locNS += st.LocateNS
 		}
 		if d := time.Since(start); best < 0 || d < best {
 			best = d
+			cell.LocateNS = locNS / int64(len(reads))
 		}
 		cell.Matches = matches
 		cell.MTreeLeaves = leaves

@@ -105,13 +105,17 @@ type mbranch struct {
 	kind  branchKind
 }
 
+// asearch is the per-search state of Algorithm A. It lives inside a
+// Scratch rather than being heap-allocated per query; the slice headers
+// are borrowed from the Scratch at entry and written back at exit so
+// their grown capacity carries over to the next search.
 type asearch struct {
 	s     *Searcher
 	r     []byte
 	m, k  int
 	src   *mismatch.IterSource
 	phi   []int // φ lower bounds; all-zero when the φ bound is disabled
-	memo  map[uint64]int32
+	memo  *memoTable
 	runs  []mrun
 	brs   []mbranch
 	out   []leaf
@@ -156,30 +160,44 @@ func ivKey(iv fmindex.Interval) uint64 {
 // searchMTree runs Algorithm A for one pattern. usePhi composes the φ(i)
 // bound with the derivation machinery (the production configuration);
 // disabling it reproduces the paper's unpruned Algorithm A for ablations.
-func (s *Searcher) searchMTree(pattern []byte, k int, usePhi bool, stats *Stats, tr obs.Tracer) []leaf {
-	a := &asearch{
+// All working memory comes from sc; a warm Scratch makes this
+// allocation-free.
+func (s *Searcher) searchMTree(sc *Scratch, pattern []byte, k int, usePhi bool, stats *Stats, tr obs.Tracer) []leaf {
+	sc.memo.begin()
+	sc.src.Reset(pattern)
+	a := &sc.as
+	*a = asearch{
 		s:     s,
 		r:     pattern,
 		m:     len(pattern),
 		k:     k,
-		src:   mismatch.NewIterSource(pattern),
-		memo:  make(map[uint64]int32),
+		src:   &sc.src,
+		memo:  &sc.memo,
+		runs:  sc.runs[:0],
+		brs:   sc.brs[:0],
+		out:   sc.out[:0],
 		stats: stats,
 		tr:    tr,
 	}
+	defer func() {
+		sc.runs, sc.brs, sc.out = a.runs, a.brs, a.out
+		a.s, a.r, a.src, a.memo, a.stats, a.tr = nil, nil, nil, nil, nil, nil
+	}()
 	if usePhi {
 		if tr != nil {
 			tr.Begin("phi")
 		}
 		var phiSteps int
-		a.phi, phiSteps = s.computePhi(pattern)
+		a.phi, phiSteps = s.computePhi(sc, pattern)
 		if tr != nil {
 			tr.End(
 				obs.Arg{Key: "phi0", Val: int64(a.phi[0])},
 				obs.Arg{Key: "step_calls", Val: int64(phiSteps)})
 		}
 	} else {
-		a.phi = make([]int, len(pattern)+1)
+		sc.phi = intBuf(sc.phi, len(pattern)+1)
+		clear(sc.phi)
+		a.phi = sc.phi
 	}
 	if k < a.phi[0] {
 		return nil
@@ -198,7 +216,7 @@ func (a *asearch) walk(iv fmindex.Interval, j, brem, e int) {
 		a.smallWalk(iv, j, brem, e)
 		return
 	}
-	if ri, ok := a.memo[ivKey(iv)]; ok && int(a.runs[ri].bRem) >= brem {
+	if ri, ok := a.memo.get(ivKey(iv)); ok && int(a.runs[ri].bRem) >= brem {
 		a.memoHit(ri, j)
 		a.derive(ri, j, brem, e)
 		return
@@ -372,7 +390,7 @@ func (a *asearch) exploreFresh(iv fmindex.Interval, j, brem, e int) int32 {
 	// Register only the finished run: a forced-extension descendant can
 	// carry the same interval and must not hit a half-built entry. The
 	// last writer wins, which also lets fallbacks strengthen weak entries.
-	a.memo[ivKey(iv)] = ri
+	a.memo.put(ivKey(iv), ri)
 	return ri
 }
 
@@ -380,7 +398,7 @@ func (a *asearch) exploreFresh(iv fmindex.Interval, j, brem, e int) int32 {
 // (emitting its leaves under the current path) and reused; otherwise the
 // child is explored fresh.
 func (a *asearch) exploreBranch(iv fmindex.Interval, j, brem, e int) int32 {
-	if ri, ok := a.memo[ivKey(iv)]; ok && int(a.runs[ri].bRem) >= brem {
+	if ri, ok := a.memo.get(ivKey(iv)); ok && int(a.runs[ri].bRem) >= brem {
 		a.memoHit(ri, j)
 		a.derive(ri, j, brem, e)
 		return ri

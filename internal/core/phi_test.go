@@ -52,7 +52,7 @@ func TestComputePhiAgainstNaive(t *testing.T) {
 			} else {
 				pattern = randomRanks(rng, m)
 			}
-			got, _ := s.computePhi(pattern)
+			got, _ := s.computePhi(NewScratch(), pattern)
 			want := naivePhi(text, pattern)
 			if len(got) != len(want) {
 				t.Fatalf("phi length %d, want %d", len(got), len(want))
@@ -80,7 +80,7 @@ func TestPhiIsLowerBound(t *testing.T) {
 			m = len(text)
 		}
 		pattern := randomRanks(rng, m)
-		phi, _ := s.computePhi(pattern)
+		phi, _ := s.computePhi(NewScratch(), pattern)
 		for i := 0; i <= m; i++ {
 			suffix := pattern[i:]
 			if len(suffix) == 0 {
@@ -108,7 +108,7 @@ func TestPhiZeroForPlantedPattern(t *testing.T) {
 	text := randomRanks(rng, 1000)
 	s, _ := NewSearcher(text, fmindex.DefaultOptions())
 	pattern := text[200:240]
-	phi, _ := s.computePhi(pattern)
+	phi, _ := s.computePhi(NewScratch(), pattern)
 	for i, v := range phi {
 		if v != 0 {
 			t.Fatalf("phi[%d] = %d for an exactly-occurring pattern", i, v)
@@ -123,7 +123,7 @@ func TestPhiPaperSemantics(t *testing.T) {
 	text := mustRanks(t, "acagaca")
 	s, _ := NewSearcher(text, fmindex.DefaultOptions())
 	pattern := mustRanks(t, "tcaca")
-	phi, _ := s.computePhi(pattern)
+	phi, _ := s.computePhi(NewScratch(), pattern)
 	if phi[0] != 2 {
 		t.Errorf("phi[0] = %d, want 2", phi[0])
 	}
@@ -155,7 +155,7 @@ func mustRanks(t *testing.T, s string) []byte {
 func TestPhiEmptyishInputs(t *testing.T) {
 	text := []byte{1, 2, 3}
 	s, _ := NewSearcher(text, fmindex.DefaultOptions())
-	phi, _ := s.computePhi([]byte{4})
+	phi, _ := s.computePhi(NewScratch(), []byte{4})
 	if !bytes.Equal(intsToBytes(phi), []byte{1, 0}) {
 		t.Fatalf("phi for absent single char = %v", phi)
 	}

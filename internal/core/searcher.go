@@ -14,7 +14,8 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
+	"time"
 
 	"bwtmatch/internal/alphabet"
 	"bwtmatch/internal/fmindex"
@@ -84,6 +85,10 @@ type Stats struct {
 	LiveFallbacks int
 	// PhiPruned counts branches cut by the φ(i) heuristic.
 	PhiPruned int
+	// LocateNS is the wall time spent resolving surviving leaves to text
+	// positions (the SA-sample LF walks), separated from the traversal so
+	// occ-path improvements are not masked by locate cost in benchmarks.
+	LocateNS int64
 }
 
 // Searcher answers k-mismatch queries against one target text.
@@ -127,28 +132,47 @@ func (s *Searcher) Find(pattern []byte, k int, method Method) ([]Match, Stats, e
 	return s.FindTraced(pattern, k, method, nil)
 }
 
-// FindTraced is Find with per-query telemetry. When tr is non-nil the
-// search is wrapped in phase spans (phi, traverse, locate) and the
-// traversal emits one EvLeaf per maximal M-tree path — so the EvLeaf
-// count equals Stats.MTreeLeaves (the paper's n′) — one EvMerge per
-// memoized derivation (equals Stats.MemoHits), one EvFallback per live
-// fallback, and EvExpand for every fresh multi-row expansion. A nil tr
-// follows the exact untraced code path.
+// FindTraced is Find with per-query telemetry; it borrows a pooled
+// Scratch, so only the returned matches are allocated. See FindScratch
+// for the telemetry contract.
 func (s *Searcher) FindTraced(pattern []byte, k int, method Method, tr obs.Tracer) ([]Match, Stats, error) {
-	var stats Stats
+	sc := scratchPool.Get().(*Scratch)
+	out, stats, err := s.FindScratch(sc, nil, pattern, k, method, tr)
+	scratchPool.Put(sc)
+	return out, stats, err
+}
+
+// FindScratch is the zero-allocation entry point: all working memory
+// comes from sc and matches are appended to dst (which may be nil).
+// With a warm Scratch and a dst of sufficient capacity a call performs
+// no heap allocation. sc must not be shared between concurrent calls.
+//
+// When tr is non-nil the search is wrapped in phase spans (phi,
+// traverse, locate) and the traversal emits one EvLeaf per maximal
+// M-tree path — so the EvLeaf count equals Stats.MTreeLeaves (the
+// paper's n′) — one EvMerge per memoized derivation (equals
+// Stats.MemoHits), one EvFallback per live fallback, and EvExpand for
+// every fresh multi-row expansion. A nil tr follows the exact untraced
+// code path.
+func (s *Searcher) FindScratch(sc *Scratch, dst []Match, pattern []byte, k int, method Method, tr obs.Tracer) ([]Match, Stats, error) {
+	// The counters live in sc so that taking their address (the M-tree
+	// search stores it in the heap-resident asearch) does not force a
+	// heap allocation of a stack-local Stats on every call.
+	sc.stats = Stats{}
+	stats := &sc.stats
 	if len(pattern) == 0 {
-		return nil, stats, fmt.Errorf("%w: empty", ErrPattern)
+		return dst, *stats, fmt.Errorf("%w: empty", ErrPattern)
 	}
 	for i, r := range pattern {
 		if r < alphabet.A || r > alphabet.T {
-			return nil, stats, fmt.Errorf("%w: rank %d at position %d", ErrPattern, r, i)
+			return dst, *stats, fmt.Errorf("%w: rank %d at position %d", ErrPattern, r, i)
 		}
 	}
 	if k < 0 {
-		return nil, stats, fmt.Errorf("%w: negative k", ErrPattern)
+		return dst, *stats, fmt.Errorf("%w: negative k", ErrPattern)
 	}
 	if len(pattern) > s.n {
-		return nil, stats, nil
+		return dst, *stats, nil
 	}
 
 	if tr != nil {
@@ -157,18 +181,18 @@ func (s *Searcher) FindTraced(pattern []byte, k int, method Method, tr obs.Trace
 	var leaves []leaf
 	switch method {
 	case MethodSTree:
-		leaves = s.searchSTree(pattern, k, false, &stats, tr)
+		leaves = s.searchSTree(sc, pattern, k, false, stats, tr)
 	case MethodSTreePhi:
-		leaves = s.searchSTree(pattern, k, true, &stats, tr)
+		leaves = s.searchSTree(sc, pattern, k, true, stats, tr)
 	case MethodMTree:
-		leaves = s.searchMTree(pattern, k, true, &stats, tr)
+		leaves = s.searchMTree(sc, pattern, k, true, stats, tr)
 	case MethodMTreeNoPhi:
-		leaves = s.searchMTree(pattern, k, false, &stats, tr)
+		leaves = s.searchMTree(sc, pattern, k, false, stats, tr)
 	default:
 		if tr != nil {
 			tr.End()
 		}
-		return nil, stats, fmt.Errorf("core: unknown method %d", method)
+		return dst, *stats, fmt.Errorf("core: unknown method %d", method)
 	}
 	if tr != nil {
 		tr.End(
@@ -180,8 +204,9 @@ func (s *Searcher) FindTraced(pattern []byte, k int, method Method, tr obs.Trace
 		tr.Begin("locate")
 	}
 	stats.Occurrences = 0
-	var out []Match
-	var buf []int32
+	locateStart := time.Now()
+	out := dst
+	buf := sc.locBuf
 	m := len(pattern)
 	if tr == nil {
 		for _, lf := range leaves {
@@ -198,12 +223,14 @@ func (s *Searcher) FindTraced(pattern []byte, k int, method Method, tr obs.Trace
 			}
 		}
 	}
-	stats.Occurrences = len(out)
-	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	sc.locBuf = buf
+	stats.Occurrences = len(out) - len(dst)
+	slices.SortFunc(out[len(dst):], func(a, b Match) int { return int(a.Pos) - int(b.Pos) })
+	stats.LocateNS = time.Since(locateStart).Nanoseconds()
 	if tr != nil {
 		tr.End(obs.Arg{Key: "occurrences", Val: int64(stats.Occurrences)})
 	}
-	return out, stats, nil
+	return out, *stats, nil
 }
 
 // leaf is a surviving S-tree leaf: an interval of rows whose length-m
@@ -220,6 +247,8 @@ func (s *Searcher) CountLeaves(pattern []byte, k int) (Stats, error) {
 	if len(pattern) == 0 || len(pattern) > s.n {
 		return stats, nil
 	}
-	s.searchMTree(pattern, k, true, &stats, nil)
+	sc := scratchPool.Get().(*Scratch)
+	s.searchMTree(sc, pattern, k, true, &stats, nil)
+	scratchPool.Put(sc)
 	return stats, nil
 }

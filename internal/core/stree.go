@@ -13,7 +13,7 @@ import (
 // prunes branches that provably cannot finish within budget. A non-nil tr
 // receives a phi span plus one EvLeaf per maximal path, matching
 // Stats.MTreeLeaves exactly as in the M-tree search.
-func (s *Searcher) searchSTree(pattern []byte, k int, usePhi bool, stats *Stats, tr obs.Tracer) []leaf {
+func (s *Searcher) searchSTree(sc *Scratch, pattern []byte, k int, usePhi bool, stats *Stats, tr obs.Tracer) []leaf {
 	m := len(pattern)
 	var phi []int
 	if usePhi {
@@ -21,7 +21,7 @@ func (s *Searcher) searchSTree(pattern []byte, k int, usePhi bool, stats *Stats,
 			tr.Begin("phi")
 		}
 		var phiSteps int
-		phi, phiSteps = s.computePhi(pattern)
+		phi, phiSteps = s.computePhi(sc, pattern)
 		if tr != nil {
 			tr.End(
 				obs.Arg{Key: "phi0", Val: int64(phi[0])},
@@ -29,13 +29,9 @@ func (s *Searcher) searchSTree(pattern []byte, k int, usePhi bool, stats *Stats,
 		}
 	}
 
-	type frame struct {
-		iv   fmindex.Interval
-		j    int // characters consumed so far
-		mism int
-	}
-	stack := []frame{{iv: s.idx.Full()}}
-	var leaves []leaf
+	stack := append(sc.frames[:0], frame{iv: s.idx.Full()})
+	leaves := sc.out[:0]
+	defer func() { sc.frames, sc.out = stack, leaves }()
 	var kids [alphabet.Bases]fmindex.Interval
 	for len(stack) > 0 {
 		f := stack[len(stack)-1]
@@ -96,24 +92,19 @@ func (s *Searcher) searchSTree(pattern []byte, k int, usePhi bool, stats *Stats,
 // target (or m if no prefix of pattern[i:] is absent). Occurrence tests are
 // forward extensions of the pattern, which on the reverse-text index are
 // plain backward-search steps.
-func (s *Searcher) computePhi(pattern []byte) ([]int, int) {
+func (s *Searcher) computePhi(sc *Scratch, pattern []byte) ([]int, int) {
 	m := len(pattern)
 	steps := 0
-	absentEnd := make([]int, m)
+	sc.absent = intBuf(sc.absent, m)
+	absentEnd := sc.absent
 	for i := 0; i < m; i++ {
-		iv := s.idx.Full()
-		q := i
-		for q < m {
-			iv = s.idx.Step(pattern[q], iv)
-			steps++
-			if iv.Empty() {
-				break
-			}
-			q++
-		}
-		absentEnd[i] = q // pattern[i..q] is absent (q == m means none)
+		matched, st := s.idx.MatchLen(pattern[i:])
+		steps += st
+		absentEnd[i] = i + matched // pattern[i..i+matched] is absent (== m: none)
 	}
-	phi := make([]int, m+1)
+	sc.phi = intBuf(sc.phi, m+1)
+	phi := sc.phi
+	phi[m] = 0
 	for i := m - 1; i >= 0; i-- {
 		if absentEnd[i] >= m {
 			phi[i] = 0

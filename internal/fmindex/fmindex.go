@@ -14,6 +14,7 @@ package fmindex
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"bwtmatch/internal/alphabet"
 	"bwtmatch/internal/bitvec"
@@ -45,6 +46,13 @@ type Options struct {
 	// OccRate 4, with scans of at most 15 characters. OccRate is ignored
 	// when set.
 	TwoLevelOcc bool
+	// Workers is the goroutine count for the parallelizable phases of
+	// Build (BWT extraction, occ checkpoints, SA sampling, packing).
+	// 0 or 1 builds serially. The suffix array itself stays serial —
+	// induced sorting is inherently sequential — so speedups saturate
+	// per Amdahl (DESIGN.md §8). Workers affects construction only; it
+	// is not serialized with the index.
+	Workers int
 }
 
 // DefaultOptions mirror the paper's experimental configuration.
@@ -56,6 +64,9 @@ func (o *Options) normalize() error {
 	}
 	if o.SARate == 0 {
 		o.SARate = 16
+	}
+	if o.Workers < 1 {
+		o.Workers = 1
 	}
 	if o.OccRate < 1 || o.SARate < 1 {
 		return fmt.Errorf("fmindex: invalid options %+v", *o)
@@ -90,50 +101,44 @@ type Index struct {
 
 	c [alphabet.Size + 1]int32 // c[x] = #chars with rank < x in text+$
 
-	occ     []int32      // flat occ checkpoints: occ[(p/OccRate)*Bases + (x-1)]
-	occ2    *twoLevelOcc // hierarchical alternative; occ is nil when set
-	sentPos int32        // position of the sentinel within bwt
+	occ      []int32      // flat occ checkpoints: occ[(p/OccRate)*Bases + (x-1)]
+	occ2     *twoLevelOcc // hierarchical alternative; occ is nil when set
+	occShift int32        // log2(OccRate) when it is a power of two, else -1
+	sentPos  int32        // position of the sentinel within bwt
 
 	saMarked  *bitvec.Rank // rows whose SA value is sampled
 	saSamples []int32      // SA values of marked rows, in row order
 }
 
 // Build constructs the index over a rank-encoded text (values 1..4).
+// With opts.Workers > 1 every phase after the suffix array runs across
+// that many goroutines over disjoint ranges (see parallel.go).
 func Build(text []byte, opts Options) (*Index, error) {
 	if err := opts.normalize(); err != nil {
 		return nil, err
 	}
-	for i, r := range text {
-		if r < alphabet.A || r > alphabet.T {
-			return nil, fmt.Errorf("%w: rank %d at position %d", ErrInvalidText, r, i)
-		}
+	workers := opts.Workers
+	if err := validateText(text, workers); err != nil {
+		return nil, err
 	}
 	n := len(text)
 	idx := &Index{opts: opts, n: n}
+	idx.deriveOccShift()
 
 	// Suffix array of text+$; the sentinel suffix sorts first, so SA row 0
-	// is position n and rows 1..n are Build(text) shifted.
+	// is position n and rows 1..n are Build(text) shifted. This phase is
+	// serial regardless of Workers: SA-IS induced sorting propagates
+	// order left-to-right and cannot be range-partitioned.
 	sa := make([]int32, n+1)
 	sa[0] = int32(n)
 	copy(sa[1:], suffixarray.Build(text))
 
 	// BWT: L[i] = text[sa[i]-1], or $ when sa[i] == 0 (paper eq. (3)).
 	idx.bwt = make([]byte, n+1)
-	for i, p := range sa {
-		if p == 0 {
-			idx.bwt[i] = alphabet.Sentinel
-			idx.sentPos = int32(i)
-		} else {
-			idx.bwt[i] = text[p-1]
-		}
-	}
+	idx.sentPos = extractBWT(idx.bwt, sa, text, workers)
 
 	// C array over text+$.
-	var counts [alphabet.Size]int32
-	counts[alphabet.Sentinel] = 1
-	for _, r := range text {
-		counts[r]++
-	}
+	counts := countRanks(text, workers)
 	var sum int32
 	for x := 0; x < alphabet.Size; x++ {
 		idx.c[x] = sum
@@ -142,7 +147,7 @@ func Build(text []byte, opts Options) (*Index, error) {
 	idx.c[alphabet.Size] = sum
 
 	if opts.PackedBWT {
-		idx.packed = newPackedBWT(idx.bwt)
+		idx.packed = newPackedBWT(idx.bwt, workers)
 	}
 
 	// Rankall checkpoints: the paper's flat layout, or the hierarchical
@@ -151,43 +156,31 @@ func Build(text []byte, opts Options) (*Index, error) {
 		if err := validateGeometry(); err != nil {
 			return nil, err
 		}
-		idx.occ2 = buildTwoLevel(idx.bwt)
+		idx.occ2 = buildTwoLevel(idx.bwt, workers)
 	} else {
-		rate := opts.OccRate
-		nChk := (n+1)/rate + 1
-		idx.occ = make([]int32, nChk*alphabet.Bases)
-		var running [alphabet.Bases]int32
-		for p := 0; p <= n+1; p++ {
-			if p%rate == 0 {
-				copy(idx.occ[(p/rate)*alphabet.Bases:], running[:])
-			}
-			if p <= n {
-				if ch := idx.bwt[p]; ch != alphabet.Sentinel {
-					running[ch-1]++
-				}
-			}
-		}
+		idx.occ = buildFlatOcc(idx.bwt, opts.OccRate, workers)
 	}
 
 	// SA samples for Locate: mark rows whose SA value is a multiple of
 	// SARate (plus position n so every LF walk terminates).
-	marked := bitvec.New(n + 1)
-	for i, p := range sa {
-		if int(p)%opts.SARate == 0 || int(p) == n {
-			marked.Set(i)
-		}
-	}
-	idx.saMarked = bitvec.NewRank(marked)
-	idx.saSamples = make([]int32, 0, idx.saMarked.Ones())
-	for i, p := range sa {
-		if marked.Get(i) {
-			idx.saSamples = append(idx.saSamples, p)
-		}
-	}
+	idx.saMarked, idx.saSamples = buildSASamples(sa, n, opts.SARate, workers)
 	if idx.packed != nil {
 		idx.bwt = nil // the packed layout is authoritative
 	}
 	return idx, nil
+}
+
+// deriveOccShift caches log2(OccRate) so the rank hot paths can replace
+// the checkpoint division — by a rate known only at runtime, which the
+// compiler cannot strength-reduce — with a shift. Called from Build and
+// the deserializer (anywhere opts is assigned).
+func (idx *Index) deriveOccShift() {
+	rate := idx.opts.OccRate
+	if rate > 0 && rate&(rate-1) == 0 {
+		idx.occShift = int32(bits.TrailingZeros32(uint32(rate)))
+	} else {
+		idx.occShift = -1
+	}
 }
 
 // bwtAt reads L[i] regardless of the storage layout.
@@ -215,15 +208,23 @@ func (idx *Index) occAt(x byte, p int32) int32 {
 	if idx.occ2 != nil {
 		cnt, from = idx.occ2.base(x, p)
 	} else {
-		chk := p / int32(idx.opts.OccRate)
+		var chk int32
+		if s := idx.occShift; s >= 0 {
+			chk = p >> s
+			from = chk << s
+		} else {
+			chk = p / int32(idx.opts.OccRate)
+			from = chk * int32(idx.opts.OccRate)
+		}
 		cnt = idx.occ[chk*alphabet.Bases+int32(x-1)]
-		from = chk * int32(idx.opts.OccRate)
 	}
 	if idx.packed != nil {
 		return cnt + idx.packed.count(x, from, p)
 	}
-	for q := from; q < p; q++ {
-		if idx.bwt[q] == x {
+	// Ranging over the subslice hoists the bounds checks out of the
+	// scan, which runs up to OccRate-1 iterations on every rank query.
+	for _, ch := range idx.bwt[from:p] {
+		if ch == x {
 			cnt++
 		}
 	}
@@ -274,18 +275,25 @@ func (idx *Index) occAll(p int32, cnt *[alphabet.Bases]int32) {
 	if idx.occ2 != nil {
 		from = idx.occ2.baseAll(p, cnt)
 	} else {
-		chk := p / int32(idx.opts.OccRate)
-		copy(cnt[:], idx.occ[chk*alphabet.Bases:chk*alphabet.Bases+alphabet.Bases])
-		from = chk * int32(idx.opts.OccRate)
+		var chk int32
+		if s := idx.occShift; s >= 0 {
+			chk = p >> s
+			from = chk << s
+		} else {
+			chk = p / int32(idx.opts.OccRate)
+			from = chk * int32(idx.opts.OccRate)
+		}
+		// Four explicit loads: a 16-byte copy() here compiles to a
+		// memmove call, which profiles at ~10% of the whole search.
+		row := idx.occ[chk*alphabet.Bases : chk*alphabet.Bases+alphabet.Bases]
+		cnt[0], cnt[1], cnt[2], cnt[3] = row[0], row[1], row[2], row[3]
 	}
 	if idx.packed != nil {
-		for x := byte(alphabet.A); x <= alphabet.T; x++ {
-			cnt[x-1] += idx.packed.count(x, from, p)
-		}
+		idx.packed.countAll(from, p, cnt)
 		return
 	}
-	for q := from; q < p; q++ {
-		if ch := idx.bwt[q]; ch != alphabet.Sentinel {
+	for _, ch := range idx.bwt[from:p] {
+		if ch != alphabet.Sentinel {
 			cnt[ch-1]++
 		}
 	}
@@ -304,6 +312,83 @@ func (idx *Index) Search(pattern []byte) Interval {
 
 // Count returns the number of exact occurrences of pattern.
 func (idx *Index) Count(pattern []byte) int { return idx.Search(pattern).Len() }
+
+// MatchLen extends the empty match by the characters of p in order (one
+// idx.Step per character) and returns how many of them match before the
+// interval empties — the length of the longest prefix of p that occurs
+// in the text — plus the number of rank steps consumed (equal to what
+// the equivalent Step loop would report). It is the φ-bound /
+// matching-statistics primitive and the hottest loop of the pruned
+// searches, so the flat byte occ layout gets a fused implementation:
+// the interval stays in registers across iterations, the first step
+// from Full is answered from the C array alone (occ of a full prefix
+// is a bucket width), and one-row intervals are resolved by a direct
+// BWT comparison, which turns the common "unique substring, next
+// character mismatches" exit into a single byte load. Other rank
+// backends (two-level, packed) use the generic loop.
+func (idx *Index) MatchLen(p []byte) (matched, steps int) {
+	if len(p) == 0 {
+		return 0, 0
+	}
+	if idx.occ2 != nil || idx.packed != nil || idx.occShift < 0 {
+		iv := idx.Full()
+		for q := 0; q < len(p); q++ {
+			iv = idx.Step(p[q], iv)
+			steps++
+			if iv.Empty() {
+				return q, steps
+			}
+		}
+		return len(p), steps
+	}
+	shift := idx.occShift
+	bwt, occ := idx.bwt, idx.occ
+	x := p[0]
+	lo, hi := idx.c[x], idx.c[x+1]
+	steps++
+	if lo >= hi {
+		return 0, steps
+	}
+	for q := 1; q < len(p); q++ {
+		x = p[q]
+		steps++
+		if hi == lo+1 {
+			if bwt[lo] != x {
+				return q, steps
+			}
+			chk := lo >> shift
+			cnt := occ[chk*alphabet.Bases+int32(x-1)]
+			for _, ch := range bwt[chk<<shift : lo] {
+				if ch == x {
+					cnt++
+				}
+			}
+			lo = idx.c[x] + cnt
+			hi = lo + 1
+			continue
+		}
+		xi := int32(x - 1)
+		chk := lo >> shift
+		cl := occ[chk*alphabet.Bases+xi]
+		for _, ch := range bwt[chk<<shift : lo] {
+			if ch == x {
+				cl++
+			}
+		}
+		chk = hi >> shift
+		chi := occ[chk*alphabet.Bases+xi]
+		for _, ch := range bwt[chk<<shift : hi] {
+			if ch == x {
+				chi++
+			}
+		}
+		lo, hi = idx.c[x]+cl, idx.c[x]+chi
+		if lo >= hi {
+			return q, steps
+		}
+	}
+	return len(p), steps
+}
 
 // SearchTraced is Search with telemetry: when tr is non-nil every
 // backward-extension step emits one EvStep event carrying the pattern

@@ -18,7 +18,7 @@ func TestPackedCountAgainstScan(t *testing.T) {
 			bwt[i] = byte(1 + rng.Intn(4))
 		}
 		bwt[rng.Intn(n)] = alphabet.Sentinel
-		p := newPackedBWT(bwt)
+		p := newPackedBWT(bwt, 1)
 		for q := 0; q < 100; q++ {
 			from := int32(rng.Intn(n + 1))
 			to := from + int32(rng.Intn(n+1-int(from)))

@@ -1,0 +1,208 @@
+package fmindex
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"bwtmatch/internal/alphabet"
+	"bwtmatch/internal/bitvec"
+)
+
+// splitRanges partitions [0, n) into at most workers contiguous ranges
+// whose boundaries (except the final end) are multiples of align, so
+// that range-local construction can write packed words, checkpoint rows
+// or bitvector words without overlapping another range's cache lines.
+func splitRanges(n, workers, align int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if align < 1 {
+		align = 1
+	}
+	chunk := (n + workers - 1) / workers
+	chunk = (chunk + align - 1) / align * align
+	ranges := make([][2]int, 0, (n+chunk-1)/chunk)
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		ranges = append(ranges, [2]int{lo, hi})
+	}
+	return ranges
+}
+
+// runRanges executes fn over every range, concurrently when there is
+// more than one. fn receives the range index w for indexing per-range
+// accumulators.
+func runRanges(ranges [][2]int, fn func(w, lo, hi int)) {
+	if len(ranges) == 0 {
+		return
+	}
+	if len(ranges) == 1 {
+		fn(0, ranges[0][0], ranges[0][1])
+		return
+	}
+	var wg sync.WaitGroup
+	for w, r := range ranges {
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, r[0], r[1])
+	}
+	wg.Wait()
+}
+
+// parallelRanges is splitRanges+runRanges for phases that need no
+// second pass over the same partition.
+func parallelRanges(n, workers, align int, fn func(w, lo, hi int)) {
+	runRanges(splitRanges(n, workers, align), fn)
+}
+
+// validateText checks that every byte is a proper base rank, reporting
+// the first offending position (workers scan disjoint ranges; the
+// earliest range's hit wins, preserving the serial error message).
+func validateText(text []byte, workers int) error {
+	ranges := splitRanges(len(text), workers, 1)
+	bad := make([]int, len(ranges))
+	runRanges(ranges, func(w, lo, hi int) {
+		bad[w] = -1
+		for i := lo; i < hi; i++ {
+			if r := text[i]; r < alphabet.A || r > alphabet.T {
+				bad[w] = i
+				return
+			}
+		}
+	})
+	for _, i := range bad {
+		if i >= 0 {
+			return fmt.Errorf("%w: rank %d at position %d", ErrInvalidText, text[i], i)
+		}
+	}
+	return nil
+}
+
+// extractBWT fills bwt[i] = text[sa[i]-1] (the sentinel where sa[i] is
+// 0, paper eq. (3)) and returns the sentinel's row. Rows partition into
+// disjoint ranges, so workers never write the same byte.
+func extractBWT(bwt []byte, sa []int32, text []byte, workers int) int32 {
+	var sent atomic.Int32
+	parallelRanges(len(sa), workers, 1, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p := sa[i]
+			if p == 0 {
+				bwt[i] = alphabet.Sentinel
+				sent.Store(int32(i)) // exactly one row has sa[i] == 0
+			} else {
+				bwt[i] = text[p-1]
+			}
+		}
+	})
+	return sent.Load()
+}
+
+// countRanks tallies the rank histogram of the text plus one sentinel,
+// merging per-range partial counts.
+func countRanks(text []byte, workers int) [alphabet.Size]int32 {
+	ranges := splitRanges(len(text), workers, 1)
+	part := make([][alphabet.Size]int32, len(ranges))
+	runRanges(ranges, func(w, lo, hi int) {
+		var local [alphabet.Size]int32
+		for _, r := range text[lo:hi] {
+			local[r]++
+		}
+		part[w] = local
+	})
+	var total [alphabet.Size]int32
+	total[alphabet.Sentinel] = 1
+	for _, p := range part {
+		for x := range total {
+			total[x] += p[x]
+		}
+	}
+	return total
+}
+
+// buildFlatOcc builds the paper's flat rankall table over bwt (sentinel
+// included): one [Bases]int32 checkpoint per rate-aligned position p in
+// [0, len(bwt)], holding the occurrence counts in bwt[0:p]. Ranges are
+// rate-aligned so every checkpoint row belongs to exactly one range;
+// pass one writes counts relative to the range start, pass two adds the
+// prefix-summed range offsets.
+func buildFlatOcc(bwt []byte, rate, workers int) []int32 {
+	L := len(bwt)
+	nChk := L/rate + 1
+	occ := make([]int32, nChk*alphabet.Bases)
+	ranges := splitRanges(L+1, workers, rate)
+	totals := make([][alphabet.Bases]int32, len(ranges))
+	runRanges(ranges, func(w, lo, hi int) {
+		var running [alphabet.Bases]int32
+		for p := lo; p < hi; p++ {
+			if p%rate == 0 {
+				copy(occ[(p/rate)*alphabet.Bases:], running[:])
+			}
+			if p < L {
+				if ch := bwt[p]; ch != alphabet.Sentinel {
+					running[ch-1]++
+				}
+			}
+		}
+		totals[w] = running
+	})
+	if len(ranges) > 1 {
+		offsets := make([][alphabet.Bases]int32, len(ranges))
+		var off [alphabet.Bases]int32
+		for w := range ranges {
+			offsets[w] = off
+			for x := 0; x < alphabet.Bases; x++ {
+				off[x] += totals[w][x]
+			}
+		}
+		runRanges(ranges, func(w, lo, hi int) {
+			if w == 0 {
+				return // first range is already absolute
+			}
+			add := &offsets[w]
+			for chk := lo / rate; chk*rate < hi; chk++ {
+				row := occ[chk*alphabet.Bases : chk*alphabet.Bases+alphabet.Bases]
+				for x := 0; x < alphabet.Bases; x++ {
+					row[x] += add[x]
+				}
+			}
+		})
+	}
+	return occ
+}
+
+// buildSASamples marks every SARate-th text position's row (plus the
+// row of position n so all LF walks terminate) and collects the sampled
+// SA values in row order. Row ranges are 64-aligned so bit writes land
+// in disjoint bitvector words; the sample fill indexes each range's
+// output slot via Rank1 of its start.
+func buildSASamples(sa []int32, n, saRate, workers int) (*bitvec.Rank, []int32) {
+	marked := bitvec.New(len(sa))
+	parallelRanges(len(sa), workers, 64, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if p := int(sa[i]); p%saRate == 0 || p == n {
+				marked.Set(i)
+			}
+		}
+	})
+	rank := bitvec.NewRank(marked)
+	samples := make([]int32, rank.Ones())
+	parallelRanges(len(sa), workers, 64, func(w, lo, hi int) {
+		j := rank.Rank1(lo)
+		for i := lo; i < hi; i++ {
+			if marked.Get(i) {
+				samples[j] = sa[i]
+				j++
+			}
+		}
+	})
+	return rank, samples
+}

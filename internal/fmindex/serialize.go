@@ -126,6 +126,7 @@ func ReadIndex(r io.Reader) (*Index, error) {
 		return nil, fmt.Errorf("%w: header: %v", ErrFormat, err)
 	}
 	idx.opts = Options{OccRate: int(occRate), SARate: int(saRate), PackedBWT: layout == layoutPacked}
+	idx.deriveOccShift()
 	if err := idx.opts.normalize(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
 	}
@@ -297,7 +298,7 @@ func (idx *Index) verifyLoad() error {
 	// Rankall checkpoints: recompute from the BWT and demand equality.
 	bwt := idx.BWT()
 	if idx.occ2 != nil {
-		fresh := buildTwoLevel(bwt)
+		fresh := buildTwoLevel(bwt, 1)
 		if !slices.Equal(fresh.super, idx.occ2.super) || !slices.Equal(fresh.block, idx.occ2.block) {
 			return fmt.Errorf("two-level occ directory disagrees with bwt recount")
 		}

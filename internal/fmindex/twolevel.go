@@ -26,8 +26,11 @@ const (
 	blocksPerSuper = superRate / blockRate
 )
 
-// buildTwoLevel scans a rank-encoded BWT.
-func buildTwoLevel(bwt []byte) *twoLevelOcc {
+// buildTwoLevel scans a rank-encoded BWT across workers goroutines.
+// Ranges are superRate-aligned, so the relative (block) counts are
+// fully range-local; only the absolute superblock counts need the
+// prefix-sum fixup of the second pass.
+func buildTwoLevel(bwt []byte, workers int) *twoLevelOcc {
 	n := len(bwt)
 	nSuper := n/superRate + 1
 	nBlock := n/blockRate + 1
@@ -35,20 +38,42 @@ func buildTwoLevel(bwt []byte) *twoLevelOcc {
 		super: make([]uint32, (nSuper+1)*alphabet.Bases),
 		block: make([]uint8, (nBlock+1)*alphabet.Bases),
 	}
-	var abs [alphabet.Bases]uint32
-	var rel [alphabet.Bases]uint8
-	for p := 0; p <= n; p++ {
-		if p%superRate == 0 {
-			copy(t.super[(p/superRate)*alphabet.Bases:], abs[:])
-			rel = [alphabet.Bases]uint8{}
+	ranges := splitRanges(n+1, workers, superRate)
+	totals := make([][alphabet.Bases]uint32, len(ranges))
+	runRanges(ranges, func(w, lo, hi int) {
+		var abs [alphabet.Bases]uint32
+		var rel [alphabet.Bases]uint8
+		for p := lo; p < hi; p++ {
+			if p%superRate == 0 {
+				copy(t.super[(p/superRate)*alphabet.Bases:], abs[:])
+				rel = [alphabet.Bases]uint8{}
+			}
+			if p%blockRate == 0 {
+				copy(t.block[(p/blockRate)*alphabet.Bases:], rel[:])
+			}
+			if p < n {
+				if ch := bwt[p]; ch != alphabet.Sentinel {
+					abs[ch-1]++
+					rel[ch-1]++
+				}
+			}
 		}
-		if p%blockRate == 0 {
-			copy(t.block[(p/blockRate)*alphabet.Bases:], rel[:])
-		}
-		if p < n {
-			if ch := bwt[p]; ch != alphabet.Sentinel {
-				abs[ch-1]++
-				rel[ch-1]++
+		totals[w] = abs
+	})
+	if len(ranges) > 1 {
+		var off [alphabet.Bases]uint32
+		for w, r := range ranges {
+			if w > 0 {
+				lo, hi := r[0], r[1]
+				for sup := lo / superRate; sup*superRate < hi; sup++ {
+					row := t.super[sup*alphabet.Bases : sup*alphabet.Bases+alphabet.Bases]
+					for x := 0; x < alphabet.Bases; x++ {
+						row[x] += off[x]
+					}
+				}
+			}
+			for x := 0; x < alphabet.Bases; x++ {
+				off[x] += totals[w][x]
 			}
 		}
 	}

@@ -137,7 +137,9 @@ func Merge(a1, a2 []int32, beta, gamma []byte, limit int) []int32 {
 //
 // Backed by LCE jumps, each Next call is O(1); a full drain of k+1 entries
 // is O(k) — the same cost as the paper's merge(R_i, R_j, …) but immune to
-// the truncation limits of precomputed arrays.
+// the truncation limits of precomputed arrays. Sources over patterns of
+// at most LCEMinLen characters skip the LCE structure entirely and scan
+// for the next mismatch directly (see LCEMinLen).
 type Iter struct {
 	lce  *suffixarray.LCE
 	r    []byte
@@ -153,12 +155,36 @@ type IterSource struct {
 	r   []byte
 }
 
-// NewIterSource builds the LCE structure over the rank-encoded pattern.
+// LCEMinLen is the smallest pattern length for which an IterSource
+// builds the LCE (suffix array + LCP + RMQ) structure. Below it, Next
+// finds the following mismatch by comparing characters directly: each
+// yielded position then costs O(gap) single-byte compares instead of
+// O(1), but building the LCE costs O(m log m) time *and allocation* per
+// pattern — far more than the total compare work at read-sized m. The
+// direct mode is what keeps a warm search allocation-free (DESIGN.md
+// §8); the asymptotic O(k)-per-path guarantee of the paper is retained
+// for patterns long enough for it to matter.
+const LCEMinLen = 2048
+
+// NewIterSource builds an iterator source over the rank-encoded
+// pattern (the LCE structure only when the pattern is at least
+// LCEMinLen long).
 func NewIterSource(r []byte) *IterSource {
-	if len(r) == 0 {
-		return &IterSource{r: r}
+	s := &IterSource{}
+	s.Reset(r)
+	return s
+}
+
+// Reset re-targets the source at a new pattern, dropping any previous
+// LCE structure. For patterns shorter than LCEMinLen it performs no
+// allocation, which lets a pooled search scratch reuse one IterSource
+// across queries.
+func (s *IterSource) Reset(r []byte) {
+	s.r = r
+	s.lce = nil
+	if len(r) >= LCEMinLen {
+		s.lce = suffixarray.NewLCE(r)
 	}
-	return &IterSource{lce: suffixarray.NewLCE(r), r: r}
 }
 
 // Iter returns an iterator over mismatches between r[i..] and r[j..]
@@ -179,6 +205,20 @@ func (s *IterSource) Iter(i, j int) Iter {
 // when the overlap is exhausted.
 func (it *Iter) Next() (int32, bool) {
 	if it.i == it.j {
+		return 0, false
+	}
+	if it.lce == nil {
+		// Direct mode (short patterns): scan for the next disagreeing
+		// offset. The two indexed loops let the compiler hoist the bounds
+		// checks out of the comparison loop.
+		r := it.r
+		for t := it.t; t < it.end; t++ {
+			if r[it.i+t] != r[it.j+t] {
+				it.t = t + 1
+				return int32(t + 1), true
+			}
+		}
+		it.t = it.end
 		return 0, false
 	}
 	for it.t < it.end {

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"io"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// numShards is the stripe width for sharded counters and histograms:
+// the next power of two at or above GOMAXPROCS (capped at 64), fixed at
+// process start. Power-of-two width lets the shard pick be a mask
+// instead of a modulo.
+var numShards = func() int {
+	n := runtime.GOMAXPROCS(0)
+	s := 1
+	for s < n && s < 64 {
+		s <<= 1
+	}
+	return s
+}()
+
+// shardIdx picks a stripe for the calling goroutine. rand/v2's
+// top-level generator reads per-P state without locking, so concurrent
+// callers on different CPUs land on (statistically) different stripes
+// without any pinning API, and the pick costs a few nanoseconds.
+func shardIdx() int {
+	return int(rand.Uint64() & uint64(numShards-1))
+}
+
+// counterCell is one stripe, padded out to its own cache line so
+// neighbouring stripes never false-share.
+type counterCell struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// ShardedCounter is a monotonic (or signed) counter striped across
+// cache-line-padded cells. Add touches one stripe; Load sums all of
+// them, which is the scrape-time cost the hot path no longer pays.
+// The zero value is ready to use and shares the call shape of
+// atomic.Int64 (Add/Load), so it can replace one without touching call
+// sites. Load is not a snapshot barrier: concurrent Adds may or may not
+// be included, exactly as with a plain atomic.
+type ShardedCounter struct {
+	once  sync.Once
+	cells []counterCell
+}
+
+func (c *ShardedCounter) initCells() { c.cells = make([]counterCell, numShards) }
+
+// Add adds n to the counter.
+func (c *ShardedCounter) Add(n int64) {
+	c.once.Do(c.initCells)
+	c.cells[shardIdx()].v.Add(n)
+}
+
+// Load returns the summed value across all stripes.
+func (c *ShardedCounter) Load() int64 {
+	c.once.Do(c.initCells)
+	var sum int64
+	for i := range c.cells {
+		sum += c.cells[i].v.Load()
+	}
+	return sum
+}
+
+// ShardedHistogram stripes a fixed-bucket latency histogram: Observe
+// updates one stripe's buckets, the read side (Count, SumMS, Snapshot,
+// WritePrometheus) merges stripes at scrape time. All stripes share one
+// bounds slice. Construct with NewShardedLatencyHistogram.
+type ShardedHistogram struct {
+	shards []*Histogram
+}
+
+// NewShardedLatencyHistogram builds a striped histogram over
+// DefaultLatencyBounds.
+func NewShardedLatencyHistogram() *ShardedHistogram {
+	s := &ShardedHistogram{shards: make([]*Histogram, numShards)}
+	for i := range s.shards {
+		s.shards[i] = NewLatencyHistogram()
+	}
+	return s
+}
+
+// Observe records one duration on the calling goroutine's stripe.
+func (s *ShardedHistogram) Observe(d time.Duration) {
+	s.shards[shardIdx()].Observe(d)
+}
+
+// merged sums every stripe into one Histogram for rendering.
+func (s *ShardedHistogram) merged() *Histogram {
+	out := NewHistogram(s.shards[0].bounds)
+	for _, h := range s.shards {
+		for i := range h.buckets {
+			out.buckets[i].Add(h.buckets[i].Load())
+		}
+		out.count.Add(h.count.Load())
+		out.sumUS.Add(h.sumUS.Load())
+	}
+	return out
+}
+
+// Count returns the total number of observations across stripes.
+func (s *ShardedHistogram) Count() int64 {
+	var n int64
+	for _, h := range s.shards {
+		n += h.Count()
+	}
+	return n
+}
+
+// SumMS returns the summed observation time in milliseconds.
+func (s *ShardedHistogram) SumMS() float64 {
+	var us int64
+	for _, h := range s.shards {
+		us += h.sumUS.Load()
+	}
+	return float64(us) / 1000
+}
+
+// Snapshot renders the merged histogram (see Histogram.Snapshot).
+func (s *ShardedHistogram) Snapshot() map[string]any { return s.merged().Snapshot() }
+
+// WritePrometheus emits the merged histogram (see
+// Histogram.WritePrometheus).
+func (s *ShardedHistogram) WritePrometheus(w io.Writer, name, labels string) {
+	s.merged().WritePrometheus(w, name, labels)
+}

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestShardedCounterConcurrentSum hammers one counter from many
+// goroutines and checks no increment is lost (run under -race in make
+// check).
+func TestShardedCounterConcurrentSum(t *testing.T) {
+	var c ShardedCounter
+	const goroutines, perG = 16, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != goroutines*perG {
+		t.Fatalf("Load() = %d, want %d", got, goroutines*perG)
+	}
+}
+
+// TestShardedCounterSignedAndZero pins the atomic.Int64-compatible
+// behaviours the server relies on: zero value readable, negative adds
+// (InFlight gauge), interleaved loads.
+func TestShardedCounterSignedAndZero(t *testing.T) {
+	var c ShardedCounter
+	if got := c.Load(); got != 0 {
+		t.Fatalf("zero value Load() = %d", got)
+	}
+	c.Add(5)
+	c.Add(-2)
+	if got := c.Load(); got != 3 {
+		t.Fatalf("Load() = %d, want 3", got)
+	}
+}
+
+// TestShardedHistogramMatchesPlain drives a sharded and a plain
+// histogram with the same observations (concurrently for the sharded
+// one) and requires identical merged buckets, count and sum.
+func TestShardedHistogramMatchesPlain(t *testing.T) {
+	sh := NewShardedLatencyHistogram()
+	plain := NewLatencyHistogram()
+	durations := []time.Duration{
+		50 * time.Microsecond, 200 * time.Microsecond, 2 * time.Millisecond,
+		40 * time.Millisecond, 700 * time.Millisecond, 5 * time.Second,
+	}
+	const rounds = 500
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				for _, d := range durations {
+					sh.Observe(d)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 8*rounds; i++ {
+		for _, d := range durations {
+			plain.Observe(d)
+		}
+	}
+	wg.Wait()
+	if sh.Count() != plain.Count() {
+		t.Fatalf("Count %d != %d", sh.Count(), plain.Count())
+	}
+	if sh.SumMS() != plain.SumMS() {
+		t.Fatalf("SumMS %v != %v", sh.SumMS(), plain.SumMS())
+	}
+	got, want := sh.Snapshot(), plain.Snapshot()
+	gb, wb := got["buckets_ms"].(map[string]int64), want["buckets_ms"].(map[string]int64)
+	for k, v := range wb {
+		if gb[k] != v {
+			t.Fatalf("bucket %s: %d != %d", k, gb[k], v)
+		}
+	}
+	var g, w strings.Builder
+	sh.WritePrometheus(&g, "m", `x="y"`)
+	plain.WritePrometheus(&w, "m", `x="y"`)
+	if g.String() != w.String() {
+		t.Fatalf("Prometheus exposition differs:\n%s\nvs\n%s", g.String(), w.String())
+	}
+}
+
+// BenchmarkShardedCounterParallel measures the contended hot path the
+// striping exists for; compare with BenchmarkAtomicCounterParallel.
+func BenchmarkShardedCounterParallel(b *testing.B) {
+	var c ShardedCounter
+	c.Add(0) // init outside the timer
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Add(1)
+		}
+	})
+	if c.Load() == 0 {
+		b.Fatal("no adds recorded")
+	}
+}
+
+// BenchmarkShardedHistogramParallel measures concurrent Observe cost.
+func BenchmarkShardedHistogramParallel(b *testing.B) {
+	h := NewShardedLatencyHistogram()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(3 * time.Millisecond)
+		}
+	})
+}

@@ -44,3 +44,13 @@ func WithTwoLevelOcc() Option {
 func WithPackedBWT() Option {
 	return func(c *config) { c.fm.PackedBWT = true }
 }
+
+// WithBuildWorkers parallelizes index construction across n goroutines
+// for every phase after the suffix array (BWT extraction, rankall
+// checkpoints, SA sampling, packing). The suffix array itself is
+// inherently serial, so end-to-end speedups saturate per Amdahl
+// (DESIGN.md §8). n <= 1 builds serially (the default); queries are
+// unaffected.
+func WithBuildWorkers(n int) Option {
+	return func(c *config) { c.fm.Workers = n }
+}

@@ -3,6 +3,7 @@ package bwtmatch
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 )
 
 // Query is one unit of bulk search work for MapAll.
@@ -31,6 +32,12 @@ func (x *Index) MapAll(queries []Query, method Method, workers int) []Result {
 	return x.MapAllContext(context.Background(), queries, method, workers)
 }
 
+// mapChunkMax bounds how many query indices one work-stealing claim
+// covers. Larger chunks amortize the shared counter; smaller chunks
+// balance load when per-query cost is skewed (a handful of repetitive
+// reads can cost 100× the median).
+const mapChunkMax = 32
+
 // MapAllContext runs every query with the given method across workers
 // goroutines and returns results in query order. The Index is immutable
 // after construction, so the workers share it without locking; workers
@@ -38,62 +45,87 @@ func (x *Index) MapAll(queries []Query, method Method, workers int) []Result {
 // Result rather than aborting the batch — reads in real pipelines fail
 // individually (bad characters, zero length) and the rest must proceed.
 //
-// When ctx is cancelled the batch stops early: queries not yet started
-// get Result{Err: ctx.Err()}, queries already running finish normally
-// (individual searches are not interruptible), and the call returns only
-// after all started work has completed, so the results slice is never
-// written to after return.
+// Work is distributed by chunked atomic claiming: each worker owns a
+// pinned Scratch and repeatedly claims the next run of query indices
+// from a shared counter, so there is no dispatcher goroutine and no
+// channel handoff on the hot path, and the BWT-path methods run
+// allocation-free once the scratches are warm.
+//
+// When ctx is cancelled the batch stops early: queries whose search has
+// not yet begun get Result{Err: ctx.Err()}, queries already running
+// finish normally (individual searches are not interruptible), and the
+// call returns only after all workers have drained, so the results
+// slice is never written to after return.
 func (x *Index) MapAllContext(ctx context.Context, queries []Query, method Method, workers int) []Result {
 	results := make([]Result, len(queries))
-	run := func(i int) {
+	_, coreMethod := coreMethods[method]
+	run := func(sc *Scratch, i int) {
 		if err := ctx.Err(); err != nil {
 			results[i] = Result{Err: err}
 			return
 		}
-		m, st, err := x.SearchMethod(queries[i].Pattern, queries[i].K, method)
+		q := queries[i]
+		var (
+			m   []Match
+			st  Stats
+			err error
+		)
+		if coreMethod {
+			m, st, err = x.SearchMethodScratch(sc, nil, q.Pattern, q.K, method)
+		} else {
+			m, st, err = x.SearchMethod(q.Pattern, q.K, method)
+		}
 		results[i] = Result{Matches: m, Stats: st, Err: err}
 	}
 	if workers <= 1 || len(queries) <= 1 {
+		sc := scratchPool.Get().(*Scratch)
 		for i := range queries {
-			run(i)
+			run(sc, i)
 		}
+		scratchPool.Put(sc)
 		return results
 	}
 	if workers > len(queries) {
 		workers = len(queries)
 	}
 	// Cole's suffix tree and the Amir matcher build lazily behind a
-	// sync.Once; trigger them before fan-out so workers never contend on
-	// first use.
-	run(0)
-	jobs := make(chan int)
+	// sync.Once; run the first query before fan-out so workers never
+	// contend on first use.
+	warm := scratchPool.Get().(*Scratch)
+	run(warm, 0)
+	scratchPool.Put(warm)
+
+	chunk := len(queries) / (workers * 4)
+	if chunk > mapChunkMax {
+		chunk = mapChunkMax
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	var next atomic.Int64
+	next.Store(1) // query 0 ran during warm-up
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range jobs {
-				run(i)
+			sc := scratchPool.Get().(*Scratch)
+			defer scratchPool.Put(sc)
+			for {
+				lo := int(next.Add(int64(chunk))) - chunk
+				if lo >= len(queries) {
+					return
+				}
+				hi := lo + chunk
+				if hi > len(queries) {
+					hi = len(queries)
+				}
+				for i := lo; i < hi; i++ {
+					run(sc, i)
+				}
 			}
 		}()
 	}
-	cancelled := len(queries)
-	for i := 1; i < len(queries); i++ {
-		select {
-		case jobs <- i:
-		case <-ctx.Done():
-			cancelled = i
-		}
-		if cancelled < len(queries) {
-			break
-		}
-	}
-	close(jobs)
 	wg.Wait()
-	// Unsent jobs were never handed to a worker, so these slots are
-	// exclusively ours once the workers have drained.
-	for j := cancelled; j < len(queries); j++ {
-		results[j] = Result{Err: ctx.Err()}
-	}
 	return results
 }

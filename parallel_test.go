@@ -143,6 +143,78 @@ func TestMapAllEmpty(t *testing.T) {
 	}
 }
 
+// TestMapAllChunkBoundaries pins the work-stealing distribution across
+// query counts that land on every interesting edge of the chunked
+// claiming loop: fewer queries than one chunk, exactly chunk*workers,
+// one past a chunk boundary, and enough to force many claims per
+// worker. Every slot must be filled exactly once with the serial
+// answer.
+func TestMapAllChunkBoundaries(t *testing.T) {
+	rng := rand.New(rand.NewSource(178))
+	target := randomDNA(rng, 3000)
+	idx, err := New(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{2, 3, mapChunkMax, mapChunkMax + 1, 4 * mapChunkMax, 4*mapChunkMax + 1, 300} {
+		queries := makeQueries(rng, target, n)
+		serial := idx.MapAll(queries, AlgorithmA, 1)
+		for _, workers := range []int{2, 3, 8} {
+			got := idx.MapAll(queries, AlgorithmA, workers)
+			if len(got) != n {
+				t.Fatalf("n=%d workers=%d: %d results", n, workers, len(got))
+			}
+			for i := range got {
+				if got[i].Err != nil {
+					t.Fatalf("n=%d workers=%d query %d: %v", n, workers, i, got[i].Err)
+				}
+				if len(got[i].Matches) != len(serial[i].Matches) {
+					t.Fatalf("n=%d workers=%d query %d: %d vs %d matches",
+						n, workers, i, len(got[i].Matches), len(serial[i].Matches))
+				}
+				for j := range got[i].Matches {
+					if got[i].Matches[j] != serial[i].Matches[j] {
+						t.Fatalf("n=%d workers=%d query %d match %d differs", n, workers, i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMapAllContextMidBatchCancel cancels while the batch is running
+// and checks the contract: every result slot is either a completed
+// search or a context error, never a zero value left unwritten.
+func TestMapAllContextMidBatchCancel(t *testing.T) {
+	rng := rand.New(rand.NewSource(179))
+	target := randomDNA(rng, 4000)
+	idx, _ := New(target)
+	queries := makeQueries(rng, target, 400)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan []Result, 1)
+	go func() { done <- idx.MapAllContext(ctx, queries, AlgorithmA, 4) }()
+	cancel()
+	res := <-done
+	if len(res) != len(queries) {
+		t.Fatalf("got %d results for %d queries", len(res), len(queries))
+	}
+	for i, r := range res {
+		if r.Err != nil && !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("query %d: unexpected error %v", i, r.Err)
+		}
+		if r.Err == nil {
+			// A completed search must have really run: verify one
+			// representative field is coherent (matches sorted).
+			for j := 1; j < len(r.Matches); j++ {
+				if r.Matches[j].Pos < r.Matches[j-1].Pos {
+					t.Fatalf("query %d: unsorted matches", i)
+				}
+			}
+		}
+	}
+}
+
 func TestMapAllMoreWorkersThanQueries(t *testing.T) {
 	rng := rand.New(rand.NewSource(174))
 	target := randomDNA(rng, 1000)

@@ -11,29 +11,35 @@ import (
 	"bwtmatch/internal/obs"
 )
 
-// Metrics aggregates server-wide counters. All fields are atomics so the
-// hot path never takes a lock; /metrics renders a point-in-time Prometheus
-// exposition and /metrics.json the same data as JSON. Unlike the stdlib
-// expvar package the counters are per-Server, so tests can run many
-// servers in one process without global registration collisions.
-// Construct with NewMetrics: the per-method histograms need allocation.
+// Metrics aggregates server-wide counters. The request-path counters
+// and latency histograms are striped across cache-line-padded cells
+// (obs.ShardedCounter / obs.ShardedHistogram): concurrent batches on
+// different CPUs update disjoint cache lines instead of bouncing one
+// atomic word between cores, and the stripes are summed only at scrape
+// time. /metrics renders a point-in-time Prometheus exposition and
+// /metrics.json the same data as JSON. Unlike the stdlib expvar package
+// the counters are per-Server, so tests can run many servers in one
+// process without global registration collisions. Construct with
+// NewMetrics: the per-method histograms need allocation.
 type Metrics struct {
-	QueriesTotal  atomic.Int64 // individual reads searched
-	MatchesTotal  atomic.Int64 // matches emitted across all reads
-	ErrorsTotal   atomic.Int64 // per-read errors (bad input, cancelled)
-	BatchesTotal  atomic.Int64 // POST /v1/search requests served
-	RejectedTotal atomic.Int64 // requests refused with 4xx/503
-	InFlight      atomic.Int64 // searches currently executing
+	QueriesTotal  obs.ShardedCounter // individual reads searched
+	MatchesTotal  obs.ShardedCounter // matches emitted across all reads
+	ErrorsTotal   obs.ShardedCounter // per-read errors (bad input, cancelled)
+	BatchesTotal  obs.ShardedCounter // POST /v1/search requests served
+	RejectedTotal obs.ShardedCounter // requests refused with 4xx/503
+	InFlight      obs.ShardedCounter // searches currently executing
 
 	// The paper's work counters, aggregated from bwtmatch.Stats.
-	MTreeLeavesTotal atomic.Int64 // Σ n' (Table 2)
-	StepCallsTotal   atomic.Int64 // Σ BWT rank operations
-	MemoHitsTotal    atomic.Int64 // Σ M-tree derivations
+	MTreeLeavesTotal obs.ShardedCounter // Σ n' (Table 2)
+	StepCallsTotal   obs.ShardedCounter // Σ BWT rank operations
+	MemoHitsTotal    obs.ShardedCounter // Σ M-tree derivations
 
+	// Registry mutations are rare and lock-protected already; plain
+	// atomics keep them word-sized.
 	IndexesLoaded  atomic.Int64
 	IndexesEvicted atomic.Int64
 
-	perMethod [8]*obs.Histogram // indexed by bwtmatch.Method
+	perMethod [8]*obs.ShardedHistogram // indexed by bwtmatch.Method
 }
 
 // NewMetrics builds Metrics with one latency histogram per method, each
@@ -41,7 +47,7 @@ type Metrics struct {
 func NewMetrics() *Metrics {
 	m := &Metrics{}
 	for i := range m.perMethod {
-		m.perMethod[i] = obs.NewLatencyHistogram()
+		m.perMethod[i] = obs.NewShardedLatencyHistogram()
 	}
 	return m
 }

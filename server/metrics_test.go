@@ -2,6 +2,7 @@ package server
 
 import (
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -87,4 +88,55 @@ func TestMethodNameRoundTrip(t *testing.T) {
 	if m, err := ParseMethod(""); err != nil || m != 0 {
 		t.Errorf("empty method: %v %v", m, err)
 	}
+}
+
+// TestObserveBatchConcurrent drives ObserveBatch from many goroutines
+// and checks no count is lost across the sharded counters and
+// histograms (run under -race in make check).
+func TestObserveBatchConcurrent(t *testing.T) {
+	m := NewMetrics()
+	const goroutines, perG = 8, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				m.ObserveBatch(0, time.Millisecond, 3, 2, 1, 10, 20, 5)
+			}
+		}()
+	}
+	wg.Wait()
+	n := int64(goroutines * perG)
+	for _, c := range []struct {
+		name string
+		got  int64
+		want int64
+	}{
+		{"batches", m.BatchesTotal.Load(), n},
+		{"queries", m.QueriesTotal.Load(), 3 * n},
+		{"matches", m.MatchesTotal.Load(), 2 * n},
+		{"errors", m.ErrorsTotal.Load(), n},
+		{"leaves", m.MTreeLeavesTotal.Load(), 10 * n},
+		{"steps", m.StepCallsTotal.Load(), 20 * n},
+		{"memo", m.MemoHitsTotal.Load(), 5 * n},
+	} {
+		if c.got != c.want {
+			t.Errorf("%s = %d, want %d", c.name, c.got, c.want)
+		}
+	}
+	if got := m.perMethod[0].Count(); got != n {
+		t.Errorf("histogram count = %d, want %d", got, n)
+	}
+}
+
+// BenchmarkObserveBatchParallel measures the full per-batch metrics
+// update under contention — the path the striped cells exist for.
+func BenchmarkObserveBatchParallel(b *testing.B) {
+	m := NewMetrics()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			m.ObserveBatch(0, time.Millisecond, 64, 10, 0, 1000, 5000, 200)
+		}
+	})
 }

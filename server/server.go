@@ -9,6 +9,7 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -16,6 +17,7 @@ import (
 
 	"bwtmatch"
 	"bwtmatch/internal/obs"
+	"bwtmatch/internal/seqio"
 )
 
 // Config tunes a Server. The zero value is usable; see the field
@@ -38,6 +40,11 @@ type Config struct {
 	MaxBodyBytes int64
 	// Budget is the registry's LRU byte budget (0 = unlimited).
 	Budget int64
+	// BuildWorkers parallelizes index construction for indexes built by
+	// the server from raw sequence (RegisterGenome, kmserved
+	// -load-genome); loading a pre-built index file is unaffected.
+	// Default 1 (serial); see bwtmatch.WithBuildWorkers.
+	BuildWorkers int
 	// Logger receives structured request logs; nil discards them. Every
 	// search batch logs one line carrying the request ID that is also
 	// threaded through the batch's context (obs.WithRequestID).
@@ -67,6 +74,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 64 << 20
+	}
+	if c.BuildWorkers <= 0 {
+		c.BuildWorkers = 1
 	}
 }
 
@@ -169,6 +179,39 @@ func (s *Server) Register(name, path string) error {
 	}
 	s.met.IndexesLoaded.Add(1)
 	s.log.Info("index registered", "index", name, "path", path)
+	return nil
+}
+
+// RegisterGenome reads a FASTA/FASTQ genome file, builds an index over
+// it (across Config.BuildWorkers goroutines) and registers it under
+// name. Ambiguous bases are sanitized to 'a' as in kmsearch.
+func (s *Server) RegisterGenome(name, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	recs, err := seqio.NewReader(f).ReadAll()
+	if err != nil {
+		return fmt.Errorf("reading %q: %w", path, err)
+	}
+	refs := make([]bwtmatch.Reference, len(recs))
+	sanitized := 0
+	for i, rec := range recs {
+		clean, n := bwtmatch.Sanitize(rec.Seq)
+		sanitized += n
+		refs[i] = bwtmatch.Reference{Name: rec.ID, Seq: clean}
+	}
+	idx, err := bwtmatch.NewRefs(refs, bwtmatch.WithBuildWorkers(s.cfg.BuildWorkers))
+	if err != nil {
+		return fmt.Errorf("building index for %q: %w", path, err)
+	}
+	if err := s.reg.Add(name, idx); err != nil {
+		return err
+	}
+	s.met.IndexesLoaded.Add(1)
+	s.log.Info("genome registered", "index", name, "path", path,
+		"bases", idx.Len(), "sanitized", sanitized, "build_workers", s.cfg.BuildWorkers)
 	return nil
 }
 

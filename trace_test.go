@@ -81,6 +81,8 @@ func TestTracerEventCountsMatchStats(t *testing.T) {
 			if len(plain) != len(matches) {
 				t.Fatalf("%v trial %d: traced found %d matches, untraced %d", method, trial, len(matches), len(plain))
 			}
+			// LocateNS is wall time and legitimately differs run to run.
+			plainStats.LocateNS, stats.LocateNS = 0, 0
 			if plainStats != stats {
 				t.Errorf("%v trial %d: traced stats %+v != untraced %+v", method, trial, stats, plainStats)
 			}
