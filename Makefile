@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-server vet kmvet lint invariants fuzz-smoke obs-smoke benchdiff-smoke check bench bench-json bench-compare
+.PHONY: build test race race-server vet kmvet lint invariants fuzz-smoke obs-smoke benchdiff-smoke shard-smoke check bench bench-json bench-compare
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzSearchMethods -fuzztime=10s -tags kminvariants .
 	$(GO) test -run='^$$' -fuzz=FuzzSaveLoad -fuzztime=10s -tags kminvariants .
 	$(GO) test -run='^$$' -fuzz=FuzzLoadRoundTrip -fuzztime=10s -tags kminvariants .
+	$(GO) test -run='^$$' -fuzz=FuzzLoadShardedRoundTrip -fuzztime=10s -tags kminvariants .
 
 # Observability smoke test: boots kmserved, scrapes /metrics, and
 # validates the Prometheus text exposition with the in-repo validator
@@ -54,8 +55,14 @@ benchdiff-smoke:
 		echo "benchdiff-smoke: FAIL (regression fixture was not flagged)"; exit 1; \
 	else echo "benchdiff-smoke: regression fixture correctly rejected"; fi
 
+# Sharded-pipeline smoke test: kmgen builds a multi-shard index file,
+# kmsearch loads it transparently and must agree with a monolithic
+# build, and kmserved serves it with per-shard /metrics series.
+shard-smoke:
+	$(GO) test -run='^TestShardSmoke$$' -count=1 .
+
 # The one-stop pre-commit gate.
-check: lint race-server race invariants fuzz-smoke obs-smoke benchdiff-smoke
+check: lint race-server race invariants fuzz-smoke obs-smoke benchdiff-smoke shard-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

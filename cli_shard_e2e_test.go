@@ -1,0 +1,141 @@
+package bwtmatch_test
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestShardSmoke drives the sharded pipeline end to end through the
+// real binaries: kmgen builds a sharded index, kmsearch loads it
+// transparently and agrees with a monolithic build over the same
+// genome, and kmserved registers it, answers searches, and exposes the
+// per-shard Prometheus series. `make shard-smoke` runs exactly this.
+func TestShardSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bins := t.TempDir()
+	for _, name := range []string{"kmgen", "kmsearch", "kmserved"} {
+		bin := filepath.Join(bins, name)
+		cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, out)
+		}
+	}
+	work := t.TempDir()
+	genome := filepath.Join(work, "genome.fa")
+	reads := filepath.Join(work, "reads.fq")
+	sharded := filepath.Join(work, "sharded.bwt")
+	mono := filepath.Join(work, "mono.bwt")
+
+	// Genome plus a sharded index in one kmgen call; read set after.
+	out := run(t, filepath.Join(bins, "kmgen"),
+		"-genome", genome, "-bases", "32768", "-chromosomes", "2", "-seed", "7",
+		"-index", sharded, "-shards", "4", "-max-pattern", "128")
+	if !strings.Contains(out, "built sharded index (4 shards, max pattern 128)") {
+		t.Fatalf("kmgen sharded output: %s", out)
+	}
+	run(t, filepath.Join(bins, "kmgen"),
+		"-reads", reads, "-from", genome, "-length", "80", "-count", "25", "-seed", "8")
+
+	// kmsearch: monolithic build+save, then the sharded file through the
+	// same -index flag; the match lines must agree exactly.
+	monoOut := run(t, filepath.Join(bins, "kmsearch"),
+		"-genome", genome, "-save", mono, "-reads", reads, "-k", "4", "-v")
+	shardOut := run(t, filepath.Join(bins, "kmsearch"),
+		"-index", sharded, "-reads", reads, "-k", "4", "-v")
+	if !strings.Contains(shardOut, "in 4 shards") {
+		t.Fatalf("kmsearch did not report shards:\n%s", shardOut)
+	}
+	if extractMatches(monoOut) != extractMatches(shardOut) {
+		t.Fatalf("sharded index disagrees with monolithic:\n%s\nvs\n%s", monoOut, shardOut)
+	}
+
+	// kmserved: preload the sharded file, search it, list it, scrape it.
+	daemon := exec.Command(filepath.Join(bins, "kmserved"),
+		"-addr", "127.0.0.1:0", "-load", "g="+sharded)
+	stdout, err := daemon.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	daemon.Stderr = os.Stderr
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { daemon.Process.Kill(); daemon.Wait() })
+	base := awaitListening(t, stdout)
+
+	resp, err := http.Post(base+"/v1/search", "application/json",
+		strings.NewReader(`{"index":"g","k":2,"seq":"acgtacgtacgtacgt"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readAll(t, resp); resp.StatusCode != http.StatusOK {
+		t.Fatalf("search: %d %s", resp.StatusCode, body)
+	}
+
+	list := getBody(t, base+"/v1/indexes")
+	if !strings.Contains(list, `"shards":4`) || !strings.Contains(list, `"shard_bytes":[`) {
+		t.Fatalf("/v1/indexes missing shard fields: %s", list)
+	}
+
+	metrics := getBody(t, base+"/metrics")
+	for _, want := range []string{
+		`km_shard_searches_total{index="g",shard="0"} 1`,
+		`km_shard_searches_total{index="g",shard="3"} 1`,
+		`km_shard_search_ns_total{index="g",shard="0"} `,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("missing %q in /metrics:\n%s", want, metrics)
+		}
+	}
+}
+
+func awaitListening(t *testing.T, stdout io.Reader) string {
+	t.Helper()
+	sc := bufio.NewScanner(stdout)
+	urlc := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			if _, url, ok := strings.Cut(sc.Text(), "listening on "); ok {
+				urlc <- url
+				break
+			}
+		}
+	}()
+	select {
+	case url := <-urlc:
+		return url
+	case <-time.After(30 * time.Second):
+		t.Fatal("kmserved did not announce its address")
+		return ""
+	}
+}
+
+func getBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return readAll(t, resp)
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}

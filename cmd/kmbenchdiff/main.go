@@ -52,6 +52,9 @@ type cellKey struct {
 	k                  int
 }
 
+// locateFloorNS is the smallest old locate ns/read the gate acts on.
+const locateFloorNS = 1000
+
 func main() {
 	threshold := flag.Float64("threshold", 10, "fail when ns/read regresses by more than this percent")
 	flag.Usage = func() {
@@ -109,6 +112,18 @@ func run(w io.Writer, oldPath, newPath string, threshold float64) error {
 			regressions = append(regressions,
 				fmt.Sprintf("%s k=%d: %d -> %d ns/read (%+.1f%%)", nr.Method, nr.K, or.NSPerRead, nr.NSPerRead, pct))
 		}
+		// Locate time gates too, but only when both reports carry it (a
+		// zero means the field predates the report, not a free pass) and
+		// the old value clears locateFloorNS: per-read locate averages
+		// below a microsecond are clock jitter, not signal.
+		if or.LocateNS >= locateFloorNS && nr.LocateNS > 0 {
+			lpct := 100 * (float64(nr.LocateNS) - float64(or.LocateNS)) / float64(or.LocateNS)
+			if lpct > threshold {
+				mark = "  REGRESSION"
+				regressions = append(regressions,
+					fmt.Sprintf("%s k=%d: %d -> %d locate ns/read (%+.1f%%)", nr.Method, nr.K, or.LocateNS, nr.LocateNS, lpct))
+			}
+		}
 		fmt.Fprintf(w, "%-14s %2d  %12d %12d %+7.1f%%  %10d %10d%s\n",
 			nr.Method, nr.K, or.NSPerRead, nr.NSPerRead, pct, nr.LocateNS, nr.MTreeLeaves-or.MTreeLeaves, mark)
 		if nr.Matches != or.Matches {
@@ -119,9 +134,12 @@ func run(w io.Writer, oldPath, newPath string, threshold float64) error {
 	for key := range oldCells {
 		fmt.Fprintf(w, "%-14s %2d  (cell dropped from new report)\n", key.method, key.k)
 	}
+	// The peak-RSS delta rides on the summary line (informational, never
+	// gating: RSS depends on GC timing too much to fail a build on).
+	rssNote := ""
 	if oldRep.PeakRSSBytes > 0 && newRep.PeakRSSBytes > 0 {
 		pct := 100 * (float64(newRep.PeakRSSBytes) - float64(oldRep.PeakRSSBytes)) / float64(oldRep.PeakRSSBytes)
-		fmt.Fprintf(w, "peak RSS: %d -> %d bytes (%+.1f%%)\n", oldRep.PeakRSSBytes, newRep.PeakRSSBytes, pct)
+		rssNote = fmt.Sprintf("; peak RSS %d -> %d bytes (%+.1f%%)", oldRep.PeakRSSBytes, newRep.PeakRSSBytes, pct)
 	}
 	if matched == 0 {
 		return fmt.Errorf("no cells in common between %s and %s", oldPath, newPath)
@@ -130,9 +148,10 @@ func run(w io.Writer, oldPath, newPath string, threshold float64) error {
 		for _, r := range regressions {
 			fmt.Fprintln(w, "FAIL:", r)
 		}
-		return fmt.Errorf("%d cell(s) regressed more than %.0f%% ns/read", len(regressions), threshold)
+		fmt.Fprintf(w, "summary: %d cell(s) regressed%s\n", len(regressions), rssNote)
+		return fmt.Errorf("%d cell(s) regressed more than %.0f%%", len(regressions), threshold)
 	}
-	fmt.Fprintf(w, "ok: %d cells compared, none regressed more than %.0f%%\n", matched, threshold)
+	fmt.Fprintf(w, "ok: %d cells compared, none regressed more than %.0f%%%s\n", matched, threshold, rssNote)
 	return nil
 }
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -55,5 +56,39 @@ func TestDiffRejectsBadInput(t *testing.T) {
 	}
 	if err := run(&out, td("old.json"), td("nope.json"), 10); err == nil {
 		t.Error("missing new file: want error")
+	}
+}
+
+// TestDiffFailsOnLocateRegression: a cell whose total ns/read held
+// steady but whose locate phase doubled must still fail the gate.
+func TestDiffFailsOnLocateRegression(t *testing.T) {
+	var out strings.Builder
+	err := run(&out, td("old.json"), td("new_locate_regressed.json"), 10)
+	if err == nil {
+		t.Fatalf("expected locate regression error, got nil\noutput:\n%s", out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "locate ns/read") || !strings.Contains(s, "A()") {
+		t.Errorf("output should name the locate regression on A():\n%s", s)
+	}
+	if !strings.Contains(s, "peak RSS") {
+		t.Errorf("summary line should carry the peak-RSS delta:\n%s", s)
+	}
+}
+
+// TestDiffSkipsLocateGateWithoutOldValue: reports predating
+// locate_ns_per_read (old value 0) must not be gated on it, however
+// large the new value looks.
+func TestDiffSkipsLocateGateWithoutOldValue(t *testing.T) {
+	old := filepath.Join(t.TempDir(), "old_nolocate.json")
+	data := `{"schema":"kmbench/v1","scale":8,"reads":50,"seed":42,"results":[
+		{"experiment":"search","method":"A()","k":2,"ns_per_read":300000,"matches":57},
+		{"experiment":"search","method":"BWT","k":2,"ns_per_read":240000,"matches":57}]}`
+	if err := os.WriteFile(old, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run(&out, old, td("new_locate_regressed.json"), 10); err != nil {
+		t.Fatalf("locate gate fired against a zero old value: %v\noutput:\n%s", err, out.String())
 	}
 }

@@ -37,6 +37,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "generator seed")
 	indexOut := flag.String("index", "", "with -genome: also build a search index and save it to this file")
 	buildP := flag.Int("build-p", 1, "parallel workers for -index construction")
+	shards := flag.Int("shards", 0, "with -index: build a sharded index with this many shards")
+	shardSize := flag.Int("shard-size", 0, "with -index: build a sharded index with shards owning this many bases (overrides -shards)")
+	maxPattern := flag.Int("max-pattern", bwtmatch.DefaultMaxPatternLen, "with -shards/-shard-size: longest pattern the sharded index answers")
 	flag.Parse()
 
 	switch {
@@ -67,15 +70,37 @@ func main() {
 				refs[i] = bwtmatch.Reference{Name: rec.ID, Seq: rec.Seq}
 			}
 			start := time.Now()
-			idx, err := bwtmatch.NewRefs(refs, bwtmatch.WithBuildWorkers(*buildP))
-			if err != nil {
-				fatal(err)
+			if *shards > 0 || *shardSize > 0 {
+				opts := []bwtmatch.Option{
+					bwtmatch.WithBuildWorkers(*buildP),
+					bwtmatch.WithMaxPatternLen(*maxPattern),
+				}
+				if *shardSize > 0 {
+					opts = append(opts, bwtmatch.WithShardSize(*shardSize))
+				} else {
+					opts = append(opts, bwtmatch.WithShards(*shards))
+				}
+				idx, err := bwtmatch.NewShardedRefs(refs, opts...)
+				if err != nil {
+					fatal(err)
+				}
+				if err := idx.SaveFile(*indexOut); err != nil {
+					fatal(err)
+				}
+				fmt.Printf("built sharded index (%d shards, max pattern %d) in %v, saved to %s (%d bytes)\n",
+					idx.Shards(), idx.MaxPatternLen(),
+					time.Since(start).Round(time.Millisecond), *indexOut, idx.SizeBytes())
+			} else {
+				idx, err := bwtmatch.NewRefs(refs, bwtmatch.WithBuildWorkers(*buildP))
+				if err != nil {
+					fatal(err)
+				}
+				if err := idx.SaveFile(*indexOut); err != nil {
+					fatal(err)
+				}
+				fmt.Printf("built index (%d workers) in %v, saved to %s (%d bytes)\n",
+					*buildP, time.Since(start).Round(time.Millisecond), *indexOut, idx.SizeBytes())
 			}
-			if err := idx.SaveFile(*indexOut); err != nil {
-				fatal(err)
-			}
-			fmt.Printf("built index (%d workers) in %v, saved to %s (%d bytes)\n",
-				*buildP, time.Since(start).Round(time.Millisecond), *indexOut, idx.SizeBytes())
 		}
 	case *readsOut != "":
 		if *from == "" {

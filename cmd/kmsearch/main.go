@@ -79,12 +79,15 @@ func main() {
 		return
 	}
 
-	var idx *bwtmatch.Index
+	// idx is a Matcher: monolithic and sharded index files are both
+	// accepted (LoadAnyFile dispatches on the container magic), and the
+	// whole search path below is layout-agnostic.
+	var idx bwtmatch.Matcher
 	var err error
 	start := time.Now()
 	switch {
 	case *indexPath != "":
-		idx, err = bwtmatch.LoadFile(*indexPath)
+		idx, err = bwtmatch.LoadAnyFile(*indexPath)
 	case *genomePath != "":
 		var refs []bwtmatch.Reference
 		refs, err = readGenome(*genomePath)
@@ -98,11 +101,24 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "index ready: %d bases in %v (%d index bytes)\n",
-		idx.Len(), time.Since(start).Round(time.Millisecond), idx.SizeBytes())
+	if sh, ok := idx.(*bwtmatch.ShardedIndex); ok {
+		fmt.Fprintf(os.Stderr, "index ready: %d bases in %d shards in %v (%d index bytes, max pattern %d)\n",
+			sh.Len(), sh.Shards(), time.Since(start).Round(time.Millisecond), sh.SizeBytes(), sh.MaxPatternLen())
+	} else {
+		fmt.Fprintf(os.Stderr, "index ready: %d bases in %v (%d index bytes)\n",
+			idx.Len(), time.Since(start).Round(time.Millisecond), idx.SizeBytes())
+	}
 
 	if *savePath != "" {
-		if err := idx.SaveFile(*savePath); err != nil {
+		switch x := idx.(type) {
+		case *bwtmatch.Index:
+			err = x.SaveFile(*savePath)
+		case *bwtmatch.ShardedIndex:
+			err = x.SaveFile(*savePath)
+		default:
+			err = fmt.Errorf("index type %T cannot be saved", idx)
+		}
+		if err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "saved index to %s\n", *savePath)
@@ -237,7 +253,7 @@ func runRemote(base, index, readsPath, methodName string, k int, verbose bool) e
 // (0x100); unmapped reads get flag 0x4. CIGAR is always <m>M under the
 // Hamming model; the NM tag carries the mismatch count. Returns the
 // total match count.
-func writeSAM(out *bufio.Writer, idx *bwtmatch.Index, queries []bwtmatch.Query, results []bwtmatch.Result) int {
+func writeSAM(out *bufio.Writer, idx bwtmatch.Matcher, queries []bwtmatch.Query, results []bwtmatch.Result) int {
 	fmt.Fprintln(out, "@HD\tVN:1.6\tSO:unknown")
 	for _, r := range idx.Refs() {
 		fmt.Fprintf(out, "@SQ\tSN:%s\tLN:%d\n", r.Name, r.Len)

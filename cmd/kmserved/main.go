@@ -56,7 +56,7 @@ func main() {
 	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON instead of logfmt-style text")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	debug := flag.Bool("debug", false, "expose /debug/pprof/ and /debug/stats")
-	flag.Var(&loads, "load", "preload a saved index as name=path (repeatable)")
+	flag.Var(&loads, "load", "preload a saved index (monolithic or sharded) as name=path (repeatable)")
 	flag.Var(&genomeLoads, "load-genome", "build and register an index from a FASTA genome as name=path (repeatable)")
 	flag.Parse()
 

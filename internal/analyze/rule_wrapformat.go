@@ -14,6 +14,7 @@ import (
 var loadPathPackages = map[string]bool{
 	"bwtmatch":                  true,
 	"bwtmatch/internal/fmindex": true,
+	"bwtmatch/internal/shard":   true,
 }
 
 // isLoadPathCall reports whether call invokes a load-path function, and

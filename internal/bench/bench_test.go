@@ -2,6 +2,8 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -108,5 +110,44 @@ func TestFig12Small(t *testing.T) {
 		if !strings.Contains(out, name) {
 			t.Fatalf("fig12 missing %s:\n%s", name, out)
 		}
+	}
+}
+
+// TestRunJSONShardedCells: the JSON report carries a sharded-layout
+// twin for every monolithic cell with identical match counts, plus the
+// build wall-clock fields that document the Amdahl trade.
+func TestRunJSONShardedCells(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunJSON(&buf, tinyConfig(), 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	var rep JSONReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.BuildNS <= 0 || rep.ShardedBuildNS <= 0 || rep.BuildShards != jsonShards || rep.BuildGOMAXPROCS < 1 {
+		t.Errorf("build fields unset: %+v", rep)
+	}
+	mono := map[string]int{}
+	shardedCells := 0
+	for _, r := range rep.Results {
+		key := fmt.Sprintf("%s/k=%d", r.Method, r.K)
+		switch r.Experiment {
+		case "search":
+			mono[key] = r.Matches
+		case "search-sharded":
+			shardedCells++
+			want, ok := mono[key]
+			if !ok {
+				t.Errorf("sharded cell %s has no monolithic twin", key)
+			} else if r.Matches != want {
+				t.Errorf("%s: sharded %d matches, monolithic %d", key, r.Matches, want)
+			}
+		default:
+			t.Errorf("unexpected experiment %q", r.Experiment)
+		}
+	}
+	if shardedCells == 0 || shardedCells != len(mono) {
+		t.Errorf("%d sharded cells vs %d monolithic", shardedCells, len(mono))
 	}
 }

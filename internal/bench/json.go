@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"bwtmatch"
+	"bwtmatch/internal/alphabet"
 	"bwtmatch/internal/obs"
 )
 
@@ -35,16 +36,25 @@ type JSONResult struct {
 
 // JSONReport is the top-level document emitted by kmbench -json.
 type JSONReport struct {
-	Schema       string       `json:"schema"` // "kmbench/v1"
-	Scale        int          `json:"scale"`
-	Reads        int          `json:"reads"`
-	Seed         int64        `json:"seed"`
-	Rounds       int          `json:"rounds"`
-	GOOS         string       `json:"goos"`
-	GOARCH       string       `json:"goarch"`
-	GoVersion    string       `json:"go_version"`
-	PeakRSSBytes int64        `json:"peak_rss_bytes"`
-	Results      []JSONResult `json:"results"`
+	Schema    string `json:"schema"` // "kmbench/v1"
+	Scale     int    `json:"scale"`
+	Reads     int    `json:"reads"`
+	Seed      int64  `json:"seed"`
+	Rounds    int    `json:"rounds"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	GoVersion string `json:"go_version"`
+	// BuildNS and ShardedBuildNS time index construction over the same
+	// text: one monolithic build versus BuildShards concurrent per-shard
+	// builds (sharding is what parallelizes SA-IS; see DESIGN.md §10).
+	// On a 1-CPU machine the sharded build cannot beat the monolithic
+	// one — BuildGOMAXPROCS records the parallelism that was available.
+	BuildNS         int64        `json:"build_ns"`
+	ShardedBuildNS  int64        `json:"sharded_build_ns"`
+	BuildShards     int          `json:"build_shards"`
+	BuildGOMAXPROCS int          `json:"build_gomaxprocs"`
+	PeakRSSBytes    int64        `json:"peak_rss_bytes"`
+	Results         []JSONResult `json:"results"`
 }
 
 // jsonMethods are the BWT-path matchers the search benchmarks compare
@@ -56,6 +66,9 @@ var jsonMethods = []bwtmatch.Method{
 
 // jsonKs are the mismatch budgets swept per method.
 var jsonKs = []int{1, 2, 3}
+
+// jsonShards is the shard count of the sharded-layout cells.
+const jsonShards = 4
 
 // RunJSON runs the search benchmark grid (jsonMethods × jsonKs, reads
 // of length 100 on the largest genome) rounds times per cell, keeps the
@@ -76,35 +89,60 @@ func RunJSON(w io.Writer, cfg Config, rounds int, tr obs.Tracer) error {
 	if err != nil {
 		return err
 	}
-	rep := JSONReport{
-		Schema:    "kmbench/v1",
-		Scale:     cfg.Scale,
-		Reads:     len(reads),
-		Seed:      cfg.Seed,
-		Rounds:    rounds,
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		GoVersion: runtime.Version(),
+	// The sharded counterpart: same text, jsonShards concurrent per-shard
+	// builds, searched through the same grid so the report carries
+	// sharded-vs-monolithic cells for every (method, k).
+	text := alphabet.Decode(c.Ranks)
+	shardStart := time.Now()
+	sharded, err := bwtmatch.NewSharded(text,
+		bwtmatch.WithShards(jsonShards), bwtmatch.WithMaxPatternLen(128))
+	if err != nil {
+		return err
 	}
-	for _, k := range jsonKs {
-		for _, m := range jsonMethods {
-			if tr != nil {
-				tr.Begin(fmt.Sprintf("%v/k=%d", m, k))
+	shardedBuild := time.Since(shardStart)
+
+	rep := JSONReport{
+		Schema:          "kmbench/v1",
+		Scale:           cfg.Scale,
+		Reads:           len(reads),
+		Seed:            cfg.Seed,
+		Rounds:          rounds,
+		GOOS:            runtime.GOOS,
+		GOARCH:          runtime.GOARCH,
+		GoVersion:       runtime.Version(),
+		BuildNS:         c.BuildTime.Nanoseconds(),
+		ShardedBuildNS:  shardedBuild.Nanoseconds(),
+		BuildShards:     jsonShards,
+		BuildGOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	layouts := []struct {
+		experiment string
+		idx        bwtmatch.Matcher
+	}{
+		{"search", c.Index},
+		{"search-sharded", sharded},
+	}
+	for _, layout := range layouts {
+		for _, k := range jsonKs {
+			for _, m := range jsonMethods {
+				if tr != nil {
+					tr.Begin(fmt.Sprintf("%s/%v/k=%d", layout.experiment, m, k))
+				}
+				cell, err := timeCell(layout.idx, reads, k, m, rounds)
+				if err != nil {
+					return err
+				}
+				cell.Experiment = layout.experiment
+				cell.Genome = spec.Name
+				if tr != nil {
+					tr.End(
+						obs.Arg{Key: "ns_per_read", Val: cell.NSPerRead},
+						obs.Arg{Key: "mtree_leaves", Val: cell.MTreeLeaves},
+						obs.Arg{Key: "memo_hits", Val: cell.MemoHits},
+					)
+				}
+				rep.Results = append(rep.Results, cell)
 			}
-			cell, err := timeCell(c.Index, reads, k, m, rounds)
-			if err != nil {
-				return err
-			}
-			cell.Experiment = "search"
-			cell.Genome = spec.Name
-			if tr != nil {
-				tr.End(
-					obs.Arg{Key: "ns_per_read", Val: cell.NSPerRead},
-					obs.Arg{Key: "mtree_leaves", Val: cell.MTreeLeaves},
-					obs.Arg{Key: "memo_hits", Val: cell.MemoHits},
-				)
-			}
-			rep.Results = append(rep.Results, cell)
 		}
 	}
 	rep.PeakRSSBytes = peakRSS()
@@ -116,7 +154,7 @@ func RunJSON(w io.Writer, cfg Config, rounds int, tr obs.Tracer) error {
 // timeCell measures one (method, k) cell: every read once per round,
 // best round kept; work counters are summed over the reads of one round
 // (they are deterministic across rounds).
-func timeCell(idx *bwtmatch.Index, reads [][]byte, k int, m bwtmatch.Method, rounds int) (JSONResult, error) {
+func timeCell(idx bwtmatch.Matcher, reads [][]byte, k int, m bwtmatch.Method, rounds int) (JSONResult, error) {
 	cell := JSONResult{Method: m.String(), K: k, ReadLen: len(reads[0]), Reads: len(reads)}
 	// Warm lazy structures outside the timing.
 	if _, _, err := idx.SearchMethod(reads[0], k, m); err != nil {

@@ -1,0 +1,56 @@
+//go:build kminvariants
+
+package shard
+
+import "fmt"
+
+// InvariantsEnabled reports whether this build carries the deep
+// invariant checks (the kminvariants build tag).
+const InvariantsEnabled = true
+
+// CheckInvariants verifies the exact-search geometry of a manifest
+// beyond Validate's structural cross-check: the owned ranges partition
+// [0, TotalLen) with no gap or double ownership, and every window of
+// length <= MaxPatternLen whose start a shard owns lies wholly inside
+// that shard — the invariant the overlap exists to provide. O(count);
+// tests and fuzz harnesses only, no-op in default builds.
+func (m *Manifest) CheckInvariants() error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	p := m.Plan
+	prevEnd := 0
+	for i, s := range p.Spans {
+		ownedStart, ownedEnd := s.Start, p.OwnedEnd(i)
+		if ownedStart != prevEnd {
+			return fmt.Errorf("%w: shard %d owned range starts at %d, previous ended at %d",
+				ErrManifest, i, ownedStart, prevEnd)
+		}
+		if ownedEnd <= ownedStart {
+			return fmt.Errorf("%w: shard %d owns empty range [%d,%d)",
+				ErrManifest, i, ownedStart, ownedEnd)
+		}
+		prevEnd = ownedEnd
+		// The worst-case window: the last owned start position, extended
+		// by the longest permitted pattern (clipped to the text end —
+		// longer windows cannot occur as matches).
+		worst := ownedEnd - 1 + m.MaxPatternLen
+		if worst > p.TotalLen {
+			worst = p.TotalLen
+		}
+		if worst > s.End {
+			return fmt.Errorf("%w: shard %d [%d,%d) cannot hold a %d-byte window starting at %d",
+				ErrManifest, i, s.Start, s.End, m.MaxPatternLen, ownedEnd-1)
+		}
+		// Owner must agree with the ownership arithmetic used above.
+		for _, pos := range []int{ownedStart, ownedEnd - 1} {
+			if got := p.Owner(pos); got != i {
+				return fmt.Errorf("%w: Owner(%d) = %d, want %d", ErrManifest, pos, got, i)
+			}
+		}
+	}
+	if prevEnd != p.TotalLen {
+		return fmt.Errorf("%w: owned ranges end at %d of %d", ErrManifest, prevEnd, p.TotalLen)
+	}
+	return nil
+}

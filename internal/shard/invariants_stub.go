@@ -1,0 +1,11 @@
+//go:build !kminvariants
+
+package shard
+
+// InvariantsEnabled reports whether this build carries the deep
+// invariant checks (the kminvariants build tag).
+const InvariantsEnabled = false
+
+// CheckInvariants is a no-op in default builds; compile with
+// -tags kminvariants for the real verification.
+func (m *Manifest) CheckInvariants() error { return nil }

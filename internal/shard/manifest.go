@@ -1,0 +1,223 @@
+package shard
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrManifest reports an unreadable or inconsistent shard manifest. The
+// root package re-wraps it in bwtmatch.ErrFormat, so callers match one
+// sentinel regardless of which layer rejected the file.
+var ErrManifest = errors.New("shard: bad manifest")
+
+// manifestVersion is the current manifest layout version.
+const manifestVersion = uint32(1)
+
+// Caps on untrusted length fields: a corrupt manifest must not be able
+// to force a large allocation before the short read is noticed (the
+// same discipline as internal/binio).
+const (
+	maxTotalLen   = 1 << 34
+	maxShards     = 1 << 16
+	maxRefs       = 1 << 20
+	maxRefNameLen = 1 << 16
+	maxPatternCap = 1 << 30
+)
+
+// Ref is one named reference inside a sharded index, in concatenated
+// global coordinates (mirrors bwtmatch.Ref without the import cycle).
+type Ref struct {
+	Name       string
+	Start, Len int
+}
+
+// Manifest is the header of a multi-shard index file: the partition
+// geometry, the pattern-length bound the overlap was sized for, and the
+// reference table. The per-shard index payloads follow it in the
+// container, each prefixed by its byte length.
+type Manifest struct {
+	// MaxPatternLen is the longest pattern the sharded index answers
+	// exactly; Plan.Overlap must be at least MaxPatternLen-1.
+	MaxPatternLen int
+	Plan          Plan
+	Refs          []Ref
+}
+
+// Validate checks the internal consistency of a manifest (geometry,
+// overlap vs pattern bound, reference bounds). Loaders run it on
+// untrusted input; builders run it as a cheap sanity gate.
+func (m *Manifest) Validate() error {
+	if m.MaxPatternLen < 1 || m.MaxPatternLen > maxPatternCap {
+		return fmt.Errorf("%w: max pattern length %d", ErrManifest, m.MaxPatternLen)
+	}
+	if m.Plan.TotalLen > maxTotalLen {
+		return fmt.Errorf("%w: total length %d", ErrManifest, m.Plan.TotalLen)
+	}
+	if len(m.Plan.Spans) > maxShards {
+		return fmt.Errorf("%w: %d shards", ErrManifest, len(m.Plan.Spans))
+	}
+	if err := m.Plan.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrManifest, err)
+	}
+	if m.Plan.Overlap < m.MaxPatternLen-1 {
+		return fmt.Errorf("%w: overlap %d cannot cover patterns up to %d bytes",
+			ErrManifest, m.Plan.Overlap, m.MaxPatternLen)
+	}
+	n := m.Plan.TotalLen
+	for i, r := range m.Refs {
+		if r.Start < 0 || r.Len < 0 || r.Start > n || r.Len > n-r.Start {
+			return fmt.Errorf("%w: ref %d spans [%d,%d) of %d", ErrManifest, i, r.Start, r.Start+r.Len, n)
+		}
+		if len(r.Name) > maxRefNameLen {
+			return fmt.Errorf("%w: ref %d name is %d bytes", ErrManifest, i, len(r.Name))
+		}
+	}
+	return nil
+}
+
+// WriteTo serializes the manifest. It returns the number of bytes
+// written so the container can compute where the shard payloads begin.
+func (m *Manifest) WriteTo(w io.Writer) (int64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	cw := &countingWriter{w: w}
+	write := func(v any) error { return binary.Write(cw, binary.LittleEndian, v) }
+	if err := write(manifestVersion); err != nil {
+		return cw.n, err
+	}
+	for _, v := range []uint64{
+		uint64(m.MaxPatternLen), uint64(m.Plan.TotalLen),
+		uint64(m.Plan.ShardSize), uint64(m.Plan.Overlap),
+	} {
+		if err := write(v); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := write(uint32(len(m.Plan.Spans))); err != nil {
+		return cw.n, err
+	}
+	for _, s := range m.Plan.Spans {
+		if err := write(uint64(s.Start)); err != nil {
+			return cw.n, err
+		}
+		if err := write(uint64(s.End)); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := write(uint32(len(m.Refs))); err != nil {
+		return cw.n, err
+	}
+	for _, r := range m.Refs {
+		if err := write(uint32(len(r.Name))); err != nil {
+			return cw.n, err
+		}
+		if _, err := cw.Write([]byte(r.Name)); err != nil {
+			return cw.n, err
+		}
+		if err := write(uint64(r.Start)); err != nil {
+			return cw.n, err
+		}
+		if err := write(uint64(r.Len)); err != nil {
+			return cw.n, err
+		}
+	}
+	return cw.n, nil
+}
+
+// ReadManifest deserializes and validates a manifest from untrusted
+// input. Every rejection wraps ErrManifest; allocations are bounded by
+// the caps above regardless of what the stream claims.
+func ReadManifest(r io.Reader) (Manifest, error) {
+	var m Manifest
+	read := func(v any) error { return binary.Read(r, binary.LittleEndian, v) }
+	var version uint32
+	if err := read(&version); err != nil {
+		return m, fmt.Errorf("%w: version: %v", ErrManifest, err)
+	}
+	if version != manifestVersion {
+		return m, fmt.Errorf("%w: version %d (want %d)", ErrManifest, version, manifestVersion)
+	}
+	var maxPat, totalLen, shardSize, overlap uint64
+	for _, v := range []*uint64{&maxPat, &totalLen, &shardSize, &overlap} {
+		if err := read(v); err != nil {
+			return m, fmt.Errorf("%w: header: %v", ErrManifest, err)
+		}
+	}
+	if maxPat > maxPatternCap || totalLen > maxTotalLen || shardSize > maxTotalLen || overlap > maxTotalLen {
+		return m, fmt.Errorf("%w: header out of range (maxPat %d, len %d, stride %d, overlap %d)",
+			ErrManifest, maxPat, totalLen, shardSize, overlap)
+	}
+	m.MaxPatternLen = int(maxPat)
+	m.Plan.TotalLen = int(totalLen)
+	m.Plan.ShardSize = int(shardSize)
+	m.Plan.Overlap = int(overlap)
+	var spanCount uint32
+	if err := read(&spanCount); err != nil {
+		return m, fmt.Errorf("%w: shard count: %v", ErrManifest, err)
+	}
+	if spanCount == 0 || spanCount > maxShards {
+		return m, fmt.Errorf("%w: %d shards", ErrManifest, spanCount)
+	}
+	m.Plan.Spans = make([]Span, spanCount)
+	for i := range m.Plan.Spans {
+		var start, end uint64
+		if err := read(&start); err != nil {
+			return m, fmt.Errorf("%w: span %d: %v", ErrManifest, i, err)
+		}
+		if err := read(&end); err != nil {
+			return m, fmt.Errorf("%w: span %d: %v", ErrManifest, i, err)
+		}
+		if start > maxTotalLen || end > maxTotalLen {
+			return m, fmt.Errorf("%w: span %d out of range", ErrManifest, i)
+		}
+		m.Plan.Spans[i] = Span{Start: int(start), End: int(end)}
+	}
+	var refCount uint32
+	if err := read(&refCount); err != nil {
+		return m, fmt.Errorf("%w: ref count: %v", ErrManifest, err)
+	}
+	if refCount > maxRefs {
+		return m, fmt.Errorf("%w: %d references", ErrManifest, refCount)
+	}
+	for i := uint32(0); i < refCount; i++ {
+		var nameLen uint32
+		if err := read(&nameLen); err != nil || nameLen > maxRefNameLen {
+			return m, fmt.Errorf("%w: ref %d name length", ErrManifest, i)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(r, name); err != nil {
+			return m, fmt.Errorf("%w: ref %d name: %v", ErrManifest, i, err)
+		}
+		var start, length uint64
+		if err := read(&start); err != nil {
+			return m, fmt.Errorf("%w: ref %d start: %v", ErrManifest, i, err)
+		}
+		if err := read(&length); err != nil {
+			return m, fmt.Errorf("%w: ref %d length: %v", ErrManifest, i, err)
+		}
+		if start > maxTotalLen || length > maxTotalLen {
+			return m, fmt.Errorf("%w: ref %d out of range", ErrManifest, i)
+		}
+		m.Refs = append(m.Refs, Ref{Name: string(name), Start: int(start), Len: int(length)})
+	}
+	if err := m.Validate(); err != nil {
+		return m, err
+	}
+	return m, nil
+}
+
+// countingWriter tracks bytes written so WriteTo can report the
+// manifest's encoded size.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

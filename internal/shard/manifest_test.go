@@ -1,0 +1,118 @@
+package shard
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func validManifest(t *testing.T) Manifest {
+	t.Helper()
+	p, err := New(1000, 300, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Manifest{
+		MaxPatternLen: 100,
+		Plan:          p,
+		Refs: []Ref{
+			{Name: "chr1", Start: 0, Len: 600},
+			{Name: "chr2", Start: 600, Len: 400},
+		},
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := validManifest(t)
+	var buf bytes.Buffer
+	n, err := m.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadManifest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MaxPatternLen != m.MaxPatternLen ||
+		got.Plan.TotalLen != m.Plan.TotalLen ||
+		got.Plan.ShardSize != m.Plan.ShardSize ||
+		got.Plan.Overlap != m.Plan.Overlap ||
+		len(got.Plan.Spans) != len(m.Plan.Spans) ||
+		len(got.Refs) != len(m.Refs) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, m)
+	}
+	for i := range m.Refs {
+		if got.Refs[i] != m.Refs[i] {
+			t.Fatalf("ref %d: %+v vs %+v", i, got.Refs[i], m.Refs[i])
+		}
+	}
+	if err := got.CheckInvariants(); err != nil {
+		t.Fatalf("round-tripped manifest fails invariants: %v", err)
+	}
+}
+
+func TestReadManifestRejectsCorruption(t *testing.T) {
+	m := validManifest(t)
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	// Truncation at every prefix length must fail with ErrManifest and
+	// never panic or allocate past the caps.
+	for n := 0; n < len(valid); n += 7 {
+		if _, err := ReadManifest(bytes.NewReader(valid[:n])); !errors.Is(err, ErrManifest) {
+			t.Fatalf("truncated at %d: error %v does not wrap ErrManifest", n, err)
+		}
+	}
+
+	// Single-byte corruption across the header region: either rejected
+	// with ErrManifest, or (where the byte is genuinely don't-care)
+	// still a fully consistent manifest.
+	for i := 0; i < len(valid); i++ {
+		mutated := append([]byte(nil), valid...)
+		mutated[i] ^= 0xff
+		got, err := ReadManifest(bytes.NewReader(mutated))
+		if err != nil {
+			if !errors.Is(err, ErrManifest) {
+				t.Fatalf("byte %d: error %v does not wrap ErrManifest", i, err)
+			}
+			continue
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("byte %d: accepted manifest fails Validate: %v", i, err)
+		}
+	}
+}
+
+func TestReadManifestCapsAllocations(t *testing.T) {
+	// A header claiming 2^33 shards must be rejected from the count
+	// field alone, before any span allocation happens.
+	m := validManifest(t)
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// The span-count field sits after version(4) + 4*uint64(32).
+	const countOff = 36
+	data[countOff+0] = 0xff
+	data[countOff+1] = 0xff
+	data[countOff+2] = 0xff
+	data[countOff+3] = 0x7f
+	if _, err := ReadManifest(bytes.NewReader(data)); !errors.Is(err, ErrManifest) {
+		t.Fatalf("oversized shard count accepted: %v", err)
+	}
+}
+
+func TestWriteToRejectsInvalid(t *testing.T) {
+	m := validManifest(t)
+	m.MaxPatternLen = m.Plan.Overlap + 2 // overlap now too small
+	if _, err := m.WriteTo(&bytes.Buffer{}); err == nil {
+		t.Fatal("WriteTo serialized an invalid manifest")
+	}
+}

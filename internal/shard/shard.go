@@ -1,0 +1,140 @@
+// Package shard partitions one target text into fixed-size, overlapping
+// shards so that per-shard FM-indexes can be built concurrently and
+// searched in parallel (the terabase-scale BWT construction route: one
+// serial suffix array per shard, shards composed above).
+//
+// The geometry is chosen so that k-mismatch search over the shards is
+// exact without any cross-shard stitching: with an overlap of
+// maxPatternLen-1 bytes, every window of length <= maxPatternLen lies
+// wholly inside at least one shard, and ownership of a match is decided
+// by its start position alone (the shard whose owned range contains the
+// start reports it, every other shard that also sees it stays silent).
+// Owned ranges partition [0, n), so each match is reported exactly once
+// and concatenating per-shard results in shard order yields global
+// position order.
+package shard
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrPlan reports an unusable shard geometry.
+var ErrPlan = errors.New("shard: invalid plan")
+
+// Span is one shard's slice of the target in global coordinates: the
+// shard indexes target[Start:End). Consecutive spans overlap.
+type Span struct {
+	Start, End int
+}
+
+// Len returns the number of bytes the shard covers.
+func (s Span) Len() int { return s.End - s.Start }
+
+// Plan is the partition geometry of one sharded index. Spans are fully
+// determined by (TotalLen, ShardSize, Overlap); they are materialized —
+// and persisted in the manifest — so that loaders can cross-check a
+// stored plan against the recomputed one instead of trusting it.
+type Plan struct {
+	// TotalLen is the target length in bytes.
+	TotalLen int
+	// ShardSize is the stride between shard starts: shard i owns start
+	// positions [i*ShardSize, (i+1)*ShardSize).
+	ShardSize int
+	// Overlap is how many bytes each shard extends past the next
+	// shard's start (maxPatternLen-1 for exact search).
+	Overlap int
+	// Spans holds one entry per shard, in increasing Start order.
+	Spans []Span
+}
+
+// New computes the partition of a totalLen-byte target into shards of
+// the given stride with the given overlap.
+func New(totalLen, shardSize, overlap int) (Plan, error) {
+	if totalLen < 1 {
+		return Plan{}, fmt.Errorf("%w: total length %d", ErrPlan, totalLen)
+	}
+	if shardSize < 1 {
+		return Plan{}, fmt.Errorf("%w: shard size %d", ErrPlan, shardSize)
+	}
+	if overlap < 0 {
+		return Plan{}, fmt.Errorf("%w: negative overlap %d", ErrPlan, overlap)
+	}
+	count := (totalLen + shardSize - 1) / shardSize
+	p := Plan{
+		TotalLen:  totalLen,
+		ShardSize: shardSize,
+		Overlap:   overlap,
+		Spans:     make([]Span, count),
+	}
+	for i := range p.Spans {
+		start := i * shardSize
+		end := start + shardSize + overlap
+		if end > totalLen {
+			end = totalLen
+		}
+		p.Spans[i] = Span{Start: start, End: end}
+	}
+	return p, nil
+}
+
+// ForCount computes a plan splitting the target into (at most) count
+// shards of equal stride. Tiny targets yield fewer shards: the stride
+// never drops below 1 byte.
+func ForCount(totalLen, count, overlap int) (Plan, error) {
+	if count < 1 {
+		return Plan{}, fmt.Errorf("%w: shard count %d", ErrPlan, count)
+	}
+	size := (totalLen + count - 1) / count
+	if size < 1 {
+		size = 1
+	}
+	return New(totalLen, size, overlap)
+}
+
+// Count returns the number of shards.
+func (p Plan) Count() int { return len(p.Spans) }
+
+// OwnedEnd returns the exclusive end of the global start positions
+// shard i owns: matches starting in [Spans[i].Start, OwnedEnd(i)) are
+// reported by shard i and by no other shard.
+func (p Plan) OwnedEnd(i int) int {
+	if i == len(p.Spans)-1 {
+		return p.TotalLen
+	}
+	return p.Spans[i+1].Start
+}
+
+// Owner returns the index of the shard owning global start position
+// pos, or -1 when pos is out of range.
+func (p Plan) Owner(pos int) int {
+	if pos < 0 || pos >= p.TotalLen || p.ShardSize < 1 {
+		return -1
+	}
+	i := pos / p.ShardSize
+	if i >= len(p.Spans) {
+		return -1
+	}
+	return i
+}
+
+// Validate cross-checks the materialized spans against the geometry
+// recomputed from (TotalLen, ShardSize, Overlap). It is always on —
+// loaders run it on untrusted manifests — and cheap: O(count).
+func (p Plan) Validate() error {
+	want, err := New(p.TotalLen, p.ShardSize, p.Overlap)
+	if err != nil {
+		return err
+	}
+	if len(p.Spans) != len(want.Spans) {
+		return fmt.Errorf("%w: %d spans for length %d at stride %d (want %d)",
+			ErrPlan, len(p.Spans), p.TotalLen, p.ShardSize, len(want.Spans))
+	}
+	for i, s := range p.Spans {
+		if s != want.Spans[i] {
+			return fmt.Errorf("%w: span %d is [%d,%d), want [%d,%d)",
+				ErrPlan, i, s.Start, s.End, want.Spans[i].Start, want.Spans[i].End)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+package shard
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewGeometry(t *testing.T) {
+	cases := []struct {
+		name                       string
+		totalLen, shardSize, overlap int
+		wantCount                  int
+	}{
+		{"single shard", 100, 100, 9, 1},
+		{"exact multiple", 100, 25, 9, 4},
+		{"ragged tail", 100, 30, 9, 4},
+		{"tiny target", 3, 10, 9, 1},
+		{"stride one", 5, 1, 0, 5},
+		{"overlap larger than stride", 50, 10, 15, 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := New(tc.totalLen, tc.shardSize, tc.overlap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.Count() != tc.wantCount {
+				t.Fatalf("count = %d, want %d", p.Count(), tc.wantCount)
+			}
+			if err := p.Validate(); err != nil {
+				t.Fatalf("fresh plan fails Validate: %v", err)
+			}
+			if p.Spans[0].Start != 0 {
+				t.Fatalf("first span starts at %d", p.Spans[0].Start)
+			}
+			if last := p.Spans[p.Count()-1]; last.End != tc.totalLen {
+				t.Fatalf("last span ends at %d of %d", last.End, tc.totalLen)
+			}
+			for i, s := range p.Spans {
+				if s.Len() < 1 {
+					t.Fatalf("span %d is empty", i)
+				}
+				if s.End > tc.totalLen {
+					t.Fatalf("span %d overruns: end %d of %d", i, s.End, tc.totalLen)
+				}
+				if i > 0 && s.Start != p.Spans[i-1].Start+tc.shardSize {
+					t.Fatalf("span %d start %d, want stride %d", i, s.Start, tc.shardSize)
+				}
+			}
+		})
+	}
+}
+
+func TestNewRejectsBadGeometry(t *testing.T) {
+	for _, tc := range []struct{ totalLen, shardSize, overlap int }{
+		{0, 10, 0}, {-1, 10, 0}, {10, 0, 0}, {10, -3, 0}, {10, 5, -1},
+	} {
+		if _, err := New(tc.totalLen, tc.shardSize, tc.overlap); err == nil {
+			t.Errorf("New(%d, %d, %d) accepted", tc.totalLen, tc.shardSize, tc.overlap)
+		}
+	}
+	if _, err := ForCount(10, 0, 0); err == nil {
+		t.Error("ForCount with zero shards accepted")
+	}
+}
+
+func TestForCount(t *testing.T) {
+	p, err := ForCount(100, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Count() != 4 || p.ShardSize != 25 {
+		t.Fatalf("count %d stride %d, want 4 shards of 25", p.Count(), p.ShardSize)
+	}
+	// More shards than bytes: stride clamps to 1, count to the length.
+	p, err = ForCount(3, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Count() != 3 {
+		t.Fatalf("tiny target count = %d, want 3", p.Count())
+	}
+}
+
+func TestOwnership(t *testing.T) {
+	p, err := New(100, 30, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Owned ranges partition [0, 100): walk every position once.
+	for pos := 0; pos < 100; pos++ {
+		owner := p.Owner(pos)
+		if owner < 0 {
+			t.Fatalf("Owner(%d) = %d", pos, owner)
+		}
+		if pos < p.Spans[owner].Start || pos >= p.OwnedEnd(owner) {
+			t.Fatalf("Owner(%d) = %d but owned range is [%d,%d)",
+				pos, owner, p.Spans[owner].Start, p.OwnedEnd(owner))
+		}
+	}
+	for _, pos := range []int{-1, 100, 1000} {
+		if got := p.Owner(pos); got != -1 {
+			t.Errorf("Owner(%d) = %d, want -1", pos, got)
+		}
+	}
+}
+
+func TestValidateCatchesTampering(t *testing.T) {
+	fresh := func(t *testing.T) Plan {
+		p, err := New(100, 30, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	mutations := map[string]func(*Plan){
+		"shifted span":   func(p *Plan) { p.Spans[1].Start++ },
+		"truncated span": func(p *Plan) { p.Spans[2].End-- },
+		"dropped span":   func(p *Plan) { p.Spans = p.Spans[:len(p.Spans)-1] },
+		"wrong stride":   func(p *Plan) { p.ShardSize++ },
+		"wrong overlap":  func(p *Plan) { p.Overlap++ },
+	}
+	for name, mutate := range mutations {
+		t.Run(name, func(t *testing.T) {
+			p := fresh(t)
+			mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Fatal("tampered plan passed Validate")
+			}
+		})
+	}
+}
+
+func TestValidateRejectsOverlapTooSmall(t *testing.T) {
+	p, err := New(100, 30, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Manifest{MaxPatternLen: 10, Plan: p} // needs overlap >= 9
+	err = m.Validate()
+	if err == nil {
+		t.Fatal("undersized overlap accepted")
+	}
+	if !strings.Contains(err.Error(), "overlap") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}

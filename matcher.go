@@ -1,0 +1,45 @@
+package bwtmatch
+
+import "context"
+
+// Matcher is the search surface shared by the monolithic *Index and the
+// partitioned *ShardedIndex: everything a caller needs to run
+// k-mismatch queries, map results to reference coordinates and account
+// for memory, without knowing how the target is laid out. kmsearch and
+// the kmserved registry operate on Matcher, so a saved index file is
+// interchangeable between the two layouts (LoadAnyFile dispatches on
+// the container magic).
+//
+// The sharded implementation adds one restriction: patterns longer than
+// its build-time MaxPatternLen are rejected with ErrInput.
+type Matcher interface {
+	// Len returns the indexed target length in bases.
+	Len() int
+	// SizeBytes estimates the resident size of the index structures.
+	SizeBytes() int
+	// Refs returns the reference table; nil for single-sequence indexes.
+	Refs() []Ref
+	// Resolve maps a target window [pos, pos+length) to reference
+	// coordinates; ok is false if it crosses a reference boundary.
+	Resolve(pos, length int) (ref string, refPos int, ok bool)
+
+	// Search finds all k-mismatch occurrences with Algorithm A.
+	Search(pattern []byte, k int) ([]Match, error)
+	// SearchMethod runs one of the implemented matchers.
+	SearchMethod(pattern []byte, k int, method Method) ([]Match, Stats, error)
+	// SearchMethodTraced is SearchMethod with per-phase telemetry.
+	SearchMethodTraced(pattern []byte, k int, method Method, tr Tracer) ([]Match, Stats, error)
+	// SearchMethodScratch is SearchMethod with caller-managed memory
+	// (BWT-path methods only).
+	SearchMethodScratch(sc *Scratch, dst []Match, pattern []byte, k int, method Method) ([]Match, Stats, error)
+	// SearchBest finds the minimum-distance stratum up to maxK.
+	SearchBest(pattern []byte, maxK int) (int, []Match, error)
+	// MapAllContext runs a query batch across workers goroutines.
+	MapAllContext(ctx context.Context, queries []Query, method Method, workers int) []Result
+}
+
+// Compile-time checks that both index layouts satisfy Matcher.
+var (
+	_ Matcher = (*Index)(nil)
+	_ Matcher = (*ShardedIndex)(nil)
+)

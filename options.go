@@ -5,10 +5,23 @@ import "bwtmatch/internal/fmindex"
 // config collects index construction settings.
 type config struct {
 	fm fmindex.Options
+
+	// Sharded construction (NewSharded / NewShardedRefs only; plain New
+	// ignores these).
+	shardSize     int
+	shardCount    int
+	maxPatternLen int
+	shardFanout   int
 }
 
+// DefaultMaxPatternLen is the pattern-length bound a sharded index is
+// built for when WithMaxPatternLen is not given: shards overlap by
+// DefaultMaxPatternLen-1 bytes, so any pattern up to this long is
+// searched exactly. Comfortably above short-read lengths (100-300 bp).
+const DefaultMaxPatternLen = 512
+
 func defaultConfig() config {
-	return config{fm: fmindex.DefaultOptions()}
+	return config{fm: fmindex.DefaultOptions(), maxPatternLen: DefaultMaxPatternLen}
 }
 
 // Option customizes index construction.
@@ -53,4 +66,36 @@ func WithPackedBWT() Option {
 // unaffected.
 func WithBuildWorkers(n int) Option {
 	return func(c *config) { c.fm.Workers = n }
+}
+
+// WithShards partitions a sharded index into n shards of equal stride
+// (NewSharded / NewShardedRefs). Mutually exclusive with WithShardSize;
+// the last one set wins. Plain New ignores it.
+func WithShards(n int) Option {
+	return func(c *config) { c.shardCount = n; c.shardSize = 0 }
+}
+
+// WithShardSize partitions a sharded index into shards that own `bytes`
+// target bytes each (each shard additionally indexes the
+// maxPatternLen-1 overlap into its successor). Mutually exclusive with
+// WithShards; the last one set wins. Plain New ignores it.
+func WithShardSize(bytes int) Option {
+	return func(c *config) { c.shardSize = bytes; c.shardCount = 0 }
+}
+
+// WithMaxPatternLen sets the longest pattern a sharded index answers
+// exactly (default DefaultMaxPatternLen). It fixes the shard overlap at
+// n-1 bytes: larger bounds cost index space proportional to
+// shards x (n-1), and queries longer than the bound are rejected with
+// ErrInput. Plain New ignores it.
+func WithMaxPatternLen(n int) Option {
+	return func(c *config) { c.maxPatternLen = n }
+}
+
+// WithShardFanout caps the goroutines a single sharded search fans out
+// across (default GOMAXPROCS). 1 searches shards serially; batch
+// entry points (MapAllContext) always search shards serially within a
+// worker and parallelize across queries instead. Plain New ignores it.
+func WithShardFanout(n int) Option {
+	return func(c *config) { c.shardFanout = n }
 }

@@ -77,16 +77,26 @@ func (x *Index) MapAllContext(ctx context.Context, queries []Query, method Metho
 		}
 		results[i] = Result{Matches: m, Stats: st, Err: err}
 	}
-	if workers <= 1 || len(queries) <= 1 {
+	runQueries(len(queries), workers, run)
+	return results
+}
+
+// runQueries is the bulk execution engine shared by (*Index) and
+// (*ShardedIndex) MapAllContext: it invokes run(sc, i) exactly once for
+// every i in [0, n), distributing the indices over workers goroutines
+// by chunked atomic claiming, with one pooled Scratch pinned per
+// worker. run must be safe for concurrent invocation on distinct i.
+func runQueries(n, workers int, run func(sc *Scratch, i int)) {
+	if workers <= 1 || n <= 1 {
 		sc := scratchPool.Get().(*Scratch)
-		for i := range queries {
+		for i := 0; i < n; i++ {
 			run(sc, i)
 		}
 		scratchPool.Put(sc)
-		return results
+		return
 	}
-	if workers > len(queries) {
-		workers = len(queries)
+	if workers > n {
+		workers = n
 	}
 	// Cole's suffix tree and the Amir matcher build lazily behind a
 	// sync.Once; run the first query before fan-out so workers never
@@ -95,7 +105,7 @@ func (x *Index) MapAllContext(ctx context.Context, queries []Query, method Metho
 	run(warm, 0)
 	scratchPool.Put(warm)
 
-	chunk := len(queries) / (workers * 4)
+	chunk := n / (workers * 4)
 	if chunk > mapChunkMax {
 		chunk = mapChunkMax
 	}
@@ -113,12 +123,12 @@ func (x *Index) MapAllContext(ctx context.Context, queries []Query, method Metho
 			defer scratchPool.Put(sc)
 			for {
 				lo := int(next.Add(int64(chunk))) - chunk
-				if lo >= len(queries) {
+				if lo >= n {
 					return
 				}
 				hi := lo + chunk
-				if hi > len(queries) {
-					hi = len(queries)
+				if hi > n {
+					hi = n
 				}
 				for i := lo; i < hi; i++ {
 					run(sc, i)
@@ -127,5 +137,4 @@ func (x *Index) MapAllContext(ctx context.Context, queries []Query, method Metho
 		}()
 	}
 	wg.Wait()
-	return results
 }

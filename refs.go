@@ -34,14 +34,30 @@ type RefMatch struct {
 // of concatenation, since the DNA alphabet has no spare separator
 // symbol).
 func NewRefs(refs []Reference, opts ...Option) (*Index, error) {
+	cat, table, err := concatRefs(refs)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := New(cat, opts...)
+	if err != nil {
+		return nil, err
+	}
+	idx.refs = table
+	return idx, nil
+}
+
+// concatRefs validates and concatenates named references into one
+// target, building the offset table (shared by NewRefs and
+// NewShardedRefs).
+func concatRefs(refs []Reference) ([]byte, []Ref, error) {
 	if len(refs) == 0 {
-		return nil, fmt.Errorf("%w: no references", ErrInput)
+		return nil, nil, fmt.Errorf("%w: no references", ErrInput)
 	}
 	var cat []byte
 	table := make([]Ref, len(refs))
 	for i, r := range refs {
 		if len(r.Seq) == 0 {
-			return nil, fmt.Errorf("%w: reference %q is empty", ErrInput, r.Name)
+			return nil, nil, fmt.Errorf("%w: reference %q is empty", ErrInput, r.Name)
 		}
 		name := r.Name
 		if name == "" {
@@ -50,12 +66,7 @@ func NewRefs(refs []Reference, opts ...Option) (*Index, error) {
 		table[i] = Ref{Name: name, Start: len(cat), Len: len(r.Seq)}
 		cat = append(cat, r.Seq...)
 	}
-	idx, err := New(cat, opts...)
-	if err != nil {
-		return nil, err
-	}
-	idx.refs = table
-	return idx, nil
+	return cat, table, nil
 }
 
 // Refs returns the reference table; nil for single-sequence indexes
@@ -66,17 +77,23 @@ func (x *Index) Refs() []Ref { return x.refs }
 // reference coordinates. ok is false when the window crosses a reference
 // boundary or the index has no reference table.
 func (x *Index) Resolve(pos, length int) (ref string, refPos int, ok bool) {
-	if len(x.refs) == 0 {
+	return resolveRefs(x.refs, pos, length)
+}
+
+// resolveRefs is the coordinate mapping behind Resolve, shared by Index
+// and ShardedIndex.
+func resolveRefs(refs []Ref, pos, length int) (ref string, refPos int, ok bool) {
+	if len(refs) == 0 {
 		return "", 0, false
 	}
 	// Binary search for the reference containing pos.
-	i := sort.Search(len(x.refs), func(i int) bool {
-		return x.refs[i].Start+x.refs[i].Len > pos
+	i := sort.Search(len(refs), func(i int) bool {
+		return refs[i].Start+refs[i].Len > pos
 	})
-	if i == len(x.refs) {
+	if i == len(refs) {
 		return "", 0, false
 	}
-	r := x.refs[i]
+	r := refs[i]
 	if pos < r.Start || pos+length > r.Start+r.Len {
 		return "", 0, false
 	}

@@ -74,3 +74,14 @@ func (st *Stats) fromCore(cs core.Stats) {
 	st.MemoHits = cs.MemoHits
 	st.LocateNS = cs.LocateNS
 }
+
+// add accumulates another query's (or another shard's) counters into st;
+// sharded searches sum per-shard work into one Stats.
+func (st *Stats) add(o Stats) {
+	st.MTreeLeaves += o.MTreeLeaves
+	st.StepCalls += o.StepCalls
+	st.MemoHits += o.MemoHits
+	st.Candidates += o.Candidates
+	st.Visited += o.Visited
+	st.LocateNS += o.LocateNS
+}

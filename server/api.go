@@ -88,6 +88,11 @@ type IndexInfo struct {
 	Bases     int    `json:"bases"`
 	SizeBytes int    `json:"size_bytes"`
 	Refs      int    `json:"refs"`
+	// Shards is the shard count for a sharded index, 0 for monolithic.
+	Shards int `json:"shards,omitempty"`
+	// ShardBytes lists each shard's serialized (or resident) byte size,
+	// in shard order; nil for monolithic indexes.
+	ShardBytes []int64 `json:"shard_bytes,omitempty"`
 	// Queries counts searches served from this index since registration.
 	Queries int64 `json:"queries"`
 }

@@ -18,10 +18,15 @@ var ErrExists = errors.New("server: index already registered")
 
 // entry is one registered index. Indexes are immutable, so an entry
 // evicted from the registry stays valid for searches already holding it;
-// the GC reclaims it when the last in-flight batch finishes.
+// the GC reclaims it when the last in-flight batch finishes. That is
+// also why eviction never calls Close on a ShardedIndex: an in-flight
+// batch may still materialize shards lazily from the backing file, so
+// the file handle must outlive the registry entry (the finalizer-free
+// design accepts the descriptor leak until the GC collects the index;
+// kmserved registers long-lived indexes, so in practice none leak).
 type entry struct {
 	name  string
-	idx   *bwtmatch.Index
+	idx   bwtmatch.Matcher
 	bytes int64
 	// lastUsed orders entries for LRU eviction: a global sequence number
 	// stamped on every Get, so lookups stay on the RLock fast path.
@@ -51,15 +56,21 @@ func NewRegistry(budget int64) *Registry {
 	return &Registry{budget: budget, entries: make(map[string]*entry)}
 }
 
-// indexBytes estimates the resident cost of one index.
-func indexBytes(idx *bwtmatch.Index) int64 {
+// indexBytes estimates the resident cost of one index. A sharded
+// index's SizeBytes already includes each shard's packed text, so
+// adding Len would double-count; the monolithic SizeBytes excludes the
+// text, so its cost is SizeBytes plus Len.
+func indexBytes(idx bwtmatch.Matcher) int64 {
+	if _, ok := idx.(*bwtmatch.ShardedIndex); ok {
+		return int64(idx.SizeBytes())
+	}
 	return int64(idx.SizeBytes()) + int64(idx.Len())
 }
 
 // Add registers idx under name, evicting least-recently-used entries if
 // the budget would be exceeded. Registering an existing name fails with
 // ErrExists (evict first to replace).
-func (r *Registry) Add(name string, idx *bwtmatch.Index) error {
+func (r *Registry) Add(name string, idx bwtmatch.Matcher) error {
 	if name == "" {
 		return fmt.Errorf("server: empty index name")
 	}
@@ -101,9 +112,12 @@ func (r *Registry) evictLocked(incoming int64) {
 	}
 }
 
-// LoadFile reads a saved index from path and registers it under name.
-func (r *Registry) LoadFile(name, path string) (*bwtmatch.Index, error) {
-	idx, err := bwtmatch.LoadFile(path)
+// LoadFile reads a saved index from path — monolithic or sharded, the
+// container magic decides — and registers it under name. Sharded
+// indexes load lazily: registration reads only the manifest, and each
+// shard materializes from the file on first search.
+func (r *Registry) LoadFile(name, path string) (bwtmatch.Matcher, error) {
+	idx, err := bwtmatch.LoadAnyFile(path)
 	if err != nil {
 		// %w keeps bwtmatch.ErrFormat matchable while recording which
 		// registration failed (kmvet: wrapformat).
@@ -117,7 +131,7 @@ func (r *Registry) LoadFile(name, path string) (*bwtmatch.Index, error) {
 
 // Get returns the index registered under name, refreshing its LRU
 // recency, or ErrNotFound.
-func (r *Registry) Get(name string) (*bwtmatch.Index, error) {
+func (r *Registry) Get(name string) (bwtmatch.Matcher, error) {
 	r.mu.RLock()
 	e, ok := r.entries[name]
 	r.mu.RUnlock()
@@ -151,15 +165,45 @@ func (r *Registry) List() []IndexInfo {
 	defer r.mu.RUnlock()
 	out := make([]IndexInfo, 0, len(r.entries))
 	for _, e := range r.entries {
-		out = append(out, IndexInfo{
+		info := IndexInfo{
 			Name:      e.name,
 			Bases:     e.idx.Len(),
 			SizeBytes: e.idx.SizeBytes(),
 			Refs:      len(e.idx.Refs()),
 			Queries:   e.queries.Load(),
-		})
+		}
+		if sx, ok := e.idx.(*bwtmatch.ShardedIndex); ok {
+			shards := sx.ShardInfo()
+			info.Shards = len(shards)
+			info.ShardBytes = make([]int64, len(shards))
+			for i, s := range shards {
+				info.ShardBytes[i] = s.Bytes
+			}
+		}
+		out = append(out, info)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// shardSeries is one sharded entry's telemetry snapshot for /metrics.
+type shardSeries struct {
+	name string
+	info []bwtmatch.ShardInfo
+}
+
+// shardSnapshot collects per-shard telemetry for every registered
+// sharded index, sorted by name. Monolithic entries are skipped.
+func (r *Registry) shardSnapshot() []shardSeries {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []shardSeries
+	for _, e := range r.entries {
+		if sx, ok := e.idx.(*bwtmatch.ShardedIndex); ok {
+			out = append(out, shardSeries{name: e.name, info: sx.ShardInfo()})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
 	return out
 }
 

@@ -126,7 +126,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/indexes", s.handleRegisterIndex)
 	s.mux.HandleFunc("DELETE /v1/indexes/{name}", s.handleRemoveIndex)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.Handle("GET /metrics", s.met)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /metrics.json", s.met.ServeJSON)
 	if cfg.EnableDebug {
 		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -215,13 +215,18 @@ func (s *Server) RegisterGenome(name, path string) error {
 	return nil
 }
 
-// RegisterIndex registers an already-built index under name.
-func (s *Server) RegisterIndex(name string, idx *bwtmatch.Index) error {
+// RegisterIndex registers an already-built index — monolithic or
+// sharded — under name.
+func (s *Server) RegisterIndex(name string, idx bwtmatch.Matcher) error {
 	if err := s.reg.Add(name, idx); err != nil {
 		return err
 	}
 	s.met.IndexesLoaded.Add(1)
-	s.log.Info("index registered", "index", name, "bytes", idx.SizeBytes())
+	shards := 0
+	if sx, ok := idx.(*bwtmatch.ShardedIndex); ok {
+		shards = sx.Shards()
+	}
+	s.log.Info("index registered", "index", name, "bytes", idx.SizeBytes(), "shards", shards)
 	return nil
 }
 
@@ -467,6 +472,34 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		"memo_hits", memo,
 		"elapsed_ms", resp.ElapsedMS)
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleMetrics serves the Prometheus exposition: the server-wide
+// counters, then one series pair per shard of every registered sharded
+// index, labelled by index name and shard ordinal. The per-shard series
+// are rendered at scrape time from ShardedIndex.ShardInfo, so they need
+// no bookkeeping in the hot path beyond the index's own atomics.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.WritePrometheus(w)
+	sharded := s.reg.shardSnapshot()
+	if len(sharded) == 0 {
+		return
+	}
+	// All samples of one metric stay contiguous, as the text format
+	// requires: two passes, one per metric.
+	fmt.Fprintf(w, "# HELP km_shard_searches_total searches fanned out to each shard\n# TYPE km_shard_searches_total counter\n")
+	for _, e := range sharded {
+		for i, si := range e.info {
+			fmt.Fprintf(w, "km_shard_searches_total{index=%q,shard=\"%d\"} %d\n", e.name, i, si.Searches)
+		}
+	}
+	fmt.Fprintf(w, "# HELP km_shard_search_ns_total cumulative nanoseconds searching each shard\n# TYPE km_shard_search_ns_total counter\n")
+	for _, e := range sharded {
+		for i, si := range e.info {
+			fmt.Fprintf(w, "km_shard_search_ns_total{index=%q,shard=\"%d\"} %d\n", e.name, i, si.SearchNS)
+		}
+	}
 }
 
 // decodeBody parses a size-capped JSON body, rejecting trailing garbage.

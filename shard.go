@@ -1,0 +1,584 @@
+package bwtmatch
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bwtmatch/internal/alphabet"
+	"bwtmatch/internal/shard"
+)
+
+// ShardedIndex is a k-mismatch index over one target partitioned into
+// fixed-size shards, each carrying its own FM-index. Shards overlap by
+// maxPatternLen-1 bytes, so every window of length <= maxPatternLen
+// lies wholly inside at least one shard and sharded search is exact: a
+// match is reported by the unique shard that owns its start position,
+// and results come back deduplicated and in global position order,
+// equal to what a monolithic Index over the same target returns.
+//
+// Sharding buys three things the monolithic index cannot offer: build
+// parallelism (suffix-array construction stays serial per shard but
+// distinct shards build concurrently — the SA-IS Amdahl ceiling of
+// DESIGN.md §8 becomes per-shard, not per-target), bounded per-structure
+// memory, and a unit of distribution (kmserved accounts for and
+// observes each shard). The cost is the overlap — shards x
+// (maxPatternLen-1) extra indexed bytes — and a pattern-length bound
+// fixed at build time.
+//
+// A ShardedIndex is safe for concurrent use once built or loaded.
+type ShardedIndex struct {
+	man    shard.Manifest
+	refs   []Ref
+	shards []lazyShard
+	fanout int
+
+	// counters carries per-shard search telemetry; one slot per shard,
+	// the slice itself immutable after construction.
+	counters []shardCounter
+
+	// closer releases the backing file of a lazily loaded index
+	// (LoadShardedFile / LoadAnyFile); nil for built indexes.
+	closer io.Closer
+}
+
+// Close releases the backing file of an index loaded with
+// LoadShardedFile or LoadAnyFile; it is a no-op for built indexes.
+// Searches after Close fail on any shard not yet materialized.
+func (x *ShardedIndex) Close() error {
+	if x.closer == nil {
+		return nil
+	}
+	return x.closer.Close()
+}
+
+// lazyShard is one shard slot: either an eagerly built *Index or a
+// loader deferred until first use (sharded files load the manifest
+// eagerly and each shard payload lazily).
+type lazyShard struct {
+	span  shard.Span
+	bytes atomic.Int64 // resident-size estimate for accounting
+	once  sync.Once
+	ready atomic.Bool
+	idx   *Index
+	err   error
+	load  func() (*Index, error) // nil for eagerly built shards
+}
+
+// get returns the shard's index, materializing it on first use.
+func (ls *lazyShard) get() (*Index, error) {
+	ls.once.Do(func() {
+		if ls.load != nil {
+			ls.idx, ls.err = ls.load()
+			if ls.err == nil {
+				ls.bytes.Store(indexResidentBytes(ls.idx))
+			}
+		}
+		ls.ready.Store(ls.err == nil && ls.idx != nil)
+	})
+	return ls.idx, ls.err
+}
+
+// shardCounter aggregates per-shard search telemetry.
+type shardCounter struct {
+	searches atomic.Int64
+	ns       atomic.Int64
+}
+
+// ShardInfo describes one shard of a ShardedIndex: its slice of the
+// target, resident cost, load state, and cumulative search telemetry
+// (the source of the km_shard_searches_total / km_shard_search_ns_total
+// series kmserved exposes).
+type ShardInfo struct {
+	// Start and End delimit the target bytes this shard indexes
+	// (End-Start includes the overlap into the next shard).
+	Start, End int
+	// Bytes estimates the shard's resident size; for a lazily loaded
+	// shard that has not materialized yet it is the on-disk payload size.
+	Bytes int64
+	// Loaded reports whether the shard's index is materialized.
+	Loaded bool
+	// Searches counts per-shard sub-searches executed.
+	Searches int64
+	// SearchNS is the cumulative wall time of those sub-searches.
+	SearchNS int64
+}
+
+// NewSharded builds a sharded index over a DNA target. Partitioning is
+// set by WithShards or WithShardSize (default: GOMAXPROCS shards) and
+// the pattern-length bound by WithMaxPatternLen; the remaining Options
+// apply to every shard's FM-index. Shards build concurrently: each
+// shard's suffix array is serial, but distinct shards overlap on the
+// available CPUs.
+func NewSharded(target []byte, opts ...Option) (*ShardedIndex, error) {
+	return newSharded(target, nil, opts)
+}
+
+// NewShardedRefs is NewSharded over multiple named references (the
+// sharded sibling of NewRefs): sequences are concatenated and matches
+// resolve back to per-reference coordinates via Resolve.
+func NewShardedRefs(refs []Reference, opts ...Option) (*ShardedIndex, error) {
+	cat, table, err := concatRefs(refs)
+	if err != nil {
+		return nil, err
+	}
+	return newSharded(cat, table, opts)
+}
+
+func newSharded(target []byte, refs []Ref, opts []Option) (*ShardedIndex, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if len(target) == 0 {
+		return nil, fmt.Errorf("%w: empty target", ErrInput)
+	}
+	if cfg.maxPatternLen < 1 {
+		return nil, fmt.Errorf("%w: max pattern length %d", ErrInput, cfg.maxPatternLen)
+	}
+	if cfg.shardSize < 0 || cfg.shardCount < 0 {
+		return nil, fmt.Errorf("%w: shard size %d / count %d", ErrInput, cfg.shardSize, cfg.shardCount)
+	}
+	overlap := cfg.maxPatternLen - 1
+	var plan shard.Plan
+	var err error
+	switch {
+	case cfg.shardSize > 0:
+		plan, err = shard.New(len(target), cfg.shardSize, overlap)
+	case cfg.shardCount > 0:
+		plan, err = shard.ForCount(len(target), cfg.shardCount, overlap)
+	default:
+		plan, err = shard.ForCount(len(target), runtime.GOMAXPROCS(0), overlap)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInput, err)
+	}
+	man := shard.Manifest{MaxPatternLen: cfg.maxPatternLen, Plan: plan, Refs: refsToShard(refs)}
+	if err := man.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInput, err)
+	}
+
+	x := &ShardedIndex{
+		man:      man,
+		refs:     refs,
+		shards:   make([]lazyShard, plan.Count()),
+		counters: make([]shardCounter, plan.Count()),
+		fanout:   cfg.shardFanout,
+	}
+	if x.fanout <= 0 {
+		x.fanout = runtime.GOMAXPROCS(0)
+	}
+
+	// Build shards concurrently, at most GOMAXPROCS at a time: each
+	// build holds a full suffix array of its slice, so unbounded fan-out
+	// would spike memory without finishing any sooner.
+	fmOpt := func(c *config) { c.fm = cfg.fm }
+	workers := runtime.GOMAXPROCS(0)
+	if workers > plan.Count() {
+		workers = plan.Count()
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= plan.Count() {
+					return
+				}
+				sp := plan.Spans[i]
+				ls := &x.shards[i]
+				ls.span = sp
+				ls.idx, ls.err = New(target[sp.Start:sp.End], fmOpt)
+				if ls.err == nil {
+					ls.bytes.Store(indexResidentBytes(ls.idx))
+					ls.ready.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i := range x.shards {
+		if err := x.shards[i].err; err != nil {
+			return nil, fmt.Errorf("bwtmatch: building shard %d: %w", i, err)
+		}
+	}
+	return x, nil
+}
+
+// indexResidentBytes estimates one shard's resident cost: the FM-index
+// structures plus the retained rank-encoded text.
+func indexResidentBytes(idx *Index) int64 {
+	return int64(idx.SizeBytes()) + int64(idx.Len())
+}
+
+func refsToShard(refs []Ref) []shard.Ref {
+	if len(refs) == 0 {
+		return nil
+	}
+	out := make([]shard.Ref, len(refs))
+	for i, r := range refs {
+		out[i] = shard.Ref{Name: r.Name, Start: r.Start, Len: r.Len}
+	}
+	return out
+}
+
+// Len returns the target length.
+func (x *ShardedIndex) Len() int { return x.man.Plan.TotalLen }
+
+// Shards returns the number of shards.
+func (x *ShardedIndex) Shards() int { return len(x.shards) }
+
+// MaxPatternLen returns the longest pattern this index answers exactly
+// (fixed at build time; the shard overlap is MaxPatternLen-1 bytes).
+func (x *ShardedIndex) MaxPatternLen() int { return x.man.MaxPatternLen }
+
+// SizeBytes estimates the resident size of all shards; shards not yet
+// lazily materialized contribute their on-disk payload size.
+func (x *ShardedIndex) SizeBytes() int {
+	var total int64
+	for i := range x.shards {
+		total += x.shards[i].bytes.Load()
+	}
+	return int(total)
+}
+
+// Refs returns the reference table; nil for single-sequence indexes.
+func (x *ShardedIndex) Refs() []Ref { return x.refs }
+
+// Resolve maps a concatenated-target window [pos, pos+length) to
+// reference coordinates; ok is false when the window crosses a
+// reference boundary or there is no reference table.
+func (x *ShardedIndex) Resolve(pos, length int) (ref string, refPos int, ok bool) {
+	return resolveRefs(x.refs, pos, length)
+}
+
+// ShardInfo snapshots per-shard geometry, load state and telemetry.
+func (x *ShardedIndex) ShardInfo() []ShardInfo {
+	out := make([]ShardInfo, len(x.shards))
+	for i := range x.shards {
+		ls := &x.shards[i]
+		out[i] = ShardInfo{
+			Start:    ls.span.Start,
+			End:      ls.span.End,
+			Bytes:    ls.bytes.Load(),
+			Loaded:   ls.ready.Load(),
+			Searches: x.counters[i].searches.Load(),
+			SearchNS: x.counters[i].ns.Load(),
+		}
+	}
+	return out
+}
+
+// Search finds all occurrences of pattern with at most k mismatches
+// using Algorithm A, sorted by global position.
+func (x *ShardedIndex) Search(pattern []byte, k int) ([]Match, error) {
+	m, _, err := x.SearchMethod(pattern, k, AlgorithmA)
+	return m, err
+}
+
+// Count returns only the number of k-mismatch occurrences.
+func (x *ShardedIndex) Count(pattern []byte, k int) (int, error) {
+	m, err := x.Search(pattern, k)
+	return len(m), err
+}
+
+// SearchMethod runs one of the implemented matchers across all shards,
+// fanning out up to WithShardFanout goroutines, and returns the merged
+// global-coordinate matches with summed work statistics.
+func (x *ShardedIndex) SearchMethod(pattern []byte, k int, method Method) ([]Match, Stats, error) {
+	return x.searchAll(pattern, k, method, nil)
+}
+
+// SearchMethodTraced is SearchMethod with per-query telemetry: the
+// tracer observes one "shard[i]" span per shard, each containing the
+// usual phase spans and work events. Tracing serializes the fan-out so
+// the shard timeline stays readable.
+func (x *ShardedIndex) SearchMethodTraced(pattern []byte, k int, method Method, tr Tracer) ([]Match, Stats, error) {
+	return x.searchAll(pattern, k, method, tr)
+}
+
+// SearchBest finds the occurrences with the smallest Hamming distance
+// not exceeding maxK, by iterative deepening exactly like
+// (*Index).SearchBest: distance strata are tried in increasing order
+// and the first non-empty one is returned.
+func (x *ShardedIndex) SearchBest(pattern []byte, maxK int) (int, []Match, error) {
+	if maxK < 0 {
+		return -1, nil, fmt.Errorf("%w: negative maxK", ErrInput)
+	}
+	for k := 0; k <= maxK; k++ {
+		matches, err := x.Search(pattern, k)
+		if err != nil {
+			return -1, nil, err
+		}
+		if len(matches) == 0 {
+			continue
+		}
+		best := matches[0].Mismatches
+		for _, m := range matches {
+			if m.Mismatches < best {
+				best = m.Mismatches
+			}
+		}
+		out := matches[:0:0]
+		for _, m := range matches {
+			if m.Mismatches == best {
+				out = append(out, m)
+			}
+		}
+		return best, out, nil
+	}
+	return -1, nil, nil
+}
+
+// checkPattern validates a query against the sharded geometry and
+// returns the rank-encoded pattern appended to buf.
+func (x *ShardedIndex) checkPattern(buf, pattern []byte, k int) ([]byte, error) {
+	p, err := alphabet.AppendEncode(buf, pattern)
+	if err != nil {
+		return p, fmt.Errorf("%w: %v", ErrInput, err)
+	}
+	if len(p) == 0 {
+		return p, fmt.Errorf("%w: empty pattern", ErrInput)
+	}
+	if len(p) > x.man.MaxPatternLen {
+		return p, fmt.Errorf("%w: pattern length %d exceeds the sharded index bound %d (rebuild with WithMaxPatternLen)",
+			ErrInput, len(p), x.man.MaxPatternLen)
+	}
+	if k < 0 {
+		return p, fmt.Errorf("%w: negative k", ErrInput)
+	}
+	return p, nil
+}
+
+// searchAll is the fan-out engine behind the convenience entry points.
+func (x *ShardedIndex) searchAll(pattern []byte, k int, method Method, tr Tracer) ([]Match, Stats, error) {
+	var st Stats
+	if _, err := x.checkPattern(nil, pattern, k); err != nil {
+		return nil, st, err
+	}
+	fanout := x.fanout
+	if fanout > len(x.shards) {
+		fanout = len(x.shards)
+	}
+	if fanout <= 1 || tr != nil || len(x.shards) == 1 {
+		sc := scratchPool.Get().(*Scratch)
+		out, st, err := x.searchSerial(sc, nil, pattern, k, method, tr)
+		scratchPool.Put(sc)
+		return out, st, err
+	}
+
+	// Parallel fan-out: workers claim shards from an atomic counter,
+	// each with a pooled Scratch; per-shard results land in their slot
+	// and concatenate in shard order (owned ranges are disjoint and
+	// increasing, so the concatenation is globally sorted).
+	perShard := make([][]Match, len(x.shards))
+	perStats := make([]Stats, len(x.shards))
+	perErr := make([]error, len(x.shards))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < fanout; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := scratchPool.Get().(*Scratch)
+			defer scratchPool.Put(sc)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(x.shards) {
+					return
+				}
+				var ms []Match
+				ms, perStats[i], perErr[i] = x.searchShard(i, sc, nil, pattern, k, method, nil)
+				perShard[i] = ms
+			}
+		}()
+	}
+	wg.Wait()
+	var out []Match
+	for i := range x.shards {
+		if perErr[i] != nil {
+			return nil, st, perErr[i]
+		}
+		out = append(out, perShard[i]...)
+		st.add(perStats[i])
+	}
+	return out, st, nil
+}
+
+// searchSerial runs the query through every shard in order with one
+// Scratch, appending into dst.
+func (x *ShardedIndex) searchSerial(sc *Scratch, dst []Match, pattern []byte, k int, method Method, tr Tracer) ([]Match, Stats, error) {
+	var st Stats
+	out := dst
+	for i := range x.shards {
+		var err error
+		var ss Stats
+		out, ss, err = x.searchShard(i, sc, out, pattern, k, method, tr)
+		if err != nil {
+			return dst, st, err
+		}
+		st.add(ss)
+	}
+	return out, st, nil
+}
+
+// searchShard runs the query against shard i, remaps hits to global
+// coordinates, and appends only the matches the shard owns — global
+// start position inside [span.Start, OwnedEnd(i)), the exactly-once
+// reporting invariant.
+func (x *ShardedIndex) searchShard(i int, sc *Scratch, dst []Match, pattern []byte, k int, method Method, tr Tracer) ([]Match, Stats, error) {
+	var st Stats
+	idx, err := x.shards[i].get()
+	if err != nil {
+		return dst, st, fmt.Errorf("%w: shard %d: %v", ErrFormat, i, err)
+	}
+	base := x.shards[i].span.Start
+	ownedEnd := x.man.Plan.OwnedEnd(i)
+	if tr != nil {
+		tr.Begin(fmt.Sprintf("shard[%d]", i))
+		defer tr.End()
+	}
+	start := time.Now()
+	cm, hasCore := coreMethods[method]
+	if hasCore && tr == nil {
+		// Zero-allocation path: core matches land in the Scratch arena
+		// and only owned hits are copied out.
+		p, perr := x.checkPattern(sc.ranks[:0], pattern, k)
+		sc.ranks = p
+		if perr != nil {
+			return dst, st, perr
+		}
+		cms, cs, ferr := idx.searcher.FindScratch(sc.core, sc.cms[:0], p, k, cm, nil)
+		sc.cms = cms
+		if ferr != nil {
+			return dst, st, ferr
+		}
+		st.fromCore(cs)
+		for _, m := range cms {
+			if g := base + int(m.Pos); g < ownedEnd {
+				dst = append(dst, Match{Pos: g, Mismatches: m.Mismatches})
+			}
+		}
+	} else {
+		ms, ss, serr := idx.SearchMethodTraced(pattern, k, method, tr)
+		if serr != nil {
+			return dst, st, serr
+		}
+		st = ss
+		for _, m := range ms {
+			if g := base + m.Pos; g < ownedEnd {
+				dst = append(dst, Match{Pos: g, Mismatches: m.Mismatches})
+			}
+		}
+	}
+	x.counters[i].searches.Add(1)
+	x.counters[i].ns.Add(time.Since(start).Nanoseconds())
+	return dst, st, nil
+}
+
+// SearchMethodScratch is the zero-allocation sharded entry point: the
+// query runs through every shard serially with caller-managed memory,
+// appending owned matches to dst (which may be nil). Only the BWT-path
+// methods are supported, exactly like (*Index).SearchMethodScratch;
+// with a warm sc and sufficient dst capacity a call performs no heap
+// allocation.
+func (x *ShardedIndex) SearchMethodScratch(sc *Scratch, dst []Match, pattern []byte, k int, method Method) ([]Match, Stats, error) {
+	var st Stats
+	if _, ok := coreMethods[method]; !ok {
+		return dst, st, fmt.Errorf("%w: method %v has no scratch path (use SearchMethod)", ErrInput, method)
+	}
+	return x.searchSerial(sc, dst, pattern, k, method, nil)
+}
+
+// MapAll runs every query across workers goroutines; it is
+// MapAllContext with a background context.
+func (x *ShardedIndex) MapAll(queries []Query, method Method, workers int) []Result {
+	return x.MapAllContext(context.Background(), queries, method, workers)
+}
+
+// MapAllContext runs every query with the given method across workers
+// goroutines and returns results in query order, with the same
+// distribution, ordering and cancellation contract as
+// (*Index).MapAllContext. Parallelism is across queries, not shards:
+// each worker pins one Scratch and walks all shards serially per query,
+// so the zero-alloc scratch path is reused with no nested fan-out.
+func (x *ShardedIndex) MapAllContext(ctx context.Context, queries []Query, method Method, workers int) []Result {
+	results := make([]Result, len(queries))
+	_, coreMethod := coreMethods[method]
+	run := func(sc *Scratch, i int) {
+		if err := ctx.Err(); err != nil {
+			results[i] = Result{Err: err}
+			return
+		}
+		q := queries[i]
+		var (
+			m   []Match
+			st  Stats
+			err error
+		)
+		if coreMethod {
+			m, st, err = x.SearchMethodScratch(sc, nil, q.Pattern, q.K, method)
+		} else {
+			m, st, err = x.searchSerial(sc, nil, q.Pattern, q.K, method, nil)
+		}
+		results[i] = Result{Matches: m, Stats: st, Err: err}
+	}
+	runQueries(len(queries), workers, run)
+	return results
+}
+
+// CheckInvariants verifies cross-shard consistency: the manifest's
+// geometry (deep-checked under -tags kminvariants), per-shard FM-index
+// structure for every materialized shard, shard text lengths against
+// their spans, and byte equality of every overlap region between
+// consecutive loaded shards. Unloaded shards are skipped, not forced.
+func (x *ShardedIndex) CheckInvariants() error {
+	if err := x.man.Validate(); err != nil {
+		return err
+	}
+	if err := x.man.CheckInvariants(); err != nil {
+		return err
+	}
+	for i := range x.shards {
+		ls := &x.shards[i]
+		if !ls.ready.Load() {
+			continue
+		}
+		if ls.idx.Len() != ls.span.Len() {
+			return fmt.Errorf("bwtmatch: shard %d holds %d bytes for span [%d,%d)",
+				i, ls.idx.Len(), ls.span.Start, ls.span.End)
+		}
+		if err := ls.idx.searcher.Index().CheckInvariants(); err != nil {
+			return fmt.Errorf("bwtmatch: shard %d: %w", i, err)
+		}
+		if i == 0 {
+			continue
+		}
+		prev := &x.shards[i-1]
+		if !prev.ready.Load() {
+			continue
+		}
+		// The tail of shard i-1 past this shard's start must equal this
+		// shard's head byte for byte: both index the same target bytes.
+		ovLen := prev.span.End - ls.span.Start
+		if ovLen <= 0 {
+			continue
+		}
+		a := prev.idx.text[ls.span.Start-prev.span.Start:]
+		b := ls.idx.text[:ovLen]
+		for j := range b {
+			if a[j] != b[j] {
+				return fmt.Errorf("bwtmatch: shards %d/%d disagree at global position %d",
+					i-1, i, ls.span.Start+j)
+			}
+		}
+	}
+	return nil
+}
