@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-server vet kmvet lint invariants fuzz-smoke obs-smoke benchdiff-smoke shard-smoke check bench bench-json bench-compare
+.PHONY: build test race race-server vet kmvet lint invariants fuzz-smoke obs-smoke benchdiff-smoke shard-smoke cluster-smoke check bench bench-json bench-compare
 
 build:
 	$(GO) build ./...
@@ -61,8 +61,15 @@ benchdiff-smoke:
 shard-smoke:
 	$(GO) test -run='^TestShardSmoke$$' -count=1 .
 
+# Cluster smoke test: kmgen builds a sharded index, two kmserved workers
+# serve it behind a kmserved -coordinator, kmload drives Zipf traffic
+# through the fleet, and /metrics is scraped and validated on all three
+# processes (real binaries, loopback HTTP).
+cluster-smoke:
+	$(GO) test -run='^TestClusterSmoke$$' -count=1 ./server/cluster/...
+
 # The one-stop pre-commit gate.
-check: lint race-server race invariants fuzz-smoke obs-smoke benchdiff-smoke shard-smoke
+check: lint race-server race invariants fuzz-smoke obs-smoke benchdiff-smoke shard-smoke cluster-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

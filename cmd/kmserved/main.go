@@ -9,6 +9,16 @@
 // Further indexes can be registered at runtime via POST /v1/indexes.
 // SIGINT/SIGTERM trigger a graceful shutdown: in-flight searches drain,
 // new ones are refused with 503.
+//
+// With -coordinator the same binary runs the cluster front-end instead:
+// no indexes are loaded locally; batches fan out over the -workers
+// fleet by shard subset, with request coalescing, a hot-results cache
+// and admission control (see bwtmatch/server/cluster):
+//
+//	kmserved -addr :7070 -load hg=genome.kmsx -warm &   # worker 1
+//	kmserved -addr :7071 -load hg=genome.kmsx -warm &   # worker 2
+//	kmserved -coordinator -addr :8080 \
+//	    -workers http://127.0.0.1:7070,http://127.0.0.1:7071
 package main
 
 import (
@@ -26,6 +36,7 @@ import (
 	"time"
 
 	"bwtmatch/server"
+	"bwtmatch/server/cluster"
 )
 
 // loadFlags collects repeated -load name=path pairs.
@@ -42,8 +53,23 @@ func (l *loadFlags) Set(v string) error {
 	return nil
 }
 
+// listFlags collects comma-separated and/or repeated string values.
+type listFlags []string
+
+func (l *listFlags) String() string { return strings.Join(*l, ",") }
+
+func (l *listFlags) Set(v string) error {
+	for _, s := range strings.Split(v, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			*l = append(*l, s)
+		}
+	}
+	return nil
+}
+
 func main() {
 	var loads, genomeLoads loadFlags
+	var workerURLs listFlags
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
 	workers := flag.Int("p", 4, "worker goroutines per search batch")
 	maxBatch := flag.Int("max-batch", 4096, "maximum reads per request")
@@ -56,8 +82,17 @@ func main() {
 	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON instead of logfmt-style text")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	debug := flag.Bool("debug", false, "expose /debug/pprof/ and /debug/stats")
+	warm := flag.Bool("warm", false, "materialize all shards of loaded sharded indexes in the background (/readyz is 503 until done)")
+	coordinator := flag.Bool("coordinator", false, "run as a cluster coordinator fanning out to -workers instead of serving indexes")
+	routesPath := flag.String("routes", "", "coordinator: static route table JSON file (default: discover from workers)")
+	workerTimeout := flag.Duration("worker-timeout", 10*time.Second, "coordinator: per-attempt worker RPC timeout")
+	retries := flag.Int("retries", 2, "coordinator: extra attempts per shard subset across its replica chain")
+	queueDepth := flag.Int("queue-depth", 64, "coordinator: batches allowed to queue before load-shedding with 503")
+	cacheEntries := flag.Int("cache-entries", 4096, "coordinator: hot-results cache entry cap (negative disables the cache)")
+	cacheMiB := flag.Int64("cache-budget", 64, "coordinator: hot-results cache byte budget in MiB")
 	flag.Var(&loads, "load", "preload a saved index (monolithic or sharded) as name=path (repeatable)")
 	flag.Var(&genomeLoads, "load-genome", "build and register an index from a FASTA genome as name=path (repeatable)")
+	flag.Var(&workerURLs, "workers", "coordinator: worker base URLs, comma-separated (repeatable)")
 	flag.Parse()
 
 	var level slog.Level
@@ -71,6 +106,29 @@ func main() {
 	}
 	logger := slog.New(handler)
 
+	if *coordinator {
+		runCoordinator(coordinatorFlags{
+			addr:          *addr,
+			workers:       workerURLs,
+			routesPath:    *routesPath,
+			workerTimeout: *workerTimeout,
+			retries:       *retries,
+			maxConc:       *maxConc,
+			queueDepth:    *queueDepth,
+			maxBatch:      *maxBatch,
+			maxK:          *maxK,
+			timeout:       *timeout,
+			drainWait:     *drainWait,
+			cacheEntries:  *cacheEntries,
+			cacheBytes:    *cacheMiB << 20,
+			logger:        logger,
+		})
+		return
+	}
+	if len(workerURLs) > 0 || *routesPath != "" {
+		fatal(errors.New("-workers and -routes require -coordinator"))
+	}
+
 	srv := server.New(server.Config{
 		Workers:        *workers,
 		MaxBatch:       *maxBatch,
@@ -81,6 +139,7 @@ func main() {
 		BuildWorkers:   *buildP,
 		Logger:         logger,
 		EnableDebug:    *debug,
+		WarmIndexes:    *warm,
 	})
 	for _, nv := range loads {
 		start := time.Now()
@@ -99,15 +158,72 @@ func main() {
 			nv[0], nv[1], time.Since(start).Round(time.Millisecond), *buildP)
 	}
 
-	ln, err := net.Listen("tcp", *addr)
+	serve(*addr, srv.Handler(), *drainWait, srv.Shutdown, "kmserved")
+}
+
+type coordinatorFlags struct {
+	addr          string
+	workers       []string
+	routesPath    string
+	workerTimeout time.Duration
+	retries       int
+	maxConc       int
+	queueDepth    int
+	maxBatch      int
+	maxK          int
+	timeout       time.Duration
+	drainWait     time.Duration
+	cacheEntries  int
+	cacheBytes    int64
+	logger        *slog.Logger
+}
+
+func runCoordinator(f coordinatorFlags) {
+	if len(f.workers) == 0 {
+		fatal(errors.New("-coordinator requires at least one -workers URL"))
+	}
+	var routes *cluster.RouteTable
+	if f.routesPath != "" {
+		rt, err := cluster.LoadRoutesFile(f.routesPath)
+		if err != nil {
+			fatal(err)
+		}
+		routes = rt
+	}
+	co, err := cluster.New(cluster.Config{
+		Workers:        f.workers,
+		Routes:         routes,
+		WorkerTimeout:  f.workerTimeout,
+		SubsetRetries:  f.retries,
+		MaxConcurrent:  f.maxConc,
+		QueueDepth:     f.queueDepth,
+		DefaultTimeout: f.timeout,
+		MaxBatch:       f.maxBatch,
+		MaxK:           f.maxK,
+		CacheEntries:   f.cacheEntries,
+		CacheBytes:     f.cacheBytes,
+		Logger:         f.logger,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "kmserved: coordinator over %d workers: %s\n",
+		len(f.workers), strings.Join(f.workers, ", "))
+	serve(f.addr, co.Handler(), f.drainWait, co.Shutdown, "kmserved")
+}
+
+// serve runs the HTTP loop shared by both modes: listen, announce the
+// bound address on stdout, then drain gracefully on SIGINT/SIGTERM.
+func serve(addr string, h http.Handler, drainWait time.Duration, shutdown func(context.Context) error, name string) {
+	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		fatal(err)
 	}
 	// The chosen port matters when -addr ends in :0 (tests); always state
 	// where we actually listen, on stdout so scripts can capture it.
-	fmt.Printf("kmserved: listening on http://%s\n", ln.Addr())
+	fmt.Printf("%s: listening on http://%s\n", name, ln.Addr())
 
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := &http.Server{Handler: h}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 
@@ -115,21 +231,21 @@ func main() {
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case sig := <-sigc:
-		fmt.Fprintf(os.Stderr, "kmserved: %v, draining (limit %v)\n", sig, *drainWait)
+		fmt.Fprintf(os.Stderr, "%s: %v, draining (limit %v)\n", name, sig, drainWait)
 	case err := <-errc:
 		fatal(err)
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	ctx, cancel := context.WithTimeout(context.Background(), drainWait)
 	defer cancel()
 	// Refuse new searches and drain in-flight ones, then close listeners.
-	if err := srv.Shutdown(ctx); err != nil {
-		fmt.Fprintf(os.Stderr, "kmserved: %v\n", err)
+	if err := shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 	}
 	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		fmt.Fprintf(os.Stderr, "kmserved: %v\n", err)
+		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 	}
-	fmt.Fprintln(os.Stderr, "kmserved: bye")
+	fmt.Fprintln(os.Stderr, name+": bye")
 }
 
 func fatal(err error) {

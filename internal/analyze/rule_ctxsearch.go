@@ -4,16 +4,24 @@ import (
 	"go/ast"
 )
 
-// runCtxSearch flags calls to (*bwtmatch.Index).MapAll outside the root
-// bwtmatch package. MapAll is the context-free convenience wrapper the
-// library keeps for its own API surface; every other layer — server
-// handlers above all — must call MapAllContext with the caller's
-// context so shutdown drains, request deadlines and client
-// cancellations propagate into the batch instead of leaving orphaned
-// worker goroutines grinding through dead queries.
+// ctxFreeSearch maps the context-free batch-search conveniences to the
+// context-threading replacement each caller outside bwtmatch must use.
+var ctxFreeSearch = map[string]string{
+	"MapAll":    "MapAllContext",
+	"MapShards": "MapShardsContext",
+}
+
+// runCtxSearch flags calls to the context-free batch searches (MapAll,
+// MapShards) outside the root bwtmatch package. They are convenience
+// wrappers the library keeps for its own API surface; every other
+// layer — server handlers and the cluster tier above all — must call
+// the *Context variant with the caller's context so shutdown drains,
+// request deadlines and client cancellations propagate into the batch
+// instead of leaving orphaned worker goroutines grinding through dead
+// queries.
 func runCtxSearch(p *Package) []Finding {
 	if p.Types.Path() == "bwtmatch" {
-		return nil // the defining package implements MapAll itself
+		return nil // the defining package implements the wrappers itself
 	}
 	var out []Finding
 	funcBodies(p.Files, func(body *ast.BlockStmt) {
@@ -23,11 +31,15 @@ func runCtxSearch(p *Package) []Finding {
 				return true
 			}
 			fn := calleeFunc(p, call)
-			if fn == nil || fn.Name() != "MapAll" || fn.Pkg() == nil || fn.Pkg().Path() != "bwtmatch" {
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "bwtmatch" {
+				return true
+			}
+			repl, hit := ctxFreeSearch[fn.Name()]
+			if !hit {
 				return true
 			}
 			out = append(out, p.finding(call.Pos(), "ctxsearch",
-				"bare (*Index).MapAll ignores cancellation; call MapAllContext and thread the caller's context"))
+				"bare %s ignores cancellation; call %s and thread the caller's context", fn.Name(), repl))
 			return true
 		})
 	})

@@ -7,14 +7,16 @@ import (
 )
 
 // loadPathPackages are the packages whose Load*/Read* functions
-// constitute "index load paths" for the wrapformat rule. Both already
-// return errors matchable as their package's ErrFormat; the rule
-// enforces that callers re-wrap with %w (adding context, preserving the
-// chain) instead of returning the error bare.
+// constitute "index load paths" for the wrapformat rule. All already
+// return errors matchable as a package sentinel (ErrFormat, or
+// cluster's ErrRoutes); the rule enforces that callers re-wrap with %w
+// (adding context, preserving the chain) instead of returning the
+// error bare.
 var loadPathPackages = map[string]bool{
 	"bwtmatch":                  true,
 	"bwtmatch/internal/fmindex": true,
 	"bwtmatch/internal/shard":   true,
+	"bwtmatch/server/cluster":   true,
 }
 
 // isLoadPathCall reports whether call invokes a load-path function, and

@@ -17,7 +17,7 @@ func Rules() []Rule {
 	return []Rule{
 		{
 			Name: "wrapformat",
-			Doc:  "errors from index load paths (bwtmatch.Load*, fmindex.Read*) must be wrapped with %w before being returned, so each layer adds context and errors.Is(err, ErrFormat) keeps matching",
+			Doc:  "errors from index load paths (bwtmatch.Load*, fmindex.Read*, cluster.LoadRoutesFile) must be wrapped with %w before being returned, so each layer adds context and errors.Is against the sentinel (ErrFormat, ErrRoutes) keeps matching",
 			Run:  runWrapFormat,
 		},
 		{
@@ -27,7 +27,7 @@ func Rules() []Rule {
 		},
 		{
 			Name: "ctxsearch",
-			Doc:  "outside the root bwtmatch package, call (*Index).MapAllContext with the caller's context instead of bare MapAll, so drains and deadlines propagate into batches",
+			Doc:  "outside the root bwtmatch package, call MapAllContext/MapShardsContext with the caller's context instead of bare MapAll/MapShards, so drains and deadlines propagate into batches",
 			Run:  runCtxSearch,
 		},
 		{

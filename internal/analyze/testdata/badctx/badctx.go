@@ -18,3 +18,13 @@ func mapReads(idx *bwtmatch.Index, qs []bwtmatch.Query) []bwtmatch.Result {
 func mapReadsCtx(ctx context.Context, idx *bwtmatch.Index, qs []bwtmatch.Query) []bwtmatch.Result {
 	return idx.MapAllContext(ctx, qs, bwtmatch.AlgorithmA, 4)
 }
+
+func mapSubset(sx *bwtmatch.ShardedIndex, qs []bwtmatch.Query) []bwtmatch.Result {
+	return sx.MapShards(qs, bwtmatch.AlgorithmA, 4, []int{0, 2}) // want ctxsearch
+}
+
+// mapSubsetCtx is compliant: the subset search threads the caller's
+// context. No finding here.
+func mapSubsetCtx(ctx context.Context, sx *bwtmatch.ShardedIndex, qs []bwtmatch.Query) []bwtmatch.Result {
+	return sx.MapShardsContext(ctx, qs, bwtmatch.AlgorithmA, 4, []int{0, 2})
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"bwtmatch"
+	"bwtmatch/server/cluster"
 )
 
 func open(path string) (*bwtmatch.Index, error) {
@@ -31,4 +32,22 @@ func openWrapped(path string) (*bwtmatch.Index, error) {
 		return nil, fmt.Errorf("badwrap: open %s: %w", path, err)
 	}
 	return idx, nil
+}
+
+func openRoutes(path string) (*cluster.RouteTable, error) {
+	rt, err := cluster.LoadRoutesFile(path)
+	if err != nil {
+		return nil, err // want wrapformat
+	}
+	return rt, nil
+}
+
+// openRoutesWrapped is compliant: ErrRoutes still matches through the
+// %w chain. No finding here.
+func openRoutesWrapped(path string) (*cluster.RouteTable, error) {
+	rt, err := cluster.LoadRoutesFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("badwrap: routes %s: %w", path, err)
+	}
+	return rt, nil
 }

@@ -109,6 +109,45 @@ func (h *Histogram) Snapshot() map[string]any {
 	return out
 }
 
+// Quantile estimates the q-quantile (0 <= q <= 1) of the observations
+// in milliseconds by linear interpolation inside the containing bucket
+// (the standard Prometheus histogram_quantile estimate). Observations
+// in the +Inf overflow bucket report the largest finite bound — the
+// estimate saturates rather than extrapolates. Returns 0 for an empty
+// histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(n)
+	var cum int64
+	for i, b := range h.bounds {
+		c := h.buckets[i].Load()
+		if float64(cum+c) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			if c == 0 {
+				return b
+			}
+			return lo + (b-lo)*(rank-float64(cum))/float64(c)
+		}
+		cum += c
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // FormatBound renders a bucket upper bound as the JSON snapshot keys
 // it: "le0.1", "le1000"; the +Inf overflow bucket is "+inf".
 func FormatBound(b float64) string {

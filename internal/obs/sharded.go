@@ -124,6 +124,10 @@ func (s *ShardedHistogram) SumMS() float64 {
 // Snapshot renders the merged histogram (see Histogram.Snapshot).
 func (s *ShardedHistogram) Snapshot() map[string]any { return s.merged().Snapshot() }
 
+// Quantile estimates the q-quantile of the merged histogram in
+// milliseconds (see Histogram.Quantile).
+func (s *ShardedHistogram) Quantile(q float64) float64 { return s.merged().Quantile(q) }
+
 // WritePrometheus emits the merged histogram (see
 // Histogram.WritePrometheus).
 func (s *ShardedHistogram) WritePrometheus(w io.Writer, name, labels string) {

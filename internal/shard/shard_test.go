@@ -7,9 +7,9 @@ import (
 
 func TestNewGeometry(t *testing.T) {
 	cases := []struct {
-		name                       string
+		name                         string
 		totalLen, shardSize, overlap int
-		wantCount                  int
+		wantCount                    int
 	}{
 		{"single shard", 100, 100, 9, 1},
 		{"exact multiple", 100, 25, 9, 4},

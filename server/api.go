@@ -10,7 +10,8 @@
 //	POST /v1/indexes   load a saved .bwt file under a name
 //	DELETE /v1/indexes/{name}  evict an index
 //	GET  /healthz      liveness (503 while draining)
-//	GET  /metrics      expvar-style JSON counters
+//	GET  /readyz       readiness (503 while draining or warming shards)
+//	GET  /metrics      Prometheus text exposition (/metrics.json for JSON)
 package server
 
 import (
@@ -35,6 +36,14 @@ type SearchRequest struct {
 	Reads []Read `json:"reads,omitempty"`
 	// TimeoutMS bounds the whole request; 0 means the server default.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Shards restricts a sharded index search to the given shard
+	// ordinals (strictly increasing): results carry only the matches
+	// those shards own, in global position order. Empty means all
+	// shards. This is the worker half of the cluster tier's routing
+	// contract — a coordinator spreads disjoint shard subsets over
+	// workers and concatenates the owned results. Rejected with 400 for
+	// monolithic indexes.
+	Shards []int `json:"shards,omitempty"`
 }
 
 // Read is one pattern inside a batched SearchRequest.
@@ -72,6 +81,14 @@ type SearchResponse struct {
 	Matches   int     `json:"matches"`
 	Errors    int     `json:"errors"`
 	ElapsedMS float64 `json:"elapsed_ms"`
+	// Partial reports that a cluster coordinator could not reach any
+	// replica for some shard subset: per-read results are missing the
+	// matches owned by FailedShards. Single-process kmserved never sets
+	// it — a worker either answers its whole assigned subset or fails.
+	Partial bool `json:"partial,omitempty"`
+	// FailedShards lists the shard ordinals whose matches are missing
+	// when Partial is set, sorted ascending.
+	FailedShards []int `json:"failed_shards,omitempty"`
 }
 
 // RegisterRequest is the body of POST /v1/indexes.
@@ -130,4 +147,18 @@ func ParseMethod(name string) (bwtmatch.Method, error) {
 		return 0, fmt.Errorf("unknown method %q", name)
 	}
 	return m, nil
+}
+
+// MethodName is ParseMethod's inverse: the canonical wire token for a
+// matcher ("a" for Algorithm A). The cluster coordinator uses it to
+// forward and cache-key a canonical method name, so "a", "" and any
+// future aliases coalesce. Method.String() is the human display name
+// ("A()"), which is not valid on the wire.
+func MethodName(m bwtmatch.Method) string {
+	for name, mm := range methodNames {
+		if mm == m && name != "" {
+			return name
+		}
+	}
+	return ""
 }

@@ -1,6 +1,7 @@
 // Package client is a small Go client for the kmserved HTTP API. It is
-// used by the e2e tests and by kmsearch's -server mode; the wire types
-// live in the parent server package.
+// used by the e2e tests, by kmsearch's -server mode, and by the cluster
+// coordinator's worker fan-out; the wire types live in the parent
+// server package.
 package client
 
 import (
@@ -10,8 +11,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
@@ -22,6 +25,12 @@ import (
 type Client struct {
 	base string
 	hc   *http.Client
+
+	// retries is the number of extra attempts after a 503 or transport
+	// failure (0 = no retry); backoff is the base delay before the first
+	// retry, doubled per attempt with jitter, overridden by Retry-After.
+	retries int
+	backoff time.Duration
 }
 
 // Option configures a Client.
@@ -31,6 +40,35 @@ type Option func(*Client)
 // transport-level timeout or test transport).
 func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) { c.hc = hc }
+}
+
+// WithTimeout sets the underlying http.Client's total request timeout
+// (default 2 minutes; 0 disables the transport-level timeout so only
+// the request context bounds the call). Apply after WithHTTPClient to
+// adjust a substituted client.
+func WithTimeout(d time.Duration) Option {
+	return func(c *Client) { c.hc.Timeout = d }
+}
+
+// WithRetries enables retry on 503 responses and transport failures
+// (connection refused, reset): up to max extra attempts, waiting
+// base<<attempt with jitter between attempts, or the server's
+// Retry-After hint when one is present (load-shedding coordinators and
+// draining workers send it). Retries respect the request context. Only
+// idempotent calls should be retried; every kmserved endpoint except
+// index registration is idempotent, and registration replays surface
+// as 409, which is not retried.
+func WithRetries(max int, base time.Duration) Option {
+	return func(c *Client) {
+		if max < 0 {
+			max = 0
+		}
+		if base <= 0 {
+			base = 50 * time.Millisecond
+		}
+		c.retries = max
+		c.backoff = base
+	}
 }
 
 // New creates a client for the server at base (e.g. "http://host:port").
@@ -64,26 +102,63 @@ func StatusCode(err error) int {
 	return 0
 }
 
-// do round-trips one JSON request; out may be nil.
+// retryDelay computes the wait before retry attempt (0-based): the
+// server's Retry-After hint when present, otherwise base<<attempt with
+// up to 50% added jitter so a fleet of retrying clients decorrelates.
+func (c *Client) retryDelay(attempt int, retryAfter string) time.Duration {
+	if retryAfter != "" {
+		if secs, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && secs >= 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	d := c.backoff << attempt
+	return d + rand.N(d/2+1)
+}
+
+// do round-trips one JSON request; out may be nil. With WithRetries
+// configured, 503 responses and transport errors are retried.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+	var body []byte
 	if in != nil {
 		b, err := json.Marshal(in)
 		if err != nil {
 			return err
 		}
-		body = bytes.NewReader(b)
+		body = b
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	for attempt := 0; ; attempt++ {
+		err, retryable, retryAfter := c.roundTrip(ctx, method, path, body, out)
+		if err == nil || !retryable || attempt >= c.retries {
+			return err
+		}
+		select {
+		case <-time.After(c.retryDelay(attempt, retryAfter)):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// roundTrip performs one attempt. retryable marks failures worth
+// repeating (503 or transport-level); retryAfter carries the server's
+// backoff hint when one was sent.
+func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte, out any) (err error, retryable bool, retryAfter string) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
-		return err
+		return err, false, ""
 	}
-	if in != nil {
+	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return err
+		// Transport failure: refused, reset, timed out. Context
+		// cancellation is not retryable — the caller gave up.
+		return err, ctx.Err() == nil, ""
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
@@ -92,17 +167,25 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e) == nil && e.Error != "" {
 			msg = e.Error
 		}
-		return &apiError{Status: resp.StatusCode, Msg: msg}
+		return &apiError{Status: resp.StatusCode, Msg: msg},
+			resp.StatusCode == http.StatusServiceUnavailable,
+			resp.Header.Get("Retry-After")
 	}
 	if out == nil {
-		return nil
+		return nil, false, ""
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return json.NewDecoder(resp.Body).Decode(out), false, ""
 }
 
 // Health checks GET /healthz; nil means the server is up and accepting.
 func (c *Client) Health(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Ready checks GET /readyz; nil means the server is accepting and has
+// finished warming its shards (see server.Config.WarmIndexes).
+func (c *Client) Ready(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/readyz", nil, nil)
 }
 
 // RegisterIndex loads the server-side file path under name.

@@ -1,0 +1,157 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bwtmatch/server"
+)
+
+// flaky503 answers 503 (with an optional Retry-After) until the
+// attempt counter passes okAfter, then succeeds.
+func flaky503(attempts *atomic.Int64, okAfter int64, retryAfter string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if attempts.Add(1) <= okAfter {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"draining"}`))
+			return
+		}
+		w.Write([]byte(`{"status":"ok"}`))
+	})
+}
+
+func TestRetriesOn503(t *testing.T) {
+	var attempts atomic.Int64
+	hs := httptest.NewServer(flaky503(&attempts, 2, "0"))
+	defer hs.Close()
+
+	c := New(hs.URL, WithRetries(3, time.Millisecond))
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("health after retries: %v", err)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Errorf("%d attempts, want 3 (two 503s then success)", got)
+	}
+}
+
+func TestNoRetriesByDefault(t *testing.T) {
+	var attempts atomic.Int64
+	hs := httptest.NewServer(flaky503(&attempts, 1, ""))
+	defer hs.Close()
+
+	c := New(hs.URL)
+	if err := c.Health(context.Background()); StatusCode(err) != http.StatusServiceUnavailable {
+		t.Fatalf("error %v, want bare 503", err)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Errorf("%d attempts, want exactly 1 without WithRetries", got)
+	}
+}
+
+func TestNoRetryOn4xx(t *testing.T) {
+	var attempts atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		w.WriteHeader(http.StatusNotFound)
+		w.Write([]byte(`{"error":"no such index"}`))
+	}))
+	defer hs.Close()
+
+	c := New(hs.URL, WithRetries(3, time.Millisecond))
+	if _, err := c.Indexes(context.Background()); StatusCode(err) != http.StatusNotFound {
+		t.Fatalf("error %v, want 404", err)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Errorf("%d attempts, want 1 (4xx is not retryable)", got)
+	}
+}
+
+func TestRetryHonorsContext(t *testing.T) {
+	var attempts atomic.Int64
+	// Retry-After of 5s would stall far past the context deadline; the
+	// retry loop must give up on ctx instead of sleeping it out.
+	hs := httptest.NewServer(flaky503(&attempts, 100, "5"))
+	defer hs.Close()
+
+	c := New(hs.URL, WithRetries(5, time.Millisecond))
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := c.Health(ctx)
+	if err == nil {
+		t.Fatal("expected failure under an expiring context")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("retry loop slept %v past the context deadline", elapsed)
+	}
+}
+
+func TestRetryOnConnectionRefused(t *testing.T) {
+	// A server that dies after the first 503: the subsequent attempts hit
+	// a closed port (transport error) and must still count as retryable.
+	var attempts atomic.Int64
+	hs := httptest.NewServer(flaky503(&attempts, 1000, ""))
+	url := hs.URL
+	hs.Close()
+
+	c := New(url, WithRetries(2, time.Millisecond))
+	err := c.Health(context.Background())
+	if err == nil {
+		t.Fatal("expected transport failure")
+	}
+	if StatusCode(err) != 0 {
+		t.Errorf("want transport-level error, got HTTP %d", StatusCode(err))
+	}
+}
+
+func TestRetryDelayPrefersRetryAfter(t *testing.T) {
+	c := New("http://unused", WithRetries(3, 100*time.Millisecond))
+	if d := c.retryDelay(0, "2"); d != 2*time.Second {
+		t.Errorf("Retry-After 2 gave %v, want 2s", d)
+	}
+	// Backoff grows with the attempt and carries jitter within [base<<n, 1.5*base<<n].
+	for attempt, base := range []time.Duration{100, 200, 400} {
+		base *= time.Millisecond
+		if d := c.retryDelay(attempt, ""); d < base || d > base+base/2 {
+			t.Errorf("attempt %d delay %v outside [%v, %v]", attempt, d, base, base+base/2)
+		}
+	}
+}
+
+// TestSearchRoundTrip pins the JSON contract end to end through a stub.
+func TestSearchRoundTrip(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req server.SearchRequest
+		if err := decodeInto(r, &req); err != nil {
+			t.Errorf("decoding forwarded request: %v", err)
+		}
+		if req.Index != "g" || len(req.Reads) != 1 {
+			t.Errorf("forwarded request %+v", req)
+		}
+		w.Write([]byte(`{"index":"g","method":"a","results":[{"matches":[{"pos":7,"mismatches":1}]}],"reads":1,"matches":1}`))
+	}))
+	defer hs.Close()
+
+	c := New(hs.URL)
+	resp, err := c.Search(context.Background(), server.SearchRequest{
+		Index: "g", K: 1, Reads: []server.Read{{Seq: "acgt"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Matches != 1 || resp.Results[0].Matches[0].Pos != 7 {
+		t.Errorf("response %+v", resp)
+	}
+}
+
+func decodeInto(r *http.Request, v any) error {
+	defer r.Body.Close()
+	return json.NewDecoder(r.Body).Decode(v)
+}

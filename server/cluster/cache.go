@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"container/list"
+	"strconv"
+	"sync"
+
+	"bwtmatch/server"
+)
+
+// cacheKey builds the coalescing/cache key for one logical query. The
+// pattern is sanitized before keying so requests differing only in
+// case or ambiguity codes coalesce. NUL separators cannot collide with
+// the components: index names and method names never contain NUL and
+// the sanitized pattern is pure acgt.
+func cacheKey(index, method string, k int, pattern []byte) string {
+	return index + "\x00" + method + "\x00" + strconv.Itoa(k) + "\x00" + string(pattern)
+}
+
+// cacheEntry is one cached result list.
+type cacheEntry struct {
+	key     string
+	matches []server.Match
+	bytes   int64
+}
+
+// entryBytes estimates an entry's resident cost: key bytes, match
+// slots (Pos+Mismatches, two words each), and fixed bookkeeping
+// overhead (list element, map slot, headers).
+func entryBytes(key string, matches []server.Match) int64 {
+	return int64(len(key)) + int64(len(matches))*16 + 96
+}
+
+// resultCache is the hot-results LRU: completed full (non-partial,
+// non-error) query results keyed like the flight group, bounded by
+// both entry count and bytes. Hits serve straight from the
+// coordinator with no worker RPC at all — on duplicate-heavy read
+// traffic this is the difference between fleet fan-out and a map
+// lookup. All methods are safe for concurrent use; a nil cache (<0
+// budget) never hits.
+type resultCache struct {
+	mu       sync.Mutex
+	maxEnt   int
+	maxBytes int64
+	bytes    int64
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+}
+
+// newResultCache builds a cache bounded by maxEntries entries and
+// maxBytes bytes (either <= 0 leaves that bound off; both <= 0 is
+// expressed by the caller passing a nil cache instead).
+func newResultCache(maxEntries int, maxBytes int64) *resultCache {
+	return &resultCache{
+		maxEnt:   maxEntries,
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached matches for key, refreshing recency. The
+// returned slice is shared and must not be mutated.
+func (c *resultCache) get(key string) ([]server.Match, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).matches, true
+}
+
+// put inserts or refreshes key, evicting LRU entries over budget. An
+// entry larger than the whole byte budget is not cached.
+func (c *resultCache) put(key string, matches []server.Match) {
+	if c == nil {
+		return
+	}
+	cost := entryBytes(key, matches)
+	if c.maxBytes > 0 && cost > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*cacheEntry)
+		c.bytes += cost - e.bytes
+		e.matches, e.bytes = matches, cost
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, matches: matches, bytes: cost})
+		c.bytes += cost
+	}
+	for (c.maxEnt > 0 && c.ll.Len() > c.maxEnt) ||
+		(c.maxBytes > 0 && c.bytes > c.maxBytes) {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.items, e.key)
+		c.bytes -= e.bytes
+	}
+}
+
+// stats snapshots the entry count and resident bytes (the
+// km_cache_entries / km_cache_bytes gauges).
+func (c *resultCache) stats() (entries int, bytes int64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len(), c.bytes
+}

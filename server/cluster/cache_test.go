@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"bwtmatch/server"
+)
+
+func TestCacheKeyDistinguishesComponents(t *testing.T) {
+	base := cacheKey("g", "a", 2, []byte("acgt"))
+	for name, other := range map[string]string{
+		"index":   cacheKey("h", "a", 2, []byte("acgt")),
+		"method":  cacheKey("g", "bwt", 2, []byte("acgt")),
+		"k":       cacheKey("g", "a", 3, []byte("acgt")),
+		"pattern": cacheKey("g", "a", 2, []byte("acga")),
+	} {
+		if other == base {
+			t.Errorf("key ignores %s", name)
+		}
+	}
+	if cacheKey("g", "a", 2, []byte("acgt")) != base {
+		t.Error("key not deterministic")
+	}
+}
+
+func TestResultCacheLRU(t *testing.T) {
+	c := newResultCache(3, 0)
+	m := []server.Match{{Pos: 1, Mismatches: 0}}
+	for i := 0; i < 3; i++ {
+		c.put(fmt.Sprintf("k%d", i), m)
+	}
+	// Touch k0 so k1 is the eviction victim.
+	if _, ok := c.get("k0"); !ok {
+		t.Fatal("k0 missing")
+	}
+	c.put("k3", m)
+	if _, ok := c.get("k1"); ok {
+		t.Error("k1 not evicted (LRU order broken)")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok := c.get(k); !ok {
+			t.Errorf("%s missing", k)
+		}
+	}
+	if n, _ := c.stats(); n != 3 {
+		t.Errorf("entries %d, want 3", n)
+	}
+}
+
+func TestResultCacheByteBudget(t *testing.T) {
+	one := entryBytes("k0", nil)
+	c := newResultCache(0, 2*one)
+	c.put("k0", nil)
+	c.put("k1", nil)
+	c.put("k2", nil) // over budget: k0 evicted
+	if _, ok := c.get("k0"); ok {
+		t.Error("k0 survived byte-budget eviction")
+	}
+	if _, bytes := c.stats(); bytes > 2*one {
+		t.Errorf("resident %d bytes over budget %d", bytes, 2*one)
+	}
+
+	// An entry bigger than the whole budget is refused outright.
+	huge := make([]server.Match, 1024)
+	c.put("huge", huge)
+	if _, ok := c.get("huge"); ok {
+		t.Error("oversized entry cached")
+	}
+
+	// Updating a key in place adjusts the byte account.
+	c.put("k1", []server.Match{{Pos: 9}})
+	if m, ok := c.get("k1"); !ok || len(m) != 1 || m[0].Pos != 9 {
+		t.Errorf("k1 after update: %v %v", m, ok)
+	}
+}
+
+func TestNilCacheIsInert(t *testing.T) {
+	var c *resultCache
+	c.put("k", nil)
+	if _, ok := c.get("k"); ok {
+		t.Error("nil cache hit")
+	}
+	if n, b := c.stats(); n != 0 || b != 0 {
+		t.Error("nil cache reports occupancy")
+	}
+}

@@ -1,0 +1,63 @@
+package cluster
+
+import (
+	"sync"
+
+	"bwtmatch/server"
+)
+
+// call is one in-flight logical query — the unit of coalescing. The
+// leader (the goroutine that created it) runs the fan-out, stores the
+// outcome, and closes done; followers block on done and read the same
+// fields. After done is closed the fields are immutable.
+type call struct {
+	done    chan struct{}
+	matches []server.Match
+	errMsg  string
+	partial bool
+	failed  []int // shard ordinals missing when partial
+}
+
+// flightGroup deduplicates concurrent identical queries (singleflight
+// keyed on index+method+k+pattern): the read simulators that dominate
+// real traffic replay the same hot reads from many clients at once, and
+// without coalescing every copy would fan out to the workers
+// separately. The group holds only in-flight calls — completed results
+// graduate to the LRU cache (or are dropped, for errors and partial
+// answers).
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*call
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*call)}
+}
+
+// join returns the call for key, creating it if absent. leader reports
+// whether this caller created the call and therefore owes complete();
+// followers wait on call.done.
+func (g *flightGroup) join(key string) (c *call, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.calls[key]; ok {
+		return c, false
+	}
+	c = &call{done: make(chan struct{})}
+	g.calls[key] = c
+	return c, true
+}
+
+// complete publishes the outcome of a leader's call and wakes every
+// follower. The key is removed first, so a query arriving after
+// completion starts a fresh flight instead of reading a stale one.
+func (g *flightGroup) complete(key string, c *call, matches []server.Match, errMsg string, partial bool, failed []int) {
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	c.matches = matches
+	c.errMsg = errMsg
+	c.partial = partial
+	c.failed = failed
+	close(c.done)
+}

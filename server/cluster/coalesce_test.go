@@ -1,0 +1,42 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+
+	"bwtmatch/server"
+)
+
+func TestFlightGroupCoalesces(t *testing.T) {
+	g := newFlightGroup()
+	lead, isLead := g.join("k")
+	if !isLead {
+		t.Fatal("first join not leader")
+	}
+	follow, isLead2 := g.join("k")
+	if isLead2 || follow != lead {
+		t.Fatal("second join did not coalesce onto the leader's call")
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-follow.done
+		if len(follow.matches) != 1 || follow.matches[0].Pos != 42 {
+			t.Error("follower read wrong matches")
+		}
+	}()
+	g.complete("k", lead, []server.Match{{Pos: 42}}, "", false, nil)
+	wg.Wait()
+
+	// After completion the key is free: a fresh join leads a new flight.
+	again, isLead3 := g.join("k")
+	if !isLead3 || again == lead {
+		t.Fatal("completed key not released")
+	}
+	g.complete("k", again, nil, "boom", false, nil)
+	if again.errMsg != "boom" {
+		t.Fatal("error outcome lost")
+	}
+}

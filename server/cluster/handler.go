@@ -1,0 +1,363 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"bwtmatch"
+	"bwtmatch/internal/obs"
+	"bwtmatch/server"
+)
+
+// readPlan records how one read of a batch will be answered: straight
+// from the hot-results cache, as the leader of a coalesced flight (this
+// batch runs the fan-out), or as a follower of a flight led elsewhere.
+type readPlan struct {
+	id     string
+	cached []server.Match // cache hit; nil otherwise
+	hit    bool
+	call   *call
+	leader bool
+	key    string
+	lidx   int // index into the leader sub-batch when leader
+}
+
+func (co *Coordinator) fail(w http.ResponseWriter, code int, format string, args ...any) {
+	co.met.RejectedTotal.Add(1)
+	msg := fmt.Sprintf(format, args...)
+	co.log.Warn("request rejected", "code", code, "error", msg)
+	writeJSON(w, code, server.ErrorResponse{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// decodeBody parses a size-capped JSON body, rejecting unknown fields
+// and trailing garbage (same contract as the worker's decoder).
+func decodeBody(r *http.Request, maxBytes int64, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return errors.New("trailing data after JSON body")
+	}
+	return nil
+}
+
+func (co *Coordinator) handleHealth(w http.ResponseWriter, r *http.Request) {
+	co.mu.Lock()
+	draining := co.draining
+	co.mu.Unlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "role": "coordinator"})
+}
+
+func (co *Coordinator) handleReady(w http.ResponseWriter, r *http.Request) {
+	co.mu.Lock()
+	draining := co.draining
+	co.mu.Unlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready", "role": "coordinator"})
+}
+
+// handleListIndexes reports the coordinator's routing view as a
+// RouteTable document. With static routes that is the configured table;
+// with discovery it runs a discovery round first, so the listing
+// doubles as a fleet probe.
+func (co *Coordinator) handleListIndexes(w http.ResponseWriter, r *http.Request) {
+	if co.static != nil {
+		writeJSON(w, http.StatusOK, co.static)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), co.cfg.WorkerTimeout)
+	defer cancel()
+	// Errors mean only that the probed name is unknown; the round still
+	// populated the cache with every index the fleet agrees on.
+	co.discover(ctx, "")
+	co.routes.mu.RLock()
+	rt := RouteTable{Indexes: make(map[string]RouteEntry, len(co.routes.routes))}
+	for name, rte := range co.routes.routes {
+		urls := make([]string, len(rte.owners))
+		for i, wk := range rte.owners {
+			urls[i] = wk.url
+		}
+		rt.Indexes[name] = RouteEntry{Shards: rte.shards, Workers: urls}
+	}
+	co.routes.mu.RUnlock()
+	writeJSON(w, http.StatusOK, rt)
+}
+
+func (co *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	entries, bytes := co.cache.stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	co.met.WritePrometheus(w, entries, bytes)
+}
+
+func (co *Coordinator) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	entries, bytes := co.cache.stats()
+	writeJSON(w, http.StatusOK, co.met.Snapshot(entries, bytes))
+}
+
+func (co *Coordinator) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req server.SearchRequest
+	if err := decodeBody(r, co.cfg.MaxBodyBytes, &req); err != nil {
+		co.fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Shards) > 0 {
+		// Shard routing is the coordinator's job; accepting a client's
+		// subset would break the exactly-once merge.
+		co.fail(w, http.StatusBadRequest, "shards cannot be set on a coordinator request")
+		return
+	}
+	method, err := server.ParseMethod(req.Method)
+	if err != nil {
+		co.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// The canonical wire token ("a"), not the display name: it keys the
+	// cache and goes back out to the workers.
+	methodName := server.MethodName(method)
+	reads := req.Reads
+	if req.Seq != "" {
+		if len(reads) > 0 {
+			co.fail(w, http.StatusBadRequest, "set either seq or reads, not both")
+			return
+		}
+		reads = []server.Read{{Seq: req.Seq}}
+	}
+	if len(reads) == 0 {
+		co.fail(w, http.StatusBadRequest, "no reads in request")
+		return
+	}
+	if len(reads) > co.cfg.MaxBatch {
+		co.fail(w, http.StatusRequestEntityTooLarge,
+			"batch of %d exceeds limit %d", len(reads), co.cfg.MaxBatch)
+		return
+	}
+	if req.Index == "" {
+		co.fail(w, http.StatusBadRequest, "index is required")
+		return
+	}
+
+	// Admission control: pressure counts batches admitted past this
+	// point — executing plus queued on the sem. Beyond the queue cap the
+	// batch is shed immediately with a backoff hint rather than left to
+	// time out in line.
+	if co.pressure.Add(1) > int64(co.cfg.MaxConcurrent+co.cfg.QueueDepth) {
+		co.pressure.Add(-1)
+		co.met.ShedTotal.Add(1)
+		secs := int(co.cfg.RetryAfter.Round(time.Second) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		co.log.Warn("request shed", "index", req.Index, "reads", len(reads))
+		writeJSON(w, http.StatusServiceUnavailable,
+			server.ErrorResponse{Error: "coordinator overloaded; retry later"})
+		return
+	}
+	defer co.pressure.Add(-1)
+
+	done, ok := co.begin()
+	if !ok {
+		co.fail(w, http.StatusServiceUnavailable, "coordinator is draining")
+		return
+	}
+	defer done()
+
+	timeout := co.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		if t := time.Duration(req.TimeoutMS) * time.Millisecond; t < timeout {
+			timeout = t
+		}
+	}
+	rid := co.nextRequestID()
+	ctx, cancel := context.WithTimeout(obs.WithRequestID(r.Context(), rid), timeout)
+	defer cancel()
+
+	select {
+	case co.sem <- struct{}{}:
+	case <-ctx.Done():
+		co.fail(w, http.StatusServiceUnavailable, "timed out waiting for a batch slot")
+		return
+	}
+	defer func() { <-co.sem }()
+
+	co.met.InFlight.Add(1)
+	defer co.met.InFlight.Add(-1)
+	start := time.Now()
+
+	// Plan every read: sanitize the pattern (the key must match what
+	// workers will actually search), then cache → singleflight. The
+	// first occurrence of a key becomes the flight's leader; duplicates
+	// in the same batch and concurrent batches become followers.
+	plans := make([]readPlan, len(reads))
+	var leaderReads []server.Read
+	var leaderPlans []*readPlan
+	for i, rd := range reads {
+		k := req.K
+		if rd.K != nil {
+			k = *rd.K
+		}
+		if k < 0 || k > co.cfg.MaxK {
+			co.fail(w, http.StatusBadRequest, "read %d: k=%d outside [0,%d]", i, k, co.cfg.MaxK)
+			// Leaders already registered must complete or followers in
+			// other batches would hang.
+			co.abandonLeaders(leaderPlans, "batch rejected")
+			return
+		}
+		clean, _ := bwtmatch.Sanitize([]byte(rd.Seq))
+		key := cacheKey(req.Index, methodName, k, clean)
+		p := &plans[i]
+		p.id = rd.ID
+		p.key = key
+		if m, ok := co.cache.get(key); ok {
+			co.met.CacheHits.Add(1)
+			p.cached, p.hit = m, true
+			continue
+		}
+		co.met.CacheMisses.Add(1)
+		c, leader := co.flight.join(key)
+		p.call, p.leader = c, leader
+		if leader {
+			p.lidx = len(leaderReads)
+			kk := k
+			leaderReads = append(leaderReads, server.Read{Seq: string(clean), K: &kk})
+			leaderPlans = append(leaderPlans, p)
+		} else {
+			co.met.InflightDedup.Add(1)
+		}
+	}
+
+	// The leaders' sub-batch fans out once for all of them.
+	var failedShards []int
+	partial := false
+	if len(leaderReads) > 0 {
+		rt, err := co.resolve(ctx, req.Index)
+		if err != nil {
+			co.abandonLeaders(leaderPlans, err.Error())
+			code := http.StatusBadGateway
+			if errors.Is(err, ErrNoRoute) {
+				code = http.StatusNotFound
+			}
+			co.fail(w, code, "%v", err)
+			return
+		}
+		outs := co.fanout(ctx, rt, leaderReads, req.K, methodName, req.TimeoutMS)
+		results, failed, part := merge(len(leaderReads), outs)
+		failedShards, partial = failed, part
+		for _, p := range leaderPlans {
+			rr := results[p.lidx]
+			co.flight.complete(p.key, p.call, rr.Matches, rr.Error, part, failed)
+			if !part && rr.Error == "" {
+				co.cache.put(p.key, rr.Matches)
+			}
+		}
+	}
+
+	// Assemble: cache hits and leaders are already settled; followers
+	// wait for their flight's leader (possibly in another batch).
+	resp := server.SearchResponse{
+		Index:  req.Index,
+		Method: method.String(), // display name, like the worker tier
+
+		Reads:   len(reads),
+		Results: make([]server.ReadResult, len(reads)),
+	}
+	seenFailed := make(map[int]bool, len(failedShards))
+	for _, s := range failedShards {
+		seenFailed[s] = true
+	}
+	for i := range plans {
+		p := &plans[i]
+		rr := server.ReadResult{ID: p.id, Matches: []server.Match{}}
+		switch {
+		case p.hit:
+			rr.Matches = p.cached
+		case p.leader:
+			rr.Matches, rr.Error = p.call.matches, p.call.errMsg
+		default:
+			select {
+			case <-p.call.done:
+				rr.Matches, rr.Error = p.call.matches, p.call.errMsg
+				if p.call.partial {
+					partial = true
+					for _, s := range p.call.failed {
+						if !seenFailed[s] {
+							seenFailed[s] = true
+							failedShards = append(failedShards, s)
+						}
+					}
+				}
+			case <-ctx.Done():
+				rr.Error = fmt.Sprintf("waiting for coalesced result: %v", ctx.Err())
+			}
+		}
+		if rr.Error != "" {
+			rr.Matches = []server.Match{}
+			resp.Errors++
+		} else if rr.Matches == nil {
+			rr.Matches = []server.Match{}
+		}
+		resp.Matches += len(rr.Matches)
+		resp.Results[i] = rr
+	}
+	if partial {
+		resp.Partial = true
+		resp.FailedShards = sortedInts(failedShards)
+		co.met.PartialTotal.Add(1)
+	}
+	elapsed := time.Since(start)
+	resp.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
+	co.met.BatchesTotal.Add(1)
+	co.met.ReadsTotal.Add(int64(len(reads)))
+	co.met.MatchesTotal.Add(int64(resp.Matches))
+	co.met.ErrorsTotal.Add(int64(resp.Errors))
+	co.met.BatchLatency.Observe(elapsed)
+	co.log.Info("cluster search",
+		"rid", rid,
+		"index", req.Index,
+		"method", methodName,
+		"reads", len(reads),
+		"fanned_out", len(leaderReads),
+		"matches", resp.Matches,
+		"errors", resp.Errors,
+		"partial", resp.Partial,
+		"elapsed_ms", resp.ElapsedMS)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// abandonLeaders completes every registered leader call with an error
+// so cross-batch followers waiting on them wake instead of hanging.
+func (co *Coordinator) abandonLeaders(leaders []*readPlan, msg string) {
+	for _, p := range leaders {
+		co.flight.complete(p.key, p.call, nil, msg, false, nil)
+	}
+}
+
+func sortedInts(s []int) []int {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s
+}

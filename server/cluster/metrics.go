@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"io"
+
+	"bwtmatch/internal/obs"
+)
+
+// Metrics aggregates coordinator-wide counters, striped like the
+// worker-side server.Metrics (obs.ShardedCounter / ShardedHistogram)
+// so concurrent batches do not bounce cache lines. /metrics renders
+// the Prometheus exposition (km_cluster_* / km_cache_* series, see
+// README "Observing"), /metrics.json the same data as JSON. Construct
+// with NewMetrics.
+type Metrics struct {
+	BatchesTotal  obs.ShardedCounter // POST /v1/search batches served
+	ReadsTotal    obs.ShardedCounter // individual reads in those batches
+	MatchesTotal  obs.ShardedCounter // matches returned across all reads
+	ErrorsTotal   obs.ShardedCounter // per-read errors
+	RejectedTotal obs.ShardedCounter // requests refused with 4xx
+	ShedTotal     obs.ShardedCounter // requests shed 503 by admission control
+	InFlight      obs.ShardedCounter // batches currently executing
+	PartialTotal  obs.ShardedCounter // batches answered with missing shards
+
+	FanoutRPCs   obs.ShardedCounter // worker search RPCs issued
+	RetriesTotal obs.ShardedCounter // subset retries (backoff + replica failover)
+	WorkerErrors obs.ShardedCounter // failed worker RPC attempts
+
+	CacheHits     obs.ShardedCounter // reads served from the hot-results cache
+	CacheMisses   obs.ShardedCounter // reads that missed the cache
+	InflightDedup obs.ShardedCounter // reads coalesced onto an in-flight identical query
+
+	BatchLatency  *obs.ShardedHistogram // whole-batch wall time
+	WorkerLatency *obs.ShardedHistogram // per-RPC worker wall time (successful attempts)
+}
+
+// NewMetrics builds Metrics (the histograms need allocation).
+func NewMetrics() *Metrics {
+	return &Metrics{
+		BatchLatency:  obs.NewShardedLatencyHistogram(),
+		WorkerLatency: obs.NewShardedLatencyHistogram(),
+	}
+}
+
+// Snapshot renders all counters as a JSON-ready map (the /metrics.json
+// document). Cache occupancy gauges are passed in by the coordinator,
+// which owns the cache.
+func (m *Metrics) Snapshot(cacheEntries int, cacheBytes int64) map[string]any {
+	return map[string]any{
+		"cluster_batches_total":         m.BatchesTotal.Load(),
+		"cluster_reads_total":           m.ReadsTotal.Load(),
+		"cluster_matches_total":         m.MatchesTotal.Load(),
+		"cluster_read_errors_total":     m.ErrorsTotal.Load(),
+		"cluster_rejected_total":        m.RejectedTotal.Load(),
+		"cluster_shed_total":            m.ShedTotal.Load(),
+		"cluster_in_flight":             m.InFlight.Load(),
+		"cluster_partial_total":         m.PartialTotal.Load(),
+		"cluster_fanout_rpcs_total":     m.FanoutRPCs.Load(),
+		"cluster_retries_total":         m.RetriesTotal.Load(),
+		"cluster_worker_errors_total":   m.WorkerErrors.Load(),
+		"cache_hits_total":              m.CacheHits.Load(),
+		"cache_misses_total":            m.CacheMisses.Load(),
+		"cache_inflight_dedup_total":    m.InflightDedup.Load(),
+		"cache_entries":                 cacheEntries,
+		"cache_bytes":                   cacheBytes,
+		"cluster_batch_latency_ms":      m.BatchLatency.Snapshot(),
+		"cluster_worker_rpc_latency_ms": m.WorkerLatency.Snapshot(),
+	}
+}
+
+// WritePrometheus emits every counter in Prometheus text exposition
+// format 0.0.4.
+func (m *Metrics) WritePrometheus(w io.Writer, cacheEntries int, cacheBytes int64) {
+	obs.WriteCounter(w, "km_cluster_batches_total", "search batches served by the coordinator", m.BatchesTotal.Load())
+	obs.WriteCounter(w, "km_cluster_reads_total", "individual reads in served batches", m.ReadsTotal.Load())
+	obs.WriteCounter(w, "km_cluster_matches_total", "matches returned across all reads", m.MatchesTotal.Load())
+	obs.WriteCounter(w, "km_cluster_read_errors_total", "per-read errors returned", m.ErrorsTotal.Load())
+	obs.WriteCounter(w, "km_cluster_rejected_total", "requests refused with 4xx", m.RejectedTotal.Load())
+	obs.WriteCounter(w, "km_cluster_shed_total", "requests shed 503 by admission control", m.ShedTotal.Load())
+	obs.WriteGauge(w, "km_cluster_in_flight", "batches currently executing", m.InFlight.Load())
+	obs.WriteCounter(w, "km_cluster_partial_total", "batches answered with missing shards", m.PartialTotal.Load())
+	obs.WriteCounter(w, "km_cluster_fanout_rpcs_total", "worker search RPCs issued", m.FanoutRPCs.Load())
+	obs.WriteCounter(w, "km_cluster_retries_total", "shard-subset retries (backoff and replica failover)", m.RetriesTotal.Load())
+	obs.WriteCounter(w, "km_cluster_worker_errors_total", "failed worker RPC attempts", m.WorkerErrors.Load())
+	obs.WriteCounter(w, "km_cache_hits_total", "reads served from the hot-results cache", m.CacheHits.Load())
+	obs.WriteCounter(w, "km_cache_misses_total", "reads that missed the hot-results cache", m.CacheMisses.Load())
+	obs.WriteCounter(w, "km_cache_inflight_dedup_total", "reads coalesced onto an in-flight identical query", m.InflightDedup.Load())
+	obs.WriteGauge(w, "km_cache_entries", "hot-results cache entries resident", int64(cacheEntries))
+	obs.WriteGauge(w, "km_cache_bytes", "hot-results cache resident bytes", cacheBytes)
+	if m.BatchLatency.Count() > 0 {
+		obs.WriteHistogramMeta(w, "km_cluster_batch_latency_ms", "whole-batch wall time at the coordinator")
+		m.BatchLatency.WritePrometheus(w, "km_cluster_batch_latency_ms", "")
+	}
+	if m.WorkerLatency.Count() > 0 {
+		obs.WriteHistogramMeta(w, "km_cluster_worker_rpc_latency_ms", "successful worker RPC wall time")
+		m.WorkerLatency.WritePrometheus(w, "km_cluster_worker_rpc_latency_ms", "")
+	}
+}

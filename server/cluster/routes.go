@@ -1,0 +1,268 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sort"
+	"sync"
+)
+
+// ErrRoutes reports an unusable route table (bad file, worker URL not
+// in the coordinator's worker set, shard-count disagreement).
+var ErrRoutes = errors.New("cluster: bad route table")
+
+// ErrNoRoute reports that no worker serves the requested index.
+var ErrNoRoute = errors.New("cluster: no worker serves index")
+
+// RouteTable is the static shard→worker routing configuration: which
+// workers own each index and how many shards the index has. It can be
+// loaded from a file (LoadRoutesFile, kmserved -routes) or discovered
+// at runtime from the workers' /v1/indexes listings.
+type RouteTable struct {
+	// Indexes maps index name to its route.
+	Indexes map[string]RouteEntry `json:"indexes"`
+}
+
+// RouteEntry routes one index.
+type RouteEntry struct {
+	// Shards is the index's shard count (0 for a monolithic index).
+	Shards int `json:"shards"`
+	// Workers lists the base URLs of the workers serving this index, in
+	// replica-priority order. Every URL must appear in the
+	// coordinator's configured worker set.
+	Workers []string `json:"workers"`
+}
+
+// LoadRoutesFile reads a static route table:
+//
+//	{"indexes": {"hg": {"shards": 8, "workers": ["http://a:8080", "http://b:8080"]}}}
+//
+// Errors wrap ErrRoutes so callers can distinguish configuration
+// problems from transport failures.
+func LoadRoutesFile(path string) (*RouteTable, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrRoutes, err)
+	}
+	var rt RouteTable
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rt); err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrRoutes, path, err)
+	}
+	if err := rt.validate(); err != nil {
+		return nil, err
+	}
+	return &rt, nil
+}
+
+func (rt *RouteTable) validate() error {
+	if len(rt.Indexes) == 0 {
+		return fmt.Errorf("%w: no indexes", ErrRoutes)
+	}
+	for name, e := range rt.Indexes {
+		if name == "" {
+			return fmt.Errorf("%w: empty index name", ErrRoutes)
+		}
+		if e.Shards < 0 {
+			return fmt.Errorf("%w: index %q: negative shard count %d", ErrRoutes, name, e.Shards)
+		}
+		if len(e.Workers) == 0 {
+			return fmt.Errorf("%w: index %q: no workers", ErrRoutes, name)
+		}
+		seen := make(map[string]bool, len(e.Workers))
+		for _, u := range e.Workers {
+			if u == "" || seen[u] {
+				return fmt.Errorf("%w: index %q: empty or duplicate worker %q", ErrRoutes, name, u)
+			}
+			seen[u] = true
+		}
+	}
+	return nil
+}
+
+// route is one index's resolved routing: the owning workers as client
+// handles, in replica-priority order.
+type route struct {
+	index  string
+	shards int // 0 = monolithic
+	owners []*worker
+}
+
+// subset is the unit of fan-out and of retry: the shards one worker is
+// primary for, with the replica chain shared by all of them. For shard
+// s with n owners the chain is owners[(s+j) mod n], so every shard in
+// {s : s mod n == p} rotates through the same workers in the same
+// order, and the whole subset can fail over as one request.
+type subset struct {
+	shards []int // strictly increasing; nil for monolithic
+	chain  []*worker
+}
+
+// subsets partitions the route's shards by primary owner. A monolithic
+// index yields a single nil-shard subset whose chain is rotated by a
+// hash of the index name, spreading different indexes' primary load
+// across the fleet.
+func (r route) subsets() []subset {
+	n := len(r.owners)
+	if r.shards == 0 {
+		h := fnv.New32a()
+		h.Write([]byte(r.index))
+		rot := int(h.Sum32()) % n
+		if rot < 0 {
+			rot += n
+		}
+		return []subset{{shards: nil, chain: rotateWorkers(r.owners, rot)}}
+	}
+	count := n
+	if r.shards < count {
+		count = r.shards
+	}
+	out := make([]subset, 0, count)
+	for p := 0; p < count; p++ {
+		var sh []int
+		for s := p; s < r.shards; s += n {
+			sh = append(sh, s)
+		}
+		out = append(out, subset{shards: sh, chain: rotateWorkers(r.owners, p)})
+	}
+	return out
+}
+
+func rotateWorkers(ws []*worker, by int) []*worker {
+	out := make([]*worker, 0, len(ws))
+	out = append(out, ws[by%len(ws):]...)
+	return append(out, ws[:by%len(ws)]...)
+}
+
+// routeCache holds resolved routes; entries come from the static table
+// or from discovery and are invalidated when a fan-out finds them
+// stale (a worker evicted the index, or every replica of a subset is
+// gone).
+type routeCache struct {
+	mu     sync.RWMutex
+	routes map[string]route
+}
+
+func (rc *routeCache) get(index string) (route, bool) {
+	rc.mu.RLock()
+	defer rc.mu.RUnlock()
+	r, ok := rc.routes[index]
+	return r, ok
+}
+
+func (rc *routeCache) put(r route) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.routes == nil {
+		rc.routes = make(map[string]route)
+	}
+	rc.routes[r.index] = r
+}
+
+func (rc *routeCache) drop(index string) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	delete(rc.routes, index)
+}
+
+// resolve returns the route for index: from the cache, then the static
+// table, then discovery against the workers' /v1/indexes listings.
+func (co *Coordinator) resolve(ctx context.Context, index string) (route, error) {
+	if r, ok := co.routes.get(index); ok {
+		return r, nil
+	}
+	if co.static != nil {
+		e, ok := co.static.Indexes[index]
+		if !ok {
+			return route{}, fmt.Errorf("%w: %q (not in the static route table)", ErrNoRoute, index)
+		}
+		owners := make([]*worker, 0, len(e.Workers))
+		for _, u := range e.Workers {
+			wk, ok := co.workerByURL[u]
+			if !ok {
+				return route{}, fmt.Errorf("%w: index %q routes to unknown worker %q", ErrRoutes, index, u)
+			}
+			owners = append(owners, wk)
+		}
+		r := route{index: index, shards: e.Shards, owners: owners}
+		co.routes.put(r)
+		return r, nil
+	}
+	return co.discover(ctx, index)
+}
+
+// discover asks every worker which indexes it serves and builds the
+// route for index from the answers. Workers must agree on the shard
+// count; a worker that cannot be reached is simply not an owner this
+// round (the route re-resolves after invalidation). Results for all
+// indexes seen are cached, so one discovery round typically routes the
+// whole fleet.
+func (co *Coordinator) discover(ctx context.Context, index string) (route, error) {
+	type listing struct {
+		w    *worker
+		idxs map[string]int // name -> shard count
+	}
+	results := make([]listing, len(co.workers))
+	var wg sync.WaitGroup
+	for i, wk := range co.workers {
+		wg.Add(1)
+		go func(i int, wk *worker) {
+			defer wg.Done()
+			list, err := wk.c.Indexes(ctx)
+			if err != nil {
+				co.log.Warn("discovery failed", "worker", wk.url, "error", err)
+				return
+			}
+			m := make(map[string]int, len(list.Indexes))
+			for _, info := range list.Indexes {
+				m[info.Name] = info.Shards
+			}
+			results[i] = listing{w: wk, idxs: m}
+		}(i, wk)
+	}
+	wg.Wait()
+
+	byIndex := make(map[string]*route)
+	var conflicts []string
+	for _, l := range results {
+		if l.w == nil {
+			continue
+		}
+		for name, shards := range l.idxs {
+			r, ok := byIndex[name]
+			if !ok {
+				byIndex[name] = &route{index: name, shards: shards, owners: []*worker{l.w}}
+				continue
+			}
+			if r.shards != shards {
+				conflicts = append(conflicts, name)
+				continue
+			}
+			r.owners = append(r.owners, l.w)
+		}
+	}
+	sort.Strings(conflicts)
+	for _, name := range conflicts {
+		delete(byIndex, name)
+		co.log.Warn("discovery conflict: workers disagree on shard count", "index", name)
+	}
+	for _, r := range byIndex {
+		co.routes.put(*r)
+	}
+	r, ok := byIndex[index]
+	if !ok {
+		for _, name := range conflicts {
+			if name == index {
+				return route{}, fmt.Errorf("%w: index %q (workers disagree on shard count)", ErrRoutes, index)
+			}
+		}
+		return route{}, fmt.Errorf("%w: %q", ErrNoRoute, index)
+	}
+	return *r, nil
+}

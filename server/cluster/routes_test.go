@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeRoutes(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "routes.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadRoutesFile(t *testing.T) {
+	good := `{"indexes": {"hg": {"shards": 8, "workers": ["http://a:1", "http://b:1"]}}}`
+	rt, err := LoadRoutesFile(writeRoutes(t, good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := rt.Indexes["hg"]; e.Shards != 8 || len(e.Workers) != 2 {
+		t.Fatalf("parsed entry %+v", e)
+	}
+
+	bad := map[string]string{
+		"missing file":     "",
+		"syntax":           `{"indexes": }`,
+		"unknown field":    `{"indexes": {}, "extra": 1}`,
+		"no indexes":       `{"indexes": {}}`,
+		"no workers":       `{"indexes": {"hg": {"shards": 2, "workers": []}}}`,
+		"negative shards":  `{"indexes": {"hg": {"shards": -1, "workers": ["http://a:1"]}}}`,
+		"duplicate worker": `{"indexes": {"hg": {"shards": 2, "workers": ["http://a:1", "http://a:1"]}}}`,
+		"empty worker":     `{"indexes": {"hg": {"shards": 2, "workers": [""]}}}`,
+	}
+	for name, body := range bad {
+		path := filepath.Join(t.TempDir(), "nope.json")
+		if body != "" {
+			path = writeRoutes(t, body)
+		}
+		if _, err := LoadRoutesFile(path); !errors.Is(err, ErrRoutes) {
+			t.Errorf("%s: error %v, want ErrRoutes", name, err)
+		}
+	}
+}
+
+// TestSubsetsPartition pins the routing algebra: for any shard count
+// and worker count, the subsets cover every shard exactly once, shard s
+// lands in the subset of workers[s mod n], and each subset's replica
+// chain is a rotation starting at its primary.
+func TestSubsetsPartition(t *testing.T) {
+	mk := func(n int) []*worker {
+		ws := make([]*worker, n)
+		for i := range ws {
+			ws[i] = &worker{url: string(rune('a' + i))}
+		}
+		return ws
+	}
+	for _, tc := range []struct{ shards, workers int }{
+		{7, 3}, {8, 2}, {1, 4}, {3, 3}, {16, 5},
+	} {
+		r := route{index: "g", shards: tc.shards, owners: mk(tc.workers)}
+		subs := r.subsets()
+		seen := make(map[int]int)
+		for p, sub := range subs {
+			if len(sub.chain) != tc.workers {
+				t.Fatalf("%d/%d: subset %d chain len %d", tc.shards, tc.workers, p, len(sub.chain))
+			}
+			if sub.chain[0] != r.owners[p%tc.workers] {
+				t.Errorf("%d/%d: subset %d primary %q, want %q",
+					tc.shards, tc.workers, p, sub.chain[0].url, r.owners[p%tc.workers].url)
+			}
+			prev := -1
+			for _, s := range sub.shards {
+				if s%tc.workers != p {
+					t.Errorf("%d/%d: shard %d in subset %d", tc.shards, tc.workers, s, p)
+				}
+				if s <= prev {
+					t.Errorf("%d/%d: subset %d not strictly increasing: %v", tc.shards, tc.workers, p, sub.shards)
+				}
+				prev = s
+				seen[s]++
+			}
+		}
+		for s := 0; s < tc.shards; s++ {
+			if seen[s] != 1 {
+				t.Errorf("%d/%d: shard %d covered %d times", tc.shards, tc.workers, s, seen[s])
+			}
+		}
+	}
+
+	// Monolithic: one subset, nil shards, full chain.
+	r := route{index: "g", shards: 0, owners: mk(3)}
+	subs := r.subsets()
+	if len(subs) != 1 || subs[0].shards != nil || len(subs[0].chain) != 3 {
+		t.Fatalf("monolithic subsets: %+v", subs)
+	}
+}

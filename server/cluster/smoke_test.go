@@ -1,0 +1,185 @@
+package cluster_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"bwtmatch/internal/obs"
+)
+
+// TestClusterSmoke boots the real fleet through the real binaries —
+// kmgen builds a sharded index, two kmserved workers load it with
+// -warm, a kmserved -coordinator fronts them, and kmload drives
+// duplicate-heavy traffic through the coordinator — then checks the
+// load report and scrapes /metrics on all three processes.
+// `make cluster-smoke` runs exactly this.
+func TestClusterSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bins := t.TempDir()
+	for _, name := range []string{"kmgen", "kmserved", "kmload"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(bins, name), "bwtmatch/cmd/"+name)
+		cmd.Env = os.Environ()
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, out)
+		}
+	}
+	work := t.TempDir()
+	genome := filepath.Join(work, "genome.fa")
+	index := filepath.Join(work, "genome.bwt")
+	report := filepath.Join(work, "report.json")
+
+	if out, err := exec.Command(filepath.Join(bins, "kmgen"),
+		"-genome", genome, "-bases", "16384", "-seed", "7",
+		"-index", index, "-shards", "4", "-max-pattern", "96").CombinedOutput(); err != nil {
+		t.Fatalf("kmgen: %v\n%s", err, out)
+	}
+
+	worker1 := startDaemon(t, filepath.Join(bins, "kmserved"),
+		"-addr", "127.0.0.1:0", "-load", "g="+index, "-warm")
+	worker2 := startDaemon(t, filepath.Join(bins, "kmserved"),
+		"-addr", "127.0.0.1:0", "-load", "g="+index, "-warm")
+	awaitOK(t, worker1+"/readyz")
+	awaitOK(t, worker2+"/readyz")
+
+	coord := startDaemon(t, filepath.Join(bins, "kmserved"),
+		"-coordinator", "-addr", "127.0.0.1:0",
+		"-workers", worker1+","+worker2)
+	awaitOK(t, coord+"/readyz")
+
+	if out, err := exec.Command(filepath.Join(bins, "kmload"),
+		"-url", coord, "-index", "g", "-k", "2", "-clients", "8",
+		"-requests", "40", "-batch", "8", "-pool", "32", "-pattern-len", "40",
+		"-genome", genome, "-seed", "3", "-out", report).CombinedOutput(); err != nil {
+		t.Fatalf("kmload: %v\n%s", err, out)
+	}
+	data, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		BatchesOK     int64          `json:"batches_ok"`
+		Reads         int64          `json:"reads"`
+		RequestErrors int64          `json:"request_errors"`
+		ServerMetrics map[string]any `json:"server_metrics"`
+		Latency       struct {
+			P50 float64 `json:"p50"`
+			P99 float64 `json:"p99"`
+		} `json:"latency_ms"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report: %v\n%s", err, data)
+	}
+	if rep.BatchesOK != 40 || rep.RequestErrors != 0 {
+		t.Fatalf("load run: %d ok, %d errors\n%s", rep.BatchesOK, rep.RequestErrors, data)
+	}
+	if rep.Reads != 40*8 {
+		t.Errorf("reads %d, want %d", rep.Reads, 40*8)
+	}
+	if rep.Latency.P99 < rep.Latency.P50 || rep.Latency.P50 <= 0 {
+		t.Errorf("implausible latency quantiles p50=%v p99=%v", rep.Latency.P50, rep.Latency.P99)
+	}
+	// The Zipf pool guarantees duplicates: coalescing and/or the cache
+	// must have absorbed part of the fan-out.
+	hot := num(rep.ServerMetrics["cache_hits_total"]) + num(rep.ServerMetrics["cache_inflight_dedup_total"])
+	if hot == 0 {
+		t.Errorf("no cache hits or coalesced reads under Zipf traffic\n%s", data)
+	}
+
+	for name, probe := range map[string]struct{ base, series string }{
+		"worker1":     {worker1, "kmserved_batches_total"},
+		"worker2":     {worker2, "kmserved_batches_total"},
+		"coordinator": {coord, "km_cluster_batches_total"},
+	} {
+		body := getBody(t, probe.base+"/metrics")
+		if err := obs.ValidateExposition(strings.NewReader(body)); err != nil {
+			t.Errorf("%s exposition invalid: %v", name, err)
+		}
+		if !strings.Contains(body, probe.series) {
+			t.Errorf("%s missing %s in /metrics", name, probe.series)
+		}
+	}
+}
+
+// startDaemon launches a kmserved process and returns its base URL.
+func startDaemon(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cmd.Process.Kill(); cmd.Wait() })
+	sc := bufio.NewScanner(stdout)
+	urlc := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			if _, url, ok := strings.Cut(sc.Text(), "listening on "); ok {
+				urlc <- url
+				return
+			}
+		}
+	}()
+	select {
+	case url := <-urlc:
+		return url
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not announce its address")
+		return ""
+	}
+}
+
+func awaitOK(t *testing.T, url string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s never returned 200 (last: %v)", url, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func getBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := io.Copy(&buf, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d %s", url, resp.StatusCode, buf.String())
+	}
+	return buf.String()
+}
+
+// num coerces a JSON-decoded numeric field.
+func num(v any) float64 {
+	f, _ := v.(float64)
+	return f
+}

@@ -54,6 +54,12 @@ type Config struct {
 	// endpoints expose internals and cost memory to serve, so they are
 	// opt-in (kmserved -debug).
 	EnableDebug bool
+	// WarmIndexes forces every shard of a registered sharded index to
+	// materialize in the background at registration time (kmserved
+	// -warm). While any warm-up is running /readyz reports 503, so a
+	// fleet scheduler routes traffic around the worker until its shards
+	// are resident instead of paying lazy-load latency on first search.
+	WarmIndexes bool
 }
 
 func (c *Config) applyDefaults() {
@@ -97,6 +103,10 @@ type Server struct {
 	draining bool
 	inflight sync.WaitGroup
 
+	// warming counts in-flight background shard warm-ups; /readyz
+	// reports 503 while it is nonzero.
+	warming atomic.Int64
+
 	// testHookSearchStart, when non-nil, runs at the top of every search
 	// batch while it counts as in-flight (used by the drain test).
 	testHookSearchStart func()
@@ -126,6 +136,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/indexes", s.handleRegisterIndex)
 	s.mux.HandleFunc("DELETE /v1/indexes/{name}", s.handleRemoveIndex)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /metrics.json", s.met.ServeJSON)
 	if cfg.EnableDebug {
@@ -174,12 +185,49 @@ func (s *Server) Metrics() *Metrics { return s.met }
 // Register loads a saved index file and counts it in the metrics; it is
 // the programmatic form of POST /v1/indexes.
 func (s *Server) Register(name, path string) error {
-	if _, err := s.reg.LoadFile(name, path); err != nil {
+	idx, err := s.reg.LoadFile(name, path)
+	if err != nil {
 		return err
 	}
 	s.met.IndexesLoaded.Add(1)
 	s.log.Info("index registered", "index", name, "path", path)
+	s.maybeWarm(name, idx)
 	return nil
+}
+
+// maybeWarm starts a background warm-up for a sharded index when
+// Config.WarmIndexes is set: every lazily deferred shard materializes
+// now rather than on first search, and /readyz reports 503 until all
+// in-flight warm-ups finish. Failures are logged, not fatal — the
+// affected shard will retry (and fail the same way) on first search.
+func (s *Server) maybeWarm(name string, idx bwtmatch.Matcher) {
+	if !s.cfg.WarmIndexes {
+		return
+	}
+	sx, ok := idx.(*bwtmatch.ShardedIndex)
+	if !ok {
+		return
+	}
+	s.warming.Add(1)
+	go func() {
+		defer s.warming.Add(-1)
+		start := time.Now()
+		if err := sx.LoadAll(); err != nil {
+			s.log.Warn("index warm-up failed", "index", name, "error", err)
+			return
+		}
+		s.log.Info("index warmed", "index", name, "shards", sx.Shards(),
+			"elapsed_ms", float64(time.Since(start))/float64(time.Millisecond))
+	}()
+}
+
+// Ready reports whether the server is accepting and fully warmed (the
+// /readyz condition).
+func (s *Server) Ready() bool {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	return !draining && s.warming.Load() == 0
 }
 
 // RegisterGenome reads a FASTA/FASTQ genome file, builds an index over
@@ -227,6 +275,7 @@ func (s *Server) RegisterIndex(name string, idx bwtmatch.Matcher) error {
 		shards = sx.Shards()
 	}
 	s.log.Info("index registered", "index", name, "bytes", idx.SizeBytes(), "shards", shards)
+	s.maybeWarm(name, idx)
 	return nil
 }
 
@@ -294,6 +343,26 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReady is the readiness probe, split from /healthz liveness: a
+// fleet scheduler keeps a worker out of rotation while it drains or
+// while registered sharded indexes are still materializing in the
+// background (Config.WarmIndexes), but the process itself is alive
+// throughout. Retry-After hints when to re-probe.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	switch {
+	case draining:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	case s.warming.Load() > 0:
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "warming"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}
 }
 
 func (s *Server) handleListIndexes(w http.ResponseWriter, r *http.Request) {
@@ -391,6 +460,26 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusNotFound, "%v", err)
 		return
 	}
+	var sharded *bwtmatch.ShardedIndex
+	if len(req.Shards) > 0 {
+		sx, ok := idx.(*bwtmatch.ShardedIndex)
+		if !ok {
+			s.fail(w, http.StatusBadRequest,
+				"index %q is monolithic; shards cannot be restricted", req.Index)
+			return
+		}
+		prev := -1
+		for _, sh := range req.Shards {
+			if sh < 0 || sh >= sx.Shards() || sh <= prev {
+				s.fail(w, http.StatusBadRequest,
+					"bad shard set %v for index %q (%d shards; ordinals must be strictly increasing)",
+					req.Shards, req.Index, sx.Shards())
+				return
+			}
+			prev = sh
+		}
+		sharded = sx
+	}
 
 	done, ok := s.beginSearch()
 	if !ok {
@@ -430,7 +519,12 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 
 	s.met.InFlight.Add(1)
 	start := time.Now()
-	results := idx.MapAllContext(ctx, queries, method, s.cfg.Workers)
+	var results []bwtmatch.Result
+	if sharded != nil {
+		results = sharded.MapShardsContext(ctx, queries, method, s.cfg.Workers, req.Shards)
+	} else {
+		results = idx.MapAllContext(ctx, queries, method, s.cfg.Workers)
+	}
 	elapsed := time.Since(start)
 	s.met.InFlight.Add(-1)
 

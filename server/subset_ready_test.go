@@ -1,0 +1,190 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"bwtmatch"
+)
+
+// newShardedTestServer registers a 4-shard index named "g" alongside a
+// monolithic "m" and returns the server plus the genome.
+func newShardedTestServer(t *testing.T, cfg Config) (*Server, []byte) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(91))
+	genome := randomDNA(rng, 4000)
+	sx, err := bwtmatch.NewSharded(genome,
+		bwtmatch.WithShards(4), bwtmatch.WithMaxPatternLen(48))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(cfg)
+	if err := s.RegisterIndex("g", sx); err != nil {
+		t.Fatal(err)
+	}
+	mono, err := bwtmatch.New(genome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterIndex("m", mono); err != nil {
+		t.Fatal(err)
+	}
+	return s, genome
+}
+
+func postSearch(t *testing.T, s *Server, body string) (*httptest.ResponseRecorder, SearchResponse) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/search", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	var resp SearchResponse
+	if rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("decoding response: %v", err)
+		}
+	}
+	return rec, resp
+}
+
+// TestSearchShardSubset drives the worker half of the cluster routing
+// contract over the wire: restricted subsets return only owned
+// matches, their union reproduces the unrestricted search, and bad
+// subsets are 400s.
+func TestSearchShardSubset(t *testing.T) {
+	s, genome := newShardedTestServer(t, Config{})
+	pat := string(genome[1000:1030]) // arbitrary; may straddle a boundary
+	full := fmt.Sprintf(`{"index":"g","k":1,"seq":%q}`, pat)
+	rec, fullResp := postSearch(t, s, full)
+	if rec.Code != http.StatusOK || fullResp.Matches == 0 {
+		t.Fatalf("unrestricted search: %d %s", rec.Code, rec.Body)
+	}
+
+	var union []Match
+	for _, subset := range []string{`[0,2]`, `[1,3]`} {
+		rec, resp := postSearch(t, s,
+			fmt.Sprintf(`{"index":"g","k":1,"seq":%q,"shards":%s}`, pat, subset))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("subset %s: %d %s", subset, rec.Code, rec.Body)
+		}
+		union = append(union, resp.Results[0].Matches...)
+	}
+	if len(union) != len(fullResp.Results[0].Matches) {
+		t.Fatalf("subset union has %d matches, full search %d", len(union), len(fullResp.Results[0].Matches))
+	}
+	seen := make(map[int]bool)
+	for _, m := range union {
+		if seen[m.Pos] {
+			t.Errorf("position %d returned by two subsets (ownership broken)", m.Pos)
+		}
+		seen[m.Pos] = true
+	}
+	for _, m := range fullResp.Results[0].Matches {
+		if !seen[m.Pos] {
+			t.Errorf("position %d missing from subset union", m.Pos)
+		}
+	}
+
+	for name, body := range map[string]string{
+		"monolithic index": fmt.Sprintf(`{"index":"m","k":1,"seq":%q,"shards":[0]}`, pat),
+		"out of range":     fmt.Sprintf(`{"index":"g","k":1,"seq":%q,"shards":[4]}`, pat),
+		"negative":         fmt.Sprintf(`{"index":"g","k":1,"seq":%q,"shards":[-1]}`, pat),
+		"not increasing":   fmt.Sprintf(`{"index":"g","k":1,"seq":%q,"shards":[2,1]}`, pat),
+		"duplicate":        fmt.Sprintf(`{"index":"g","k":1,"seq":%q,"shards":[1,1]}`, pat),
+	} {
+		if rec, _ := postSearch(t, s, body); rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, rec.Code)
+		}
+	}
+}
+
+// TestReadyzSplitsFromHealthz pins the liveness/readiness split: a
+// warming server is alive (200 /healthz) but not ready (503 /readyz
+// with a Retry-After hint); draining flips both.
+func TestReadyzSplitsFromHealthz(t *testing.T) {
+	s, _ := newShardedTestServer(t, Config{})
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		return rec
+	}
+	if rec := get("/readyz"); rec.Code != http.StatusOK {
+		t.Fatalf("idle readyz: %d", rec.Code)
+	}
+
+	s.warming.Add(1)
+	if rec := get("/healthz"); rec.Code != http.StatusOK {
+		t.Errorf("healthz while warming: %d, want 200 (alive)", rec.Code)
+	}
+	rec := get("/readyz")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("readyz while warming: %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("warming readyz missing Retry-After hint")
+	}
+	if s.Ready() {
+		t.Error("Ready() true while warming")
+	}
+	s.warming.Add(-1)
+	if rec := get("/readyz"); rec.Code != http.StatusOK {
+		t.Errorf("readyz after warm-up: %d", rec.Code)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if rec := get("/readyz"); rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("readyz while draining: %d, want 503", rec.Code)
+	}
+	if rec := get("/healthz"); rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("healthz while draining: %d, want 503", rec.Code)
+	}
+}
+
+// TestWarmIndexes pins Config.WarmIndexes: registration kicks off a
+// background LoadAll and the server reports ready once every shard is
+// resident.
+func TestWarmIndexes(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	genome := randomDNA(rng, 3000)
+	sx, err := bwtmatch.NewSharded(genome,
+		bwtmatch.WithShards(3), bwtmatch.WithMaxPatternLen(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := dir + "/g.bwt"
+	if err := sx.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	s := New(Config{WarmIndexes: true})
+	if err := s.Register("g", path); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for !s.Ready() {
+		if time.Now().After(deadline) {
+			t.Fatal("server never became ready")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	idx, err := s.Registry().Get("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, si := range idx.(*bwtmatch.ShardedIndex).ShardInfo() {
+		if !si.Loaded {
+			t.Errorf("shard %d not materialized after warm-up", i)
+		}
+	}
+}

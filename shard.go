@@ -416,11 +416,60 @@ func (x *ShardedIndex) searchAll(pattern []byte, k int, method Method, tr Tracer
 // Scratch, appending into dst.
 func (x *ShardedIndex) searchSerial(sc *Scratch, dst []Match, pattern []byte, k int, method Method, tr Tracer) ([]Match, Stats, error) {
 	var st Stats
+	// Validate against the sharded geometry up front: the per-shard
+	// searches below only know their own slice, so a pattern longer than
+	// MaxPatternLen must be rejected here rather than silently missing
+	// boundary-straddling matches. The encode lands in the reusable rank
+	// buffer, so the zero-alloc contract of the scratch path holds.
+	p, err := x.checkPattern(sc.ranks[:0], pattern, k)
+	sc.ranks = p
+	if err != nil {
+		return dst, st, err
+	}
 	out := dst
 	for i := range x.shards {
-		var err error
 		var ss Stats
 		out, ss, err = x.searchShard(i, sc, out, pattern, k, method, tr)
+		if err != nil {
+			return dst, st, err
+		}
+		st.add(ss)
+	}
+	return out, st, nil
+}
+
+// checkShardSet validates a strictly increasing list of shard ordinals
+// (the worker-side contract of a coordinator's shard-subset search).
+func (x *ShardedIndex) checkShardSet(shards []int) error {
+	if len(shards) == 0 {
+		return fmt.Errorf("%w: empty shard set", ErrInput)
+	}
+	prev := -1
+	for _, s := range shards {
+		if s < 0 || s >= len(x.shards) {
+			return fmt.Errorf("%w: shard %d outside [0,%d)", ErrInput, s, len(x.shards))
+		}
+		if s <= prev {
+			return fmt.Errorf("%w: shard set must be strictly increasing (%d after %d)", ErrInput, s, prev)
+		}
+		prev = s
+	}
+	return nil
+}
+
+// searchShardSet runs the query through the given shards in order with
+// one Scratch, appending into dst. The caller has validated the set.
+func (x *ShardedIndex) searchShardSet(sc *Scratch, dst []Match, pattern []byte, k int, method Method, shards []int) ([]Match, Stats, error) {
+	var st Stats
+	p, err := x.checkPattern(sc.ranks[:0], pattern, k)
+	sc.ranks = p
+	if err != nil {
+		return dst, st, err
+	}
+	out := dst
+	for _, i := range shards {
+		var ss Stats
+		out, ss, err = x.searchShard(i, sc, out, pattern, k, method, nil)
 		if err != nil {
 			return dst, st, err
 		}
@@ -501,6 +550,42 @@ func (x *ShardedIndex) SearchMethodScratch(sc *Scratch, dst []Match, pattern []b
 // MapAllContext with a background context.
 func (x *ShardedIndex) MapAll(queries []Query, method Method, workers int) []Result {
 	return x.MapAllContext(context.Background(), queries, method, workers)
+}
+
+// MapShards runs every query against only the given shards; it is
+// MapShardsContext with a background context.
+func (x *ShardedIndex) MapShards(queries []Query, method Method, workers int, shards []int) []Result {
+	return x.MapShardsContext(context.Background(), queries, method, workers, shards)
+}
+
+// MapShardsContext is MapAllContext restricted to a subset of shards:
+// every query runs against exactly the shards listed (strictly
+// increasing ordinals), and each result carries only the matches those
+// shards own, in global position order. Because owned ranges partition
+// [0, Len()), a coordinator that spreads disjoint shard subsets over
+// worker processes and concatenates the per-subset results by position
+// reconstructs exactly what MapAllContext over all shards returns —
+// the cluster tier's exactly-once contract. An invalid shard set fails
+// every query with ErrInput.
+func (x *ShardedIndex) MapShardsContext(ctx context.Context, queries []Query, method Method, workers int, shards []int) []Result {
+	results := make([]Result, len(queries))
+	if err := x.checkShardSet(shards); err != nil {
+		for i := range results {
+			results[i] = Result{Err: err}
+		}
+		return results
+	}
+	run := func(sc *Scratch, i int) {
+		if err := ctx.Err(); err != nil {
+			results[i] = Result{Err: err}
+			return
+		}
+		q := queries[i]
+		m, st, err := x.searchShardSet(sc, nil, q.Pattern, q.K, method, shards)
+		results[i] = Result{Matches: m, Stats: st, Err: err}
+	}
+	runQueries(len(queries), workers, run)
+	return results
 }
 
 // MapAllContext runs every query with the given method across workers

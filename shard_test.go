@@ -511,3 +511,94 @@ func TestLoadShardedRejectsCorruption(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestMapShardsContext pins the subset-search contract the cluster
+// coordinator is built on: searching disjoint shard subsets and
+// concatenating the results in subset order reproduces MapAllContext
+// exactly, and invalid subsets fail every query with ErrInput.
+func TestMapShardsContext(t *testing.T) {
+	rng := rand.New(rand.NewSource(523))
+	target := randomDNA(rng, 1500)
+	_, sh := shardedPair(t, target, WithShardSize(250), WithMaxPatternLen(48))
+	n := sh.Shards()
+	var queries []Query
+	for i := 0; i < 25; i++ {
+		m := 8 + rng.Intn(30)
+		p := rng.Intn(len(target) - m)
+		pat := append([]byte(nil), target[p:p+m]...)
+		pat[rng.Intn(m)] = "acgt"[rng.Intn(4)]
+		queries = append(queries, Query{Pattern: pat, K: rng.Intn(3)})
+	}
+	want := sh.MapAllContext(context.Background(), queries, AlgorithmA, 2)
+
+	// Interleaved partition {0,2,4,...} / {1,3,5,...}: union must be
+	// exact, and because owned ranges are increasing in shard order,
+	// merging the two subsets by position reproduces the full ordering.
+	var evens, odds []int
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			evens = append(evens, i)
+		} else {
+			odds = append(odds, i)
+		}
+	}
+	ge := sh.MapShardsContext(context.Background(), queries, AlgorithmA, 2, evens)
+	go_ := sh.MapShards(queries, AlgorithmA, 2, odds)
+	for i := range queries {
+		if ge[i].Err != nil || go_[i].Err != nil {
+			t.Fatalf("query %d: subset errors %v / %v", i, ge[i].Err, go_[i].Err)
+		}
+		merged := append(append([]Match(nil), ge[i].Matches...), go_[i].Matches...)
+		sortMatches(merged)
+		if len(merged) != len(want[i].Matches) {
+			t.Fatalf("query %d: union %d matches, want %d", i, len(merged), len(want[i].Matches))
+		}
+		for j, m := range merged {
+			if m != want[i].Matches[j] {
+				t.Fatalf("query %d match %d: %+v, want %+v", i, j, m, want[i].Matches[j])
+			}
+		}
+	}
+
+	// Invalid subsets poison every result with ErrInput.
+	for name, bad := range map[string][]int{
+		"empty":          {},
+		"out of range":   {0, n},
+		"negative":       {-1},
+		"not increasing": {1, 1},
+	} {
+		for _, r := range sh.MapShardsContext(context.Background(), queries[:2], AlgorithmA, 1, bad) {
+			if !errors.Is(r.Err, ErrInput) {
+				t.Errorf("%s subset: err %v, want ErrInput", name, r.Err)
+			}
+		}
+	}
+}
+
+// TestShardedNonCoreLengthCheck pins the fix for a latent hazard: the
+// non-core methods (online, stree, ...) go through each shard's own
+// matcher, which does not know the sharded MaxPatternLen bound, so the
+// length check must happen before the per-shard loop or an overlong
+// pattern would silently miss boundary-straddling matches instead of
+// erroring.
+func TestShardedNonCoreLengthCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(524))
+	target := randomDNA(rng, 800)
+	_, sh := shardedPair(t, target, WithShardSize(200), WithMaxPatternLen(24))
+	long := randomDNA(rng, 25)
+	for _, method := range []Method{AlgorithmA, Online, STree} {
+		for _, r := range sh.MapAllContext(context.Background(), []Query{{Pattern: long, K: 1}}, method, 1) {
+			if !errors.Is(r.Err, ErrInput) {
+				t.Errorf("method %v: overlong pattern err %v, want ErrInput", method, r.Err)
+			}
+		}
+	}
+}
+
+func sortMatches(ms []Match) {
+	for i := 1; i < len(ms); i++ {
+		for j := i; j > 0 && ms[j].Pos < ms[j-1].Pos; j-- {
+			ms[j], ms[j-1] = ms[j-1], ms[j]
+		}
+	}
+}
