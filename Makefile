@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-server vet kmvet lint invariants fuzz-smoke obs-smoke benchdiff-smoke shard-smoke cluster-smoke check bench bench-json bench-compare
+.PHONY: build test race race-server vet kmvet lint lint-report invariants fuzz-smoke obs-smoke benchdiff-smoke shard-smoke cluster-smoke check bench bench-json bench-compare
 
 build:
 	$(GO) build ./...
@@ -20,12 +20,24 @@ race:
 vet:
 	$(GO) vet ./...
 
-# kmvet is the repo-specific analyzer (cmd/kmvet, DESIGN.md §6): load-path
-# error wrapping, lock copies, context-threaded searches, no library panics.
+# kmvet is the repo-specific analyzer (cmd/kmvet, DESIGN.md §6): the
+# per-function rules (load-path error wrapping, lock copies,
+# context-threaded searches, no library panics, no stdlib log) plus the
+# call-graph-aware concurrency rules (goroutinelifecycle, lockheld,
+# reachpanic, boundedalloc, closeerr). Suppress individual findings
+# with `//kmvet:ignore <rule> <reason>` on the offending line (or the
+# line above); stale suppressions are themselves findings.
 kmvet:
 	$(GO) run ./cmd/kmvet
 
 lint: vet kmvet
+
+# Machine-readable lint artifact for CI (schema pinned by
+# internal/analyze/json_test.go). Written even when findings exist so
+# the annotation step can consume it; the exit status still gates.
+lint-report:
+	$(GO) run ./cmd/kmvet -json > lint-report.json; \
+	status=$$?; cat lint-report.json; exit $$status
 
 # The deep runtime invariant layer: CheckInvariants implementations are
 # compiled in under the kminvariants tag (and are no-ops otherwise), so

@@ -57,15 +57,21 @@ func main() {
 	}
 }
 
-func run(cfg bench.Config, exp string, jsonMode bool, out string, rounds int, tr *obs.Recorder) error {
+func run(cfg bench.Config, exp string, jsonMode bool, out string, rounds int, tr *obs.Recorder) (err error) {
 	if jsonMode {
 		var w io.Writer = os.Stdout
 		if out != "" {
-			f, err := os.Create(out)
-			if err != nil {
-				return err
+			f, ferr := os.Create(out)
+			if ferr != nil {
+				return ferr
 			}
-			defer f.Close()
+			// The report lands on disk at Close; merge its error into
+			// the return value instead of deferring it away.
+			defer func() {
+				if cerr := f.Close(); cerr != nil && err == nil {
+					err = cerr
+				}
+			}()
 			w = f
 		}
 		// The Recorder interface value must stay nil when no -trace was
@@ -103,7 +109,7 @@ func writeTrace(path string, tr *obs.Recorder) error {
 		return err
 	}
 	if err := tr.WriteChromeTrace(f); err != nil {
-		f.Close()
+		f.Close() //kmvet:ignore closeerr trace write already failed; that error is the one to report
 		return err
 	}
 	return f.Close()

@@ -167,12 +167,18 @@ func readConcatenated(path string) ([]byte, error) {
 	return seq, nil
 }
 
-func writeRecords(path string, recs []seqio.Record, format string) error {
+func writeRecords(path string, recs []seqio.Record, format string) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	// Close errors are write errors on this path (buffered data hits
+	// the disk at Close); merge them into the return value.
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	switch format {
 	case "fasta":
 		return seqio.WriteFasta(f, recs)

@@ -171,7 +171,6 @@ func main() {
 	elapsed := time.Since(searchStart)
 
 	out := bufio.NewWriter(os.Stdout)
-	defer out.Flush()
 	totalMatches := 0
 	if *sam {
 		totalMatches = writeSAM(out, idx, queries, results)
@@ -194,6 +193,11 @@ func main() {
 			}
 			fmt.Fprintln(out)
 		}
+	}
+	// Flush explicitly: a deferred Flush would swallow the error, and a
+	// full disk on redirected stdout must not exit 0.
+	if err := out.Flush(); err != nil {
+		fatal(fmt.Errorf("writing output: %w", err))
 	}
 	fmt.Fprintf(os.Stderr, "%d reads, %d matches, %v total (%s, k=%d, p=%d)\n",
 		len(recs), totalMatches, elapsed.Round(time.Millisecond), method, *k, *workers)
@@ -229,7 +233,6 @@ func runRemote(base, index, readsPath, methodName string, k int, verbose bool) e
 		return err
 	}
 	out := bufio.NewWriter(os.Stdout)
-	defer out.Flush()
 	for _, rr := range resp.Results {
 		if rr.Error != "" {
 			return fmt.Errorf("read %s: %s", rr.ID, rr.Error)
@@ -241,6 +244,9 @@ func runRemote(base, index, readsPath, methodName string, k int, verbose bool) e
 			}
 		}
 		fmt.Fprintln(out)
+	}
+	if err := out.Flush(); err != nil {
+		return fmt.Errorf("writing output: %w", err)
 	}
 	fmt.Fprintf(os.Stderr, "%d reads, %d matches, %v round trip (server %.1fms, %s, k=%d, remote)\n",
 		resp.Reads, resp.Matches, time.Since(start).Round(time.Millisecond),
@@ -347,7 +353,7 @@ func writeTrace(path string, rec *obs.Recorder) error {
 		return err
 	}
 	if err := rec.WriteChromeTrace(f); err != nil {
-		f.Close()
+		f.Close() //kmvet:ignore closeerr trace write already failed; that error is the one to report
 		return err
 	}
 	return f.Close()

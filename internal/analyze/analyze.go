@@ -197,27 +197,33 @@ func (a *Analyzer) load(dir, importPath string) (*Package, error) {
 	}, nil
 }
 
-// CheckDir type-checks the package in dir (resolved as importPath, which
-// may be a synthetic label for out-of-module fixtures) and runs every
-// rule over it.
-func (a *Analyzer) CheckDir(dir, importPath string) ([]Finding, error) {
+// ModulePath returns the module path from go.mod.
+func (a *Analyzer) ModulePath() string { return a.modulePath }
+
+// LoadDir loads the single package in dir (importPath may be a
+// synthetic label for out-of-module fixtures) as a one-package Module
+// with its own call graph.
+func (a *Analyzer) LoadDir(dir, importPath string) (*Module, error) {
 	p, err := a.load(dir, importPath)
 	if err != nil {
 		return nil, err
 	}
-	var out []Finding
-	for _, r := range Rules() {
-		out = append(out, r.Run(p)...)
-	}
-	sortFindings(out)
-	return out, nil
+	return BuildModule([]*Package{p}), nil
 }
 
-// CheckModule walks the whole module and runs every rule over every
-// package (testdata and VCS directories excluded), returning the
-// aggregated findings.
-func (a *Analyzer) CheckModule() ([]Finding, error) {
-	var out []Finding
+// CheckDir type-checks the package in dir and runs every rule over it.
+func (a *Analyzer) CheckDir(dir, importPath string) ([]Finding, error) {
+	m, err := a.LoadDir(dir, importPath)
+	if err != nil {
+		return nil, err
+	}
+	return m.check(Rules()), nil
+}
+
+// LoadModule loads every package of the module (testdata and VCS
+// directories excluded) and builds the cross-package call graph.
+func (a *Analyzer) LoadModule() (*Module, error) {
+	var pkgs []*Package
 	err := filepath.WalkDir(a.root, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
 			return err
@@ -237,21 +243,65 @@ func (a *Analyzer) CheckModule() ([]Finding, error) {
 		if rel != "." {
 			importPath = a.modulePath + "/" + filepath.ToSlash(rel)
 		}
-		findings, err := a.CheckDir(path, importPath)
+		p, err := a.load(path, importPath)
 		if err != nil {
 			if _, ok := err.(*build.NoGoError); ok {
 				return nil
 			}
 			return err
 		}
-		out = append(out, findings...)
+		pkgs = append(pkgs, p)
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	return BuildModule(pkgs), nil
+}
+
+// CheckModule runs every rule over the whole module.
+func (a *Analyzer) CheckModule() ([]Finding, error) {
+	return a.CheckModuleRules(nil)
+}
+
+// CheckModuleRules runs the named rules (nil or empty means all) over
+// the whole module. Interprocedural rules always see the full
+// cross-package call graph regardless of the rule selection.
+func (a *Analyzer) CheckModuleRules(names []string) ([]Finding, error) {
+	m, err := a.LoadModule()
+	if err != nil {
+		return nil, err
+	}
+	rules := Rules()
+	if len(names) > 0 {
+		want := make(map[string]bool, len(names))
+		for _, n := range names {
+			want[n] = true
+		}
+		kept := rules[:0]
+		for _, r := range rules {
+			if want[r.Name] {
+				kept = append(kept, r)
+			}
+		}
+		rules = kept
+	}
+	return m.check(rules), nil
+}
+
+// check runs the given rules over the module, applies //kmvet:ignore
+// suppression (stale directives become unusedignore findings), and
+// returns the sorted result.
+func (m *Module) check(rules []Rule) []Finding {
+	var out []Finding
+	enabled := make(map[string]bool, len(rules))
+	for _, r := range rules {
+		enabled[r.Name] = true
+		out = append(out, r.Run(m)...)
+	}
+	out = m.applyIgnores(out, enabled)
 	sortFindings(out)
-	return out, nil
+	return out
 }
 
 func sortFindings(fs []Finding) {

@@ -135,7 +135,10 @@ func sortKeys(ks []key) {
 // TestRuleFixtures demonstrates each rule firing on a deliberately-bad
 // fixture package, at exactly the marked positions.
 func TestRuleFixtures(t *testing.T) {
-	for _, name := range []string{"badwrap", "badlock", "badctx", "badpanic", "badlog"} {
+	for _, name := range []string{
+		"badwrap", "badlock", "badctx", "badpanic", "badlog",
+		"badgoroutine", "badlockheld", "badreachpanic", "badboundedalloc", "badcloseerr",
+	} {
 		t.Run(name, func(t *testing.T) { checkFixture(t, name) })
 	}
 }
@@ -146,11 +149,14 @@ func TestCleanFixture(t *testing.T) {
 	checkFixture(t, "clean")
 }
 
-// TestRulesCatalogue pins the rule set: five rules, stable names,
+// TestRulesCatalogue pins the rule set: ten rules, stable names,
 // non-empty docs (kmvet -rules prints these).
 func TestRulesCatalogue(t *testing.T) {
 	rules := analyze.Rules()
-	want := []string{"wrapformat", "copylocks", "ctxsearch", "nopanic", "nostdlog"}
+	want := []string{
+		"wrapformat", "copylocks", "ctxsearch", "nopanic", "nostdlog",
+		"goroutinelifecycle", "lockheld", "reachpanic", "boundedalloc", "closeerr",
+	}
 	if len(rules) != len(want) {
 		t.Fatalf("got %d rules, want %d", len(rules), len(want))
 	}

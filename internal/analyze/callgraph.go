@@ -1,0 +1,575 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// This file builds the module-local call graph that the interprocedural
+// rules (lockheld, reachpanic) walk. The graph is deliberately
+// conservative: a dynamic call that *might* land on a module function
+// gets an edge to every compatible candidate, so "unreachable" is a
+// proof and "reachable" is a possibility.
+//
+// Design notes (see DESIGN.md §6):
+//
+//   - Nodes are keyed by types.Func.FullName() strings, not object
+//     pointers. The analyzer type-checks each package from source while
+//     its dependencies come in as export data, so the same function is
+//     represented by *different* types.Func objects depending on which
+//     package is looking at it; the FullName string is the stable
+//     identity across both views.
+//   - Function literals are attributed to their enclosing declaration:
+//     a FuncLit body's calls become edges out of the enclosing
+//     FuncDecl's node. This matches how the lock/blocking rules reason
+//     ("what can run while this function is on the stack").
+//   - Edges launched via `go` (a go statement, or any call inside a
+//     go-launched literal) carry ViaGo. Blocking-ness does not
+//     propagate across them — the goroutine blocks, not the caller —
+//     but panic reachability does (a goroutine panic still crashes the
+//     process).
+//   - Interface method calls edge to every module-local method with the
+//     same name and parameter/result count. Name+arity matching (rather
+//     than types.Implements) is deliberate: the dual object identities
+//     above make Implements unreliable across the export-data/source
+//     boundary, and over-approximating keeps the graph conservative.
+//   - Calls through function values edge to every address-taken module
+//     function with a matching signature shape. Dynamic calls that
+//     resolve to nothing (e.g. a stored callback of external origin)
+//     get no edge and are NOT treated as blocking; that imprecision is
+//     documented rather than papered over.
+
+// Module is the whole-program view handed to rules: every loaded
+// package plus the call graph across them.
+type Module struct {
+	Packages []*Package
+	Graph    *CallGraph
+}
+
+// EdgeKind classifies how a call site resolved to its callee.
+type EdgeKind int
+
+const (
+	// EdgeStatic is a direct call to a known function or method.
+	EdgeStatic EdgeKind = iota
+	// EdgeIface is a conservative interface-dispatch edge (matched by
+	// method name and arity).
+	EdgeIface
+	// EdgeDynamic is a conservative function-value edge (matched
+	// against address-taken module functions by signature shape).
+	EdgeDynamic
+)
+
+// Edge is one call-graph edge.
+type Edge struct {
+	From, To *Node
+	Pos      token.Pos
+	Kind     EdgeKind
+	// ViaGo marks calls launched on a new goroutine: either the call
+	// itself is the operand of a go statement, or the call site lives
+	// inside a go-launched function literal.
+	ViaGo bool
+}
+
+// extCall is a call that leaves the module (stdlib or otherwise);
+// recorded per node so rules can match against known-blocking sets.
+type extCall struct {
+	id    string // types.Func.FullName of the callee
+	pos   token.Pos
+	viaGo bool
+}
+
+// chanOp is a primitive channel/select operation found in a node.
+type chanOp struct {
+	pos   token.Pos
+	what  string // "channel send", "channel receive", ...
+	viaGo bool
+}
+
+// Node is one module function (FuncDecl) in the call graph.
+type Node struct {
+	ID   string // types.Func.FullName()
+	Fn   *types.Func
+	Pkg  *Package
+	Decl *ast.FuncDecl
+
+	Out []*Edge // calls made by this function (literals included)
+	In  []*Edge // reverse edges
+
+	exts    []extCall
+	chanOps []chanOp
+	panics  []token.Pos // direct builtin panic calls
+
+	// invariantsFile marks declarations in invariants*.go files, where
+	// assertion panics are the point (kminvariants carve-out).
+	invariantsFile bool
+}
+
+// IsMethod reports whether the node is a method (has a receiver).
+func (n *Node) IsMethod() bool {
+	return n.Fn.Signature().Recv() != nil
+}
+
+// CallGraph holds every module function node, keyed by FullName.
+type CallGraph struct {
+	Nodes map[string]*Node
+
+	// methodsByName indexes methods for conservative interface
+	// dispatch; addrTaken marks functions whose value escapes (used as
+	// an operand outside call position).
+	methodsByName map[string][]*Node
+	addrTaken     map[string]bool
+}
+
+// Lookup returns the node for a FullName ID, or nil.
+func (g *CallGraph) Lookup(id string) *Node { return g.Nodes[id] }
+
+// Size returns the number of nodes.
+func (g *CallGraph) Size() int { return len(g.Nodes) }
+
+// funcID is the canonical node key for a function object. Generic
+// instantiations collapse onto their origin declaration.
+func funcID(fn *types.Func) string {
+	if o := fn.Origin(); o != nil {
+		fn = o
+	}
+	return fn.FullName()
+}
+
+// BuildModule assembles the call graph over the given packages.
+func BuildModule(pkgs []*Package) *Module {
+	g := &CallGraph{
+		Nodes:         make(map[string]*Node),
+		methodsByName: make(map[string][]*Node),
+		addrTaken:     make(map[string]bool),
+	}
+	// Pass 1: create a node per FuncDecl.
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			fname := filepath.Base(p.Fset.Position(f.Pos()).Filename)
+			inv := strings.HasPrefix(fname, "invariants")
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &Node{
+					ID:             funcID(fn),
+					Fn:             fn,
+					Pkg:            p,
+					Decl:           fd,
+					invariantsFile: inv,
+				}
+				g.Nodes[n.ID] = n
+				if n.IsMethod() {
+					g.methodsByName[fn.Name()] = append(g.methodsByName[fn.Name()], n)
+				}
+			}
+		}
+	}
+	// Pass 2: mark address-taken functions (any use of a func object
+	// outside call position, in any package).
+	for _, p := range pkgs {
+		markAddressTaken(p, g)
+	}
+	// Pass 3: walk bodies, recording facts and resolving call sites.
+	for _, n := range g.Nodes {
+		b := &bodyWalker{p: n.Pkg, g: g, node: n}
+		b.walkStmts(n.Decl.Body.List, 0)
+	}
+	// Reverse edges.
+	for _, n := range g.Nodes {
+		for _, e := range n.Out {
+			e.To.In = append(e.To.In, e)
+		}
+	}
+	return &Module{Packages: pkgs, Graph: g}
+}
+
+// markAddressTaken records every *types.Func used as a value: an
+// identifier or selector that resolves to a function but is not the
+// operand of a call. These become dynamic-dispatch candidates.
+func markAddressTaken(p *Package, g *CallGraph) {
+	inCallPos := make(map[ast.Node]bool)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				fun := ast.Unparen(call.Fun)
+				inCallPos[fun] = true
+				if sel, ok := fun.(*ast.SelectorExpr); ok {
+					inCallPos[sel.Sel] = true
+				}
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.Ident:
+				if inCallPos[x] {
+					return true
+				}
+				if fn, ok := p.Info.Uses[x].(*types.Func); ok {
+					g.addrTaken[funcID(fn)] = true
+				}
+			case *ast.SelectorExpr:
+				if inCallPos[x] || inCallPos[x.Sel] {
+					return true
+				}
+				if fn, ok := p.Info.Uses[x.Sel].(*types.Func); ok {
+					g.addrTaken[funcID(fn)] = true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// callTarget is the resolution of one call expression.
+type callTarget struct {
+	kind    EdgeKind
+	fn      *types.Func // static callee, or the interface method object
+	builtin string      // builtin name ("panic", "make", ...), else ""
+	isConv  bool        // type conversion, not a call
+	dynSig  *types.Signature
+}
+
+// classifyCall resolves what a call expression invokes.
+func classifyCall(p *Package, call *ast.CallExpr) callTarget {
+	fun := ast.Unparen(call.Fun)
+	if tv, ok := p.Info.Types[fun]; ok && tv.IsType() {
+		return callTarget{isConv: true}
+	}
+	var id *ast.Ident
+	var sel *ast.SelectorExpr
+	switch x := fun.(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id, sel = x.Sel, x
+	}
+	if id != nil {
+		switch obj := p.Info.Uses[id].(type) {
+		case *types.Builtin:
+			return callTarget{builtin: obj.Name()}
+		case *types.Func:
+			if sel != nil {
+				if s, ok := p.Info.Selections[sel]; ok && types.IsInterface(s.Recv()) {
+					return callTarget{kind: EdgeIface, fn: obj}
+				}
+			}
+			return callTarget{kind: EdgeStatic, fn: obj}
+		}
+	}
+	// Indirect call through a function value (variable, field, call
+	// result, index expression...).
+	ct := callTarget{kind: EdgeDynamic}
+	if tv, ok := p.Info.Types[fun]; ok {
+		if sig, ok := tv.Type.Underlying().(*types.Signature); ok {
+			ct.dynSig = sig
+		}
+	}
+	return ct
+}
+
+// pathQual qualifies type names by full package path, so the same type
+// renders identically whether it came from source or export data.
+func pathQual(p *types.Package) string { return p.Path() }
+
+// sigKey renders a signature's parameter and result types (receiver
+// excluded) as a stable string. Two functions are dispatch-compatible
+// when their keys match: interface implementations must have identical
+// parameter/result types, and a function value can only hold functions
+// of its exact type.
+func sigKey(sig *types.Signature) string {
+	var b strings.Builder
+	for i := 0; i < sig.Params().Len(); i++ {
+		b.WriteString(types.TypeString(sig.Params().At(i).Type(), pathQual))
+		b.WriteByte(',')
+	}
+	if sig.Variadic() {
+		b.WriteByte('~')
+	}
+	b.WriteByte('|')
+	for i := 0; i < sig.Results().Len(); i++ {
+		b.WriteString(types.TypeString(sig.Results().At(i).Type(), pathQual))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// bodyWalker walks one declaration's body (and its nested literals),
+// recording call edges, external calls, channel ops, and panics on the
+// node. goDepth > 0 means the code runs on a spawned goroutine.
+type bodyWalker struct {
+	p    *Package
+	g    *CallGraph
+	node *Node
+	seen map[string]bool // edge dedup: "toID|viaGo"
+}
+
+func (b *bodyWalker) walkStmts(list []ast.Stmt, goDepth int) {
+	for _, s := range list {
+		b.walk(s, goDepth)
+	}
+}
+
+// walk dispatches on the statements that change goroutine context or
+// blocking semantics, and inspects everything else generically.
+func (b *bodyWalker) walk(n ast.Node, goDepth int) {
+	if n == nil {
+		return
+	}
+	switch x := n.(type) {
+	case *ast.GoStmt:
+		b.walkCall(x.Call, goDepth, true)
+		return
+	case *ast.DeferStmt:
+		b.walkCall(x.Call, goDepth, false)
+		return
+	case *ast.CallExpr:
+		b.walkCall(x, goDepth, false)
+		return
+	case *ast.FuncLit:
+		// A literal not under `go`: treat its body as running in the
+		// enclosing context (immediately-invoked and stored callbacks
+		// alike — conservative for blocking facts).
+		b.walkStmts(x.Body.List, goDepth)
+		return
+	case *ast.SendStmt:
+		b.recordChan(x.Pos(), "channel send", goDepth)
+	case *ast.UnaryExpr:
+		if x.Op == token.ARROW {
+			b.recordChan(x.Pos(), "channel receive", goDepth)
+		}
+	case *ast.RangeStmt:
+		if tv, ok := b.p.Info.Types[x.X]; ok {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				b.recordChan(x.Pos(), "range over channel", goDepth)
+			}
+		}
+	case *ast.SelectStmt:
+		b.walkSelect(x, goDepth)
+		return
+	}
+	// Generic descent over direct children.
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == n {
+			return true
+		}
+		switch c.(type) {
+		case *ast.GoStmt, *ast.DeferStmt, *ast.CallExpr, *ast.FuncLit,
+			*ast.SendStmt, *ast.UnaryExpr, *ast.RangeStmt, *ast.SelectStmt:
+			b.walk(c, goDepth)
+			return false
+		}
+		return true
+	})
+}
+
+// walkSelect handles select statements: a select with no default is a
+// blocking op itself; the individual comm-clause channel operations are
+// part of the select and not recorded separately.
+func (b *bodyWalker) walkSelect(sel *ast.SelectStmt, goDepth int) {
+	hasDefault := false
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.recordChan(sel.Pos(), "select without default", goDepth)
+	}
+	for _, c := range sel.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		// The comm statement's channel ops are covered by the select
+		// itself, but calls inside it (e.g. `case v := <-f():`) still
+		// produce edges.
+		if cc.Comm != nil {
+			ast.Inspect(cc.Comm, func(c ast.Node) bool {
+				switch x := c.(type) {
+				case *ast.CallExpr:
+					b.walkCall(x, goDepth, false)
+					return false
+				case *ast.FuncLit:
+					b.walkStmts(x.Body.List, goDepth)
+					return false
+				}
+				return true
+			})
+		}
+		b.walkStmts(cc.Body, goDepth)
+	}
+}
+
+func (b *bodyWalker) recordChan(pos token.Pos, what string, goDepth int) {
+	b.node.chanOps = append(b.node.chanOps, chanOp{pos: pos, what: what, viaGo: goDepth > 0})
+}
+
+// walkCall records the edge (or external/builtin fact) for one call and
+// descends into its function expression and arguments.
+func (b *bodyWalker) walkCall(call *ast.CallExpr, goDepth int, launchedGo bool) {
+	viaGo := goDepth > 0 || launchedGo
+	ct := classifyCall(b.p, call)
+	switch {
+	case ct.isConv:
+		// descend into the operand only
+	case ct.builtin != "":
+		if ct.builtin == "panic" && !b.node.invariantsFile {
+			b.node.panics = append(b.node.panics, call.Pos())
+		}
+	case ct.kind == EdgeStatic:
+		id := funcID(ct.fn)
+		if to := b.g.Nodes[id]; to != nil {
+			b.addEdge(to, call.Pos(), EdgeStatic, viaGo)
+		} else {
+			b.node.exts = append(b.node.exts, extCall{id: id, pos: call.Pos(), viaGo: viaGo})
+		}
+	case ct.kind == EdgeIface:
+		key := sigKey(ct.fn.Signature())
+		for _, cand := range b.g.methodsByName[ct.fn.Name()] {
+			if sigKey(cand.Fn.Signature()) == key {
+				b.addEdge(cand, call.Pos(), EdgeIface, viaGo)
+			}
+		}
+	case ct.kind == EdgeDynamic:
+		if ct.dynSig != nil {
+			key := sigKey(ct.dynSig)
+			for id, n := range b.g.Nodes {
+				if !b.g.addrTaken[id] {
+					continue
+				}
+				if sigKey(n.Fn.Signature()) == key {
+					b.addEdge(n, call.Pos(), EdgeDynamic, viaGo)
+				}
+			}
+		}
+	}
+	// Descend: the function expression (covers immediately-invoked
+	// literals and chained calls) and every argument.
+	goBody := goDepth
+	if launchedGo {
+		goBody++
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		b.walkStmts(lit.Body.List, goBody)
+	} else {
+		b.walk(call.Fun, goDepth)
+	}
+	for _, arg := range call.Args {
+		b.walk(arg, goDepth)
+	}
+}
+
+func (b *bodyWalker) addEdge(to *Node, pos token.Pos, kind EdgeKind, viaGo bool) {
+	if b.seen == nil {
+		b.seen = make(map[string]bool)
+	}
+	key := to.ID
+	if viaGo {
+		key += "|go"
+	}
+	if b.seen[key] {
+		return
+	}
+	b.seen[key] = true
+	b.node.Out = append(b.node.Out, &Edge{From: b.node, To: to, Pos: pos, Kind: kind, ViaGo: viaGo})
+}
+
+// Reaches reports whether any call path (go-launched edges included)
+// leads from fromID to toID. Used by the call-graph tests to pin
+// conservatism; cycles terminate because visited nodes are not
+// re-expanded.
+func (g *CallGraph) Reaches(fromID, toID string) bool {
+	from := g.Nodes[fromID]
+	if from == nil {
+		return false
+	}
+	seen := make(map[*Node]bool)
+	stack := []*Node{from}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		if n.ID == toID {
+			return true
+		}
+		for _, e := range n.Out {
+			if !seen[e.To] {
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return false
+}
+
+// reachers returns every node from which some node satisfying sink is
+// reachable, mapped to the first out-edge that leads toward a sink
+// (for diagnostics). excludeGo skips go-launched edges.
+func (g *CallGraph) reachers(sink func(*Node) bool, excludeGo bool) map[*Node]*Edge {
+	out := make(map[*Node]*Edge)
+	// Reverse BFS from sink nodes.
+	var frontier []*Node
+	inSet := make(map[*Node]bool)
+	for _, n := range g.Nodes {
+		if sink(n) {
+			inSet[n] = true
+			frontier = append(frontier, n)
+		}
+	}
+	for len(frontier) > 0 {
+		n := frontier[0]
+		frontier = frontier[1:]
+		for _, e := range n.In {
+			if excludeGo && e.ViaGo {
+				continue
+			}
+			if _, ok := out[e.From]; ok {
+				continue
+			}
+			if inSet[e.From] && sink(e.From) {
+				continue
+			}
+			out[e.From] = e
+			if !inSet[e.From] {
+				inSet[e.From] = true
+				frontier = append(frontier, e.From)
+			}
+		}
+	}
+	return out
+}
+
+// chainTo renders a call chain from n following the diagnostic edges
+// recorded by reachers, ending at a sink node. Used in finding
+// messages: "f → g → h".
+func chainTo(n *Node, via map[*Node]*Edge, sink func(*Node) bool) string {
+	var parts []string
+	seen := make(map[*Node]bool)
+	cur := n
+	for cur != nil && !seen[cur] {
+		seen[cur] = true
+		parts = append(parts, cur.Fn.Name())
+		if sink(cur) {
+			break
+		}
+		e := via[cur]
+		if e == nil {
+			break
+		}
+		cur = e.To
+	}
+	return strings.Join(parts, " -> ")
+}

@@ -1,0 +1,146 @@
+package analyze_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"bwtmatch/internal/analyze"
+)
+
+const cgPath = "fixture/callgraph"
+
+// loadCallGraph loads the synthetic testdata/callgraph package and
+// returns its call graph.
+func loadCallGraph(t *testing.T) *analyze.CallGraph {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "callgraph"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := analyzer(t).LoadDir(dir, cgPath)
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	return m.Graph
+}
+
+func fn(name string) string        { return cgPath + "." + name }
+func mth(recv, name string) string { return "(" + cgPath + "." + recv + ")." + name }
+
+// edgesTo returns the edges from the named node to the named target.
+func edgesTo(t *testing.T, g *analyze.CallGraph, from, to string) []*analyze.Edge {
+	t.Helper()
+	n := g.Lookup(from)
+	if n == nil {
+		t.Fatalf("no node %s", from)
+	}
+	var out []*analyze.Edge
+	for _, e := range n.Out {
+		if e.To.ID == to {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TestCallGraphNodes pins the node set: one node per FuncDecl, keyed by
+// FullName, methods included.
+func TestCallGraphNodes(t *testing.T) {
+	g := loadCallGraph(t)
+	want := []string{
+		mth("fast", "Run"), mth("slow", "Run"),
+		fn("step"), fn("dispatch"),
+		fn("double"), fn("triple"), fn("halve"), fn("apply"),
+		fn("selfRec"), fn("mutualA"), fn("mutualB"),
+		fn("worker"), fn("launch"), fn("spawnLit"),
+	}
+	if g.Size() != len(want) {
+		t.Errorf("got %d nodes, want %d", g.Size(), len(want))
+	}
+	for _, id := range want {
+		if g.Lookup(id) == nil {
+			t.Errorf("missing node %s", id)
+		}
+	}
+}
+
+// TestInterfaceDispatch: a call through an interface edges to every
+// module method with a compatible name and signature, so both
+// implementations are reachable — conservatism over precision.
+func TestInterfaceDispatch(t *testing.T) {
+	g := loadCallGraph(t)
+	for _, impl := range []string{mth("fast", "Run"), mth("slow", "Run")} {
+		es := edgesTo(t, g, fn("dispatch"), impl)
+		if len(es) == 0 {
+			t.Fatalf("dispatch has no edge to %s", impl)
+		}
+		if es[0].Kind != analyze.EdgeIface {
+			t.Errorf("dispatch -> %s: kind %v, want EdgeIface", impl, es[0].Kind)
+		}
+	}
+	// The dispatch is transitive: step is only reachable through the
+	// slow implementation.
+	if !g.Reaches(fn("dispatch"), fn("step")) {
+		t.Error("dispatch should reach step via slow.Run")
+	}
+	// Directionality: the callee does not reach its caller.
+	if g.Reaches(fn("step"), fn("dispatch")) {
+		t.Error("step must not reach dispatch")
+	}
+}
+
+// TestFunctionValues: calls through function values edge to every
+// address-taken function with a matching signature — and to nothing
+// else.
+func TestFunctionValues(t *testing.T) {
+	g := loadCallGraph(t)
+	for _, target := range []string{fn("double"), fn("triple")} {
+		es := edgesTo(t, g, fn("apply"), target)
+		if len(es) == 0 {
+			t.Fatalf("apply has no edge to %s", target)
+		}
+		if es[0].Kind != analyze.EdgeDynamic {
+			t.Errorf("apply -> %s: kind %v, want EdgeDynamic", target, es[0].Kind)
+		}
+	}
+	// halve has the same signature but its address is never taken.
+	if es := edgesTo(t, g, fn("apply"), fn("halve")); len(es) != 0 {
+		t.Errorf("apply must not edge to halve (never address-taken), got %d edges", len(es))
+	}
+}
+
+// TestRecursion: self- and mutual-recursion cycles terminate and are
+// reachable in both directions around the cycle.
+func TestRecursion(t *testing.T) {
+	g := loadCallGraph(t)
+	if !g.Reaches(fn("selfRec"), fn("selfRec")) {
+		t.Error("selfRec should reach itself")
+	}
+	if !g.Reaches(fn("mutualA"), fn("mutualB")) || !g.Reaches(fn("mutualB"), fn("mutualA")) {
+		t.Error("mutual recursion should be reachable both ways")
+	}
+	// The cycle is closed: nothing else leaks in.
+	if g.Reaches(fn("mutualA"), fn("worker")) {
+		t.Error("mutualA must not reach worker")
+	}
+}
+
+// TestGoEdges: go-launched calls carry ViaGo, both for `go f()` and
+// for calls inside a go-launched literal (attributed to the encloser).
+func TestGoEdges(t *testing.T) {
+	g := loadCallGraph(t)
+	for _, from := range []string{fn("launch"), fn("spawnLit")} {
+		es := edgesTo(t, g, from, fn("worker"))
+		if len(es) == 0 {
+			t.Fatalf("%s has no edge to worker", from)
+		}
+		if !es[0].ViaGo {
+			t.Errorf("%s -> worker: ViaGo false, want true", from)
+		}
+	}
+	// A plain static call, for contrast.
+	es := edgesTo(t, g, mth("slow", "Run"), fn("step"))
+	if len(es) == 0 || es[0].ViaGo || es[0].Kind != analyze.EdgeStatic {
+		t.Errorf("slow.Run -> step should be a non-go static edge, got %+v", es)
+	}
+}

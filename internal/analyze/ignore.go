@@ -1,0 +1,107 @@
+package analyze
+
+import (
+	"go/token"
+	"strings"
+)
+
+// The //kmvet:ignore escape hatch: a comment of the form
+//
+//	//kmvet:ignore <rule> <reason>
+//
+// suppresses findings of <rule> on the same line or the line
+// immediately below it in the same file. The reason is mandatory — a
+// suppression without a justification is itself an error — and every
+// directive must actually suppress something: stale ignores surface as
+// `unusedignore` findings so suppressions can't outlive the code they
+// excused. Directives naming a rule that is disabled for this run are
+// exempt from the unused check (the finding they suppress isn't being
+// computed).
+
+const ignorePrefix = "//kmvet:ignore"
+
+// ignoreDirective is one parsed //kmvet:ignore comment.
+type ignoreDirective struct {
+	p      *Package
+	file   string
+	line   int // line the comment is on; applies to line and line+1
+	rule   string
+	reason string
+	pos    token.Pos
+	used   bool
+}
+
+// collectIgnores parses every //kmvet:ignore directive in the package,
+// reporting malformed ones (missing rule or reason) as findings.
+func collectIgnores(p *Package) (dirs []*ignoreDirective, malformed []Finding) {
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					malformed = append(malformed, p.finding(c.Pos(), "unusedignore",
+						"malformed %s directive: want //kmvet:ignore <rule> <reason>", ignorePrefix))
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				dirs = append(dirs, &ignoreDirective{
+					p:      p,
+					file:   pos.Filename,
+					line:   pos.Line,
+					rule:   fields[0],
+					reason: strings.Join(fields[1:], " "),
+					pos:    c.Pos(),
+				})
+			}
+		}
+	}
+	return dirs, malformed
+}
+
+// applyIgnores filters findings through the module's ignore directives
+// and appends an `unusedignore` finding for every directive that
+// suppressed nothing (unless its rule is not in enabled). enabled is
+// the set of rule names this run computed; nil means all.
+func (m *Module) applyIgnores(findings []Finding, enabled map[string]bool) []Finding {
+	var dirs []*ignoreDirective
+	var out []Finding
+	for _, p := range m.Packages {
+		d, malformed := collectIgnores(p)
+		dirs = append(dirs, d...)
+		out = append(out, malformed...)
+	}
+	byKey := make(map[string][]*ignoreDirective)
+	for _, d := range dirs {
+		byKey[d.file+"\x00"+d.rule] = append(byKey[d.file+"\x00"+d.rule], d)
+	}
+	for _, f := range findings {
+		suppressed := false
+		for _, d := range byKey[f.Pos.Filename+"\x00"+f.Rule] {
+			if f.Pos.Line == d.line || f.Pos.Line == d.line+1 {
+				d.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			out = append(out, f)
+		}
+	}
+	for _, d := range dirs {
+		if d.used {
+			continue
+		}
+		if enabled != nil && !enabled[d.rule] {
+			continue // its rule didn't run; can't know if it's stale
+		}
+		out = append(out, Finding{
+			Pos:     d.p.Fset.Position(d.pos),
+			Rule:    "unusedignore",
+			Message: "//kmvet:ignore " + d.rule + " suppresses nothing here; remove the stale directive",
+		})
+	}
+	return out
+}

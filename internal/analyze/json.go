@@ -1,0 +1,47 @@
+package analyze
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSONFinding is the machine-readable form of one finding, stable for
+// CI and tooling consumers (cmd/kmvet -json). Field names are the
+// schema; the round-trip test pins them.
+type JSONFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+// JSONReport is the top-level -json document.
+type JSONReport struct {
+	Module   string        `json:"module"`
+	Rules    []string      `json:"rules"` // rules that ran, in order
+	Findings []JSONFinding `json:"findings"`
+}
+
+// ToJSON converts findings to their wire form.
+func ToJSON(fs []Finding) []JSONFinding {
+	out := make([]JSONFinding, 0, len(fs))
+	for _, f := range fs {
+		out = append(out, JSONFinding{
+			File:    f.Pos.Filename,
+			Line:    f.Pos.Line,
+			Column:  f.Pos.Column,
+			Rule:    f.Rule,
+			Message: f.Message,
+		})
+	}
+	return out
+}
+
+// WriteJSON emits a JSONReport for the findings of one run.
+func WriteJSON(w io.Writer, module string, rules []string, fs []Finding) error {
+	rep := JSONReport{Module: module, Rules: rules, Findings: ToJSON(fs)}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -1,0 +1,94 @@
+package analyze_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"bwtmatch/internal/analyze"
+)
+
+// TestJSONRoundTrip pins the -json wire schema: it writes a report for
+// a fixture with real findings, checks the exact key set at both
+// levels against the documented schema, and round-trips the document
+// back through the typed structs without loss.
+func TestJSONRoundTrip(t *testing.T) {
+	a := analyzer(t)
+	dir, err := filepath.Abs(filepath.Join("testdata", "badcloseerr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := a.CheckDir(dir, "fixture/badcloseerr")
+	if err != nil {
+		t.Fatalf("CheckDir: %v", err)
+	}
+	if len(findings) == 0 {
+		t.Fatal("fixture produced no findings; the round-trip needs some")
+	}
+
+	var buf bytes.Buffer
+	rules := analyze.RuleNames()
+	if err := analyze.WriteJSON(&buf, "bwtmatch", rules, findings); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+
+	// Schema check: exact keys, via an untyped decode so renamed or
+	// added fields fail loudly.
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatalf("report is not a JSON object: %v", err)
+	}
+	wantTop := []string{"module", "rules", "findings"}
+	if len(raw) != len(wantTop) {
+		t.Errorf("top-level has %d keys, want %d", len(raw), len(wantTop))
+	}
+	for _, k := range wantTop {
+		if _, ok := raw[k]; !ok {
+			t.Errorf("top-level key %q missing", k)
+		}
+	}
+	var rawFindings []map[string]json.RawMessage
+	if err := json.Unmarshal(raw["findings"], &rawFindings); err != nil {
+		t.Fatalf("findings is not an array of objects: %v", err)
+	}
+	wantKeys := []string{"file", "line", "column", "rule", "message"}
+	for i, rf := range rawFindings {
+		if len(rf) != len(wantKeys) {
+			t.Errorf("finding %d has %d keys, want %d", i, len(rf), len(wantKeys))
+		}
+		for _, k := range wantKeys {
+			if _, ok := rf[k]; !ok {
+				t.Errorf("finding %d: key %q missing", i, k)
+			}
+		}
+	}
+
+	// Round trip: the typed decode must reproduce the input exactly.
+	var rep analyze.JSONReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("typed decode: %v", err)
+	}
+	if rep.Module != "bwtmatch" {
+		t.Errorf("module = %q, want bwtmatch", rep.Module)
+	}
+	if !reflect.DeepEqual(rep.Rules, rules) {
+		t.Errorf("rules = %v, want %v", rep.Rules, rules)
+	}
+	if !reflect.DeepEqual(rep.Findings, analyze.ToJSON(findings)) {
+		t.Errorf("findings did not round-trip:\n got %+v\nwant %+v", rep.Findings, analyze.ToJSON(findings))
+	}
+
+	// Every reported rule is either a catalogue rule or the
+	// unusedignore pseudo-rule emitted by the annotation checker.
+	known := map[string]bool{"unusedignore": true}
+	for _, r := range rules {
+		known[r] = true
+	}
+	for _, f := range rep.Findings {
+		if !known[f.Rule] {
+			t.Errorf("finding reports unknown rule %q", f.Rule)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// closeerr: on save paths, the error from Close/Flush/Sync is the
+// write: a full disk or failed flush surfaces *there*, after every
+// Write call happily buffered into oblivion. Dropping it means
+// reporting success over a truncated index file.
+//
+// The rule tracks variables bound to os.Create / os.OpenFile /
+// bufio.NewWriter results within each function and flags:
+//
+//   - `f.Close()` / `w.Flush()` / `f.Sync()` as a bare statement,
+//   - `defer f.Close()` (the deferred error is silently discarded),
+//   - `_ = f.Close()` (an explicit discard still hides the failure).
+//
+// Compliant forms capture the error (`if err := f.Close(); err != nil`,
+// `cerr := w.Flush()`, `return f.Close()`) or annotate a deliberate
+// discard with //kmvet:ignore closeerr <reason> — the error-path
+// `f.Close()` after a failed write is the typical annotated case.
+// Read-path files (os.Open) are out of scope: their Close error is
+// inert.
+
+// closeSources are the constructors whose results carry a must-check
+// Close/Flush/Sync obligation.
+var closeSources = map[string]bool{
+	"os.Create":           true,
+	"os.OpenFile":         true,
+	"bufio.NewWriter":     true,
+	"bufio.NewWriterSize": true,
+}
+
+var closeMethods = map[string]bool{
+	"Close": true,
+	"Flush": true,
+	"Sync":  true,
+}
+
+func runCloseErr(p *Package) []Finding {
+	var out []Finding
+	funcBodies(p.Files, func(body *ast.BlockStmt) {
+		out = append(out, closeErrInBody(p, body)...)
+	})
+	return out
+}
+
+func closeErrInBody(p *Package, body *ast.BlockStmt) []Finding {
+	// Pass 1: variables assigned from a close-source constructor.
+	tracked := make(map[types.Object]bool)
+	track := func(lhs []ast.Expr, rhs []ast.Expr) {
+		srcAt := func(e ast.Expr) bool {
+			call, ok := ast.Unparen(e).(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			fn := calleeFunc(p, call)
+			return fn != nil && closeSources[fn.FullName()]
+		}
+		// f, err := os.Create(...) — one call, first LHS is the value.
+		if len(rhs) == 1 && srcAt(rhs[0]) {
+			if id, ok := ast.Unparen(lhs[0]).(*ast.Ident); ok {
+				if obj := p.Info.Defs[id]; obj != nil {
+					tracked[obj] = true
+				} else if obj := p.Info.Uses[id]; obj != nil {
+					tracked[obj] = true
+				}
+			}
+			return
+		}
+		for i, r := range rhs {
+			if i < len(lhs) && srcAt(r) {
+				if id, ok := ast.Unparen(lhs[i]).(*ast.Ident); ok {
+					if obj := p.Info.Defs[id]; obj != nil {
+						tracked[obj] = true
+					} else if obj := p.Info.Uses[id]; obj != nil {
+						tracked[obj] = true
+					}
+				}
+			}
+		}
+	}
+	inspectShallow(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			track(x.Lhs, x.Rhs)
+		case *ast.ValueSpec:
+			lhs := make([]ast.Expr, len(x.Names))
+			for i, id := range x.Names {
+				lhs[i] = id
+			}
+			track(lhs, x.Values)
+		}
+		return true
+	})
+	if len(tracked) == 0 {
+		return nil
+	}
+
+	// trackedClose returns the "f.Close" label when call is a
+	// Close/Flush/Sync on a tracked variable.
+	trackedClose := func(call *ast.CallExpr) (string, bool) {
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || !closeMethods[sel.Sel.Name] {
+			return "", false
+		}
+		id, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return "", false
+		}
+		obj := p.Info.Uses[id]
+		if obj == nil || !tracked[obj] {
+			return "", false
+		}
+		return id.Name + "." + sel.Sel.Name, true
+	}
+
+	// Pass 2: dropped-error sites.
+	var out []Finding
+	report := func(pos ast.Node, label, how string) Finding {
+		return p.finding(pos.Pos(), "closeerr",
+			"error from %s %s: on save paths Close/Flush/Sync is where write failures surface; check it or annotate //kmvet:ignore closeerr <reason>",
+			label, how)
+	}
+	inspectShallow(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := x.X.(*ast.CallExpr); ok {
+				if label, ok := trackedClose(call); ok {
+					out = append(out, report(x, label, "is dropped"))
+				}
+			}
+		case *ast.DeferStmt:
+			if label, ok := trackedClose(x.Call); ok {
+				out = append(out, report(x, label, "is discarded by a bare defer (capture it in a named-return closure instead)"))
+			}
+		case *ast.AssignStmt:
+			if len(x.Lhs) == 1 && len(x.Rhs) == 1 {
+				if id, ok := x.Lhs[0].(*ast.Ident); ok && id.Name == "_" {
+					if call, ok := ast.Unparen(x.Rhs[0]).(*ast.CallExpr); ok {
+						if label, ok := trackedClose(call); ok {
+							out = append(out, report(x, label, "is blanked away"))
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,118 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// goroutinelifecycle: every `go` statement in a library (non-main)
+// package must be tied to a join or a context bound:
+//
+//   - a launched literal whose body calls (*sync.WaitGroup).Done (the
+//     Add/Done/Wait join discipline), or
+//   - a launched literal that observes a context.Context (so drains and
+//     shutdowns can stop its loop), or
+//   - a named callee handed a context.Context or *sync.WaitGroup
+//     argument.
+//
+// Anything else is fire-and-forget: it outlives Shutdown, races test
+// teardown, and leaks under churn. Deliberate detachment needs a
+// //kmvet:ignore goroutinelifecycle <reason> annotation.
+
+func runGoroutineLifecycle(p *Package) []Finding {
+	if p.Name == "main" {
+		return nil
+	}
+	var out []Finding
+	funcBodies(p.Files, func(body *ast.BlockStmt) {
+		inspectShallow(body, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !goStmtBounded(p, g) {
+				out = append(out, p.finding(g.Pos(), "goroutinelifecycle",
+					"goroutine is neither joined nor ctx-bounded: tie it to a sync.WaitGroup (Add/Done/Wait) or have it observe a context.Context"))
+			}
+			return true
+		})
+	})
+	return out
+}
+
+// goStmtBounded reports whether the go statement satisfies the
+// lifecycle discipline.
+func goStmtBounded(p *Package, g *ast.GoStmt) bool {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		return litBounded(p, lit)
+	}
+	// Named (or value) callee: a context or WaitGroup argument means
+	// the callee can bound or signal itself.
+	for _, arg := range g.Call.Args {
+		if tv, ok := p.Info.Types[arg]; ok {
+			if isContextType(tv.Type) || isWaitGroupPtr(tv.Type) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// litBounded scans a launched literal's body (nested literals included:
+// a worker that defers wg.Done inside a helper closure still counts)
+// for a WaitGroup.Done call or any use of a context.Context value.
+func litBounded(p *Package, lit *ast.FuncLit) bool {
+	bounded := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if bounded {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			// Done is the join half of the Add/Done/Wait discipline.
+			// Wait deliberately does NOT count: a `go func() {
+			// wg.Wait(); ... }()` waiter is itself detached — it
+			// outlives a ctx-aborted shutdown.
+			if fn := calleeFunc(p, x); fn != nil && fn.FullName() == "(*sync.WaitGroup).Done" {
+				bounded = true
+				return false
+			}
+		case *ast.Ident:
+			if obj := p.Info.Uses[x]; obj != nil && isContextType(obj.Type()) {
+				bounded = true
+				return false
+			}
+		case *ast.SelectorExpr:
+			if tv, ok := p.Info.Types[x]; ok && isContextType(tv.Type) {
+				bounded = true
+				return false
+			}
+		}
+		return true
+	})
+	return bounded
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isWaitGroupPtr reports whether t is *sync.WaitGroup.
+func isWaitGroupPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}

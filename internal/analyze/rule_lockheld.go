@@ -1,0 +1,352 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// lockheld: no blocking operation may be reachable while a sync.Mutex
+// or sync.RWMutex is held. "Blocking" means a primitive channel
+// operation (send, receive, range over a channel, select without
+// default), a known-blocking external call (WaitGroup/Cond Wait,
+// net/http round-trips, net dials, time.Sleep, os/exec waits), or —
+// transitively — any module function from which one of those is
+// reachable without crossing a `go` launch (the spawned goroutine
+// blocks, not the caller).
+//
+// Lock regions are detected flatly within each function body: a
+// Lock/RLock call opens a region for its receiver expression that ends
+// at the earliest matching non-deferred Unlock/RUnlock, or at the end
+// of the body when the unlock is deferred. Code inside go-launched
+// literals runs on its own stack and is excluded; nested non-go
+// literals are scanned as their own contexts (their locks are their
+// own) but calls inside them still count against an enclosing region
+// only when the literal is invoked in place — to stay tractable the
+// rule treats every nested literal as a separate context and relies on
+// the call graph for what the region's *calls* can reach.
+
+// extBlocking maps known-blocking external functions to a short reason.
+var extBlocking = map[string]string{
+	"(*sync.WaitGroup).Wait":                   "waits on a sync.WaitGroup",
+	"(*sync.Cond).Wait":                        "waits on a sync.Cond",
+	"time.Sleep":                               "sleeps",
+	"(*net/http.Client).Do":                    "performs an HTTP round-trip",
+	"(*net/http.Client).Get":                   "performs an HTTP round-trip",
+	"(*net/http.Client).Post":                  "performs an HTTP round-trip",
+	"(*net/http.Client).PostForm":              "performs an HTTP round-trip",
+	"(*net/http.Client).Head":                  "performs an HTTP round-trip",
+	"net/http.Get":                             "performs an HTTP round-trip",
+	"net/http.Post":                            "performs an HTTP round-trip",
+	"net/http.PostForm":                        "performs an HTTP round-trip",
+	"net/http.Head":                            "performs an HTTP round-trip",
+	"net.Dial":                                 "dials the network",
+	"net.DialTimeout":                          "dials the network",
+	"net.Listen":                               "listens on the network",
+	"(*net.Dialer).Dial":                       "dials the network",
+	"(*net.Dialer).DialContext":                "dials the network",
+	"(*os/exec.Cmd).Run":                       "waits on a subprocess",
+	"(*os/exec.Cmd).Wait":                      "waits on a subprocess",
+	"(*os/exec.Cmd).Output":                    "waits on a subprocess",
+	"(*os/exec.Cmd).CombinedOutput":            "waits on a subprocess",
+	"(*golang.org/x/sync/errgroup.Group).Wait": "waits on an errgroup",
+}
+
+// lock method FullNames; read marks the RLock/RUnlock pair.
+type lockMethod struct {
+	lock, read bool
+}
+
+var lockMethods = map[string]lockMethod{
+	"(*sync.Mutex).Lock":      {lock: true},
+	"(*sync.Mutex).Unlock":    {},
+	"(*sync.RWMutex).Lock":    {lock: true},
+	"(*sync.RWMutex).Unlock":  {},
+	"(*sync.RWMutex).RLock":   {lock: true, read: true},
+	"(*sync.RWMutex).RUnlock": {read: true},
+}
+
+// blockInfo explains why a node is (transitively) blocking.
+type blockInfo struct {
+	reason string
+}
+
+// blockingNodes computes, for every call-graph node, whether calling it
+// can block, with a human-readable reason. Propagation follows reverse
+// edges and never crosses ViaGo edges.
+func blockingNodes(g *CallGraph) map[*Node]blockInfo {
+	out := make(map[*Node]blockInfo)
+	var frontier []*Node
+	for _, n := range g.Nodes {
+		var reason string
+		for _, op := range n.chanOps {
+			if !op.viaGo {
+				reason = op.what
+				break
+			}
+		}
+		if reason == "" {
+			for _, e := range n.exts {
+				if r, ok := extBlocking[e.id]; ok && !e.viaGo {
+					reason = r
+					break
+				}
+			}
+		}
+		if reason != "" {
+			out[n] = blockInfo{reason: reason}
+			frontier = append(frontier, n)
+		}
+	}
+	for len(frontier) > 0 {
+		n := frontier[0]
+		frontier = frontier[1:]
+		for _, e := range n.In {
+			if e.ViaGo {
+				continue
+			}
+			if _, ok := out[e.From]; ok {
+				continue
+			}
+			out[e.From] = blockInfo{reason: "calls " + n.Fn.Name() + ", which " + out[n].reason}
+			frontier = append(frontier, e.From)
+		}
+	}
+	return out
+}
+
+func runLockHeld(m *Module) []Finding {
+	blocking := blockingNodes(m.Graph)
+	var out []Finding
+	for _, n := range m.Graph.Nodes {
+		out = append(out, lockHeldInFunc(n, blocking)...)
+	}
+	return out
+}
+
+// lockRegion is one held-lock span within a body context.
+type lockRegion struct {
+	recv  string // receiver expression, e.g. "s.mu"
+	read  bool
+	start token.Pos
+	end   token.Pos
+}
+
+// lockHeldInFunc scans every body context of one declaration (the
+// function body plus each nested non-go literal) for lock regions and
+// reports blocking operations inside them.
+func lockHeldInFunc(n *Node, blocking map[*Node]blockInfo) []Finding {
+	var out []Finding
+	var contexts []*ast.BlockStmt
+	contexts = append(contexts, n.Decl.Body)
+	ast.Inspect(n.Decl.Body, func(c ast.Node) bool {
+		if lit, ok := c.(*ast.FuncLit); ok {
+			contexts = append(contexts, lit.Body)
+		}
+		return true
+	})
+	for _, body := range contexts {
+		out = append(out, lockHeldInContext(n, body, blocking)...)
+	}
+	return out
+}
+
+// ctxEvent is a lock/unlock call found in one body context.
+type ctxEvent struct {
+	pos      token.Pos
+	recv     string
+	lock     bool
+	read     bool
+	deferred bool
+}
+
+// ctxBlocker is a potentially blocking site found in one body context.
+type ctxBlocker struct {
+	pos  token.Pos
+	what string
+}
+
+func lockHeldInContext(n *Node, body *ast.BlockStmt, blocking map[*Node]blockInfo) []Finding {
+	p := n.Pkg
+	var events []ctxEvent
+	var blockers []ctxBlocker
+
+	var scan func(node ast.Node, inDefer bool)
+	scan = func(node ast.Node, inDefer bool) {
+		ast.Inspect(node, func(c ast.Node) bool {
+			if c == nil {
+				return true
+			}
+			switch x := c.(type) {
+			case *ast.FuncLit:
+				return false // its own context
+			case *ast.GoStmt:
+				// Runs on another stack; its callee matters for the
+				// goroutine's own locks, not this region.
+				return false
+			case *ast.DeferStmt:
+				if ev, ok := lockEventOf(p, x.Call, true); ok {
+					events = append(events, ev)
+					return false
+				}
+				// A deferred call runs at function exit, after the
+				// deferred unlocks stacked above it — its body is not
+				// a blocker for this region, but its arguments are
+				// evaluated here and now.
+				for _, a := range x.Call.Args {
+					scan(a, false)
+				}
+				return false
+			case *ast.CallExpr:
+				if ev, ok := lockEventOf(p, x, inDefer); ok {
+					events = append(events, ev)
+					return true
+				}
+				if what, ok := callBlocks(p, x, blocking); ok {
+					blockers = append(blockers, ctxBlocker{pos: x.Pos(), what: what})
+				}
+				return true
+			case *ast.SendStmt:
+				blockers = append(blockers, ctxBlocker{pos: x.Pos(), what: "channel send"})
+			case *ast.UnaryExpr:
+				if x.Op == token.ARROW {
+					blockers = append(blockers, ctxBlocker{pos: x.Pos(), what: "channel receive"})
+				}
+			case *ast.RangeStmt:
+				if tv, ok := p.Info.Types[x.X]; ok {
+					if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+						blockers = append(blockers, ctxBlocker{pos: x.Pos(), what: "range over channel"})
+					}
+				}
+			case *ast.SelectStmt:
+				hasDefault := false
+				for _, cc := range x.Body.List {
+					if c, ok := cc.(*ast.CommClause); ok && c.Comm == nil {
+						hasDefault = true
+					}
+				}
+				if !hasDefault {
+					blockers = append(blockers, ctxBlocker{pos: x.Pos(), what: "select without default"})
+				}
+				// Comm-clause channel ops belong to the select; bodies
+				// and call operands still get scanned.
+				for _, cc := range x.Body.List {
+					c, ok := cc.(*ast.CommClause)
+					if !ok {
+						continue
+					}
+					if c.Comm != nil {
+						ast.Inspect(c.Comm, func(cn ast.Node) bool {
+							if call, ok := cn.(*ast.CallExpr); ok {
+								scan(call, inDefer)
+								return false
+							}
+							_, isLit := cn.(*ast.FuncLit)
+							return !isLit
+						})
+					}
+					for _, s := range c.Body {
+						scan(s, inDefer)
+					}
+				}
+				return false
+			}
+			return true
+		})
+	}
+	scan(body, false)
+
+	if len(events) == 0 || len(blockers) == 0 {
+		return nil
+	}
+
+	// Build regions: each Lock opens at its position and closes at the
+	// earliest later matching non-deferred unlock, else end of body.
+	var regions []lockRegion
+	for _, ev := range events {
+		if !ev.lock || ev.deferred {
+			continue
+		}
+		end := body.End()
+		for _, un := range events {
+			if un.lock || un.deferred || un.recv != ev.recv || un.read != ev.read {
+				continue
+			}
+			if un.pos > ev.pos && un.pos < end {
+				end = un.pos
+			}
+		}
+		regions = append(regions, lockRegion{recv: ev.recv, read: ev.read, start: ev.pos, end: end})
+	}
+
+	var out []Finding
+	for _, r := range regions {
+		for _, bl := range blockers {
+			if bl.pos > r.start && bl.pos < r.end {
+				kind := "Lock"
+				if r.read {
+					kind = "RLock"
+				}
+				out = append(out, p.finding(bl.pos, "lockheld",
+					"%s while %s.%s is held (acquired at line %d): blocking under a mutex stalls every other path through it",
+					bl.what, r.recv, kind, p.Fset.Position(r.start).Line))
+			}
+		}
+	}
+	return out
+}
+
+// lockEventOf recognizes mutex Lock/Unlock family calls.
+func lockEventOf(p *Package, call *ast.CallExpr, inDefer bool) (ctxEvent, bool) {
+	fn := calleeFunc(p, call)
+	if fn == nil {
+		return ctxEvent{}, false
+	}
+	lm, ok := lockMethods[fn.FullName()]
+	if !ok {
+		return ctxEvent{}, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ctxEvent{}, false
+	}
+	return ctxEvent{
+		pos:      call.Pos(),
+		recv:     types.ExprString(sel.X),
+		lock:     lm.lock,
+		read:     lm.read,
+		deferred: inDefer,
+	}, true
+}
+
+// callBlocks reports whether a (non-lock-method) call can block,
+// resolving through the call graph: module callees use the transitive
+// blocking set, external callees the known-blocking list, interface
+// calls any compatible blocking method. Unresolved dynamic calls are
+// not treated as blocking (documented imprecision).
+func callBlocks(p *Package, call *ast.CallExpr, blocking map[*Node]blockInfo) (string, bool) {
+	ct := classifyCall(p, call)
+	switch {
+	case ct.isConv || ct.builtin != "":
+		return "", false
+	case ct.kind == EdgeStatic && ct.fn != nil:
+		id := funcID(ct.fn)
+		if r, ok := extBlocking[id]; ok {
+			return "call to " + ct.fn.Name() + ", which " + r, true
+		}
+		// Module callee? The blocking map is keyed by node; find it.
+		for n, info := range blocking {
+			if n.ID == id {
+				return "call to " + ct.fn.Name() + ", which " + info.reason, true
+			}
+		}
+	case ct.kind == EdgeIface && ct.fn != nil:
+		key := sigKey(ct.fn.Signature())
+		for n, info := range blocking {
+			if n.IsMethod() && n.Fn.Name() == ct.fn.Name() && sigKey(n.Fn.Signature()) == key {
+				return "interface call that may dispatch to " + n.Fn.Name() + ", which " + info.reason, true
+			}
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,55 @@
+package analyze
+
+import (
+	"strings"
+)
+
+// reachpanic: the old nopanic rule flags direct panics in library
+// packages; this rule closes the loophole where a library function
+// *reaches* a panic through a module-local call chain (helper in
+// another package, interface dispatch onto a panicking method, a
+// function value). In a request-serving fleet one panicking helper
+// takes down every in-flight batch on the process.
+//
+// Carve-outs, matching nopanic's philosophy:
+//   - panics inside invariants*.go files are assertions and never count
+//     as sources;
+//   - Must*-prefixed helpers are documented panic-on-misuse wrappers:
+//     they are not themselves reported (their contract is the panic),
+//     but calling one from library code is — the caller chose the
+//     panicking form;
+//   - main packages may panic (top-level tooling), so neither their
+//     panics' callers inside main nor main functions themselves are
+//     reported — but a panic in main cannot be reached from a library
+//     package anyway.
+//
+// Functions that panic directly are nopanic's findings, not ours: this
+// rule reports only the *indirect* reachers, once per function, at the
+// call that enters the panicking chain, with the chain in the message.
+// Reachability follows every edge kind, go-launched calls included — a
+// goroutine panic still crashes the process.
+
+func runReachPanic(m *Module) []Finding {
+	g := m.Graph
+	direct := func(n *Node) bool { return len(n.panics) > 0 }
+	via := g.reachers(direct, false /* go edges count */)
+	var out []Finding
+	for n, e := range via {
+		if n.Pkg.Name == "main" {
+			continue
+		}
+		if direct(n) {
+			continue // nopanic's territory
+		}
+		if n.invariantsFile {
+			continue
+		}
+		if strings.HasPrefix(n.Fn.Name(), "Must") {
+			continue
+		}
+		chain := chainTo(n, via, direct)
+		out = append(out, n.Pkg.finding(e.Pos, "reachpanic",
+			"call chain reaches a panic: %s; return an error instead (or move the assertion into an invariants*.go file)", chain))
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+// Package badcloseerr violates the closeerr rule: dropped Close/Flush
+// errors on save paths. On buffered or os-cached writes, Close and
+// Flush are where a full disk finally surfaces.
+package badcloseerr
+
+import (
+	"bufio"
+	"io"
+	"os"
+)
+
+// dropped discards the Close error as a bare statement.
+func dropped(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, werr := f.Write(data); werr != nil {
+		return werr
+	}
+	f.Close() // want closeerr
+	return nil
+}
+
+// deferred silently discards whatever the deferred Close reports.
+func deferred(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want closeerr
+	_, werr := f.Write(data)
+	return werr
+}
+
+// blanked hides the Flush error behind the blank identifier — an
+// explicit discard still needs the annotation to be sanctioned.
+func blanked(w io.Writer, data []byte) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(data); err != nil {
+		return err
+	}
+	_ = bw.Flush() // want closeerr
+	return nil
+}
+
+// checked is compliant: the Close error merges into the return value.
+func checked(path string, data []byte) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	_, err = f.Write(data)
+	return err
+}
+
+// returned is compliant: the error is the return value.
+func returned(w io.Writer, data []byte) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(data); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// annotated is a sanctioned discard: the annotation names the reason.
+func annotated(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, werr := f.Write(data); werr != nil {
+		f.Close() //kmvet:ignore closeerr write already failed; that error is the one to report
+		return werr
+	}
+	return f.Close()
+}
+
+// readPath is out of scope: Close errors on os.Open handles are inert.
+func readPath(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// The stale directive below suppresses nothing — kmvet flags it so
+// suppressions can't outlive the code they excused.
+//kmvet:ignore closeerr nothing here needs suppressing // want unusedignore

@@ -1,0 +1,89 @@
+// Package badgoroutine violates the goroutinelifecycle rule: library
+// goroutines that are neither joined (WaitGroup Add/Done/Wait) nor
+// bounded by a context.
+package badgoroutine
+
+import (
+	"context"
+	"sync"
+)
+
+// fireAndForget launches a goroutine nothing ever joins or stops.
+func fireAndForget(work func()) {
+	go func() { // want goroutinelifecycle
+		work()
+	}()
+}
+
+// waiter is the pattern the rule exists to kill: a detached goroutine
+// waiting on a WaitGroup. If the caller abandons the select on done,
+// the waiter itself leaks — Wait is not a join for *this* goroutine.
+func waiter(wg *sync.WaitGroup) chan struct{} {
+	done := make(chan struct{})
+	go func() { // want goroutinelifecycle
+		wg.Wait()
+		close(done)
+	}()
+	return done
+}
+
+// namedDetached: a named callee with no context or WaitGroup argument
+// is just as detached as a literal.
+func namedDetached(ch chan int) {
+	go drain(ch) // want goroutinelifecycle
+}
+
+func drain(ch chan int) {
+	for range ch {
+	}
+}
+
+// joined is compliant: the classic Add/Done/Wait discipline.
+func joined(items []int) int {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	total := 0
+	for range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			total++
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+// bounded is compliant: the goroutine's loop observes ctx, so a drain
+// or deadline stops it.
+func bounded(ctx context.Context, ticks chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticks:
+			}
+		}
+	}()
+}
+
+// namedCtx is compliant: the callee receives the caller's context.
+func namedCtx(ctx context.Context) {
+	go pump(ctx)
+}
+
+func pump(ctx context.Context) { <-ctx.Done() }
+
+// namedJoined is compliant: the callee receives the WaitGroup.
+func namedJoined(wg *sync.WaitGroup, ch chan int) {
+	wg.Add(1)
+	go work(wg, ch)
+}
+
+func work(wg *sync.WaitGroup, ch chan int) {
+	defer wg.Done()
+	<-ch
+}

@@ -1,0 +1,97 @@
+// Package badlockheld violates the lockheld rule: blocking operations
+// reachable while a sync.Mutex/RWMutex is held, directly and through
+// the call graph.
+package badlockheld
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+type store struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	items map[string]int
+	c     *http.Client
+	ch    chan int
+}
+
+// directSend blocks on a channel send while mu is held.
+func (s *store) directSend(v int) {
+	s.mu.Lock()
+	s.ch <- v // want lockheld
+	s.mu.Unlock()
+}
+
+// deferUnlock: with a deferred unlock the region runs to the end of
+// the body, so the receive is under the lock.
+func (s *store) deferUnlock() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.ch // want lockheld
+}
+
+// httpUnderRLock performs a network round-trip under a read lock —
+// every writer (and eventually every reader) stalls behind the RPC.
+func (s *store) httpUnderRLock(url string) {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	s.c.Get(url) // want lockheld
+}
+
+// transitive: the blocking call is one hop away in the call graph.
+func (s *store) transitive() {
+	s.mu.Lock()
+	helper() // want lockheld
+	s.mu.Unlock()
+}
+
+func helper() { time.Sleep(time.Millisecond) }
+
+// viaIface: conservative interface dispatch — some implementation of
+// Waiter blocks, so the dispatch under the lock is flagged.
+type Waiter interface{ Wait() }
+
+type wgWaiter struct{ wg *sync.WaitGroup }
+
+func (w wgWaiter) Wait() { w.wg.Wait() }
+
+func (s *store) viaIface(w Waiter) {
+	s.mu.Lock()
+	w.Wait() // want lockheld
+	s.mu.Unlock()
+}
+
+// releasedFirst is compliant: the send happens after the unlock.
+func (s *store) releasedFirst(v int) {
+	s.mu.Lock()
+	s.items["k"] = v
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+// goExcluded is compliant: the channel send runs on a new goroutine's
+// own stack, not under the caller's lock (and the goroutine is
+// joined).
+func (s *store) goExcluded(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.ch <- 1
+	}()
+	s.mu.Unlock()
+}
+
+// selectDefault is compliant: a select with a default never blocks.
+func (s *store) selectDefault(v int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- v:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,62 @@
+// Package badreachpanic violates the reachpanic rule: library
+// functions that reach a panic through module-local call chains. The
+// direct panic itself is nopanic's finding; reachpanic flags the
+// callers that pull the panic into their own contract.
+package badreachpanic
+
+import "sync"
+
+// boom panics directly — nopanic territory.
+func boom(msg string) {
+	panic(msg) // want nopanic
+}
+
+// reaches pulls the panic in from one hop away.
+func reaches(ok bool) {
+	if !ok {
+		boom("invariant violated") // want reachpanic
+	}
+}
+
+// deep reaches it through two hops.
+func deep(ok bool) {
+	reaches(ok) // want reachpanic
+}
+
+// MustInit is the Must* carve-out: a documented panic-on-misuse
+// wrapper is not itself flagged...
+func MustInit(ok bool) {
+	if !ok {
+		boom("must")
+	}
+}
+
+// ...but choosing the panicking form from library code is.
+func callsMust() {
+	MustInit(true) // want reachpanic
+}
+
+// viaGoroutine: a panic on a spawned goroutine still crashes the
+// process, so reachability follows go-launched calls too. The join
+// keeps goroutinelifecycle quiet; the panic chain is the finding.
+func viaGoroutine(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		boom("async") // want reachpanic
+	}()
+}
+
+// safe is compliant: it returns the condition as an error.
+func safe(ok bool) error {
+	if !ok {
+		return errNotOK
+	}
+	return nil
+}
+
+var errNotOK = errorString("badreachpanic: not ok")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

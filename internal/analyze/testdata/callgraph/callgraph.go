@@ -1,0 +1,66 @@
+// Package callgraph is a synthetic fixture for the call-graph layer:
+// interface dispatch, function values, recursion, and go-launched
+// edges. It is loaded by callgraph_test.go (not the rule fixtures).
+package callgraph
+
+// --- interface dispatch: both implementations become edges ---
+
+type Runner interface{ Run(n int) int }
+
+type fast struct{}
+
+func (fast) Run(n int) int { return n }
+
+type slow struct{}
+
+func (slow) Run(n int) int { return step(n) }
+
+func step(n int) int { return n + 1 }
+
+func dispatch(r Runner) int { return r.Run(2) }
+
+// --- function values: only address-taken functions are candidates ---
+
+func double(n int) int { return 2 * n }
+
+func triple(n int) int { return 3 * n }
+
+// halve shares double's signature but is never address-taken, so a
+// dynamic call must not edge to it.
+func halve(n int) int { return n / 2 }
+
+func apply() int {
+	f := double
+	g := triple
+	return f(1) + g(2)
+}
+
+// --- recursion: cycles must not hang reachability walks ---
+
+func selfRec(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return selfRec(n - 1)
+}
+
+func mutualA(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return mutualB(n - 1)
+}
+
+func mutualB(n int) int { return mutualA(n) }
+
+// --- go statements: edges carry ViaGo ---
+
+func worker() {}
+
+func launch() { go worker() }
+
+// spawnLit's call to worker sits inside a go-launched literal; the
+// literal's body is attributed to spawnLit and the edge is ViaGo.
+func spawnLit() {
+	go func() { worker() }()
+}

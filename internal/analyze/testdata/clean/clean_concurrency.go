@@ -1,0 +1,89 @@
+// clean_concurrency.go exercises the call-graph-aware rules on
+// compliant code: joined goroutines, locks released before blocking,
+// capped decode allocations, checked closes — and one deliberately
+// detached goroutine whose //kmvet:ignore annotation must suppress the
+// finding (a used annotation, so unusedignore stays quiet too).
+package clean
+
+import (
+	"context"
+	"encoding/binary"
+	"io"
+	"os"
+	"sync"
+)
+
+const maxRecords = 1 << 16
+
+// fanOut is the joined-worker pattern: Add/Done/Wait.
+func fanOut(ctx context.Context, jobs []int) int {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	done := 0
+	for range jobs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if ctx.Err() != nil {
+				return
+			}
+			mu.Lock()
+			done++
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return done
+}
+
+// detached is a deliberate fire-and-forget: the annotation names the
+// reason and satisfies goroutinelifecycle.
+func detached(hook func()) {
+	go hook() //kmvet:ignore goroutinelifecycle process-lifetime monitor, intentionally detached
+}
+
+// sendOutsideLock updates state under the lock and blocks only after
+// releasing it.
+type mailbox struct {
+	mu    sync.Mutex
+	seq   int
+	queue chan int
+}
+
+func (m *mailbox) post() {
+	m.mu.Lock()
+	m.seq++
+	v := m.seq
+	m.mu.Unlock()
+	m.queue <- v
+}
+
+// decodeRecords caps the untrusted count before allocating.
+func decodeRecords(r io.Reader) ([]uint64, error) {
+	var count uint32
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return nil, err
+	}
+	if count > maxRecords {
+		return nil, io.ErrUnexpectedEOF
+	}
+	out := make([]uint64, count)
+	if err := binary.Read(r, binary.LittleEndian, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// saveRecords checks the Close error — the write's real completion.
+func saveRecords(path string, recs []uint64) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	return binary.Write(f, binary.LittleEndian, recs)
+}

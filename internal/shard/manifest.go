@@ -20,11 +20,16 @@ const manifestVersion = uint32(1)
 // same discipline as internal/binio).
 const (
 	maxTotalLen   = 1 << 34
-	maxShards     = 1 << 16
+	maxShards     = MaxShards
 	maxRefs       = 1 << 20
 	maxRefNameLen = 1 << 16
 	maxPatternCap = 1 << 30
 )
+
+// MaxShards is the largest shard count a manifest may declare. Exported
+// so container loaders can re-check the cap at their own allocation
+// sites (defense in depth on top of ReadManifest's validation).
+const MaxShards = 1 << 16
 
 // Ref is one named reference inside a sharded index, in concatenated
 // global coordinates (mirrors bwtmatch.Ref without the import cycle).

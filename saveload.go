@@ -69,7 +69,7 @@ func (x *Index) SaveFile(path string) error {
 		return err
 	}
 	if err := x.Save(f); err != nil {
-		f.Close()
+		f.Close() //kmvet:ignore closeerr save already failed; the write error is the one to report
 		return err
 	}
 	return f.Close()

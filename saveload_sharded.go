@@ -3,6 +3,7 @@ package bwtmatch
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -63,7 +64,7 @@ func (x *ShardedIndex) SaveFile(path string) error {
 		return err
 	}
 	if err := x.Save(f); err != nil {
-		f.Close()
+		f.Close() //kmvet:ignore closeerr save already failed; the write error is the one to report
 		return err
 	}
 	return f.Close()
@@ -94,11 +95,18 @@ func LoadSharded(ra io.ReaderAt, size int64) (*ShardedIndex, error) {
 		return nil, fmt.Errorf("%w: manifest: %v", ErrFormat, err)
 	}
 
+	// ReadManifest already caps the span count, but this is the
+	// allocation site — re-check against the exported cap so the bound
+	// is visible (and machine-checkable) where the memory is committed.
+	nShards := man.Plan.Count()
+	if nShards > shard.MaxShards {
+		return nil, fmt.Errorf("%w: manifest declares %d shards (cap %d)", ErrFormat, nShards, shard.MaxShards)
+	}
 	x := &ShardedIndex{
 		man:      man,
 		refs:     refsFromShard(man.Refs),
-		shards:   make([]lazyShard, man.Plan.Count()),
-		counters: make([]shardCounter, man.Plan.Count()),
+		shards:   make([]lazyShard, nShards),
+		counters: make([]shardCounter, nShards),
 		fanout:   runtime.GOMAXPROCS(0),
 	}
 	offset := 4 + manLen
@@ -167,7 +175,18 @@ func LoadShardedFile(path string) (*ShardedIndex, error) {
 // searches never touch the backing file (and corruption anywhere in the
 // file surfaces now, as ErrFormat).
 func (x *ShardedIndex) LoadAll() error {
+	return x.LoadAllContext(context.Background())
+}
+
+// LoadAllContext is LoadAll bounded by ctx: materialization stops
+// between shards once ctx is done (a shard decode in progress runs to
+// completion — decodes are not interruptible). Server warm-up paths use
+// this so a shutdown cancels pending warms instead of stranding them.
+func (x *ShardedIndex) LoadAllContext(ctx context.Context) error {
 	for i := range x.shards {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("bwtmatch: load all: %w", err)
+		}
 		if _, err := x.shards[i].get(); err != nil {
 			return fmt.Errorf("%w: shard %d: %v", ErrFormat, i, err)
 		}

@@ -164,7 +164,12 @@ type Coordinator struct {
 
 	mu       sync.Mutex
 	draining bool
-	inflight sync.WaitGroup
+	inflight int // in-flight batches
+	// drained closes once draining is set and inflight reaches zero;
+	// Shutdown selects on it against its context, so no waiter
+	// goroutine is ever spawned (kmvet goroutinelifecycle).
+	drained       chan struct{}
+	drainedClosed bool
 }
 
 // New builds a Coordinator from cfg. It fails fast on an empty worker
@@ -186,6 +191,7 @@ func New(cfg Config) (*Coordinator, error) {
 		sem:         make(chan struct{}, cfg.MaxConcurrent),
 		log:         cfg.Logger,
 		start:       time.Now(),
+		drained:     make(chan struct{}),
 	}
 	if co.log == nil {
 		co.log = slog.New(slog.DiscardHandler)
@@ -236,17 +242,24 @@ func (co *Coordinator) Metrics() *Metrics { return co.met }
 func (co *Coordinator) Shutdown(ctx context.Context) error {
 	co.mu.Lock()
 	co.draining = true
+	co.signalDrainedLocked()
 	co.mu.Unlock()
-	done := make(chan struct{})
-	go func() {
-		co.inflight.Wait()
-		close(done)
-	}()
+	// The last end() closes drained, so shutdown needs no waiter
+	// goroutine — a ctx-aborted shutdown leaves nothing behind.
 	select {
-	case <-done:
+	case <-co.drained:
 		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("cluster: shutdown: %w", ctx.Err())
+	}
+}
+
+// signalDrainedLocked closes the drained channel once draining has
+// begun and the last in-flight batch has finished. Caller holds co.mu.
+func (co *Coordinator) signalDrainedLocked() {
+	if co.draining && co.inflight == 0 && !co.drainedClosed {
+		co.drainedClosed = true
+		close(co.drained)
 	}
 }
 
@@ -258,8 +271,17 @@ func (co *Coordinator) begin() (func(), bool) {
 	if co.draining {
 		return nil, false
 	}
-	co.inflight.Add(1)
-	return co.inflight.Done, true
+	co.inflight++
+	return co.end, true
+}
+
+// end retires one in-flight batch; the last one out during a drain
+// closes the drained channel Shutdown is selecting on.
+func (co *Coordinator) end() {
+	co.mu.Lock()
+	co.inflight--
+	co.signalDrainedLocked()
+	co.mu.Unlock()
 }
 
 func (co *Coordinator) nextRequestID() string {

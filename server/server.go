@@ -101,11 +101,20 @@ type Server struct {
 
 	mu       sync.Mutex
 	draining bool
-	inflight sync.WaitGroup
+	inflight int // in-flight search batches
+	// drained closes once draining is set and inflight reaches zero;
+	// Shutdown selects on it against its context, so no waiter
+	// goroutine is ever spawned (kmvet goroutinelifecycle).
+	drained       chan struct{}
+	drainedClosed bool
 
 	// warming counts in-flight background shard warm-ups; /readyz
-	// reports 503 while it is nonzero.
-	warming atomic.Int64
+	// reports 503 while it is nonzero. warmCtx bounds those warm-ups:
+	// Shutdown cancels it so a stopping server never strands a
+	// goroutine materializing shards nobody will search.
+	warming    atomic.Int64
+	warmCtx    context.Context
+	warmCancel context.CancelFunc
 
 	// testHookSearchStart, when non-nil, runs at the top of every search
 	// batch while it counts as in-flight (used by the drain test).
@@ -116,14 +125,16 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg.applyDefaults()
 	s := &Server{
-		cfg:   cfg,
-		reg:   NewRegistry(cfg.Budget),
-		met:   NewMetrics(),
-		mux:   http.NewServeMux(),
-		sem:   make(chan struct{}, cfg.MaxConcurrent),
-		log:   cfg.Logger,
-		start: time.Now(),
+		cfg:     cfg,
+		reg:     NewRegistry(cfg.Budget),
+		met:     NewMetrics(),
+		mux:     http.NewServeMux(),
+		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		log:     cfg.Logger,
+		start:   time.Now(),
+		drained: make(chan struct{}),
 	}
+	s.warmCtx, s.warmCancel = context.WithCancel(context.Background())
 	if s.log == nil {
 		s.log = slog.New(slog.DiscardHandler)
 	}
@@ -212,7 +223,9 @@ func (s *Server) maybeWarm(name string, idx bwtmatch.Matcher) {
 	go func() {
 		defer s.warming.Add(-1)
 		start := time.Now()
-		if err := sx.LoadAll(); err != nil {
+		// Bounded by warmCtx: Shutdown cancels it, so the goroutine
+		// stops between shards instead of outliving the server.
+		if err := sx.LoadAllContext(s.warmCtx); err != nil {
 			s.log.Warn("index warm-up failed", "index", name, "error", err)
 			return
 		}
@@ -285,17 +298,25 @@ func (s *Server) RegisterIndex(name string, idx bwtmatch.Matcher) error {
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
+	s.signalDrainedLocked()
 	s.mu.Unlock()
-	done := make(chan struct{})
-	go func() {
-		s.inflight.Wait()
-		close(done)
-	}()
+	s.warmCancel() // stop background warm-ups; nobody will search them
+	// The last endSearch closes drained, so shutdown needs no waiter
+	// goroutine — a ctx-aborted shutdown leaves nothing behind.
 	select {
-	case <-done:
+	case <-s.drained:
 		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("server: shutdown: %w", ctx.Err())
+	}
+}
+
+// signalDrainedLocked closes the drained channel once draining has
+// begun and the last in-flight batch has finished. Caller holds s.mu.
+func (s *Server) signalDrainedLocked() {
+	if s.draining && s.inflight == 0 && !s.drainedClosed {
+		s.drainedClosed = true
+		close(s.drained)
 	}
 }
 
@@ -307,8 +328,17 @@ func (s *Server) beginSearch() (func(), bool) {
 	if s.draining {
 		return nil, false
 	}
-	s.inflight.Add(1)
-	return s.inflight.Done, true
+	s.inflight++
+	return s.endSearch, true
+}
+
+// endSearch retires one in-flight batch; the last one out during a
+// drain closes the drained channel Shutdown is selecting on.
+func (s *Server) endSearch() {
+	s.mu.Lock()
+	s.inflight--
+	s.signalDrainedLocked()
+	s.mu.Unlock()
 }
 
 func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
