@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-server vet kmvet lint lint-report invariants fuzz-smoke obs-smoke benchdiff-smoke shard-smoke cluster-smoke check bench bench-json bench-compare
+.PHONY: build test race race-server vet kmvet lint lint-report invariants fuzz-smoke obs-smoke benchdiff-smoke shard-smoke cluster-smoke trace-smoke check bench bench-json bench-compare
 
 build:
 	$(GO) build ./...
@@ -53,8 +53,9 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzLoadRoundTrip -fuzztime=10s -tags kminvariants .
 	$(GO) test -run='^$$' -fuzz=FuzzLoadShardedRoundTrip -fuzztime=10s -tags kminvariants .
 
-# Observability smoke test: boots kmserved, scrapes /metrics, and
-# validates the Prometheus text exposition with the in-repo validator
+# Observability smoke test: boots kmserved, scrapes /metrics (including
+# the km_slo_* series) and /debug/flightrecorder, and validates the
+# Prometheus text exposition with the in-repo validator
 # (internal/obs.ValidateExposition) — no external dependencies.
 obs-smoke:
 	$(GO) test -run='^TestObsSmoke$$' -count=1 ./server/...
@@ -80,8 +81,16 @@ shard-smoke:
 cluster-smoke:
 	$(GO) test -run='^TestClusterSmoke$$' -count=1 ./server/cluster/...
 
+# Distributed-tracing smoke test: the same real fleet with the
+# coordinator at -trace-sample 1, driven by kmload -trace; the written
+# Chrome timeline must carry coordinator spans plus worker span
+# fragments under one request ID, and /debug/trace plus the
+# /debug/flightrecorder endpoints must serve valid documents.
+trace-smoke:
+	$(GO) test -run='^TestTraceSmoke$$' -count=1 ./server/cluster/...
+
 # The one-stop pre-commit gate.
-check: lint race-server race invariants fuzz-smoke obs-smoke benchdiff-smoke shard-smoke cluster-smoke
+check: lint race-server race invariants fuzz-smoke obs-smoke benchdiff-smoke shard-smoke cluster-smoke trace-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -50,6 +51,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "sampling seed")
 	timeout := flag.Duration("timeout", 60*time.Second, "per-request client timeout")
 	out := flag.String("out", "", "write the JSON report here (default stdout)")
+	traceOut := flag.String("trace", "", "after the run, send one forced-trace batch (X-Km-Trace) and write its Chrome timeline JSON here (open in chrome://tracing or Perfetto)")
 	flag.Parse()
 
 	if *index == "" {
@@ -121,6 +123,12 @@ func main() {
 		serverMetrics = map[string]any{"scrape_error": err.Error()}
 	}
 
+	if *traceOut != "" {
+		if err := captureTrace(ctx, c, *traceOut, *index, *k, *method, *batch, patterns); err != nil {
+			fatal(err)
+		}
+	}
+
 	report := map[string]any{
 		"config": map[string]any{
 			"url": *url, "index": *index, "k": *k, "method": *method,
@@ -163,6 +171,48 @@ func main() {
 	fmt.Fprintf(os.Stderr, "kmload: %d batches (%d reads) in %v, p50=%.1fms p99=%.1fms, %d errors, %d shed\n",
 		sent.Load(), reads.Load(), elapsed.Round(time.Millisecond),
 		hist.Quantile(0.50), hist.Quantile(0.99), reqErrs.Load(), shed.Load())
+}
+
+// captureTrace sends one batch with the trace flag forced on the
+// context (the client turns it into X-Km-Trace: 1), renders the span
+// fragments the target returned — against a coordinator that is the
+// whole cross-process timeline, coordinator plus workers — as a Chrome
+// trace-event file, and validates the document before declaring
+// success. The reads are the pool patterns reversed: after the load
+// run every pool pattern sits in the coordinator's hot-results cache,
+// and a fully cached batch would trace no fan-out at all.
+func captureTrace(ctx context.Context, c *client.Client, path, index string, k int, method string, batch int, patterns []string) error {
+	req := server.SearchRequest{Index: index, K: k, Method: method,
+		Reads: make([]server.Read, batch)}
+	for i := range req.Reads {
+		p := []byte(patterns[i%len(patterns)])
+		for a, b := 0, len(p)-1; a < b; a, b = a+1, b-1 {
+			p[a], p[b] = p[b], p[a]
+		}
+		req.Reads[i] = server.Read{Seq: string(p)}
+	}
+	rid := fmt.Sprintf("kmload-trace-%d", os.Getpid())
+	tctx := obs.WithTraceRequest(obs.WithRequestID(ctx, rid))
+	resp, err := c.Search(tctx, req)
+	if err != nil {
+		return fmt.Errorf("traced batch: %w", err)
+	}
+	if len(resp.Trace) == 0 {
+		return fmt.Errorf("traced batch returned no span fragments (rid %s); is the target a current kmserved/coordinator?", resp.RequestID)
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTraceMulti(&buf, resp.Trace); err != nil {
+		return err
+	}
+	if err := obs.ValidateChromeTrace(bytes.NewReader(buf.Bytes())); err != nil {
+		return fmt.Errorf("rendered trace invalid: %w", err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "kmload: wrote %d-fragment trace (rid %s) to %s\n",
+		len(resp.Trace), resp.RequestID, path)
+	return nil
 }
 
 // sampler returns a pool-index generator: Zipf-skewed when s > 1 (rank

@@ -90,6 +90,7 @@ func main() {
 	queueDepth := flag.Int("queue-depth", 64, "coordinator: batches allowed to queue before load-shedding with 503")
 	cacheEntries := flag.Int("cache-entries", 4096, "coordinator: hot-results cache entry cap (negative disables the cache)")
 	cacheMiB := flag.Int64("cache-budget", 64, "coordinator: hot-results cache byte budget in MiB")
+	traceSample := flag.Float64("trace-sample", 0, "coordinator: fraction of batches traced end to end (0..1; clients can always force one with X-Km-Trace: 1)")
 	flag.Var(&loads, "load", "preload a saved index (monolithic or sharded) as name=path (repeatable)")
 	flag.Var(&genomeLoads, "load-genome", "build and register an index from a FASTA genome as name=path (repeatable)")
 	flag.Var(&workerURLs, "workers", "coordinator: worker base URLs, comma-separated (repeatable)")
@@ -121,12 +122,16 @@ func main() {
 			drainWait:     *drainWait,
 			cacheEntries:  *cacheEntries,
 			cacheBytes:    *cacheMiB << 20,
+			traceSample:   *traceSample,
 			logger:        logger,
 		})
 		return
 	}
 	if len(workerURLs) > 0 || *routesPath != "" {
 		fatal(errors.New("-workers and -routes require -coordinator"))
+	}
+	if *traceSample != 0 {
+		fatal(errors.New("-trace-sample requires -coordinator (workers trace whenever a request carries X-Km-Trace)"))
 	}
 
 	srv := server.New(server.Config{
@@ -175,6 +180,7 @@ type coordinatorFlags struct {
 	drainWait     time.Duration
 	cacheEntries  int
 	cacheBytes    int64
+	traceSample   float64
 	logger        *slog.Logger
 }
 
@@ -202,6 +208,7 @@ func runCoordinator(f coordinatorFlags) {
 		MaxK:           f.maxK,
 		CacheEntries:   f.cacheEntries,
 		CacheBytes:     f.cacheBytes,
+		TraceSample:    f.traceSample,
 		Logger:         f.logger,
 	})
 	if err != nil {

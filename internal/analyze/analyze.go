@@ -18,8 +18,9 @@
 //   - nopanic: no panic in library (non-main) packages, except in
 //     kminvariants-tagged invariants*.go files where assertion failure
 //     is the point.
-//   - nostdlog: no fmt.Print*/log.Print* (or log.Fatal*/Panic*) in
-//     library packages; daemon-embedded code logs through an injected
+//   - nostdlog: no fmt.Print*/log.Print* (or log.Fatal*/Panic*, or the
+//     print/println builtins) in library packages; daemon-embedded code
+//     logs through an injected
 //     *slog.Logger or writes to a caller-supplied io.Writer, keeping
 //     stdout machine-readable and the log stream structured.
 //

@@ -2,6 +2,7 @@ package analyze
 
 import (
 	"go/ast"
+	"go/types"
 )
 
 // stdlogCalls maps package path -> forbidden package-level functions.
@@ -33,6 +34,18 @@ func runNoStdLog(p *Package) []Finding {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
 				return true
+			}
+			// The print/println builtins are the sneakiest variant: no
+			// import to grep for, bootstrap-only semantics, straight to
+			// stderr.
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				if b, ok := p.Info.Uses[id].(*types.Builtin); ok &&
+					(b.Name() == "print" || b.Name() == "println") {
+					out = append(out, p.finding(call.Pos(), "nostdlog",
+						"builtin %s writes to stderr from library code; use an injected *slog.Logger or a caller-supplied io.Writer",
+						b.Name()))
+					return true
+				}
 			}
 			fn := calleeFunc(p, call)
 			if fn == nil || fn.Pkg() == nil {

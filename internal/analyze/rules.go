@@ -50,7 +50,7 @@ func Rules() []Rule {
 		},
 		{
 			Name: "nostdlog",
-			Doc:  "no fmt.Print*/log.Print* in library (non-main) packages; log through an injected *slog.Logger or write to a caller-supplied io.Writer so daemons keep one structured log stream",
+			Doc:  "no fmt.Print*/log.Print* or builtin print/println in library (non-main) packages; log through an injected *slog.Logger or write to a caller-supplied io.Writer so daemons keep one structured log stream",
 			Run:  perPackage(runNoStdLog),
 		},
 		{

@@ -22,6 +22,14 @@ func die(err error) {
 	log.Fatal(err) // want nostdlog
 }
 
+// The print/println builtins bypass fmt and log entirely but still
+// write to stderr.
+func debug(n int) {
+	print("n = ")   // want nostdlog
+	println(n)      // want nostdlog
+	println("done") // want nostdlog
+}
+
 // Compliant variants: explicit sinks and injected loggers produce no
 // findings, nor do the fmt formatters that return strings.
 func reportTo(w io.Writer, lg *slog.Logger, n int) string {

@@ -9,13 +9,16 @@ import (
 // Object Format" with a traceEvents wrapper), the schema understood by
 // about:tracing and Perfetto. Timestamps are microseconds.
 type chromeEvent struct {
-	Name string           `json:"name"`
-	Ph   string           `json:"ph"`
-	TS   float64          `json:"ts"`
-	PID  int              `json:"pid"`
-	TID  int              `json:"tid"`
-	S    string           `json:"s,omitempty"` // instant-event scope
-	Args map[string]int64 `json:"args,omitempty"`
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	TS   float64 `json:"ts"`
+	Dur  float64 `json:"dur,omitempty"` // complete ("X") events only
+	PID  int     `json:"pid"`
+	TID  int     `json:"tid"`
+	S    string  `json:"s,omitempty"` // instant-event scope
+	// Args is map[string]int64 for span/instant annotations and
+	// map[string]string for metadata ("M") events (process_name).
+	Args any `json:"args,omitempty"`
 }
 
 // chromeTrace is the top-level document.
@@ -51,10 +54,7 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 			ce.S = "t"
 		}
 		if len(e.Args) > 0 {
-			ce.Args = make(map[string]int64, len(e.Args))
-			for _, a := range e.Args {
-				ce.Args[a.Key] = a.Val
-			}
+			ce.Args = argMap(e.Args)
 		}
 		out.TraceEvents = append(out.TraceEvents, ce)
 	}

@@ -17,3 +17,21 @@ func RequestID(ctx context.Context) (string, bool) {
 	id, ok := ctx.Value(ridKey{}).(string)
 	return id, ok
 }
+
+// traceKey is the context key for the trace-request flag.
+type traceKey struct{}
+
+// WithTraceRequest marks the context as belonging to a sampled query:
+// the server/client wire layer turns the flag into the X-Km-Trace
+// header, so a coordinator's sampling decision propagates to every
+// worker RPC of the fan-out without new plumbing through call
+// signatures.
+func WithTraceRequest(ctx context.Context) context.Context {
+	return context.WithValue(ctx, traceKey{}, true)
+}
+
+// TraceRequested reports whether the context carries the sampled flag.
+func TraceRequested(ctx context.Context) bool {
+	on, _ := ctx.Value(traceKey{}).(bool)
+	return on
+}

@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// MaxPhases is the fixed per-record phase slot count. Each tier names
+// its own phases at construction (NewFlightRecorder); unused slots stay
+// zero and are omitted from snapshots.
+const MaxPhases = 8
+
+// QueryRecord is one query's flight-recorder entry: everything needed
+// to reconstruct where a batch spent its time after the fact, without
+// having sampled a trace. It is a flat value type — no pointers, no
+// slices — so recording is one struct copy into preallocated storage.
+type QueryRecord struct {
+	// Start is the batch's wall-clock arrival time.
+	Start time.Time
+	// RID, Index and Method identify the request (RID matches the
+	// X-Km-Request-Id echoed to the client and logged by slog).
+	RID    string
+	Index  string
+	Method string
+	// ElapsedNS is the whole-batch wall time; PhaseNS breaks it down by
+	// the recorder's phase table (queue/search on a worker;
+	// plan/route/fanout/merge/assemble on the coordinator).
+	ElapsedNS int64
+	PhaseNS   [MaxPhases]int64
+	// Batch shape and outcome.
+	Reads   int32
+	Matches int32
+	Errors  int32
+	// The paper's work counters, summed over the batch.
+	Leaves   int64
+	Steps    int64
+	MemoHits int64
+	// Coordinator attribution: reads served from the hot-results cache,
+	// reads coalesced onto another flight, and the shard ordinals lost
+	// to a partial batch (bitmask; ordinals >= 64 set bit 63).
+	CacheHits    int32
+	Coalesced    int32
+	FailedShards uint64
+	Partial      bool
+	// Shed marks a batch refused by admission control or a drain; only
+	// RID/Start/Reads are meaningful on such records.
+	Shed bool
+}
+
+// FlightRecorder is the always-on last-resort debugger: a fixed-size
+// ring of the most recent query records plus the slowest-N seen since
+// start. Record performs no allocation (pinned by
+// TestFlightRecorderZeroAlloc), so it stays on even in the untraced
+// hot path; snapshots pay the rendering cost at /debug/flightrecorder
+// scrape time instead.
+type FlightRecorder struct {
+	mu     sync.Mutex
+	phases []string
+	recent []QueryRecord // ring storage, preallocated
+	next   int           // ring cursor
+	filled int           // records resident in the ring
+	slow   []QueryRecord // slowest-N storage, preallocated
+	nslow  int
+	total  uint64
+}
+
+// NewFlightRecorder builds a recorder holding the recent most-recent
+// records and the slowest slowest-ever records, with the given phase
+// slot names (at most MaxPhases; extras are dropped).
+func NewFlightRecorder(recent, slowest int, phases []string) *FlightRecorder {
+	if recent < 1 {
+		recent = 64
+	}
+	if slowest < 1 {
+		slowest = 16
+	}
+	if len(phases) > MaxPhases {
+		phases = phases[:MaxPhases]
+	}
+	return &FlightRecorder{
+		phases: append([]string(nil), phases...),
+		recent: make([]QueryRecord, recent),
+		slow:   make([]QueryRecord, slowest),
+	}
+}
+
+// Record stores one query record. It is safe for concurrent use and
+// allocation-free: the record is copied by value into the ring slot
+// and, when slow enough, into the slowest-N table.
+func (f *FlightRecorder) Record(rec *QueryRecord) {
+	f.mu.Lock()
+	f.total++
+	f.recent[f.next] = *rec
+	f.next++
+	if f.next == len(f.recent) {
+		f.next = 0
+	}
+	if f.filled < len(f.recent) {
+		f.filled++
+	}
+	if f.nslow < len(f.slow) {
+		f.slow[f.nslow] = *rec
+		f.nslow++
+	} else {
+		// Replace the fastest of the slowest-N when beaten. N is small
+		// (default 16), so a linear min scan beats heap bookkeeping.
+		minIdx, minNS := 0, f.slow[0].ElapsedNS
+		for i := 1; i < f.nslow; i++ {
+			if f.slow[i].ElapsedNS < minNS {
+				minIdx, minNS = i, f.slow[i].ElapsedNS
+			}
+		}
+		if rec.ElapsedNS > minNS {
+			f.slow[minIdx] = *rec
+		}
+	}
+	f.mu.Unlock()
+}
+
+// Total returns how many records have been recorded since start.
+func (f *FlightRecorder) Total() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.total
+}
+
+// recordJSON is the snapshot rendering of one QueryRecord.
+type recordJSON struct {
+	Time         string             `json:"time"`
+	RID          string             `json:"rid,omitempty"`
+	Index        string             `json:"index,omitempty"`
+	Method       string             `json:"method,omitempty"`
+	ElapsedMS    float64            `json:"elapsed_ms"`
+	PhasesMS     map[string]float64 `json:"phases_ms,omitempty"`
+	Reads        int32              `json:"reads"`
+	Matches      int32              `json:"matches"`
+	Errors       int32              `json:"errors,omitempty"`
+	Leaves       int64              `json:"mtree_leaves,omitempty"`
+	Steps        int64              `json:"step_calls,omitempty"`
+	MemoHits     int64              `json:"memo_hits,omitempty"`
+	CacheHits    int32              `json:"cache_hits,omitempty"`
+	Coalesced    int32              `json:"coalesced,omitempty"`
+	FailedShards []int              `json:"failed_shards,omitempty"`
+	Partial      bool               `json:"partial,omitempty"`
+	Shed         bool               `json:"shed,omitempty"`
+}
+
+func (f *FlightRecorder) render(rec *QueryRecord) recordJSON {
+	out := recordJSON{
+		Time:      rec.Start.UTC().Format(time.RFC3339Nano),
+		RID:       rec.RID,
+		Index:     rec.Index,
+		Method:    rec.Method,
+		ElapsedMS: float64(rec.ElapsedNS) / 1e6,
+		Reads:     rec.Reads,
+		Matches:   rec.Matches,
+		Errors:    rec.Errors,
+		Leaves:    rec.Leaves,
+		Steps:     rec.Steps,
+		MemoHits:  rec.MemoHits,
+		CacheHits: rec.CacheHits,
+		Coalesced: rec.Coalesced,
+		Partial:   rec.Partial,
+		Shed:      rec.Shed,
+	}
+	for i, name := range f.phases {
+		if rec.PhaseNS[i] == 0 {
+			continue
+		}
+		if out.PhasesMS == nil {
+			out.PhasesMS = make(map[string]float64, len(f.phases))
+		}
+		out.PhasesMS[name] = float64(rec.PhaseNS[i]) / 1e6
+	}
+	for s := 0; s < 64; s++ {
+		if rec.FailedShards&(1<<s) != 0 {
+			out.FailedShards = append(out.FailedShards, s)
+		}
+	}
+	return out
+}
+
+// Snapshot renders the recorder state as a JSON-ready document: the
+// recent ring newest-first and the slowest-N sorted slowest-first.
+func (f *FlightRecorder) Snapshot() map[string]any {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	recent := make([]recordJSON, 0, f.filled)
+	for i := 0; i < f.filled; i++ {
+		idx := f.next - 1 - i
+		if idx < 0 {
+			idx += len(f.recent)
+		}
+		recent = append(recent, f.render(&f.recent[idx]))
+	}
+	slow := make([]recordJSON, 0, f.nslow)
+	order := make([]int, f.nslow)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ { // insertion sort; N is small
+		for j := i; j > 0 && f.slow[order[j]].ElapsedNS > f.slow[order[j-1]].ElapsedNS; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	for _, idx := range order {
+		slow = append(slow, f.render(&f.slow[idx]))
+	}
+	return map[string]any{
+		"total":   f.total,
+		"phases":  f.phases,
+		"recent":  recent,
+		"slowest": slow,
+	}
+}
+
+// ServeHTTP serves the snapshot as JSON, making the recorder mountable
+// directly at /debug/flightrecorder.
+func (f *FlightRecorder) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(f.Snapshot())
+}
+
+// ShardBit returns the FailedShards bitmask bit for a shard ordinal
+// (ordinals beyond 63 saturate into bit 63 rather than being lost).
+func ShardBit(shard int) uint64 {
+	if shard < 0 {
+		return 0
+	}
+	if shard > 63 {
+		shard = 63
+	}
+	return 1 << shard
+}

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestFlightRecorderRingNewestFirst(t *testing.T) {
+	f := NewFlightRecorder(4, 2, []string{"plan", "search"})
+	for i := 1; i <= 6; i++ {
+		rec := QueryRecord{
+			Start:     time.Unix(int64(i), 0),
+			RID:       "r",
+			ElapsedNS: int64(i) * 1e6,
+			Reads:     int32(i),
+		}
+		rec.PhaseNS[1] = int64(i) * 1e5
+		f.Record(&rec)
+	}
+	if f.Total() != 6 {
+		t.Fatalf("total = %d, want 6", f.Total())
+	}
+	snap := f.Snapshot()
+	recent := snap["recent"].([]recordJSON)
+	if len(recent) != 4 {
+		t.Fatalf("recent holds %d records, want ring size 4", len(recent))
+	}
+	// Newest first: reads 6, 5, 4, 3.
+	for i, want := range []int32{6, 5, 4, 3} {
+		if recent[i].Reads != want {
+			t.Errorf("recent[%d].Reads = %d, want %d", i, recent[i].Reads, want)
+		}
+	}
+	if recent[0].ElapsedMS != 6 {
+		t.Errorf("elapsed = %v ms, want 6", recent[0].ElapsedMS)
+	}
+	if recent[0].PhasesMS["search"] != 0.6 {
+		t.Errorf("phases = %v, want search 0.6ms", recent[0].PhasesMS)
+	}
+	if _, ok := recent[0].PhasesMS["plan"]; ok {
+		t.Errorf("zero phase slot rendered: %v", recent[0].PhasesMS)
+	}
+}
+
+func TestFlightRecorderSlowestN(t *testing.T) {
+	f := NewFlightRecorder(8, 3, nil)
+	// Out-of-order elapsed times; slowest-3 should end as 90, 70, 50.
+	for _, ms := range []int64{10, 90, 20, 50, 30, 70, 40} {
+		f.Record(&QueryRecord{Start: time.Unix(0, 0), ElapsedNS: ms * 1e6})
+	}
+	snap := f.Snapshot()
+	slow := snap["slowest"].([]recordJSON)
+	if len(slow) != 3 {
+		t.Fatalf("slowest holds %d, want 3", len(slow))
+	}
+	for i, want := range []float64{90, 70, 50} {
+		if slow[i].ElapsedMS != want {
+			t.Errorf("slowest[%d] = %v ms, want %v", i, slow[i].ElapsedMS, want)
+		}
+	}
+}
+
+func TestFlightRecorderFailedShardsAndFlags(t *testing.T) {
+	f := NewFlightRecorder(2, 2, nil)
+	f.Record(&QueryRecord{
+		Start:        time.Unix(0, 0),
+		RID:          "creq-1",
+		FailedShards: ShardBit(0) | ShardBit(5),
+		Partial:      true,
+		Shed:         false,
+	})
+	snap := f.Snapshot()
+	rec := snap["recent"].([]recordJSON)[0]
+	if len(rec.FailedShards) != 2 || rec.FailedShards[0] != 0 || rec.FailedShards[1] != 5 {
+		t.Errorf("failed shards = %v, want [0 5]", rec.FailedShards)
+	}
+	if !rec.Partial || rec.Shed {
+		t.Errorf("flags = partial %v shed %v", rec.Partial, rec.Shed)
+	}
+	if ShardBit(200) != 1<<63 || ShardBit(-1) != 0 {
+		t.Errorf("ShardBit saturation broken: %v %v", ShardBit(200), ShardBit(-1))
+	}
+}
+
+func TestFlightRecorderServeHTTP(t *testing.T) {
+	f := NewFlightRecorder(4, 2, []string{"search"})
+	f.Record(&QueryRecord{Start: time.Unix(1, 0), RID: "r-1", ElapsedNS: 2e6, Reads: 1})
+	w := httptest.NewRecorder()
+	f.ServeHTTP(w, httptest.NewRequest("GET", "/debug/flightrecorder", nil))
+	if ct := w.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var doc struct {
+		Total  uint64 `json:"total"`
+		Recent []struct {
+			RID string `json:"rid"`
+		} `json:"recent"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, w.Body.String())
+	}
+	if doc.Total != 1 || len(doc.Recent) != 1 || doc.Recent[0].RID != "r-1" {
+		t.Fatalf("snapshot = %s", w.Body.String())
+	}
+}
+
+// TestFlightRecorderZeroAlloc pins the acceptance criterion: the record
+// path — the only part on the query hot path — allocates nothing.
+func TestFlightRecorderZeroAlloc(t *testing.T) {
+	f := NewFlightRecorder(64, 16, []string{"plan", "fanout", "merge"})
+	rec := QueryRecord{
+		Start:     time.Unix(42, 0),
+		RID:       "creq-000001",
+		Index:     "idx",
+		Method:    "mtree",
+		ElapsedNS: 1e6,
+		Reads:     8,
+	}
+	// Warm up (first records fill the slowest-N table in its append arm).
+	for i := 0; i < 32; i++ {
+		rec.ElapsedNS = int64(i+1) * 1e5
+		f.Record(&rec)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		rec.ElapsedNS += 1e3
+		f.Record(&rec)
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocates %.1f times per call, want 0", allocs)
+	}
+}

@@ -80,6 +80,21 @@ func (h *Histogram) Observe(d time.Duration) {
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
+// CountUnder returns how many observations fell in buckets whose upper
+// bound is <= boundMS — the count of requests that met a latency
+// objective, provided the objective aligns with a bucket bound (the
+// SLO layer snaps objectives to bounds for exactly this reason).
+func (h *Histogram) CountUnder(boundMS float64) int64 {
+	var n int64
+	for i, b := range h.bounds {
+		if b > boundMS {
+			break
+		}
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
 // SumMS returns the sum of observations in milliseconds.
 func (h *Histogram) SumMS() float64 { return float64(h.sumUS.Load()) / 1000 }
 

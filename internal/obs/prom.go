@@ -19,6 +19,13 @@ func WriteGauge(w io.Writer, name, help string, v int64) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
 }
 
+// WriteGaugeFloat emits one float-valued gauge with its HELP/TYPE
+// header (burn rates and targets are ratios, not integers).
+func WriteGaugeFloat(w io.Writer, name, help string, v float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n",
+		name, help, name, name, strconv.FormatFloat(v, 'g', -1, 64))
+}
+
 // WriteHistogramMeta emits the HELP/TYPE header of a histogram metric;
 // the per-label series follow via Histogram.WritePrometheus.
 func WriteHistogramMeta(w io.Writer, name, help string) {
@@ -42,13 +49,17 @@ var promTypes = map[string]bool{
 // label names are legal; values parse as floats (+Inf/-Inf/NaN
 // allowed); every sample's metric has a preceding # TYPE (histogram
 // samples may use the base name of their _bucket/_sum/_count series);
-// and at least one sample is present. It is deliberately a line-format
-// validator, not a full parser — enough for the obs-smoke test to catch
-// a malformed /metrics endpoint without external dependencies.
+// a metric name is never re-declared with a conflicting TYPE; every
+// histogram that emits _bucket series emits the mandatory le="+Inf"
+// bucket; and at least one sample is present. It is deliberately a
+// line-format validator, not a full parser — enough for the obs-smoke
+// test to catch a malformed /metrics endpoint without external
+// dependencies.
 func ValidateExposition(r io.Reader) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	typed := make(map[string]string)
+	bucketed := make(map[string]bool) // histogram base -> saw le="+Inf"
 	samples := 0
 	for ln := 1; sc.Scan(); ln++ {
 		line := sc.Text()
@@ -64,10 +75,14 @@ func ValidateExposition(r io.Reader) error {
 		}
 		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
 			name, typ, found := strings.Cut(rest, " ")
-			if !found || !promNameRe.MatchString(name) || !promTypes[strings.TrimSpace(typ)] {
+			typ = strings.TrimSpace(typ)
+			if !found || !promNameRe.MatchString(name) || !promTypes[typ] {
 				return fmt.Errorf("line %d: malformed TYPE line %q", ln, line)
 			}
-			typed[name] = strings.TrimSpace(typ)
+			if prev, seen := typed[name]; seen && prev != typ {
+				return fmt.Errorf("line %d: metric %q re-declared as %s (previously %s)", ln, name, typ, prev)
+			}
+			typed[name] = typ
 			continue
 		}
 		if strings.HasPrefix(line, "#") {
@@ -80,6 +95,11 @@ func ValidateExposition(r io.Reader) error {
 		if !sampleTyped(typed, name) {
 			return fmt.Errorf("line %d: sample %q has no preceding # TYPE", ln, name)
 		}
+		if base, ok := strings.CutSuffix(name, "_bucket"); ok && typed[base] == "histogram" {
+			if inf := bucketed[base]; !inf {
+				bucketed[base] = strings.Contains(line, `le="+Inf"`)
+			}
+		}
 		samples++
 	}
 	if err := sc.Err(); err != nil {
@@ -87,6 +107,11 @@ func ValidateExposition(r io.Reader) error {
 	}
 	if samples == 0 {
 		return fmt.Errorf("no samples in exposition")
+	}
+	for base, sawInf := range bucketed {
+		if !sawInf {
+			return fmt.Errorf("histogram %q emits buckets but no le=\"+Inf\" bucket", base)
+		}
 	}
 	return nil
 }

@@ -42,6 +42,16 @@ func TestValidateExpositionRejects(t *testing.T) {
 		{"bad label name", "# TYPE x counter\nx{9a=\"b\"} 1\n"},
 		{"malformed type line", "# TYPE x notatype\nx 1\n"},
 		{"trailing garbage", "# TYPE x counter\nx 1 2 3\n"},
+		{"conflicting re-declared type",
+			"# TYPE x counter\nx 1\n# TYPE x gauge\nx 2\n"},
+		{"histogram without +Inf bucket", strings.Join([]string{
+			"# TYPE h histogram",
+			`h_bucket{le="0.1"} 1`,
+			`h_bucket{le="100"} 2`,
+			`h_sum 3.5`,
+			`h_count 2`,
+			"",
+		}, "\n")},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -49,6 +59,27 @@ func TestValidateExpositionRejects(t *testing.T) {
 				t.Errorf("accepted invalid exposition:\n%s", c.in)
 			}
 		})
+	}
+}
+
+// An exact duplicate TYPE declaration is legal (the server tiers emit a
+// shared histogram header once per scrape section); only a *conflicting*
+// re-declaration is an error.
+func TestValidateExpositionDuplicateTypeSameKind(t *testing.T) {
+	in := "# TYPE x counter\nx 1\n# TYPE x counter\nx 2\n"
+	if err := ValidateExposition(strings.NewReader(in)); err != nil {
+		t.Fatalf("same-kind re-declaration rejected: %v", err)
+	}
+}
+
+func TestWriteGaugeFloatValidates(t *testing.T) {
+	var sb strings.Builder
+	WriteGaugeFloat(&sb, "rate", "a ratio", 0.125)
+	if !strings.Contains(sb.String(), "rate 0.125\n") {
+		t.Fatalf("unexpected output:\n%s", sb.String())
+	}
+	if err := ValidateExposition(strings.NewReader(sb.String())); err != nil {
+		t.Fatalf("helper output invalid: %v", err)
 	}
 }
 

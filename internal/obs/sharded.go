@@ -103,6 +103,16 @@ func (s *ShardedHistogram) merged() *Histogram {
 	return out
 }
 
+// CountUnder returns the cross-stripe count of observations in buckets
+// bounded at or below boundMS (see Histogram.CountUnder).
+func (s *ShardedHistogram) CountUnder(boundMS float64) int64 {
+	var n int64
+	for _, h := range s.shards {
+		n += h.CountUnder(boundMS)
+	}
+	return n
+}
+
 // Count returns the total number of observations across stripes.
 func (s *ShardedHistogram) Count() int64 {
 	var n int64

@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// sloBucketSec is the windowed ring's bucket width in seconds; with
+// sloBuckets buckets the ring covers one hour, the longest burn window.
+const (
+	sloBucketSec = 15
+	sloBuckets   = 240
+)
+
+// sloWindows are the multi-window burn-rate horizons, shortest first.
+// Multi-window alerting pairs a short window (fast detection) with a
+// long one (no flapping); all three are emitted so the alert rules can
+// pick their pairs.
+var sloWindows = []struct {
+	name string
+	n    int // ring buckets covered
+}{
+	{"5m", 5 * 60 / sloBucketSec},
+	{"30m", 30 * 60 / sloBucketSec},
+	{"1h", sloBuckets},
+}
+
+// HistogramSource is the read surface the SLO layer needs from a
+// latency histogram: the server tiers hand their existing striped
+// histograms (or a merged view over them) to NewSLO, so the
+// objective-attainment counters are computed from the same data the
+// latency series already carry, not from a second bookkeeping path.
+type HistogramSource interface {
+	Count() int64
+	CountUnder(boundMS float64) int64
+}
+
+// SLOConfig declares a tier's service-level objectives.
+type SLOConfig struct {
+	// LatencyObjectivesMS are the latency thresholds for which
+	// attainment counters are published. They are snapped down to the
+	// nearest histogram bucket bound at construction so attainment can
+	// be read exactly from the histogram (default 10, 100, 1000).
+	LatencyObjectivesMS []float64
+	// LatencyObjectiveMS is the primary objective the latency burn rate
+	// is computed against (default 100; snapped like the list).
+	LatencyObjectiveMS float64
+	// LatencyTarget is the objective fraction of requests that must
+	// finish within LatencyObjectiveMS (default 0.99).
+	LatencyTarget float64
+	// AvailabilityTarget is the objective fraction of requests that
+	// must not be shed or rejected with a 5xx (default 0.999).
+	AvailabilityTarget float64
+}
+
+func (c *SLOConfig) applyDefaults(bounds []float64) {
+	if len(c.LatencyObjectivesMS) == 0 {
+		c.LatencyObjectivesMS = []float64{10, 100, 1000}
+	}
+	if c.LatencyObjectiveMS <= 0 {
+		c.LatencyObjectiveMS = 100
+	}
+	if c.LatencyTarget <= 0 || c.LatencyTarget >= 1 {
+		c.LatencyTarget = 0.99
+	}
+	if c.AvailabilityTarget <= 0 || c.AvailabilityTarget >= 1 {
+		c.AvailabilityTarget = 0.999
+	}
+	for i, o := range c.LatencyObjectivesMS {
+		c.LatencyObjectivesMS[i] = snapToBound(o, bounds)
+	}
+	sort.Float64s(c.LatencyObjectivesMS)
+	c.LatencyObjectiveMS = snapToBound(c.LatencyObjectiveMS, bounds)
+}
+
+// snapToBound returns the largest histogram bound <= o (or the smallest
+// bound when o undershoots them all), so CountUnder(o) is exact.
+func snapToBound(o float64, bounds []float64) float64 {
+	if len(bounds) == 0 {
+		return o
+	}
+	best := bounds[0]
+	for _, b := range bounds {
+		if b <= o {
+			best = b
+		}
+	}
+	return best
+}
+
+// sloBucket is one ring slot of windowed outcome counts.
+type sloBucket struct {
+	epoch       int64 // unixSec / sloBucketSec when last written
+	total       int64
+	latencyBad  int64 // available but over the primary latency objective
+	unavailable int64 // shed / 5xx
+}
+
+// SLO tracks a tier's service-level objectives: cumulative
+// objective-attainment counters (read from the tier's own striped
+// latency histogram) plus a windowed ring of request outcomes from
+// which multi-window burn rates are computed at scrape time. Observe
+// is called once per batch and costs one mutex'd ring update.
+type SLO struct {
+	cfg  SLOConfig
+	hist HistogramSource
+	now  func() time.Time // injectable for tests
+
+	mu         sync.Mutex
+	ring       [sloBuckets]sloBucket
+	total      int64 // cumulative requests observed
+	unavailTot int64 // cumulative shed / 5xx
+}
+
+// NewSLO builds an SLO tracker over the tier's latency histogram.
+// boundsMS are the histogram's bucket bounds, used to snap objectives
+// (pass obs.DefaultLatencyBounds() for the default histograms).
+func NewSLO(cfg SLOConfig, hist HistogramSource, boundsMS []float64) *SLO {
+	cfg.applyDefaults(boundsMS)
+	return &SLO{cfg: cfg, hist: hist, now: time.Now}
+}
+
+// Observe records one request outcome: its wall time and whether the
+// tier was available for it (false for shed and 5xx-failed requests,
+// whose latency is not an SLI).
+func (s *SLO) Observe(d time.Duration, available bool) {
+	epoch := s.now().Unix() / sloBucketSec
+	b := &s.ring[epoch%sloBuckets]
+	s.mu.Lock()
+	if b.epoch != epoch {
+		*b = sloBucket{epoch: epoch}
+	}
+	b.total++
+	if !available {
+		b.unavailable++
+		s.unavailTot++
+	} else if float64(d)/float64(time.Millisecond) > s.cfg.LatencyObjectiveMS {
+		b.latencyBad++
+	}
+	s.total++
+	s.mu.Unlock()
+}
+
+// windowCounts sums the ring over the most recent n buckets.
+func (s *SLO) windowCounts(n int) (total, latencyBad, unavailable int64) {
+	epoch := s.now().Unix() / sloBucketSec
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := 0; i < n; i++ {
+		b := &s.ring[(epoch-int64(i))%sloBuckets]
+		if b.epoch != epoch-int64(i) {
+			continue // stale slot from a previous revolution
+		}
+		total += b.total
+		latencyBad += b.latencyBad
+		unavailable += b.unavailable
+	}
+	return total, latencyBad, unavailable
+}
+
+// burnRates computes the availability and latency burn rates over one
+// window: the observed bad fraction divided by the error budget
+// (1 - target). 1.0 means the budget burns exactly at the sustainable
+// rate; an empty window reports 0.
+func (s *SLO) burnRates(n int) (avail, latency float64) {
+	total, latencyBad, unavailable := s.windowCounts(n)
+	if total == 0 {
+		return 0, 0
+	}
+	avail = (float64(unavailable) / float64(total)) / (1 - s.cfg.AvailabilityTarget)
+	latency = (float64(latencyBad) / float64(total)) / (1 - s.cfg.LatencyTarget)
+	return avail, latency
+}
+
+// WritePrometheus emits the km_slo_* series: objective declarations,
+// histogram-derived latency attainment counters per objective,
+// availability counters, and multi-window burn-rate gauges.
+func (s *SLO) WritePrometheus(w io.Writer) {
+	WriteGaugeFloat(w, "km_slo_latency_objective_ms",
+		"primary latency objective the burn rate is computed against", s.cfg.LatencyObjectiveMS)
+	WriteGaugeFloat(w, "km_slo_latency_target",
+		"objective fraction of requests within the latency objective", s.cfg.LatencyTarget)
+	WriteGaugeFloat(w, "km_slo_availability_target",
+		"objective fraction of requests not shed or failed", s.cfg.AvailabilityTarget)
+
+	fmt.Fprintf(w, "# HELP km_slo_latency_good_total requests within each latency objective (from the latency histogram)\n# TYPE km_slo_latency_good_total counter\n")
+	for _, o := range s.cfg.LatencyObjectivesMS {
+		fmt.Fprintf(w, "km_slo_latency_good_total{objective_ms=%q} %d\n",
+			FormatBound(o)[2:], s.hist.CountUnder(o))
+	}
+	WriteCounter(w, "km_slo_latency_total",
+		"requests measured against the latency objectives", s.hist.Count())
+
+	s.mu.Lock()
+	total, unavail := s.total, s.unavailTot
+	s.mu.Unlock()
+	WriteCounter(w, "km_slo_availability_good_total",
+		"requests served without shedding or failure", total-unavail)
+	WriteCounter(w, "km_slo_availability_total",
+		"requests measured against the availability objective", total)
+
+	fmt.Fprintf(w, "# HELP km_slo_burn_rate error-budget burn rate per objective and window (1.0 = budget exactly sustained)\n# TYPE km_slo_burn_rate gauge\n")
+	for _, win := range sloWindows {
+		avail, latency := s.burnRates(win.n)
+		fmt.Fprintf(w, "km_slo_burn_rate{slo=\"availability\",window=%q} %g\n", win.name, avail)
+		fmt.Fprintf(w, "km_slo_burn_rate{slo=\"latency\",window=%q} %g\n", win.name, latency)
+	}
+}
+
+// Snapshot renders the SLO state as a JSON-ready map (the
+// /metrics.json shape).
+func (s *SLO) Snapshot() map[string]any {
+	s.mu.Lock()
+	total, unavail := s.total, s.unavailTot
+	s.mu.Unlock()
+	attain := make(map[string]int64, len(s.cfg.LatencyObjectivesMS))
+	for _, o := range s.cfg.LatencyObjectivesMS {
+		attain[FormatBound(o)[2:]] = s.hist.CountUnder(o)
+	}
+	burns := make(map[string]any, len(sloWindows))
+	for _, win := range sloWindows {
+		avail, latency := s.burnRates(win.n)
+		burns[win.name] = map[string]float64{"availability": avail, "latency": latency}
+	}
+	return map[string]any{
+		"latency_objective_ms":      s.cfg.LatencyObjectiveMS,
+		"latency_target":            s.cfg.LatencyTarget,
+		"availability_target":       s.cfg.AvailabilityTarget,
+		"latency_good_by_objective": attain,
+		"latency_total":             s.hist.Count(),
+		"availability_good_total":   total - unavail,
+		"availability_total":        total,
+		"burn_rates":                burns,
+	}
+}

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// newTestSLO builds an SLO over a real histogram with a fake clock.
+func newTestSLO(cfg SLOConfig) (*SLO, *Histogram, *time.Time) {
+	h := NewLatencyHistogram()
+	s := NewSLO(cfg, h, h.Bounds())
+	now := time.Unix(1_000_000, 0)
+	s.now = func() time.Time { return now }
+	return s, h, &now
+}
+
+func TestSLOConfigDefaultsAndSnapping(t *testing.T) {
+	s, _, _ := newTestSLO(SLOConfig{})
+	if s.cfg.LatencyObjectiveMS != 100 || s.cfg.LatencyTarget != 0.99 || s.cfg.AvailabilityTarget != 0.999 {
+		t.Fatalf("defaults = %+v", s.cfg)
+	}
+	// 150ms is not a bucket bound; it must snap down to 100 so the
+	// attainment counter can be read exactly from the histogram.
+	s2, _, _ := newTestSLO(SLOConfig{LatencyObjectiveMS: 150, LatencyObjectivesMS: []float64{0.5, 150}})
+	if s2.cfg.LatencyObjectiveMS != 100 {
+		t.Errorf("objective snapped to %v, want 100", s2.cfg.LatencyObjectiveMS)
+	}
+	if s2.cfg.LatencyObjectivesMS[0] != 0.3 || s2.cfg.LatencyObjectivesMS[1] != 100 {
+		t.Errorf("objectives snapped to %v, want [0.3 100]", s2.cfg.LatencyObjectivesMS)
+	}
+}
+
+func TestSLOBurnRates(t *testing.T) {
+	s, _, now := newTestSLO(SLOConfig{LatencyTarget: 0.9, AvailabilityTarget: 0.99})
+	// 100 requests in the current bucket: 5 shed, 19 of the rest slow.
+	for i := 0; i < 5; i++ {
+		s.Observe(time.Millisecond, false)
+	}
+	for i := 0; i < 19; i++ {
+		s.Observe(500*time.Millisecond, true)
+	}
+	for i := 0; i < 76; i++ {
+		s.Observe(time.Millisecond, true)
+	}
+	avail, latency := s.burnRates(sloWindows[0].n)
+	// Availability: 5/100 bad over a 1% budget = 5.0.
+	if avail < 4.99 || avail > 5.01 {
+		t.Errorf("availability burn = %v, want 5.0", avail)
+	}
+	// Latency: 19/100 bad over a 10% budget = 1.9.
+	if latency < 1.89 || latency > 1.91 {
+		t.Errorf("latency burn = %v, want 1.9", latency)
+	}
+
+	// Advance past the 5m window: the short window empties (burn 0)
+	// while the 1h window still sees the old bucket.
+	*now = now.Add(6 * time.Minute)
+	avail, _ = s.burnRates(sloWindows[0].n)
+	if avail != 0 {
+		t.Errorf("5m burn after idle gap = %v, want 0", avail)
+	}
+	avail, _ = s.burnRates(sloWindows[2].n)
+	if avail < 4.99 || avail > 5.01 {
+		t.Errorf("1h burn after idle gap = %v, want 5.0", avail)
+	}
+
+	// A full ring revolution later the stale slot must not resurface.
+	*now = now.Add(2 * time.Hour)
+	avail, latency = s.burnRates(sloWindows[2].n)
+	if avail != 0 || latency != 0 {
+		t.Errorf("burn after ring revolution = %v/%v, want 0/0", avail, latency)
+	}
+}
+
+func TestSLOAttainmentFromHistogram(t *testing.T) {
+	s, h, _ := newTestSLO(SLOConfig{LatencyObjectivesMS: []float64{10, 100}})
+	h.Observe(5 * time.Millisecond)   // under both
+	h.Observe(50 * time.Millisecond)  // under 100 only
+	h.Observe(500 * time.Millisecond) // over both
+	snap := s.Snapshot()
+	attain := snap["latency_good_by_objective"].(map[string]int64)
+	if attain["10"] != 1 || attain["100"] != 2 {
+		t.Fatalf("attainment = %v, want 10:1 100:2", attain)
+	}
+	if snap["latency_total"].(int64) != 3 {
+		t.Fatalf("latency_total = %v", snap["latency_total"])
+	}
+}
+
+func TestSLOWritePrometheus(t *testing.T) {
+	s, h, _ := newTestSLO(SLOConfig{})
+	h.Observe(2 * time.Millisecond)
+	s.Observe(2*time.Millisecond, true)
+	s.Observe(time.Millisecond, false)
+	var sb strings.Builder
+	s.WritePrometheus(&sb)
+	out := sb.String()
+	if err := ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("km_slo_* exposition invalid: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"km_slo_latency_objective_ms 100\n",
+		"km_slo_latency_target 0.99\n",
+		"km_slo_availability_target 0.999\n",
+		`km_slo_latency_good_total{objective_ms="100"} 1`,
+		"km_slo_latency_total 1\n",
+		"km_slo_availability_good_total 1\n",
+		"km_slo_availability_total 2\n",
+		`km_slo_burn_rate{slo="availability",window="5m"}`,
+		`km_slo_burn_rate{slo="latency",window="1h"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}

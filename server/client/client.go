@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"bwtmatch/internal/obs"
 	"bwtmatch/server"
 )
 
@@ -31,6 +32,10 @@ type Client struct {
 	// retry, doubled per attempt with jitter, overridden by Retry-After.
 	retries int
 	backoff time.Duration
+
+	// failOnPartial turns a Partial search response into a *PartialError
+	// (the response is still returned alongside it).
+	failOnPartial bool
 }
 
 // Option configures a Client.
@@ -71,6 +76,16 @@ func WithRetries(max int, base time.Duration) Option {
 	}
 }
 
+// WithFailOnPartial makes Search return a *PartialError when the
+// coordinator answers with Partial set (some shards' matches missing).
+// The degraded response is still returned next to the error, so callers
+// choose per call whether to use it. Off by default: a partial answer
+// is a deliberate availability trade the cluster tier makes, and most
+// batch consumers prefer it to nothing.
+func WithFailOnPartial() Option {
+	return func(c *Client) { c.failOnPartial = true }
+}
+
 // New creates a client for the server at base (e.g. "http://host:port").
 func New(base string, opts ...Option) *Client {
 	c := &Client{
@@ -87,9 +102,16 @@ func New(base string, opts ...Option) *Client {
 type apiError struct {
 	Status int
 	Msg    string
+	// RID is the X-Km-Request-Id the server echoed (body or header), so
+	// a failed call still hands the caller the handle that finds the
+	// request in server logs and flight recorders.
+	RID string
 }
 
 func (e *apiError) Error() string {
+	if e.RID != "" {
+		return fmt.Sprintf("kmserved: HTTP %d: %s (rid %s)", e.Status, e.Msg, e.RID)
+	}
 	return fmt.Sprintf("kmserved: HTTP %d: %s", e.Status, e.Msg)
 }
 
@@ -100,6 +122,36 @@ func StatusCode(err error) int {
 		return ae.Status
 	}
 	return 0
+}
+
+// RequestID extracts the server-echoed X-Km-Request-Id from a client
+// error, or "".
+func RequestID(err error) string {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		return ae.RID
+	}
+	var pe *PartialError
+	if errors.As(err, &pe) {
+		return pe.RequestID
+	}
+	return ""
+}
+
+// PartialError reports a degraded cluster response (see
+// server.SearchResponse.Partial) when the client was built
+// WithFailOnPartial. Search returns it alongside the response itself.
+type PartialError struct {
+	// RequestID correlates with the coordinator's partial-batch warning
+	// log line.
+	RequestID string
+	// FailedShards lists the shard ordinals whose matches are missing.
+	FailedShards []int
+}
+
+func (e *PartialError) Error() string {
+	return fmt.Sprintf("kmserved: partial response: shards %v unreachable (rid %s)",
+		e.FailedShards, e.RequestID)
 }
 
 // retryDelay computes the wait before retry attempt (0-based): the
@@ -154,6 +206,16 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	// Propagate correlation state from the context: a coordinator runs
+	// its worker fan-out on a context carrying its request ID (and the
+	// sampled-trace flag), so every hop shares one X-Km-Request-Id
+	// without threading it through call signatures.
+	if rid, ok := obs.RequestID(ctx); ok {
+		req.Header.Set(server.HeaderRequestID, rid)
+	}
+	if obs.TraceRequested(ctx) {
+		req.Header.Set(server.HeaderTrace, "1")
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		// Transport failure: refused, reset, timed out. Context
@@ -167,7 +229,11 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte
 		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e) == nil && e.Error != "" {
 			msg = e.Error
 		}
-		return &apiError{Status: resp.StatusCode, Msg: msg},
+		rid := e.RequestID
+		if rid == "" {
+			rid = resp.Header.Get(server.HeaderRequestID)
+		}
+		return &apiError{Status: resp.StatusCode, Msg: msg, RID: rid},
 			resp.StatusCode == http.StatusServiceUnavailable,
 			resp.Header.Get("Retry-After")
 	}
@@ -208,11 +274,18 @@ func (c *Client) RemoveIndex(ctx context.Context, name string) error {
 	return c.do(ctx, http.MethodDelete, "/v1/indexes/"+url.PathEscape(name), nil, nil)
 }
 
-// Search runs one search request (single read or batch).
+// Search runs one search request (single read or batch). The returned
+// response carries the server's request ID (RequestID field) and, for a
+// sampled request (obs.WithTraceRequest on ctx), the server's span
+// fragments. With WithFailOnPartial, a Partial response is returned
+// together with a *PartialError describing the missing shards.
 func (c *Client) Search(ctx context.Context, req server.SearchRequest) (*server.SearchResponse, error) {
 	var out server.SearchResponse
 	if err := c.do(ctx, http.MethodPost, "/v1/search", req, &out); err != nil {
 		return nil, err
+	}
+	if c.failOnPartial && out.Partial {
+		return &out, &PartialError{RequestID: out.RequestID, FailedShards: out.FailedShards}
 	}
 	return &out, nil
 }

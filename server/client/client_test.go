@@ -3,12 +3,15 @@ package client
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"bwtmatch/internal/obs"
 	"bwtmatch/server"
 )
 
@@ -154,4 +157,97 @@ func TestSearchRoundTrip(t *testing.T) {
 func decodeInto(r *http.Request, v any) error {
 	defer r.Body.Close()
 	return json.NewDecoder(r.Body).Decode(v)
+}
+
+// The client turns context correlation state into wire headers: the
+// request ID always, the trace flag only when sampled.
+func TestContextPropagatesToHeaders(t *testing.T) {
+	var gotRID, gotTrace string
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotRID = r.Header.Get(server.HeaderRequestID)
+		gotTrace = r.Header.Get(server.HeaderTrace)
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer hs.Close()
+
+	c := New(hs.URL)
+	ctx := obs.WithTraceRequest(obs.WithRequestID(context.Background(), "creq-77"))
+	if err := c.Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if gotRID != "creq-77" || gotTrace != "1" {
+		t.Errorf("headers rid=%q trace=%q, want creq-77/1", gotRID, gotTrace)
+	}
+
+	// A bare context sends neither header.
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if gotRID != "" || gotTrace != "" {
+		t.Errorf("bare context leaked headers rid=%q trace=%q", gotRID, gotTrace)
+	}
+}
+
+func TestErrorCarriesRequestID(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(server.HeaderRequestID, "req-000123")
+		w.WriteHeader(http.StatusNotFound)
+		w.Write([]byte(`{"error":"no such index","request_id":"req-000123"}`))
+	}))
+	defer hs.Close()
+
+	_, err := New(hs.URL).Indexes(context.Background())
+	if err == nil {
+		t.Fatal("expected 404")
+	}
+	if RequestID(err) != "req-000123" {
+		t.Errorf("RequestID(err) = %q, want req-000123", RequestID(err))
+	}
+	if !strings.Contains(err.Error(), "req-000123") {
+		t.Errorf("error string omits rid: %v", err)
+	}
+
+	// Body without request_id: fall back to the response header.
+	hs2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(server.HeaderRequestID, "req-hdr-9")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error":"shed"}`))
+	}))
+	defer hs2.Close()
+	err = New(hs2.URL).Health(context.Background())
+	if RequestID(err) != "req-hdr-9" {
+		t.Errorf("header fallback rid = %q, want req-hdr-9", RequestID(err))
+	}
+}
+
+func TestFailOnPartial(t *testing.T) {
+	body := `{"index":"g","method":"a","results":[{"matches":[]}],"reads":1,` +
+		`"partial":true,"failed_shards":[1,3],"request_id":"creq-p-1"}`
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(body))
+	}))
+	defer hs.Close()
+
+	// Default client: partial responses are not errors.
+	resp, err := New(hs.URL).Search(context.Background(), server.SearchRequest{Index: "g", Seq: "acgt"})
+	if err != nil || !resp.Partial {
+		t.Fatalf("default client: resp %+v err %v", resp, err)
+	}
+
+	// WithFailOnPartial: error carries the details, response still usable.
+	resp, err = New(hs.URL, WithFailOnPartial()).Search(context.Background(),
+		server.SearchRequest{Index: "g", Seq: "acgt"})
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PartialError, got %v", err)
+	}
+	if pe.RequestID != "creq-p-1" || len(pe.FailedShards) != 2 || pe.FailedShards[1] != 3 {
+		t.Errorf("partial error = %+v", pe)
+	}
+	if RequestID(err) != "creq-p-1" {
+		t.Errorf("RequestID(partial err) = %q", RequestID(err))
+	}
+	if resp == nil || !resp.Partial {
+		t.Errorf("degraded response not returned alongside the error")
+	}
 }

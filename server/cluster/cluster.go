@@ -40,6 +40,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"bwtmatch/internal/obs"
 	"bwtmatch/server/client"
 )
 
@@ -88,6 +89,16 @@ type Config struct {
 	// CacheBytes bounds the hot-results cache resident bytes
 	// (default 64 MiB).
 	CacheBytes int64
+	// TraceSample is the fraction of batches traced end to end (0..1;
+	// default 0 = off). A sampled batch records coordinator spans, sets
+	// X-Km-Trace on every worker RPC so the workers return their span
+	// fragments, and the assembled cross-process timeline is kept for
+	// /debug/trace. A client can also force a trace per request with the
+	// X-Km-Trace header regardless of the sample rate.
+	TraceSample float64
+	// SLO declares the coordinator's service-level objectives; the zero
+	// value applies the obs defaults. km_slo_* series on /metrics.
+	SLO obs.SLOConfig
 	// Logger receives structured logs; nil discards them.
 	Logger *slog.Logger
 }
@@ -162,6 +173,15 @@ type Coordinator struct {
 	log      *slog.Logger
 	start    time.Time
 
+	// frec is the always-on flight recorder: every batch (including shed
+	// ones) leaves a fixed-size record behind, served on
+	// /debug/flightrecorder. slo derives km_slo_* series from the batch
+	// latency histogram. lastTrace holds the most recent sampled
+	// cross-process timeline ([]obs.Fragment) for /debug/trace.
+	frec      *obs.FlightRecorder
+	slo       *obs.SLO
+	lastTrace atomic.Value
+
 	mu       sync.Mutex
 	draining bool
 	inflight int // in-flight batches
@@ -196,6 +216,8 @@ func New(cfg Config) (*Coordinator, error) {
 	if co.log == nil {
 		co.log = slog.New(slog.DiscardHandler)
 	}
+	co.frec = obs.NewFlightRecorder(64, 16, coordPhaseNames[:])
+	co.slo = obs.NewSLO(cfg.SLO, co.met.BatchLatency, obs.DefaultLatencyBounds())
 	if cfg.CacheEntries > 0 {
 		co.cache = newResultCache(cfg.CacheEntries, cfg.CacheBytes)
 	}
@@ -227,7 +249,26 @@ func New(cfg Config) (*Coordinator, error) {
 	co.mux.HandleFunc("GET /readyz", co.handleReady)
 	co.mux.HandleFunc("GET /metrics", co.handleMetrics)
 	co.mux.HandleFunc("GET /metrics.json", co.handleMetricsJSON)
+	// Always mounted, like the worker's: recording costs nothing per
+	// batch and the recorder is wanted exactly when nobody thought to
+	// enable debugging beforehand.
+	co.mux.Handle("GET /debug/flightrecorder", co.frec)
+	co.mux.HandleFunc("GET /debug/trace", co.handleDebugTrace)
 	return co, nil
+}
+
+// Coordinator flight-recorder phase slots (QueryRecord.PhaseNS order).
+const (
+	phasePlan     = iota // cache lookup + coalescing per read
+	phaseRoute           // index→worker route resolution
+	phaseFanout          // worker RPCs in flight (incl. retries)
+	phaseMerge           // subset result merge + cache fill
+	phaseAssemble        // follower waits + response assembly
+	numCoordPhases
+)
+
+var coordPhaseNames = [numCoordPhases]string{
+	"plan", "route", "fanout", "merge", "assemble",
 }
 
 // Handler returns the HTTP handler tree for mounting into an

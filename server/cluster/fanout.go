@@ -8,24 +8,31 @@ import (
 	"sync"
 	"time"
 
+	"bwtmatch/internal/obs"
 	"bwtmatch/server"
 	"bwtmatch/server/client"
 )
 
 // subsetResult is the outcome of one subset's fan-out: the worker
 // responses for every read (index-aligned with the batch), or failure
-// after the retry chain is exhausted.
+// after the retry chain is exhausted. On a traced batch frags carries
+// the span fragments the answering worker returned, relabelled with
+// the worker's URL so each worker gets its own process lane in the
+// assembled timeline.
 type subsetResult struct {
 	sub     subset
 	results []server.ReadResult // nil on failure
+	frags   []obs.Fragment
 	err     error
 }
 
 // fanout sends the batch to every subset of the route concurrently and
 // collects the per-subset outcomes. Reads are the already-validated
 // wire reads (patterns sanitized); k and method are the batch-level
-// values. The caller merges.
-func (co *Coordinator) fanout(ctx context.Context, r route, reads []server.Read, k int, method string, timeoutMS int) []subsetResult {
+// values. fb is non-nil on a traced batch: each subset records its
+// spans on its own lane (tid i+2; tid 1 is the coordinator's main
+// flow). The caller merges.
+func (co *Coordinator) fanout(ctx context.Context, r route, reads []server.Read, k int, method string, timeoutMS int, fb *obs.FragmentBuilder) []subsetResult {
 	subs := r.subsets()
 	out := make([]subsetResult, len(subs))
 	var wg sync.WaitGroup
@@ -33,8 +40,22 @@ func (co *Coordinator) fanout(ctx context.Context, r route, reads []server.Read,
 		wg.Add(1)
 		go func(i int, sub subset) {
 			defer wg.Done()
-			results, err := co.searchSubset(ctx, r.index, sub, reads, k, method, timeoutMS)
-			out[i] = subsetResult{sub: sub, results: results, err: err}
+			tid := i + 2
+			var s0 time.Duration
+			if fb != nil {
+				s0 = fb.Now()
+			}
+			results, frags, err := co.searchSubset(ctx, r.index, sub, reads, k, method, timeoutMS, fb, tid)
+			if fb != nil {
+				ok := int64(1)
+				if err != nil {
+					ok = 0
+				}
+				fb.Span(tid, "subset", s0, fb.Now(),
+					obs.Arg{Key: "shards", Val: int64(len(sub.shards))},
+					obs.Arg{Key: "ok", Val: ok})
+			}
+			out[i] = subsetResult{sub: sub, results: results, frags: frags, err: err}
 		}(i, sub)
 	}
 	wg.Wait()
@@ -48,7 +69,7 @@ func (co *Coordinator) fanout(ctx context.Context, r route, reads []server.Read,
 // the cached route is dropped so the next batch re-resolves — and
 // still fails over, since a replica may hold the index the primary
 // evicted.
-func (co *Coordinator) searchSubset(ctx context.Context, index string, sub subset, reads []server.Read, k int, method string, timeoutMS int) ([]server.ReadResult, error) {
+func (co *Coordinator) searchSubset(ctx context.Context, index string, sub subset, reads []server.Read, k int, method string, timeoutMS int, fb *obs.FragmentBuilder, tid int) ([]server.ReadResult, []obs.Fragment, error) {
 	req := server.SearchRequest{
 		Index:     index,
 		K:         k,
@@ -62,19 +83,40 @@ func (co *Coordinator) searchSubset(ctx context.Context, index string, sub subse
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
 			co.met.RetriesTotal.Add(1)
+			if fb != nil {
+				fb.Mark(tid, "retry", obs.Arg{Key: "attempt", Val: int64(attempt)})
+			}
 			d := co.cfg.RetryBackoff << (attempt - 1)
 			select {
 			case <-time.After(d + rand.N(d/2+1)):
 			case <-ctx.Done():
-				return nil, ctx.Err()
+				return nil, nil, ctx.Err()
 			}
 		}
 		wk := sub.chain[attempt%len(sub.chain)]
 		co.met.FanoutRPCs.Add(1)
+		var r0 time.Duration
+		if fb != nil {
+			r0 = fb.Now()
+		}
 		resp, elapsed, err := co.searchWorker(ctx, wk, req)
+		if fb != nil {
+			fb.Span(tid, "rpc", r0, fb.Now(),
+				obs.Arg{Key: "attempt", Val: int64(attempt)},
+				obs.Arg{Key: "code", Val: int64(client.StatusCode(err))})
+		}
 		if err == nil {
 			co.met.WorkerLatency.Observe(elapsed)
-			return resp.Results, nil
+			// The worker only returns fragments when this batch carried
+			// X-Km-Trace (which the client sets from the traced context).
+			// Relabel them with the worker's URL: every worker reports
+			// itself as "kmserved", and the timeline needs one process
+			// lane per fleet member.
+			frags := resp.Trace
+			for i := range frags {
+				frags[i].Process = wk.url
+			}
+			return resp.Results, frags, nil
 		}
 		lastErr = err
 		co.met.WorkerErrors.Add(1)
@@ -87,13 +129,13 @@ func (co *Coordinator) searchSubset(ctx context.Context, index string, sub subse
 		} else if code >= 400 && code < 500 {
 			// The request itself is bad (or too large): every replica
 			// would reject it the same way.
-			return nil, err
+			return nil, nil, err
 		}
 		if ctx.Err() != nil {
-			return nil, lastErr
+			return nil, nil, lastErr
 		}
 	}
-	return nil, lastErr
+	return nil, nil, lastErr
 }
 
 // searchWorker performs one bounded RPC attempt.

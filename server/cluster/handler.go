@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"strconv"
 	"time"
@@ -28,11 +29,11 @@ type readPlan struct {
 	lidx   int // index into the leader sub-batch when leader
 }
 
-func (co *Coordinator) fail(w http.ResponseWriter, code int, format string, args ...any) {
+func (co *Coordinator) fail(w http.ResponseWriter, rid string, code int, format string, args ...any) {
 	co.met.RejectedTotal.Add(1)
 	msg := fmt.Sprintf(format, args...)
-	co.log.Warn("request rejected", "code", code, "error", msg)
-	writeJSON(w, code, server.ErrorResponse{Error: msg})
+	co.log.Warn("request rejected", "rid", rid, "code", code, "error", msg)
+	writeJSON(w, code, server.ErrorResponse{Error: msg, RequestID: rid})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -108,6 +109,7 @@ func (co *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	entries, bytes := co.cache.stats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	co.met.WritePrometheus(w, entries, bytes)
+	co.slo.WritePrometheus(w)
 }
 
 func (co *Coordinator) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
@@ -116,20 +118,31 @@ func (co *Coordinator) handleMetricsJSON(w http.ResponseWriter, r *http.Request)
 }
 
 func (co *Coordinator) handleSearch(w http.ResponseWriter, r *http.Request) {
+	arrive := time.Now()
+	// Adopt the caller's request ID or mint one, and echo it in the
+	// response header before anything can fail, so every outcome —
+	// success, rejection, shed — carries the correlation handle.
+	rid := r.Header.Get(server.HeaderRequestID)
+	if rid == "" {
+		rid = co.nextRequestID()
+	}
+	w.Header().Set(server.HeaderRequestID, rid)
+	traced := server.TraceHeaderSet(r.Header.Get(server.HeaderTrace)) || co.sampleTrace()
+
 	var req server.SearchRequest
 	if err := decodeBody(r, co.cfg.MaxBodyBytes, &req); err != nil {
-		co.fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		co.fail(w, rid, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
 	if len(req.Shards) > 0 {
 		// Shard routing is the coordinator's job; accepting a client's
 		// subset would break the exactly-once merge.
-		co.fail(w, http.StatusBadRequest, "shards cannot be set on a coordinator request")
+		co.fail(w, rid, http.StatusBadRequest, "shards cannot be set on a coordinator request")
 		return
 	}
 	method, err := server.ParseMethod(req.Method)
 	if err != nil {
-		co.fail(w, http.StatusBadRequest, "%v", err)
+		co.fail(w, rid, http.StatusBadRequest, "%v", err)
 		return
 	}
 	// The canonical wire token ("a"), not the display name: it keys the
@@ -138,22 +151,22 @@ func (co *Coordinator) handleSearch(w http.ResponseWriter, r *http.Request) {
 	reads := req.Reads
 	if req.Seq != "" {
 		if len(reads) > 0 {
-			co.fail(w, http.StatusBadRequest, "set either seq or reads, not both")
+			co.fail(w, rid, http.StatusBadRequest, "set either seq or reads, not both")
 			return
 		}
 		reads = []server.Read{{Seq: req.Seq}}
 	}
 	if len(reads) == 0 {
-		co.fail(w, http.StatusBadRequest, "no reads in request")
+		co.fail(w, rid, http.StatusBadRequest, "no reads in request")
 		return
 	}
 	if len(reads) > co.cfg.MaxBatch {
-		co.fail(w, http.StatusRequestEntityTooLarge,
+		co.fail(w, rid, http.StatusRequestEntityTooLarge,
 			"batch of %d exceeds limit %d", len(reads), co.cfg.MaxBatch)
 		return
 	}
 	if req.Index == "" {
-		co.fail(w, http.StatusBadRequest, "index is required")
+		co.fail(w, rid, http.StatusBadRequest, "index is required")
 		return
 	}
 
@@ -169,16 +182,18 @@ func (co *Coordinator) handleSearch(w http.ResponseWriter, r *http.Request) {
 			secs = 1
 		}
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
-		co.log.Warn("request shed", "index", req.Index, "reads", len(reads))
+		co.log.Warn("request shed", "rid", rid, "index", req.Index, "reads", len(reads))
 		writeJSON(w, http.StatusServiceUnavailable,
-			server.ErrorResponse{Error: "coordinator overloaded; retry later"})
+			server.ErrorResponse{Error: "coordinator overloaded; retry later", RequestID: rid})
+		co.recordShed(rid, req.Index, methodName, len(reads), arrive)
 		return
 	}
 	defer co.pressure.Add(-1)
 
 	done, ok := co.begin()
 	if !ok {
-		co.fail(w, http.StatusServiceUnavailable, "coordinator is draining")
+		co.fail(w, rid, http.StatusServiceUnavailable, "coordinator is draining")
+		co.recordShed(rid, req.Index, methodName, len(reads), arrive)
 		return
 	}
 	defer done()
@@ -189,14 +204,23 @@ func (co *Coordinator) handleSearch(w http.ResponseWriter, r *http.Request) {
 			timeout = t
 		}
 	}
-	rid := co.nextRequestID()
-	ctx, cancel := context.WithTimeout(obs.WithRequestID(r.Context(), rid), timeout)
+	// A traced batch carries the flag on the context so the client layer
+	// sets X-Km-Trace on every worker RPC and the workers return their
+	// span fragments.
+	baseCtx := obs.WithRequestID(r.Context(), rid)
+	var fb *obs.FragmentBuilder
+	if traced {
+		fb = obs.NewFragmentBuilder("coordinator", rid)
+		baseCtx = obs.WithTraceRequest(baseCtx)
+	}
+	ctx, cancel := context.WithTimeout(baseCtx, timeout)
 	defer cancel()
 
 	select {
 	case co.sem <- struct{}{}:
 	case <-ctx.Done():
-		co.fail(w, http.StatusServiceUnavailable, "timed out waiting for a batch slot")
+		co.fail(w, rid, http.StatusServiceUnavailable, "timed out waiting for a batch slot")
+		co.recordShed(rid, req.Index, methodName, len(reads), arrive)
 		return
 	}
 	defer func() { <-co.sem }()
@@ -205,6 +229,18 @@ func (co *Coordinator) handleSearch(w http.ResponseWriter, r *http.Request) {
 	defer co.met.InFlight.Add(-1)
 	start := time.Now()
 
+	// Per-phase wall clocks for the flight recorder: the phases of one
+	// batch are strictly sequential in this handler, so a single rolling
+	// mark splits the elapsed time exactly.
+	var phase [numCoordPhases]int64
+	phaseMark := start
+	lap := func(p int) {
+		now := time.Now()
+		phase[p] += int64(now.Sub(phaseMark))
+		phaseMark = now
+	}
+	var cacheHits, coalesced int
+
 	// Plan every read: sanitize the pattern (the key must match what
 	// workers will actually search), then cache → singleflight. The
 	// first occurrence of a key becomes the flight's leader; duplicates
@@ -212,13 +248,17 @@ func (co *Coordinator) handleSearch(w http.ResponseWriter, r *http.Request) {
 	plans := make([]readPlan, len(reads))
 	var leaderReads []server.Read
 	var leaderPlans []*readPlan
+	var planO time.Duration
+	if fb != nil {
+		planO = fb.Now()
+	}
 	for i, rd := range reads {
 		k := req.K
 		if rd.K != nil {
 			k = *rd.K
 		}
 		if k < 0 || k > co.cfg.MaxK {
-			co.fail(w, http.StatusBadRequest, "read %d: k=%d outside [0,%d]", i, k, co.cfg.MaxK)
+			co.fail(w, rid, http.StatusBadRequest, "read %d: k=%d outside [0,%d]", i, k, co.cfg.MaxK)
 			// Leaders already registered must complete or followers in
 			// other batches would hang.
 			co.abandonLeaders(leaderPlans, "batch rejected")
@@ -231,6 +271,7 @@ func (co *Coordinator) handleSearch(w http.ResponseWriter, r *http.Request) {
 		p.key = key
 		if m, ok := co.cache.get(key); ok {
 			co.met.CacheHits.Add(1)
+			cacheHits++
 			p.cached, p.hit = m, true
 			continue
 		}
@@ -244,26 +285,59 @@ func (co *Coordinator) handleSearch(w http.ResponseWriter, r *http.Request) {
 			leaderPlans = append(leaderPlans, p)
 		} else {
 			co.met.InflightDedup.Add(1)
+			coalesced++
 		}
+	}
+	lap(phasePlan)
+	if fb != nil {
+		fb.Span(1, "plan", planO, fb.Now(),
+			obs.Arg{Key: "reads", Val: int64(len(reads))},
+			obs.Arg{Key: "leaders", Val: int64(len(leaderReads))},
+			obs.Arg{Key: "cache_hits", Val: int64(cacheHits)},
+			obs.Arg{Key: "coalesced", Val: int64(coalesced)})
 	}
 
 	// The leaders' sub-batch fans out once for all of them.
 	var failedShards []int
+	var workerFrags []obs.Fragment
 	partial := false
 	if len(leaderReads) > 0 {
+		var routeO time.Duration
+		if fb != nil {
+			routeO = fb.Now()
+		}
 		rt, err := co.resolve(ctx, req.Index)
+		lap(phaseRoute)
 		if err != nil {
 			co.abandonLeaders(leaderPlans, err.Error())
 			code := http.StatusBadGateway
 			if errors.Is(err, ErrNoRoute) {
 				code = http.StatusNotFound
 			}
-			co.fail(w, code, "%v", err)
+			co.fail(w, rid, code, "%v", err)
 			return
 		}
-		outs := co.fanout(ctx, rt, leaderReads, req.K, methodName, req.TimeoutMS)
+		var fanO time.Duration
+		if fb != nil {
+			fb.Span(1, "route", routeO, fb.Now())
+			fanO = fb.Now()
+		}
+		outs := co.fanout(ctx, rt, leaderReads, req.K, methodName, req.TimeoutMS, fb)
+		lap(phaseFanout)
+		if fb != nil {
+			fb.Span(1, "fanout", fanO, fb.Now(),
+				obs.Arg{Key: "subsets", Val: int64(len(outs))},
+				obs.Arg{Key: "reads", Val: int64(len(leaderReads))})
+		}
+		var mergeO time.Duration
+		if fb != nil {
+			mergeO = fb.Now()
+		}
 		results, failed, part := merge(len(leaderReads), outs)
 		failedShards, partial = failed, part
+		for _, o := range outs {
+			workerFrags = append(workerFrags, o.frags...)
+		}
 		for _, p := range leaderPlans {
 			rr := results[p.lidx]
 			co.flight.complete(p.key, p.call, rr.Matches, rr.Error, part, failed)
@@ -271,10 +345,18 @@ func (co *Coordinator) handleSearch(w http.ResponseWriter, r *http.Request) {
 				co.cache.put(p.key, rr.Matches)
 			}
 		}
+		lap(phaseMerge)
+		if fb != nil {
+			fb.Span(1, "merge", mergeO, fb.Now())
+		}
 	}
 
 	// Assemble: cache hits and leaders are already settled; followers
 	// wait for their flight's leader (possibly in another batch).
+	var asmO time.Duration
+	if fb != nil {
+		asmO = fb.Now()
+	}
 	resp := server.SearchResponse{
 		Index:  req.Index,
 		Method: method.String(), // display name, like the worker tier
@@ -325,13 +407,53 @@ func (co *Coordinator) handleSearch(w http.ResponseWriter, r *http.Request) {
 		resp.FailedShards = sortedInts(failedShards)
 		co.met.PartialTotal.Add(1)
 	}
+	lap(phaseAssemble)
 	elapsed := time.Since(start)
 	resp.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
+	resp.RequestID = rid
+	if fb != nil {
+		fb.Span(1, "assemble", asmO, fb.Now())
+		// Coordinator fragment first, then one fragment per answering
+		// worker: WriteChromeTraceMulti turns each into its own process
+		// lane, so the stored slice is the whole cross-process timeline.
+		frags := append([]obs.Fragment{fb.Fragment()}, workerFrags...)
+		resp.Trace = frags
+		co.lastTrace.Store(frags)
+		co.met.TracesTotal.Add(1)
+	}
 	co.met.BatchesTotal.Add(1)
 	co.met.ReadsTotal.Add(int64(len(reads)))
 	co.met.MatchesTotal.Add(int64(resp.Matches))
 	co.met.ErrorsTotal.Add(int64(resp.Errors))
 	co.met.BatchLatency.Observe(elapsed)
+	co.slo.Observe(elapsed, true)
+	rec := obs.QueryRecord{
+		Start:     arrive,
+		RID:       rid,
+		Index:     req.Index,
+		Method:    methodName,
+		ElapsedNS: int64(elapsed),
+		Reads:     int32(len(reads)),
+		Matches:   int32(resp.Matches),
+		Errors:    int32(resp.Errors),
+		CacheHits: int32(cacheHits),
+		Coalesced: int32(coalesced),
+		Partial:   resp.Partial,
+	}
+	copy(rec.PhaseNS[:], phase[:])
+	for _, s := range resp.FailedShards {
+		rec.FailedShards |= obs.ShardBit(s)
+	}
+	co.frec.Record(&rec)
+	if resp.Partial {
+		// Warn level with the rid: a partial batch is the cluster
+		// degrading service, and the rid ties this line to the client
+		// error and the flight-recorder record.
+		co.log.Warn("partial batch",
+			"rid", rid,
+			"index", req.Index,
+			"failed_shards", fmt.Sprint(resp.FailedShards))
+	}
 	co.log.Info("cluster search",
 		"rid", rid,
 		"index", req.Index,
@@ -343,6 +465,46 @@ func (co *Coordinator) handleSearch(w http.ResponseWriter, r *http.Request) {
 		"partial", resp.Partial,
 		"elapsed_ms", resp.ElapsedMS)
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// recordShed leaves a flight-recorder record (and an SLO unavailability
+// observation) behind for a batch refused by admission control, a
+// drain, or a queue timeout — refusals are exactly what the recorder
+// exists to explain after the fact.
+func (co *Coordinator) recordShed(rid, index, method string, reads int, arrive time.Time) {
+	elapsed := time.Since(arrive)
+	rec := obs.QueryRecord{
+		Start:     arrive,
+		RID:       rid,
+		Index:     index,
+		Method:    method,
+		ElapsedNS: int64(elapsed),
+		Reads:     int32(reads),
+		Shed:      true,
+	}
+	co.frec.Record(&rec)
+	co.slo.Observe(elapsed, false)
+}
+
+// sampleTrace decides whether an untagged batch gets traced anyway,
+// at the configured TraceSample rate.
+func (co *Coordinator) sampleTrace() bool {
+	s := co.cfg.TraceSample
+	return s > 0 && (s >= 1 || rand.Float64() < s)
+}
+
+// handleDebugTrace serves the most recent sampled batch's assembled
+// cross-process timeline in Chrome trace-event format (load it in
+// chrome://tracing or Perfetto). 404 until a batch has been sampled.
+func (co *Coordinator) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	frags, _ := co.lastTrace.Load().([]obs.Fragment)
+	if len(frags) == 0 {
+		writeJSON(w, http.StatusNotFound,
+			server.ErrorResponse{Error: "no sampled trace captured yet"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	obs.WriteChromeTraceMulti(w, frags)
 }
 
 // abandonLeaders completes every registered leader call with an error

@@ -30,6 +30,8 @@ type Metrics struct {
 	CacheMisses   obs.ShardedCounter // reads that missed the cache
 	InflightDedup obs.ShardedCounter // reads coalesced onto an in-flight identical query
 
+	TracesTotal obs.ShardedCounter // batches traced end to end (sampled or forced)
+
 	BatchLatency  *obs.ShardedHistogram // whole-batch wall time
 	WorkerLatency *obs.ShardedHistogram // per-RPC worker wall time (successful attempts)
 }
@@ -61,6 +63,7 @@ func (m *Metrics) Snapshot(cacheEntries int, cacheBytes int64) map[string]any {
 		"cache_hits_total":              m.CacheHits.Load(),
 		"cache_misses_total":            m.CacheMisses.Load(),
 		"cache_inflight_dedup_total":    m.InflightDedup.Load(),
+		"cluster_traces_total":          m.TracesTotal.Load(),
 		"cache_entries":                 cacheEntries,
 		"cache_bytes":                   cacheBytes,
 		"cluster_batch_latency_ms":      m.BatchLatency.Snapshot(),
@@ -85,6 +88,7 @@ func (m *Metrics) WritePrometheus(w io.Writer, cacheEntries int, cacheBytes int6
 	obs.WriteCounter(w, "km_cache_hits_total", "reads served from the hot-results cache", m.CacheHits.Load())
 	obs.WriteCounter(w, "km_cache_misses_total", "reads that missed the hot-results cache", m.CacheMisses.Load())
 	obs.WriteCounter(w, "km_cache_inflight_dedup_total", "reads coalesced onto an in-flight identical query", m.InflightDedup.Load())
+	obs.WriteCounter(w, "km_cluster_traces_total", "batches traced end to end (sampled or forced)", m.TracesTotal.Load())
 	obs.WriteGauge(w, "km_cache_entries", "hot-results cache entries resident", int64(cacheEntries))
 	obs.WriteGauge(w, "km_cache_bytes", "hot-results cache resident bytes", cacheBytes)
 	if m.BatchLatency.Count() > 0 {

@@ -1,0 +1,144 @@
+package cluster_test
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bwtmatch/internal/obs"
+)
+
+// TestTraceSmoke is the `make trace-smoke` gate: the real fleet
+// (kmgen index, two kmserved workers, a kmserved -coordinator at 100%
+// trace sampling) driven by kmload -trace, which must produce one
+// cross-process Chrome timeline — the coordinator's spans plus span
+// fragments from both workers, all carrying the same request ID. The
+// coordinator's /debug/trace and both tiers' /debug/flightrecorder
+// endpoints are probed over the same fleet.
+func TestTraceSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bins := t.TempDir()
+	for _, name := range []string{"kmgen", "kmserved", "kmload"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(bins, name), "bwtmatch/cmd/"+name)
+		cmd.Env = os.Environ()
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, out)
+		}
+	}
+	work := t.TempDir()
+	genome := filepath.Join(work, "genome.fa")
+	index := filepath.Join(work, "genome.bwt")
+	report := filepath.Join(work, "report.json")
+	traceFile := filepath.Join(work, "trace.json")
+
+	if out, err := exec.Command(filepath.Join(bins, "kmgen"),
+		"-genome", genome, "-bases", "16384", "-seed", "11",
+		"-index", index, "-shards", "4", "-max-pattern", "96").CombinedOutput(); err != nil {
+		t.Fatalf("kmgen: %v\n%s", err, out)
+	}
+
+	worker1 := startDaemon(t, filepath.Join(bins, "kmserved"),
+		"-addr", "127.0.0.1:0", "-load", "g="+index, "-warm")
+	worker2 := startDaemon(t, filepath.Join(bins, "kmserved"),
+		"-addr", "127.0.0.1:0", "-load", "g="+index, "-warm")
+	awaitOK(t, worker1+"/readyz")
+	awaitOK(t, worker2+"/readyz")
+
+	coord := startDaemon(t, filepath.Join(bins, "kmserved"),
+		"-coordinator", "-addr", "127.0.0.1:0", "-trace-sample", "1",
+		"-workers", worker1+","+worker2)
+	awaitOK(t, coord+"/readyz")
+
+	if out, err := exec.Command(filepath.Join(bins, "kmload"),
+		"-url", coord, "-index", "g", "-k", "2", "-clients", "4",
+		"-requests", "12", "-batch", "8", "-pool", "32", "-pattern-len", "40",
+		"-genome", genome, "-seed", "5", "-out", report,
+		"-trace", traceFile).CombinedOutput(); err != nil {
+		t.Fatalf("kmload: %v\n%s", err, out)
+	}
+
+	// The kmload-written timeline must be a valid Chrome trace whose
+	// instant/span events all share kmload's forced request ID, spread
+	// over a coordinator lane and at least one worker lane.
+	blob, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateChromeTrace(strings.NewReader(string(blob))); err != nil {
+		t.Fatalf("kmload trace invalid: %v\n%s", err, blob)
+	}
+	var doc struct {
+		Events []struct {
+			Phase string         `json:"ph"`
+			Name  string         `json:"name"`
+			PID   int            `json:"pid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(blob, &doc); err != nil {
+		t.Fatal(err)
+	}
+	procs := map[string]bool{}
+	spans := map[string]bool{}
+	for _, ev := range doc.Events {
+		switch {
+		case ev.Phase == "M" && ev.Name == "process_name":
+			if name, ok := ev.Args["name"].(string); ok {
+				procs[name] = true
+			}
+		case ev.Phase == "X":
+			spans[ev.Name] = true
+		}
+	}
+	if !procs["coordinator"] {
+		t.Errorf("no coordinator lane in %v", procs)
+	}
+	workers := 0
+	for p := range procs {
+		if strings.HasPrefix(p, "http://") {
+			workers++
+		}
+	}
+	if workers < 1 {
+		t.Errorf("no worker lanes in %v", procs)
+	}
+	for _, want := range []string{"plan", "fanout", "subset", "rpc", "search"} {
+		if !spans[want] {
+			t.Errorf("timeline missing %q span (have %v)", want, spans)
+		}
+	}
+
+	// 100% sampling: /debug/trace serves a valid timeline too.
+	dbg := getBody(t, coord+"/debug/trace")
+	if err := obs.ValidateChromeTrace(strings.NewReader(dbg)); err != nil {
+		t.Errorf("/debug/trace invalid: %v", err)
+	}
+
+	// Flight recorders are live on every tier; the coordinator's breaks
+	// batches into its five phases, the workers into queue/search.
+	for tier, base := range map[string]string{"coordinator": coord, "worker": worker1} {
+		body := getBody(t, base+"/debug/flightrecorder")
+		var snap struct {
+			Total  uint64   `json:"total"`
+			Phases []string `json:"phases"`
+		}
+		if err := json.Unmarshal([]byte(body), &snap); err != nil {
+			t.Fatalf("%s flight recorder: %v", tier, err)
+		}
+		if snap.Total == 0 {
+			t.Errorf("%s flight recorder saw no batches", tier)
+		}
+		wantPhases := "queue,search"
+		if tier == "coordinator" {
+			wantPhases = "plan,route,fanout,merge,assemble"
+		}
+		if got := strings.Join(snap.Phases, ","); got != wantPhases {
+			t.Errorf("%s phases = %s, want %s", tier, got, wantPhases)
+		}
+	}
+}

@@ -116,6 +116,30 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	}
 }
 
+// LatencySource returns a merged obs.HistogramSource view over the
+// per-method latency histograms, so the SLO layer computes attainment
+// from the same striped data the kmserved_search_latency_ms series
+// carry instead of double-counting observations elsewhere.
+func (m *Metrics) LatencySource() obs.HistogramSource { return allMethodsSource{m} }
+
+type allMethodsSource struct{ m *Metrics }
+
+func (a allMethodsSource) Count() int64 {
+	var n int64
+	for i := range a.m.perMethod {
+		n += a.m.perMethod[i].Count()
+	}
+	return n
+}
+
+func (a allMethodsSource) CountUnder(boundMS float64) int64 {
+	var n int64
+	for i := range a.m.perMethod {
+		n += a.m.perMethod[i].CountUnder(boundMS)
+	}
+	return n
+}
+
 // methodNameFor inverts methodNames for display.
 func methodNameFor(m int) string {
 	for name, method := range methodNames {

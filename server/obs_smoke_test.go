@@ -82,8 +82,38 @@ func TestObsSmoke(t *testing.T) {
 			t.Errorf("exposition missing %q:\n%s", want, out)
 		}
 	}
+	// The SLO layer rides the same exposition.
+	for _, want := range []string{
+		"km_slo_latency_objective_ms",
+		"km_slo_availability_total 1",
+		`km_slo_burn_rate{slo="latency",window="5m"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing SLO series %q", want)
+		}
+	}
 	// The M-tree must have done real work for the served search.
 	if strings.Contains(out, "kmserved_mtree_leaves_total 0\n") {
 		t.Error("mtree_leaves_total stayed 0 after a search")
+	}
+
+	// The always-on flight recorder is live without any -debug flag and
+	// already holds the served batch.
+	fr, err := http.Get(base + "/debug/flightrecorder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fr.Body.Close()
+	if fr.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/flightrecorder: %s", fr.Status)
+	}
+	frBody, err := io.ReadAll(fr.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"total": 1`, `"queue"`, `"search"`, `"rid"`} {
+		if !strings.Contains(string(frBody), want) {
+			t.Errorf("flight recorder snapshot missing %s:\n%s", want, frBody)
+		}
 	}
 }

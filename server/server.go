@@ -54,6 +54,10 @@ type Config struct {
 	// endpoints expose internals and cost memory to serve, so they are
 	// opt-in (kmserved -debug).
 	EnableDebug bool
+	// SLO declares the tier's service-level objectives; the zero value
+	// applies the obs defaults (100ms @ 99%, 99.9% availability). The
+	// km_slo_* series on /metrics are computed against it.
+	SLO obs.SLOConfig
 	// WarmIndexes forces every shard of a registered sharded index to
 	// materialize in the background at registration time (kmserved
 	// -warm). While any warm-up is running /readyz reports 503, so a
@@ -90,14 +94,16 @@ func (c *Config) applyDefaults() {
 // search endpoint, and metrics. Create with New, mount via Handler, and
 // stop with Shutdown (drains in-flight searches, refuses new ones).
 type Server struct {
-	cfg   Config
-	reg   *Registry
-	met   *Metrics
-	mux   *http.ServeMux
-	sem   chan struct{} // MaxConcurrent slots
-	log   *slog.Logger
-	start time.Time
-	reqID atomic.Int64 // request ID sequence
+	cfg    Config
+	reg    *Registry
+	met    *Metrics
+	mux    *http.ServeMux
+	sem    chan struct{} // MaxConcurrent slots
+	log    *slog.Logger
+	start  time.Time
+	reqID  atomic.Int64 // request ID sequence
+	flight *obs.FlightRecorder
+	slo    *obs.SLO
 
 	mu       sync.Mutex
 	draining bool
@@ -133,7 +139,9 @@ func New(cfg Config) *Server {
 		log:     cfg.Logger,
 		start:   time.Now(),
 		drained: make(chan struct{}),
+		flight:  obs.NewFlightRecorder(64, 16, []string{"queue", "search"}),
 	}
+	s.slo = obs.NewSLO(cfg.SLO, s.met.LatencySource(), obs.DefaultLatencyBounds())
 	s.warmCtx, s.warmCancel = context.WithCancel(context.Background())
 	if s.log == nil {
 		s.log = slog.New(slog.DiscardHandler)
@@ -150,6 +158,10 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /metrics.json", s.met.ServeJSON)
+	// The flight recorder is always on (recording is allocation-free),
+	// so its endpoint is too — unlike pprof it serves a bounded, cheap
+	// snapshot and is exactly the thing wanted when debug wasn't enabled.
+	s.mux.Handle("GET /debug/flightrecorder", s.flight)
 	if cfg.EnableDebug {
 		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -342,12 +354,40 @@ func (s *Server) endSearch() {
 }
 
 func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
+	s.failr(w, "", code, format, args...)
+}
+
+// failr is fail with the request ID echoed in the error body, for
+// endpoints that have one (the search path always does; its response
+// header is set before any failure can occur).
+func (s *Server) failr(w http.ResponseWriter, rid string, code int, format string, args ...any) {
 	s.met.RejectedTotal.Add(1)
 	msg := fmt.Sprintf(format, args...)
-	s.log.Warn("request rejected", "code", code, "error", msg)
+	if rid != "" {
+		s.log.Warn("request rejected", "rid", rid, "code", code, "error", msg)
+	} else {
+		s.log.Warn("request rejected", "code", code, "error", msg)
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(ErrorResponse{Error: msg})
+	json.NewEncoder(w).Encode(ErrorResponse{Error: msg, RequestID: rid})
+}
+
+// recordShed notes a refused search batch in the flight recorder and
+// the SLO ring: load shedding is an availability event, and the shed
+// records make "what was I refusing and when" answerable after the
+// fact from /debug/flightrecorder alone.
+func (s *Server) recordShed(rid, index string, reads int, arrive time.Time) {
+	rec := obs.QueryRecord{
+		Start:     arrive,
+		RID:       rid,
+		Index:     index,
+		ElapsedNS: int64(time.Since(arrive)),
+		Reads:     int32(reads),
+		Shed:      true,
+	}
+	s.flight.Record(&rec)
+	s.slo.Observe(time.Since(arrive), false)
 }
 
 // nextRequestID issues a per-server-unique request ID. It is stamped on
@@ -444,30 +484,38 @@ func (s *Server) handleRemoveIndex(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	arrive := time.Now()
+	// Adopt the caller's request ID (a coordinator forwards its own) or
+	// mint one; echo it as a header on every outcome, success or not.
+	rid := r.Header.Get(HeaderRequestID)
+	if rid == "" {
+		rid = s.nextRequestID()
+	}
+	w.Header().Set(HeaderRequestID, rid)
 	var req SearchRequest
 	if err := decodeBody(r, s.cfg.MaxBodyBytes, &req); err != nil {
-		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		s.failr(w, rid, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
 	method, err := ParseMethod(req.Method)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, "%v", err)
+		s.failr(w, rid, http.StatusBadRequest, "%v", err)
 		return
 	}
 	reads := req.Reads
 	if req.Seq != "" {
 		if len(reads) > 0 {
-			s.fail(w, http.StatusBadRequest, "set either seq or reads, not both")
+			s.failr(w, rid, http.StatusBadRequest, "set either seq or reads, not both")
 			return
 		}
 		reads = []Read{{Seq: req.Seq}}
 	}
 	if len(reads) == 0 {
-		s.fail(w, http.StatusBadRequest, "no reads in request")
+		s.failr(w, rid, http.StatusBadRequest, "no reads in request")
 		return
 	}
 	if len(reads) > s.cfg.MaxBatch {
-		s.fail(w, http.StatusRequestEntityTooLarge,
+		s.failr(w, rid, http.StatusRequestEntityTooLarge,
 			"batch of %d exceeds limit %d", len(reads), s.cfg.MaxBatch)
 		return
 	}
@@ -478,7 +526,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			k = *rd.K
 		}
 		if k < 0 || k > s.cfg.MaxK {
-			s.fail(w, http.StatusBadRequest,
+			s.failr(w, rid, http.StatusBadRequest,
 				"read %d: k=%d outside [0,%d]", i, k, s.cfg.MaxK)
 			return
 		}
@@ -487,21 +535,21 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	idx, err := s.reg.Get(req.Index)
 	if err != nil {
-		s.fail(w, http.StatusNotFound, "%v", err)
+		s.failr(w, rid, http.StatusNotFound, "%v", err)
 		return
 	}
 	var sharded *bwtmatch.ShardedIndex
 	if len(req.Shards) > 0 {
 		sx, ok := idx.(*bwtmatch.ShardedIndex)
 		if !ok {
-			s.fail(w, http.StatusBadRequest,
+			s.failr(w, rid, http.StatusBadRequest,
 				"index %q is monolithic; shards cannot be restricted", req.Index)
 			return
 		}
 		prev := -1
 		for _, sh := range req.Shards {
 			if sh < 0 || sh >= sx.Shards() || sh <= prev {
-				s.fail(w, http.StatusBadRequest,
+				s.failr(w, rid, http.StatusBadRequest,
 					"bad shard set %v for index %q (%d shards; ordinals must be strictly increasing)",
 					req.Shards, req.Index, sx.Shards())
 				return
@@ -513,7 +561,8 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 
 	done, ok := s.beginSearch()
 	if !ok {
-		s.fail(w, http.StatusServiceUnavailable, "server is draining")
+		s.recordShed(rid, req.Index, len(reads), arrive)
+		s.failr(w, rid, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
 	defer done()
@@ -527,27 +576,45 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			timeout = t
 		}
 	}
-	rid := s.nextRequestID()
 	ctx, cancel := context.WithTimeout(obs.WithRequestID(r.Context(), rid), timeout)
 	defer cancel()
+
+	// A sampled request (X-Km-Trace, set by kmload -trace or a sampling
+	// coordinator) gets a span fragment recorded alongside the normal
+	// bookkeeping; untraced requests never touch a FragmentBuilder.
+	var fb *obs.FragmentBuilder
+	if TraceHeaderSet(r.Header.Get(HeaderTrace)) {
+		fb = obs.NewFragmentBuilder("kmserved", rid)
+		ctx = obs.WithTraceRequest(ctx)
+	}
 
 	// Queue for a concurrency slot; a timeout while queued is billed to
 	// the request, not the server. A free slot is taken unconditionally so
 	// an already-expired deadline still surfaces as per-read errors rather
 	// than racing the two select branches.
+	queueStart := time.Now()
 	select {
 	case s.sem <- struct{}{}:
 	default:
 		select {
 		case s.sem <- struct{}{}:
 		case <-ctx.Done():
-			s.fail(w, http.StatusServiceUnavailable, "timed out waiting for a search slot")
+			s.recordShed(rid, req.Index, len(reads), arrive)
+			s.failr(w, rid, http.StatusServiceUnavailable, "timed out waiting for a search slot")
 			return
 		}
 	}
 	defer func() { <-s.sem }()
+	queueWait := time.Since(queueStart)
+	if fb != nil {
+		fb.Span(0, "queue", 0, fb.Now())
+	}
 
 	s.met.InFlight.Add(1)
+	var searchMark time.Duration
+	if fb != nil {
+		searchMark = fb.Now()
+	}
 	start := time.Now()
 	var results []bwtmatch.Result
 	if sharded != nil {
@@ -556,6 +623,11 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		results = idx.MapAllContext(ctx, queries, method, s.cfg.Workers)
 	}
 	elapsed := time.Since(start)
+	if fb != nil {
+		fb.Span(0, "search", searchMark, fb.Now(),
+			obs.Arg{Key: "reads", Val: int64(len(reads))},
+			obs.Arg{Key: "shards", Val: int64(len(req.Shards))})
+	}
 	s.met.InFlight.Add(-1)
 
 	resp := SearchResponse{
@@ -583,7 +655,32 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		resp.Results[i] = rr
 	}
 	resp.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
+	resp.RequestID = rid
+	if fb != nil {
+		fb.Mark(0, "stats",
+			obs.Arg{Key: "mtree_leaves", Val: leaves},
+			obs.Arg{Key: "step_calls", Val: steps},
+			obs.Arg{Key: "memo_hits", Val: memo})
+		resp.Trace = []obs.Fragment{fb.Fragment()}
+	}
 	s.met.ObserveBatch(int(method), elapsed, len(reads), resp.Matches, resp.Errors, leaves, steps, memo)
+	s.slo.Observe(time.Since(arrive), true)
+	frec := obs.QueryRecord{
+		Start:     arrive,
+		RID:       rid,
+		Index:     req.Index,
+		Method:    MethodName(method),
+		ElapsedNS: int64(time.Since(arrive)),
+		Reads:     int32(len(reads)),
+		Matches:   int32(resp.Matches),
+		Errors:    int32(resp.Errors),
+		Leaves:    leaves,
+		Steps:     steps,
+		MemoHits:  memo,
+	}
+	frec.PhaseNS[0] = int64(queueWait)
+	frec.PhaseNS[1] = int64(elapsed)
+	s.flight.Record(&frec)
 	s.log.Info("search",
 		"rid", rid,
 		"index", req.Index,
@@ -606,6 +703,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.met.WritePrometheus(w)
+	s.slo.WritePrometheus(w)
 	sharded := s.reg.shardSnapshot()
 	if len(sharded) == 0 {
 		return
