@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-server vet kmvet lint lint-report invariants fuzz-smoke obs-smoke benchdiff-smoke shard-smoke cluster-smoke trace-smoke check bench bench-json bench-compare
+.PHONY: build test race race-server vet kmvet lint lint-report invariants fuzz-smoke obs-smoke benchdiff-smoke shard-smoke build-smoke cluster-smoke trace-smoke check bench bench-json bench-compare
 
 build:
 	$(GO) build ./...
@@ -74,6 +74,13 @@ benchdiff-smoke:
 shard-smoke:
 	$(GO) test -run='^TestShardSmoke$$' -count=1 .
 
+# Build-pipeline smoke test: kmgen stream-builds a sharded container in
+# bounded memory (byte-identical to the in-memory build), appends to it
+# in place reusing untouched shard frames, and a running kmserved picks
+# up the grown container on SIGHUP (real binaries, DESIGN.md §12).
+build-smoke:
+	$(GO) test -run='^TestBuildSmoke$$' -count=1 .
+
 # Cluster smoke test: kmgen builds a sharded index, two kmserved workers
 # serve it behind a kmserved -coordinator, kmload drives Zipf traffic
 # through the fleet, and /metrics is scraped and validated on all three
@@ -90,7 +97,7 @@ trace-smoke:
 	$(GO) test -run='^TestTraceSmoke$$' -count=1 ./server/cluster/...
 
 # The one-stop pre-commit gate.
-check: lint race-server race invariants fuzz-smoke obs-smoke benchdiff-smoke shard-smoke cluster-smoke trace-smoke
+check: lint race-server race invariants fuzz-smoke obs-smoke benchdiff-smoke shard-smoke build-smoke cluster-smoke trace-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

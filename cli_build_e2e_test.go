@@ -1,0 +1,176 @@
+package bwtmatch_test
+
+import (
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestBuildSmoke drives the large-scale build pipeline end to end
+// through the real binaries: kmgen stream-builds a sharded container
+// in bounded memory, the result is byte-identical to the in-memory
+// build, `kmgen -append` grows it in place reusing untouched shard
+// frames (and matches a from-scratch rebuild of the concatenated
+// input byte for byte), kmsearch agrees with a monolithic build, and
+// a running kmserved hot-reloads the grown container on SIGHUP
+// without dropping service. `make build-smoke` runs exactly this.
+func TestBuildSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bins := t.TempDir()
+	for _, name := range []string{"kmgen", "kmsearch", "kmserved"} {
+		bin := filepath.Join(bins, name)
+		cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, out)
+		}
+	}
+	work := t.TempDir()
+	genome := filepath.Join(work, "genome.fa")
+	tail := filepath.Join(work, "tail.fa")
+	both := filepath.Join(work, "both.fa")
+	reads := filepath.Join(work, "reads.fq")
+	streamIdx := filepath.Join(work, "stream.bwt")
+	memIdx := filepath.Join(work, "mem.bwt")
+	rebuilt := filepath.Join(work, "rebuilt.bwt")
+
+	run(t, filepath.Join(bins, "kmgen"),
+		"-genome", genome, "-bases", "32768", "-chromosomes", "2", "-seed", "7")
+	run(t, filepath.Join(bins, "kmgen"),
+		"-genome", tail, "-bases", "8192", "-chromosomes", "1", "-seed", "9")
+	run(t, filepath.Join(bins, "kmgen"),
+		"-reads", reads, "-from", genome, "-length", "80", "-count", "20", "-seed", "8")
+
+	// Stream build under a tight soft memory limit: the builder holds
+	// one shard plus the overlap, never the whole input, so GOMEMLIMIT
+	// far below the genome-at-scale footprint is fine.
+	streamOut := runEnv(t, []string{"GOMEMLIMIT=64MiB"}, filepath.Join(bins, "kmgen"),
+		"-index", streamIdx, "-from", genome, "-stream",
+		"-shard-size", "8192", "-max-pattern", "128", "-build-p", "2")
+	if !strings.Contains(streamOut, "stream-built sharded index (4 shards, 32768 bases") {
+		t.Fatalf("kmgen -stream output: %s", streamOut)
+	}
+	if regexp.MustCompile(`peak RSS \d+ bytes`).FindString(streamOut) == "" {
+		t.Fatalf("kmgen -stream did not report peak RSS: %s", streamOut)
+	}
+
+	// The streamed container must be byte-identical to the in-memory
+	// sharded build over the same input.
+	run(t, filepath.Join(bins, "kmgen"),
+		"-index", memIdx, "-from", genome, "-shard-size", "8192", "-max-pattern", "128")
+	mustEqualFiles(t, streamIdx, memIdx, "stream build vs in-memory build")
+
+	// And agree with a monolithic build on real searches.
+	monoOut := run(t, filepath.Join(bins, "kmsearch"),
+		"-genome", genome, "-reads", reads, "-k", "4", "-v")
+	shardOut := run(t, filepath.Join(bins, "kmsearch"),
+		"-index", streamIdx, "-reads", reads, "-k", "4", "-v")
+	if extractMatches(monoOut) != extractMatches(shardOut) {
+		t.Fatalf("stream-built index disagrees with monolithic:\n%s\nvs\n%s", monoOut, shardOut)
+	}
+
+	// Serve the container, then grow it on disk and hot-reload via SIGHUP.
+	daemon := exec.Command(filepath.Join(bins, "kmserved"),
+		"-addr", "127.0.0.1:0", "-load", "g="+streamIdx)
+	stdout, err := daemon.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	daemon.Stderr = os.Stderr
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { daemon.Process.Kill(); daemon.Wait() })
+	base := awaitListening(t, stdout)
+	if list := getBody(t, base+"/v1/indexes"); !strings.Contains(list, `"bases":32768`) {
+		t.Fatalf("/v1/indexes before append: %s", list)
+	}
+
+	appendOut := run(t, filepath.Join(bins, "kmgen"),
+		"-append", "-index", streamIdx, "-from", tail, "-build-p", "2")
+	if !strings.Contains(appendOut, "32768 -> 40960 bases") ||
+		!strings.Contains(appendOut, "shard frames reused") {
+		t.Fatalf("kmgen -append output: %s", appendOut)
+	}
+
+	// The grown container must be byte-identical to a from-scratch
+	// stream build of the concatenated input.
+	concatFiles(t, both, genome, tail)
+	run(t, filepath.Join(bins, "kmgen"),
+		"-index", rebuilt, "-from", both, "-stream", "-shard-size", "8192", "-max-pattern", "128")
+	mustEqualFiles(t, streamIdx, rebuilt, "append vs from-scratch rebuild")
+
+	// SIGHUP: the daemon re-reads the grown container without restarting.
+	if err := daemon.Process.Signal(syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		list := getBody(t, base+"/v1/indexes")
+		if strings.Contains(list, `"bases":40960`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("kmserved never picked up the appended container: %s", list)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	resp, err := http.Post(base+"/v1/search", "application/json",
+		strings.NewReader(`{"index":"g","k":2,"seq":"acgtacgtacgtacgt"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readAll(t, resp); resp.StatusCode != http.StatusOK {
+		t.Fatalf("search after reload: %d %s", resp.StatusCode, body)
+	}
+}
+
+// runEnv is run with extra environment variables for the child process.
+func runEnv(t *testing.T, env []string, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Env = append(os.Environ(), env...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func mustEqualFiles(t *testing.T, a, b, what string) {
+	t.Helper()
+	da, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(da) != string(db) {
+		t.Fatalf("%s: containers differ (%d vs %d bytes)", what, len(da), len(db))
+	}
+}
+
+func concatFiles(t *testing.T, dst string, srcs ...string) {
+	t.Helper()
+	var all []byte
+	for _, src := range srcs {
+		data, err := os.ReadFile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, data...)
+	}
+	if err := os.WriteFile(dst, all, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -10,9 +10,12 @@
 // Cells are matched by (experiment, method, k). For every matched cell
 // it prints the ns/read delta plus the work-counter deltas that explain
 // it; cells present in only one report are listed but never gate (the
-// sweep grid is allowed to grow). The exit status is non-zero when any
-// matched cell's ns_per_read regressed by more than -threshold percent
-// (default 10).
+// sweep grid is allowed to grow). Index construction time (build_ns)
+// gates alongside the search cells when both reports carry it and the
+// old build exceeds one millisecond; the construction phase breakdown
+// (sa/bwt/occ/pack) and the streaming-build figures are printed for
+// diagnosis only. The exit status is non-zero when any gated quantity
+// regressed by more than -threshold percent (default 10).
 package main
 
 import (
@@ -39,12 +42,19 @@ type result struct {
 }
 
 type report struct {
-	Schema       string   `json:"schema"`
-	Scale        int      `json:"scale"`
-	Reads        int      `json:"reads"`
-	Seed         int64    `json:"seed"`
-	PeakRSSBytes int64    `json:"peak_rss_bytes"`
-	Results      []result `json:"results"`
+	Schema        string   `json:"schema"`
+	Scale         int      `json:"scale"`
+	Reads         int      `json:"reads"`
+	Seed          int64    `json:"seed"`
+	BuildNS       int64    `json:"build_ns"`
+	SANS          int64    `json:"sa_ns"`
+	BWTNS         int64    `json:"bwt_ns"`
+	OccNS         int64    `json:"occ_ns"`
+	PackNS        int64    `json:"pack_ns"`
+	StreamBuildNS int64    `json:"stream_build_ns"`
+	StreamPeakRSS int64    `json:"stream_build_peak_rss"`
+	PeakRSSBytes  int64    `json:"peak_rss_bytes"`
+	Results       []result `json:"results"`
 }
 
 type cellKey struct {
@@ -54,6 +64,10 @@ type cellKey struct {
 
 // locateFloorNS is the smallest old locate ns/read the gate acts on.
 const locateFloorNS = 1000
+
+// buildFloorNS is the smallest old build_ns the construction gate acts
+// on: sub-millisecond builds are dominated by allocator noise.
+const buildFloorNS = 1_000_000
 
 func main() {
 	threshold := flag.Float64("threshold", 10, "fail when ns/read regresses by more than this percent")
@@ -133,6 +147,29 @@ func run(w io.Writer, oldPath, newPath string, threshold float64) error {
 	}
 	for key := range oldCells {
 		fmt.Fprintf(w, "%-14s %2d  (cell dropped from new report)\n", key.method, key.k)
+	}
+	// Index construction gates like a cell: a build_ns regression past
+	// the threshold fails the diff, provided both reports carry the field
+	// (zero means it predates the report) and the old build clears
+	// buildFloorNS. The phase breakdown and the streaming build are
+	// printed for diagnosis but never gate — phase boundaries shift
+	// between builds, and the streaming path trades time for memory.
+	if oldRep.BuildNS > 0 && newRep.BuildNS > 0 {
+		bpct := 100 * (float64(newRep.BuildNS) - float64(oldRep.BuildNS)) / float64(oldRep.BuildNS)
+		mark := ""
+		if oldRep.BuildNS >= buildFloorNS && bpct > threshold {
+			mark = "  REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("build: %d -> %d ns (%+.1f%%)", oldRep.BuildNS, newRep.BuildNS, bpct))
+		}
+		fmt.Fprintf(w, "build          --  %12d %12d %+7.1f%%%s\n", oldRep.BuildNS, newRep.BuildNS, bpct, mark)
+		if newRep.SANS > 0 {
+			fmt.Fprintf(w, "  new build phases: sa %dns, bwt %dns, occ %dns, pack %dns\n",
+				newRep.SANS, newRep.BWTNS, newRep.OccNS, newRep.PackNS)
+		}
+	}
+	if newRep.StreamBuildNS > 0 {
+		fmt.Fprintf(w, "  new stream build: %dns, peak RSS %d bytes\n", newRep.StreamBuildNS, newRep.StreamPeakRSS)
 	}
 	// The peak-RSS delta rides on the summary line (informational, never
 	// gating: RSS depends on GC timing too much to fail a build on).

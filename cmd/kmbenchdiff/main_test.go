@@ -18,7 +18,10 @@ func TestDiffPasses(t *testing.T) {
 		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
 	}
 	s := out.String()
-	for _, want := range []string{"ok: 2 cells compared", "(new cell)", "peak RSS"} {
+	for _, want := range []string{
+		"ok: 2 cells compared", "(new cell)", "peak RSS",
+		"build ", "build phases", "stream build",
+	} {
 		if !strings.Contains(s, want) {
 			t.Errorf("output missing %q:\n%s", want, s)
 		}
@@ -73,6 +76,36 @@ func TestDiffFailsOnLocateRegression(t *testing.T) {
 	}
 	if !strings.Contains(s, "peak RSS") {
 		t.Errorf("summary line should carry the peak-RSS delta:\n%s", s)
+	}
+}
+
+// TestDiffFailsOnBuildRegression: a report whose search cells held
+// steady but whose index construction slowed 40% must fail the gate.
+func TestDiffFailsOnBuildRegression(t *testing.T) {
+	var out strings.Builder
+	err := run(&out, td("old.json"), td("new_build_regressed.json"), 10)
+	if err == nil {
+		t.Fatalf("expected build regression error, got nil\noutput:\n%s", out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "REGRESSION") || !strings.Contains(s, "build:") {
+		t.Errorf("output should flag the build regression:\n%s", s)
+	}
+}
+
+// TestDiffSkipsBuildGateWithoutOldValue: reports predating build_ns
+// (old value 0) must not be gated on it.
+func TestDiffSkipsBuildGateWithoutOldValue(t *testing.T) {
+	old := filepath.Join(t.TempDir(), "old_nobuild.json")
+	data := `{"schema":"kmbench/v1","scale":8,"reads":50,"seed":42,"results":[
+		{"experiment":"search","method":"A()","k":2,"ns_per_read":300000,"matches":57},
+		{"experiment":"search","method":"BWT","k":2,"ns_per_read":240000,"matches":57}]}`
+	if err := os.WriteFile(old, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run(&out, old, td("new_build_regressed.json"), 10); err != nil {
+		t.Fatalf("build gate fired against a zero old value: %v\noutput:\n%s", err, out.String())
 	}
 }
 

@@ -163,7 +163,22 @@ func main() {
 			nv[0], nv[1], time.Since(start).Round(time.Millisecond), *buildP)
 	}
 
-	serve(*addr, srv.Handler(), *drainWait, srv.Shutdown, "kmserved")
+	// SIGHUP re-reads every -load pair in place: after `kmgen -append`
+	// grows a container on disk, a HUP picks up the new shards without
+	// dropping in-flight searches (-load-genome indexes have no backing
+	// container and are left alone).
+	reload := func() {
+		for _, nv := range loads {
+			start := time.Now()
+			if err := srv.Reload(nv[0], nv[1]); err != nil {
+				fmt.Fprintf(os.Stderr, "kmserved: reload %q: %v\n", nv[0], err)
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "kmserved: reloaded index %q from %s in %v\n",
+				nv[0], nv[1], time.Since(start).Round(time.Millisecond))
+		}
+	}
+	serve(*addr, srv.Handler(), *drainWait, srv.Shutdown, reload, "kmserved")
 }
 
 type coordinatorFlags struct {
@@ -216,12 +231,14 @@ func runCoordinator(f coordinatorFlags) {
 	}
 	fmt.Fprintf(os.Stderr, "kmserved: coordinator over %d workers: %s\n",
 		len(f.workers), strings.Join(f.workers, ", "))
-	serve(f.addr, co.Handler(), f.drainWait, co.Shutdown, "kmserved")
+	serve(f.addr, co.Handler(), f.drainWait, co.Shutdown, nil, "kmserved")
 }
 
 // serve runs the HTTP loop shared by both modes: listen, announce the
 // bound address on stdout, then drain gracefully on SIGINT/SIGTERM.
-func serve(addr string, h http.Handler, drainWait time.Duration, shutdown func(context.Context) error, name string) {
+// When reload is non-nil, SIGHUP invokes it (hot reload of grown
+// containers) instead of shutting down.
+func serve(addr string, h http.Handler, drainWait time.Duration, shutdown func(context.Context) error, reload func(), name string) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		fatal(err)
@@ -235,12 +252,25 @@ func serve(addr string, h http.Handler, drainWait time.Duration, shutdown func(c
 	go func() { errc <- hs.Serve(ln) }()
 
 	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
-	select {
-	case sig := <-sigc:
-		fmt.Fprintf(os.Stderr, "%s: %v, draining (limit %v)\n", name, sig, drainWait)
-	case err := <-errc:
-		fatal(err)
+	sigs := []os.Signal{syscall.SIGINT, syscall.SIGTERM}
+	if reload != nil {
+		sigs = append(sigs, syscall.SIGHUP)
+	}
+	signal.Notify(sigc, sigs...)
+wait:
+	for {
+		select {
+		case sig := <-sigc:
+			if sig == syscall.SIGHUP && reload != nil {
+				fmt.Fprintf(os.Stderr, "%s: SIGHUP, reloading indexes\n", name)
+				reload()
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "%s: %v, draining (limit %v)\n", name, sig, drainWait)
+			break wait
+		case err := <-errc:
+			fatal(err)
+		}
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), drainWait)

@@ -14,8 +14,9 @@ import (
 // This machine-enforces the PR 2 hardening discipline (DESIGN.md §6).
 //
 // Scope: the binary-decode packages (internal/binio, internal/fmindex,
-// internal/shard), the save/load files of the root package, and
-// server/cluster (routes/wire decoding). Fixture packages (label
+// internal/shard), the save/load files of the root package,
+// server/cluster (routes/wire decoding), and internal/seqio (streamed
+// sequence input for the shard builders). Fixture packages (label
 // "fixture/...") are always in scope.
 //
 // Taint, per function, by a small fixed point:
@@ -44,6 +45,7 @@ func boundedAllocInScope(p *Package) bool {
 	case p.Path == "bwtmatch",
 		strings.HasSuffix(p.Path, "internal/binio"),
 		strings.HasSuffix(p.Path, "internal/fmindex"),
+		strings.HasSuffix(p.Path, "internal/seqio"),
 		strings.HasSuffix(p.Path, "internal/shard"),
 		strings.HasSuffix(p.Path, "server/cluster"):
 		return true
@@ -257,6 +259,17 @@ func boundedAllocInBody(p *Package, body *ast.BlockStmt) []Finding {
 	for _, s := range sinks {
 		var bad []string
 		ast.Inspect(s.size, func(n ast.Node) bool {
+			// len/cap of tainted data is not a hostile size: the slice it
+			// measures was already allocated under its own cap check, so an
+			// allocation proportional to it cannot outgrow what the decode
+			// admitted (make([]T, len(toc.frames)) after readShardedTOC).
+			if c, ok := n.(*ast.CallExpr); ok {
+				if id, ok := ast.Unparen(c.Fun).(*ast.Ident); ok {
+					if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin && (id.Name == "len" || id.Name == "cap") {
+						return false
+					}
+				}
+			}
 			id, ok := n.(*ast.Ident)
 			if !ok {
 				return true

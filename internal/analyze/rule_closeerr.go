@@ -10,8 +10,8 @@ import (
 // Write call happily buffered into oblivion. Dropping it means
 // reporting success over a truncated index file.
 //
-// The rule tracks variables bound to os.Create / os.OpenFile /
-// bufio.NewWriter results within each function and flags:
+// The rule tracks variables bound to os.Create / os.CreateTemp /
+// os.OpenFile / bufio.NewWriter results within each function and flags:
 //
 //   - `f.Close()` / `w.Flush()` / `f.Sync()` as a bare statement,
 //   - `defer f.Close()` (the deferred error is silently discarded),
@@ -28,6 +28,7 @@ import (
 // Close/Flush/Sync obligation.
 var closeSources = map[string]bool{
 	"os.Create":           true,
+	"os.CreateTemp":       true,
 	"os.OpenFile":         true,
 	"bufio.NewWriter":     true,
 	"bufio.NewWriterSize": true,

@@ -4,9 +4,10 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
-// loadPathPackages are the packages whose Load*/Read* functions
+// loadPathPackages are the packages whose Load*/Read*/Open* functions
 // constitute "index load paths" for the wrapformat rule. All already
 // return errors matchable as a package sentinel (ErrFormat, or
 // cluster's ErrRoutes); the rule enforces that callers re-wrap with %w
@@ -26,9 +27,13 @@ func isLoadPathCall(p *Package, call *ast.CallExpr) (string, bool) {
 	if fn == nil || fn.Pkg() == nil || !loadPathPackages[fn.Pkg().Path()] {
 		return "", false
 	}
+	// Open* covers the streaming append path (bwtmatch.OpenAppend); the
+	// package allowlist above keeps os.Open and friends out of scope.
 	name := fn.Name()
-	if len(name) >= 4 && (name[:4] == "Load" || name[:4] == "Read") {
-		return fn.Pkg().Name() + "." + name, true
+	for _, prefix := range []string{"Load", "Read", "Open"} {
+		if strings.HasPrefix(name, prefix) {
+			return fn.Pkg().Name() + "." + name, true
+		}
 	}
 	return "", false
 }

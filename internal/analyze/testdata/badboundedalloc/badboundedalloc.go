@@ -56,3 +56,27 @@ func clamped(data []byte) []uint64 {
 func fixedSize() []byte {
 	return make([]byte, 64)
 }
+
+// derivedLen is compliant: len() of tainted data measures a slice that
+// was already allocated under its own cap check, so an allocation
+// proportional to it cannot outgrow what the decode admitted.
+func derivedLen(r io.Reader) ([]uint64, error) {
+	frames, err := readFrames(r)
+	if err != nil {
+		return nil, err
+	}
+	return make([]uint64, len(frames)), nil
+}
+
+func readFrames(r io.Reader) ([]byte, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n > maxLen {
+		return nil, io.ErrUnexpectedEOF
+	}
+	buf := make([]byte, n)
+	_, err := io.ReadFull(r, buf)
+	return buf, err
+}

@@ -44,6 +44,20 @@ func blanked(w io.Writer, data []byte) error {
 	return nil
 }
 
+// droppedTemp: temp files on save paths (the streaming shard builder's
+// spill and assembly files) carry the same obligation as os.Create.
+func droppedTemp(dir string, data []byte) error {
+	f, err := os.CreateTemp(dir, "spill-*")
+	if err != nil {
+		return err
+	}
+	if _, werr := f.Write(data); werr != nil {
+		return werr
+	}
+	f.Close() // want closeerr
+	return nil
+}
+
 // checked is compliant: the Close error merges into the return value.
 func checked(path string, data []byte) (err error) {
 	f, err := os.Create(path)

@@ -34,6 +34,24 @@ func openWrapped(path string) (*bwtmatch.Index, error) {
 	return idx, nil
 }
 
+func reopenForAppend(path string) (*bwtmatch.StreamBuilder, error) {
+	sb, err := bwtmatch.OpenAppend(path)
+	if err != nil {
+		return nil, err // want wrapformat
+	}
+	return sb, nil
+}
+
+// reopenForAppendWrapped is compliant: the Open-prefixed load path,
+// wrapped. No finding here.
+func reopenForAppendWrapped(path string) (*bwtmatch.StreamBuilder, error) {
+	sb, err := bwtmatch.OpenAppend(path)
+	if err != nil {
+		return nil, fmt.Errorf("badwrap: append %s: %w", path, err)
+	}
+	return sb, nil
+}
+
 func openRoutes(path string) (*cluster.RouteTable, error) {
 	rt, err := cluster.LoadRoutesFile(path)
 	if err != nil {

@@ -58,9 +58,9 @@ type Corpus struct {
 	BuildTime time.Duration
 }
 
-// BuildCorpus generates the genome and constructs its index.
-func BuildCorpus(spec GenomeSpec, opts ...bwtmatch.Option) (*Corpus, error) {
-	g, err := dna.Generate(dna.GenomeConfig{
+// generate produces the spec's genome (rank-encoded), deterministically.
+func (spec GenomeSpec) generate() ([]byte, error) {
+	return dna.Generate(dna.GenomeConfig{
 		Length:         spec.Bases,
 		GC:             spec.GC,
 		MarkovBias:     spec.MarkovBias,
@@ -68,9 +68,20 @@ func BuildCorpus(spec GenomeSpec, opts ...bwtmatch.Option) (*Corpus, error) {
 		TandemFraction: spec.Tandems,
 		Seed:           spec.Seed,
 	})
+}
+
+// BuildCorpus generates the genome and constructs its index.
+func BuildCorpus(spec GenomeSpec, opts ...bwtmatch.Option) (*Corpus, error) {
+	g, err := spec.generate()
 	if err != nil {
 		return nil, err
 	}
+	return buildCorpusFrom(spec, g, opts...)
+}
+
+// buildCorpusFrom indexes an already generated genome — RunJSON uses it
+// to reuse the genome it stream-built from before the in-memory builds.
+func buildCorpusFrom(spec GenomeSpec, g []byte, opts ...bwtmatch.Option) (*Corpus, error) {
 	start := time.Now()
 	idx, err := bwtmatch.New(alphabet.Decode(g), opts...)
 	if err != nil {

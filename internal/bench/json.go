@@ -6,8 +6,6 @@ import (
 	"io"
 	"os"
 	"runtime"
-	"strconv"
-	"strings"
 	"time"
 
 	"bwtmatch"
@@ -49,12 +47,29 @@ type JSONReport struct {
 	// builds (sharding is what parallelizes SA-IS; see DESIGN.md §10).
 	// On a 1-CPU machine the sharded build cannot beat the monolithic
 	// one — BuildGOMAXPROCS records the parallelism that was available.
-	BuildNS         int64        `json:"build_ns"`
-	ShardedBuildNS  int64        `json:"sharded_build_ns"`
-	BuildShards     int          `json:"build_shards"`
-	BuildGOMAXPROCS int          `json:"build_gomaxprocs"`
-	PeakRSSBytes    int64        `json:"peak_rss_bytes"`
-	Results         []JSONResult `json:"results"`
+	BuildNS         int64 `json:"build_ns"`
+	ShardedBuildNS  int64 `json:"sharded_build_ns"`
+	BuildShards     int   `json:"build_shards"`
+	BuildGOMAXPROCS int   `json:"build_gomaxprocs"`
+	// The monolithic build's phase breakdown (WithBuildPhases): the
+	// suffix array, BWT extraction + C array, rankall checkpoints, and
+	// packing + locate samples. Their sum can slightly undershoot
+	// BuildNS (allocation and validation sit between phases).
+	SANS   int64 `json:"sa_ns"`
+	BWTNS  int64 `json:"bwt_ns"`
+	OccNS  int64 `json:"occ_ns"`
+	PackNS int64 `json:"pack_ns"`
+	// StreamBuildNS times building the same text through the streaming
+	// shard builder (same shard count) to a temp file. It runs before
+	// the in-memory builds, so StreamPeakRSS — the VmHWM right after it
+	// finishes — reflects the streaming path's bounded footprint rather
+	// than the monolithic build's full-suffix-array spike, which
+	// PeakBuildRSS (VmHWM after the in-memory builds) captures.
+	StreamBuildNS int64        `json:"stream_build_ns"`
+	StreamPeakRSS int64        `json:"stream_build_peak_rss"`
+	PeakBuildRSS  int64        `json:"peak_build_rss"`
+	PeakRSSBytes  int64        `json:"peak_rss_bytes"`
+	Results       []JSONResult `json:"results"`
 }
 
 // jsonMethods are the BWT-path matchers the search benchmarks compare
@@ -81,7 +96,21 @@ func RunJSON(w io.Writer, cfg Config, rounds int, tr obs.Tracer) error {
 		rounds = 1
 	}
 	spec := Specs(cfg.Scale)[0]
-	c, err := BuildCorpus(spec)
+	g, err := spec.generate()
+	if err != nil {
+		return err
+	}
+	text := alphabet.Decode(g)
+	// Stream-build first, while the process is still small: VmHWM is
+	// monotonic, so measuring before the in-memory builds (which hold a
+	// full suffix array of the whole text) is the only order in which
+	// the streaming path's bounded footprint is visible.
+	streamNS, streamRSS, err := streamBuildDemo(text)
+	if err != nil {
+		return err
+	}
+	var phases bwtmatch.BuildPhases
+	c, err := buildCorpusFrom(spec, g, bwtmatch.WithBuildPhases(&phases))
 	if err != nil {
 		return err
 	}
@@ -92,7 +121,6 @@ func RunJSON(w io.Writer, cfg Config, rounds int, tr obs.Tracer) error {
 	// The sharded counterpart: same text, jsonShards concurrent per-shard
 	// builds, searched through the same grid so the report carries
 	// sharded-vs-monolithic cells for every (method, k).
-	text := alphabet.Decode(c.Ranks)
 	shardStart := time.Now()
 	sharded, err := bwtmatch.NewSharded(text,
 		bwtmatch.WithShards(jsonShards), bwtmatch.WithMaxPatternLen(128))
@@ -114,6 +142,13 @@ func RunJSON(w io.Writer, cfg Config, rounds int, tr obs.Tracer) error {
 		ShardedBuildNS:  shardedBuild.Nanoseconds(),
 		BuildShards:     jsonShards,
 		BuildGOMAXPROCS: runtime.GOMAXPROCS(0),
+		SANS:            phases.SANS,
+		BWTNS:           phases.BWTNS,
+		OccNS:           phases.OccNS,
+		PackNS:          phases.PackNS,
+		StreamBuildNS:   streamNS,
+		StreamPeakRSS:   streamRSS,
+		PeakBuildRSS:    obs.PeakRSS(),
 	}
 	layouts := []struct {
 		experiment string
@@ -145,10 +180,41 @@ func RunJSON(w io.Writer, cfg Config, rounds int, tr obs.Tracer) error {
 			}
 		}
 	}
-	rep.PeakRSSBytes = peakRSS()
+	rep.PeakRSSBytes = obs.PeakRSS()
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
+}
+
+// streamBuildDemo builds text through the streaming shard builder
+// (jsonShards shards, same geometry as the sharded grid cells) into a
+// throwaway temp file and reports the wall time and the process VmHWM
+// right afterwards.
+func streamBuildDemo(text []byte) (ns, rss int64, err error) {
+	f, err := os.CreateTemp("", "kmbench-stream-*.km")
+	if err != nil {
+		return 0, 0, err
+	}
+	path := f.Name()
+	if err := f.Close(); err != nil {
+		return 0, 0, err
+	}
+	defer os.Remove(path)
+	size := (len(text) + jsonShards - 1) / jsonShards
+	start := time.Now()
+	sb, err := bwtmatch.NewStreamBuilder(path,
+		bwtmatch.WithShardSize(size), bwtmatch.WithMaxPatternLen(128))
+	if err != nil {
+		return 0, 0, err
+	}
+	if _, err := sb.Write(text); err != nil {
+		sb.Abort() // the write error is the one to report
+		return 0, 0, err
+	}
+	if err := sb.Close(); err != nil {
+		return 0, 0, err
+	}
+	return time.Since(start).Nanoseconds(), obs.PeakRSS(), nil
 }
 
 // timeCell measures one (method, k) cell: every read once per round,
@@ -188,29 +254,4 @@ func timeCell(idx bwtmatch.Matcher, reads [][]byte, k int, m bwtmatch.Method, ro
 	cell.NSPerRead = best.Nanoseconds() / int64(len(reads))
 	cell.MSPerRead = float64(cell.NSPerRead) / 1e6
 	return cell, nil
-}
-
-// peakRSS reads the process high-water resident set (VmHWM) from
-// /proc/self/status, in bytes. On platforms without procfs it falls
-// back to the Go runtime's total obtained-from-OS bytes, which at least
-// bounds the footprint.
-func peakRSS() int64 {
-	data, err := os.ReadFile("/proc/self/status")
-	if err == nil {
-		for _, line := range strings.Split(string(data), "\n") {
-			rest, ok := strings.CutPrefix(line, "VmHWM:")
-			if !ok {
-				continue
-			}
-			fields := strings.Fields(rest)
-			if len(fields) >= 1 {
-				if kb, err := strconv.ParseInt(fields[0], 10, 64); err == nil {
-					return kb << 10
-				}
-			}
-		}
-	}
-	var ms runtime.MemStats
-	runtime.ReadMemStats(&ms)
-	return int64(ms.Sys)
 }

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"time"
 
 	"bwtmatch/internal/alphabet"
 	"bwtmatch/internal/bitvec"
@@ -46,13 +47,31 @@ type Options struct {
 	// OccRate 4, with scans of at most 15 characters. OccRate is ignored
 	// when set.
 	TwoLevelOcc bool
-	// Workers is the goroutine count for the parallelizable phases of
-	// Build (BWT extraction, occ checkpoints, SA sampling, packing).
-	// 0 or 1 builds serially. The suffix array itself stays serial —
-	// induced sorting is inherently sequential — so speedups saturate
-	// per Amdahl (DESIGN.md §8). Workers affects construction only; it
+	// Workers is the goroutine count for every parallelizable phase of
+	// Build: the suffix array itself (pDC3, suffixarray.BuildParallel,
+	// bit-identical to the serial SA-IS build) and everything after it
+	// (BWT extraction, occ checkpoints, SA sampling, packing). 0 or 1
+	// builds serially with SA-IS. Workers affects construction only; it
 	// is not serialized with the index.
 	Workers int
+	// Phases, when non-nil, accumulates the wall-clock breakdown of the
+	// construction phases (DESIGN.md §12): a serial sequence of builds
+	// (the streaming shard builder) sums into one sink. Not
+	// synchronized — do not share one sink across concurrent builds.
+	// Construction-only, never serialized.
+	Phases *BuildPhases
+}
+
+// BuildPhases is the wall-clock breakdown of one Build call. SANS is
+// the suffix-array construction, BWTNS the L-column extraction plus the
+// C array, OccNS the rankall checkpoint tables, PackNS the 2-bit BWT
+// packing plus the Locate SA samples. The sum can undershoot the total
+// build time slightly (allocation and validation sit between phases).
+type BuildPhases struct {
+	SANS   int64
+	BWTNS  int64
+	OccNS  int64
+	PackNS int64
 }
 
 // DefaultOptions mirror the paper's experimental configuration.
@@ -126,12 +145,21 @@ func Build(text []byte, opts Options) (*Index, error) {
 	idx.deriveOccShift()
 
 	// Suffix array of text+$; the sentinel suffix sorts first, so SA row 0
-	// is position n and rows 1..n are Build(text) shifted. This phase is
-	// serial regardless of Workers: SA-IS induced sorting propagates
-	// order left-to-right and cannot be range-partitioned.
+	// is position n and rows 1..n are Build(text) shifted. With Workers
+	// > 1 the array comes from pDC3 (suffixarray.BuildParallel), which
+	// is bit-identical to the serial SA-IS build — the suffix array of a
+	// text is unique, so the choice of algorithm never leaks into the
+	// index bytes.
+	var ph BuildPhases
+	phaseStart := time.Now()
 	sa := make([]int32, n+1)
 	sa[0] = int32(n)
-	copy(sa[1:], suffixarray.Build(text))
+	if workers > 1 {
+		copy(sa[1:], suffixarray.BuildParallel(text, workers))
+	} else {
+		copy(sa[1:], suffixarray.Build(text))
+	}
+	phaseStart = markPhase(&ph.SANS, phaseStart)
 
 	// BWT: L[i] = text[sa[i]-1], or $ when sa[i] == 0 (paper eq. (3)).
 	idx.bwt = make([]byte, n+1)
@@ -145,10 +173,12 @@ func Build(text []byte, opts Options) (*Index, error) {
 		sum += counts[x]
 	}
 	idx.c[alphabet.Size] = sum
+	phaseStart = markPhase(&ph.BWTNS, phaseStart)
 
 	if opts.PackedBWT {
 		idx.packed = newPackedBWT(idx.bwt, workers)
 	}
+	phaseStart = markPhase(&ph.PackNS, phaseStart)
 
 	// Rankall checkpoints: the paper's flat layout, or the hierarchical
 	// two-level directory.
@@ -160,14 +190,32 @@ func Build(text []byte, opts Options) (*Index, error) {
 	} else {
 		idx.occ = buildFlatOcc(idx.bwt, opts.OccRate, workers)
 	}
+	phaseStart = markPhase(&ph.OccNS, phaseStart)
 
 	// SA samples for Locate: mark rows whose SA value is a multiple of
 	// SARate (plus position n so every LF walk terminates).
 	idx.saMarked, idx.saSamples = buildSASamples(sa, n, opts.SARate, workers)
+	markPhase(&ph.PackNS, phaseStart)
 	if idx.packed != nil {
 		idx.bwt = nil // the packed layout is authoritative
 	}
+	if opts.Phases != nil {
+		opts.Phases.SANS += ph.SANS
+		opts.Phases.BWTNS += ph.BWTNS
+		opts.Phases.OccNS += ph.OccNS
+		opts.Phases.PackNS += ph.PackNS
+	}
 	return idx, nil
+}
+
+// markPhase accumulates the time elapsed since start into field and
+// returns the next phase's start. Timing is always collected — a
+// handful of time.Now calls against a millisecond-scale build — and
+// copied out only when the caller asked for the breakdown.
+func markPhase(field *int64, start time.Time) time.Time {
+	now := time.Now()
+	*field += now.Sub(start).Nanoseconds()
+	return now
 }
 
 // deriveOccShift caches log2(OccRate) so the rank hot paths can replace

@@ -81,6 +81,29 @@ func TestBuildParallelEquivalence(t *testing.T) {
 	}
 }
 
+// TestBuildPhases checks that a Phases sink receives the construction
+// breakdown: the suffix array dominates and every field is sane.
+func TestBuildPhases(t *testing.T) {
+	rng := rand.New(rand.NewSource(554))
+	text := randomRanksP(rng, 50000)
+	for _, workers := range []int{1, 4} {
+		var ph BuildPhases
+		_, err := Build(text, Options{OccRate: 4, SARate: 16, PackedBWT: true, Workers: workers, Phases: &ph})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ph.SANS <= 0 {
+			t.Fatalf("workers=%d: SA phase not timed: %+v", workers, ph)
+		}
+		if ph.BWTNS < 0 || ph.OccNS < 0 || ph.PackNS < 0 {
+			t.Fatalf("workers=%d: negative phase: %+v", workers, ph)
+		}
+		if total := ph.SANS + ph.BWTNS + ph.OccNS + ph.PackNS; total <= 0 {
+			t.Fatalf("workers=%d: empty breakdown: %+v", workers, ph)
+		}
+	}
+}
+
 // TestBuildParallelValidation checks the invalid-character error is
 // still reported at the first offending position under parallel
 // validation.

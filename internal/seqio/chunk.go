@@ -1,0 +1,256 @@
+package seqio
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+)
+
+// Chunk is one piece of one record's sequence, delivered in input
+// order. A record arrives as one or more chunks: First marks the
+// opening piece (carrying a fresh ID), and subsequent pieces continue
+// the same record. Seq aliases the reader's internal buffer and is
+// valid only until the next call to Next.
+type Chunk struct {
+	ID    string
+	First bool
+	Seq   []byte
+}
+
+// ChunkReader streams FASTA, FASTQ or line-oriented input (format
+// sniffed from the first byte, exactly like Reader) without ever
+// materializing a whole record: sequence data is delivered in pieces no
+// larger than the internal buffer, so indexing a multi-gigabase
+// single-record FASTA needs O(buffer) reader memory. It is the input
+// side of the streaming index builder; Reader remains the right tool
+// when whole records are wanted.
+type ChunkReader struct {
+	br     *bufio.Reader
+	mode   byte // '>', '@' or 0 for line mode
+	lineNo int
+	inited bool
+
+	curID   string
+	started bool // inside a record (FASTA)
+	first   bool // next chunk opens the record
+	emitted int  // sequence bytes emitted for the current record
+	heldCR  bool // fragment ended in '\r'; resolved by the next read
+}
+
+// NewChunkReader wraps r with the default 64 KiB buffer.
+func NewChunkReader(r io.Reader) *ChunkReader {
+	return NewChunkReaderSize(r, 1<<16)
+}
+
+// NewChunkReaderSize wraps r with a specific buffer size (the maximum
+// chunk length). Mainly for tests, which shrink it to force long lines
+// to fragment.
+func NewChunkReaderSize(r io.Reader, size int) *ChunkReader {
+	return &ChunkReader{br: bufio.NewReaderSize(r, size)}
+}
+
+func (r *ChunkReader) init() error {
+	if r.inited {
+		return nil
+	}
+	r.inited = true
+	b, err := r.br.Peek(1)
+	if err != nil {
+		if err == io.EOF {
+			return io.EOF
+		}
+		return err
+	}
+	switch b[0] {
+	case '>', '@':
+		r.mode = b[0]
+	default:
+		r.mode = 0
+	}
+	return nil
+}
+
+// Format reports the sniffed input format — "fasta", "fastq" or
+// "lines" — reading the first byte if no chunk has been requested yet.
+// Line-oriented inputs carry no sequence names ("line<n>" placeholders
+// only), which index builders use to skip the reference table. Returns
+// io.EOF for empty input.
+func (r *ChunkReader) Format() (string, error) {
+	if err := r.init(); err != nil {
+		return "", err
+	}
+	switch r.mode {
+	case '>':
+		return "fasta", nil
+	case '@':
+		return "fastq", nil
+	default:
+		return "lines", nil
+	}
+}
+
+// Next returns the next chunk, or io.EOF when the input is exhausted.
+func (r *ChunkReader) Next() (Chunk, error) {
+	if err := r.init(); err != nil {
+		return Chunk{}, err
+	}
+	switch r.mode {
+	case '>':
+		return r.nextFasta()
+	case '@':
+		return r.nextFastq()
+	default:
+		return r.nextLine()
+	}
+}
+
+// readFragment returns the next piece of the current line: up to the
+// buffer's worth of bytes, with eol reporting whether the line ended
+// within this piece. A '\r' at a fragment boundary is held back until
+// the following read decides whether it closed a CRLF line ending or
+// was literal (malformed) data.
+func (r *ChunkReader) readFragment() (data []byte, eol bool, err error) {
+	data, err = r.br.ReadSlice('\n')
+	switch err {
+	case nil:
+		r.lineNo++
+		data = bytes.TrimRight(data, "\r\n")
+		eol = true
+	case bufio.ErrBufferFull:
+		err = nil
+	case io.EOF:
+		if len(data) == 0 {
+			return nil, false, io.EOF
+		}
+		r.lineNo++
+		data = bytes.TrimRight(data, "\r")
+		eol = true
+		err = nil
+	default:
+		return nil, false, err
+	}
+	if r.heldCR {
+		r.heldCR = false
+		if !(eol && len(data) == 0) {
+			// The carriage return did not precede a line feed: surface
+			// it as data so downstream validation rejects it, exactly
+			// as a mid-line '\r' read whole would be.
+			data = append([]byte{'\r'}, data...)
+		}
+	}
+	if !eol && len(data) > 0 && data[len(data)-1] == '\r' {
+		r.heldCR = true
+		data = data[:len(data)-1]
+	}
+	return data, eol, nil
+}
+
+func (r *ChunkReader) nextFasta() (Chunk, error) {
+	for {
+		b, err := r.br.Peek(1)
+		if err != nil {
+			if r.started && r.emitted == 0 {
+				return Chunk{}, fmt.Errorf("%w: line %d: record %q has no sequence", ErrFormat, r.lineNo, r.curID)
+			}
+			if err == io.EOF {
+				return Chunk{}, io.EOF
+			}
+			return Chunk{}, err
+		}
+		if b[0] == '>' && !r.heldCR {
+			if r.started && r.emitted == 0 {
+				return Chunk{}, fmt.Errorf("%w: line %d: record %q has no sequence", ErrFormat, r.lineNo, r.curID)
+			}
+			// Header lines are bounded by the buffer (a header longer
+			// than the buffer is rejected, not silently split).
+			header, eol, err := r.readFragment()
+			if err != nil {
+				return Chunk{}, err
+			}
+			if !eol {
+				return Chunk{}, fmt.Errorf("%w: line %d: header exceeds the %d-byte buffer", ErrFormat, r.lineNo, r.br.Size())
+			}
+			r.curID = string(header[1:])
+			r.started = true
+			r.first = true
+			r.emitted = 0
+			continue
+		}
+		data, _, err := r.readFragment()
+		if err != nil {
+			return Chunk{}, err
+		}
+		if len(data) == 0 {
+			continue // blank line (or a bare CRLF)
+		}
+		if !r.started {
+			return Chunk{}, fmt.Errorf("%w: line %d: expected '>' header", ErrFormat, r.lineNo)
+		}
+		ch := Chunk{ID: r.curID, First: r.first, Seq: data}
+		r.first = false
+		r.emitted += len(data)
+		return ch, nil
+	}
+}
+
+// nextFastq delivers one whole FASTQ record per chunk: reads are short,
+// so record-at-a-time is already bounded. The parse matches
+// Reader.nextFastq.
+func (r *ChunkReader) nextFastq() (Chunk, error) {
+	header, eol, err := r.readFragment()
+	if err != nil {
+		return Chunk{}, io.EOF
+	}
+	if !eol || len(header) == 0 || header[0] != '@' {
+		return Chunk{}, fmt.Errorf("%w: line %d: expected '@' header", ErrFormat, r.lineNo)
+	}
+	id := string(header[1:])
+	seq, eol, err := r.readFragment()
+	if err != nil || !eol {
+		return Chunk{}, fmt.Errorf("%w: line %d: truncated record", ErrFormat, r.lineNo)
+	}
+	seqCopy := append([]byte(nil), seq...)
+	plus, eol, err := r.readFragment()
+	if err != nil || !eol || len(plus) == 0 || plus[0] != '+' {
+		return Chunk{}, fmt.Errorf("%w: line %d: expected '+' separator", ErrFormat, r.lineNo)
+	}
+	qual, eol, err := r.readFragment()
+	if err != nil || !eol {
+		return Chunk{}, fmt.Errorf("%w: line %d: missing quality line", ErrFormat, r.lineNo)
+	}
+	if len(qual) != len(seqCopy) {
+		return Chunk{}, fmt.Errorf("%w: line %d: %d quality bytes for %d bases",
+			ErrFormat, r.lineNo, len(qual), len(seqCopy))
+	}
+	return Chunk{ID: id, First: true, Seq: seqCopy}, nil
+}
+
+func (r *ChunkReader) nextLine() (Chunk, error) {
+	for {
+		data, eol, err := r.readFragment()
+		if err != nil {
+			return Chunk{}, io.EOF
+		}
+		if len(data) == 0 {
+			if eol {
+				r.started = false
+			}
+			continue
+		}
+		// A fragmented long line is one record: First only on the
+		// opening fragment. readFragment bumps lineNo only when a line
+		// ends, so the line's number is lineNo if this fragment closed
+		// it and lineNo+1 if the line is still open.
+		first := !r.started
+		if first {
+			n := r.lineNo + 1
+			if eol {
+				n = r.lineNo
+			}
+			r.curID = fmt.Sprintf("line%d", n)
+		}
+		r.started = !eol
+		return Chunk{ID: r.curID, First: first, Seq: data}, nil
+	}
+}

@@ -1,0 +1,165 @@
+package seqio
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// reassemble drains a ChunkReader and glues chunks back into whole
+// records, so every test below can check equivalence with Reader.
+func reassemble(t *testing.T, r *ChunkReader) []Record {
+	t.Helper()
+	var recs []Record
+	for {
+		ch, err := r.Next()
+		if err == io.EOF {
+			return recs
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if ch.First {
+			recs = append(recs, Record{ID: ch.ID})
+		} else {
+			if len(recs) == 0 {
+				t.Fatalf("continuation chunk %+v before any First chunk", ch)
+			}
+			if got := recs[len(recs)-1].ID; got != ch.ID {
+				t.Fatalf("continuation chunk ID %q inside record %q", ch.ID, got)
+			}
+		}
+		last := &recs[len(recs)-1]
+		last.Seq = append(last.Seq, ch.Seq...)
+	}
+}
+
+func checkChunksMatchReader(t *testing.T, input string, bufSize int) {
+	t.Helper()
+	want, err := NewReader(strings.NewReader(input)).ReadAll()
+	if err != nil {
+		t.Fatalf("ReadAll(%q): %v", input, err)
+	}
+	got := reassemble(t, NewChunkReaderSize(strings.NewReader(input), bufSize))
+	if len(got) != len(want) {
+		t.Fatalf("bufSize=%d: %d records via chunks, %d via Reader", bufSize, len(got), len(want))
+	}
+	for i := range want {
+		if got[i].ID != want[i].ID || string(got[i].Seq) != string(want[i].Seq) {
+			t.Fatalf("bufSize=%d record %d: chunks gave %q/%q, Reader %q/%q",
+				bufSize, i, got[i].ID, got[i].Seq, want[i].ID, want[i].Seq)
+		}
+	}
+}
+
+func TestChunkReaderMatchesReader(t *testing.T) {
+	inputs := []string{
+		">chr1 test\nacgt\nACGT\n",
+		">a\nac\ngt\n>b\ntttt\n",
+		">a\r\nacgt\r\n>b\r\ncc\r\n",
+		">a\nacgt",
+		">a\n\nac\n\ngt\n",
+		"@r1\nacgt\n+\nIIII\n@r2\ntt\n+anything\n;;\n",
+		"acgtacgt\nttttt\n",
+		"acgt\n\n\ncc\n",
+		"acgt",
+	}
+	for _, input := range inputs {
+		for _, bufSize := range []int{16, 64, 1 << 16} {
+			checkChunksMatchReader(t, input, bufSize)
+		}
+	}
+}
+
+// TestChunkReaderLongLines forces sequence lines much longer than the
+// buffer, so single lines arrive as many fragments — the case the chunk
+// reader exists for. Includes CRLF endings so the held-back '\r' path
+// at fragment boundaries is exercised across every split position.
+func TestChunkReaderLongLines(t *testing.T) {
+	rng := rand.New(rand.NewSource(991))
+	line := make([]byte, 1000)
+	for i := range line {
+		line[i] = "acgt"[rng.Intn(4)]
+	}
+	for _, nl := range []string{"\n", "\r\n"} {
+		fasta := ">big" + nl + string(line) + nl + string(line[:333]) + nl +
+			">tail" + nl + string(line[:100]) + nl
+		lineMode := string(line) + nl + string(line[:77]) + nl
+		// Buffer sizes 16..40 sweep the '\r' across every boundary
+		// offset; ReadSlice fragments are bufSize-length, so some size
+		// in the range lands the '\r' exactly at a fragment edge.
+		for bufSize := 16; bufSize <= 40; bufSize++ {
+			checkChunksMatchReader(t, fasta, bufSize)
+			checkChunksMatchReader(t, lineMode, bufSize)
+		}
+	}
+}
+
+func TestChunkReaderFirstFlags(t *testing.T) {
+	r := NewChunkReaderSize(strings.NewReader(">a\nacgt\ncc\n>b\ntt\n"), 1<<16)
+	var firsts []bool
+	var ids []string
+	for {
+		ch, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		firsts = append(firsts, ch.First)
+		ids = append(ids, ch.ID)
+	}
+	wantFirsts := []bool{true, false, true}
+	wantIDs := []string{"a", "a", "b"}
+	if len(firsts) != len(wantFirsts) {
+		t.Fatalf("%d chunks, want %d", len(firsts), len(wantFirsts))
+	}
+	for i := range wantFirsts {
+		if firsts[i] != wantFirsts[i] || ids[i] != wantIDs[i] {
+			t.Fatalf("chunk %d = first=%v id=%q, want first=%v id=%q",
+				i, firsts[i], ids[i], wantFirsts[i], wantIDs[i])
+		}
+	}
+}
+
+func TestChunkReaderErrors(t *testing.T) {
+	cases := []string{
+		">a\n>b\nacgt\n",        // empty record mid-file
+		">a\nacgt\n>b\n",        // empty record at EOF
+		">a\n",                  // lone header
+		"@r1\nacgt\n+\nIII\n",   // quality length mismatch
+		"@r1\nacgt\n",           // truncated FASTQ
+		"@r1\nacgt\nIIII\nxx\n", // missing '+' separator
+	}
+	for _, input := range cases {
+		r := NewChunkReaderSize(strings.NewReader(input), 1<<16)
+		var err error
+		for err == nil {
+			_, err = r.Next()
+		}
+		if !errors.Is(err, ErrFormat) {
+			t.Errorf("input %q: error = %v, want ErrFormat", input, err)
+		}
+	}
+}
+
+func TestChunkReaderLongHeaderRejected(t *testing.T) {
+	input := ">" + strings.Repeat("x", 100) + "\nacgt\n"
+	r := NewChunkReaderSize(strings.NewReader(input), 32)
+	var err error
+	for err == nil {
+		_, err = r.Next()
+	}
+	if !errors.Is(err, ErrFormat) {
+		t.Errorf("overlong header error = %v, want ErrFormat", err)
+	}
+}
+
+func TestChunkReaderEmptyInput(t *testing.T) {
+	if _, err := NewChunkReader(strings.NewReader("")).Next(); err != io.EOF {
+		t.Fatalf("empty input error = %v, want io.EOF", err)
+	}
+}

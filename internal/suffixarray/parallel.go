@@ -1,0 +1,332 @@
+package suffixarray
+
+import "sync"
+
+// Parallel-construction thresholds. They are variables, not constants,
+// so the property tests can lower them and force every parallel code
+// path on inputs small enough to cross-check exhaustively under -race.
+var (
+	// parallelMinN is the text length below which BuildParallel
+	// dispatches to the serial SA-IS Build: goroutine and barrier
+	// overhead beats the win long before this point.
+	parallelMinN = 64 << 10
+
+	// parallelMinWork is the per-stage element count below which an
+	// individual pDC3 stage (radix pass, naming scan, merge) runs
+	// serially even inside a parallel build. Deep recursion levels
+	// shrink by 2/3 per level and quickly fall under it.
+	parallelMinWork = 8 << 10
+)
+
+// BuildParallel returns exactly the suffix array Build returns, built
+// with up to workers goroutines. The suffix array of a text is unique
+// (strict total order on suffixes), so any correct construction is
+// bit-identical to the serial one; the property tests additionally
+// verify this equality under -race on adversarial inputs.
+//
+// The algorithm is pDC3: the Kärkkäinen–Sanders skew recursion from
+// dc3.go with its three data-parallel phases actually run in parallel —
+// stable radix passes (per-worker histograms, a serial per-bucket
+// layout, disjoint scatters), triple naming (parallel difference flags
+// plus a two-pass prefix sum), and the final mod-0/mod-1,2 merge (merge
+// path: binary-searched diagonal splits, then independent serial
+// merges of disjoint output ranges). workers <= 1 or a small text
+// degrade to the serial SA-IS Build.
+func BuildParallel(text []byte, workers int) []int32 {
+	n := len(text)
+	if workers <= 1 || n < parallelMinN {
+		return Build(text)
+	}
+	sa := make([]int32, n)
+	s := make([]int32, n+3) // padded with three zeros as DC3 requires
+	parallelFor(n, workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s[i] = int32(text[i]) + 1
+		}
+	})
+	copy(sa, pdc3(s, n, 257, workers))
+	return sa
+}
+
+// pdc3 is dc3 with parallel radix, naming and merge phases. It computes
+// the suffix array of s[0:n] (values in [1, sigma), padding zeros
+// beyond n) and produces output identical to dc3 on every input.
+func pdc3(s []int32, n, sigma, workers int) []int32 {
+	if workers < 2 || n < parallelMinWork {
+		return dc3(s, n, sigma)
+	}
+	n0 := (n + 2) / 3
+	n1 := (n + 1) / 3
+	n2 := n / 3
+	n02 := n0 + n2
+
+	// Positions i mod 3 != 0 in increasing order. The serial version
+	// fills these with a sequential scan; the j-th such position has
+	// the closed form 3*(j/2) + 1 + (j&1), so the fill parallelizes
+	// with no carried state.
+	s12 := make([]int32, n02+3)
+	parallelFor(n02, workers, func(_, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			s12[j] = int32(3*(j/2) + 1 + (j & 1))
+		}
+	})
+
+	// Radix sort the mod-1/2 suffixes by their first three characters.
+	sa12 := make([]int32, n02+3)
+	pradixPass(s12, sa12, s[2:], n02, sigma, workers)
+	pradixPass(sa12, s12, s[1:], n02, sigma, workers)
+	pradixPass(s12, sa12, s, n02, sigma, workers)
+
+	// Name the triples: diff[i] says whether sa12[i]'s triple differs
+	// from its predecessor's; the inclusive prefix sum of diff is the
+	// name. Both halves parallelize (two-pass prefix sum); the writes
+	// into s12 scatter to distinct slots because sa12 holds distinct
+	// positions.
+	nParts := partCount(n02, workers)
+	diff := make([]int32, n02)
+	partSum := make([]int32, nParts)
+	parallelParts(n02, nParts, func(w, lo, hi int) {
+		var sum int32
+		for i := lo; i < hi; i++ {
+			if i == 0 {
+				diff[i] = 1
+			} else {
+				p, q := sa12[i], sa12[i-1]
+				if s[p] != s[q] || s[p+1] != s[q+1] || s[p+2] != s[q+2] {
+					diff[i] = 1
+				}
+			}
+			sum += diff[i]
+		}
+		partSum[w] = sum
+	})
+	name := 0
+	for w := 0; w < nParts; w++ {
+		name += int(partSum[w])
+	}
+	offsets := make([]int32, nParts)
+	var running int32
+	for w := 0; w < nParts; w++ {
+		offsets[w], running = running, running+partSum[w]
+	}
+	parallelParts(n02, nParts, func(w, lo, hi int) {
+		nm := offsets[w]
+		for i := lo; i < hi; i++ {
+			nm += diff[i]
+			p := sa12[i]
+			if p%3 == 1 {
+				s12[p/3] = nm // left half
+			} else {
+				s12[p/3+int32(n0)] = nm // right half
+			}
+		}
+	})
+
+	if name < n02 {
+		// Recurse on the named sequence.
+		sub := pdc3(s12, n02, name+1, workers)
+		copy(sa12, sub)
+		// Restore the names as ranks. sa12 is a permutation of
+		// [0, n02), so the writes are disjoint.
+		parallelFor(n02, workers, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				s12[sa12[i]] = int32(i) + 1
+			}
+		})
+	} else {
+		// Names unique: derive sa12 directly (s12[i]-1 is a
+		// permutation of [0, n02), so again disjoint writes).
+		parallelFor(n02, workers, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				sa12[s12[i]-1] = int32(i)
+			}
+		})
+	}
+
+	// Sort the mod-0 suffixes by (first char, rank of following mod-1).
+	// The extraction is a stable order-dependent compaction; it stays
+	// serial (a single O(n02) scan, well under the radix-pass cost).
+	s0 := make([]int32, n0)
+	j := 0
+	for i := 0; i < n02; i++ {
+		if sa12[i] < int32(n0) {
+			s0[j] = 3 * sa12[i]
+			j++
+		}
+	}
+	sa0 := make([]int32, n0)
+	pradixPass(s0, sa0, s, n0, sigma, workers)
+
+	// Merge sa0 and sa12 with the same comparisons as dc3, split into
+	// disjoint output ranges by merge-path binary search.
+	sa := make([]int32, n)
+	getI := func(t int) int32 {
+		if sa12[t] < int32(n0) {
+			return sa12[t]*3 + 1
+		}
+		return (sa12[t]-int32(n0))*3 + 2
+	}
+	rank12 := func(i int32) int32 {
+		if i%3 == 1 {
+			return s12[i/3]
+		}
+		return s12[i/3+int32(n0)]
+	}
+	leq2 := func(a1, a2, b1, b2 int32) bool {
+		return a1 < b1 || (a1 == b1 && a2 <= b2)
+	}
+	leq3 := func(a1, a2, a3, b1, b2, b3 int32) bool {
+		return a1 < b1 || (a1 == b1 && leq2(a2, a3, b2, b3))
+	}
+	// takeI reports whether mod-1/2 suffix i precedes mod-0 suffix jj;
+	// equality takes i first, exactly as the serial merge does.
+	takeI := func(i, jj int32) bool {
+		if i%3 == 1 {
+			return leq2(s[i], rank12(i+1), s[jj], rank12(jj+1))
+		}
+		return leq3(s[i], s[i+1], rank12(i+2), s[jj], s[jj+1], rank12(jj+2))
+	}
+
+	tStart := n0 - n1    // first live index into sa12 (skips padding)
+	lenA := n02 - tStart // mod-1/2 elements to merge
+	lenB := n0           // mod-0 elements to merge
+	mergeRange := func(t, p, k, kEnd int) {
+		for k < kEnd {
+			var take bool
+			var i, jj int32
+			if t < n02 {
+				i = getI(t)
+			}
+			if p < n0 {
+				jj = sa0[p]
+			}
+			switch {
+			case t >= n02:
+				take = false
+			case p >= n0:
+				take = true
+			default:
+				take = takeI(i, jj)
+			}
+			if take {
+				sa[k] = i
+				t++
+			} else {
+				sa[k] = jj
+				p++
+			}
+			k++
+		}
+	}
+	if n < parallelMinWork {
+		mergeRange(tStart, 0, 0, n)
+		return sa
+	}
+	// split(k) returns how many A (mod-1/2) elements appear among the
+	// first k merged outputs: the smallest a in the diagonal's feasible
+	// range such that B[k-a-1] precedes A[a].
+	split := func(k int) int {
+		lo, hi := k-lenB, lenA
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > k {
+			hi = k
+		}
+		for lo < hi {
+			mid := (lo + hi) / 2
+			// mid < hi <= k, so b-1 = k-mid-1 >= 0; mid < lenA.
+			if takeI(getI(tStart+mid), sa0[k-mid-1]) {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+	parallelFor(n, workers, func(_, lo, hi int) {
+		a := split(lo)
+		mergeRange(tStart+a, lo-a, lo, hi)
+	})
+	return sa
+}
+
+// pradixPass is radixPass parallelized: per-worker histograms over
+// contiguous input ranges, one serial pass laying out each (bucket,
+// worker) run, then disjoint scatters. Bucket-internal order is worker
+// order = input order, so the sort stays stable and the output is
+// byte-identical to the serial pass. Falls back to radixPass when the
+// histogram memory ((sigma+1) counters per worker) would rival the
+// input itself — deep pDC3 recursion levels have sigma ~ 2n/3.
+func pradixPass(src, dst, key []int32, n, sigma, workers int) {
+	if workers < 2 || n < parallelMinWork || (sigma+1)*workers > n {
+		radixPass(src, dst, key, n, sigma)
+		return
+	}
+	nParts := partCount(n, workers)
+	counts := make([]int32, nParts*(sigma+1))
+	parallelParts(n, nParts, func(w, lo, hi int) {
+		row := counts[w*(sigma+1) : (w+1)*(sigma+1)]
+		for i := lo; i < hi; i++ {
+			row[key[src[i]]]++
+		}
+	})
+	var sum int32
+	for c := 0; c <= sigma; c++ {
+		for w := 0; w < nParts; w++ {
+			i := w*(sigma+1) + c
+			counts[i], sum = sum, sum+counts[i]
+		}
+	}
+	parallelParts(n, nParts, func(w, lo, hi int) {
+		row := counts[w*(sigma+1) : (w+1)*(sigma+1)]
+		for i := lo; i < hi; i++ {
+			c := key[src[i]]
+			dst[row[c]] = src[i]
+			row[c]++
+		}
+	})
+}
+
+// partCount caps the worker count at one element per part.
+func partCount(n, workers int) int {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// parallelParts runs f(w, lo, hi) over exactly nParts contiguous,
+// disjoint ranges covering [0, n), one goroutine per part. Part w is
+// deterministic for a given (n, nParts), which the histogram layout in
+// pradixPass relies on.
+func parallelParts(n, nParts int, f func(w, lo, hi int)) {
+	chunk := (n + nParts - 1) / nParts
+	var wg sync.WaitGroup
+	for w := 0; w < nParts; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			// Empty trailing part: still deterministic, nothing to do.
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			f(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// parallelFor is parallelParts with the part count derived from the
+// worker budget.
+func parallelFor(n, workers int, f func(w, lo, hi int)) {
+	parallelParts(n, partCount(n, workers), f)
+}

@@ -1,0 +1,136 @@
+package suffixarray
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// lowerThresholds forces every parallel code path (radix, naming,
+// merge, recursion) on inputs small enough to test exhaustively, and
+// restores the production thresholds afterwards. Tests that call it
+// must not use t.Parallel.
+func lowerThresholds(t *testing.T) {
+	t.Helper()
+	oldMinN, oldMinWork := parallelMinN, parallelMinWork
+	parallelMinN, parallelMinWork = 2, 2
+	t.Cleanup(func() { parallelMinN, parallelMinWork = oldMinN, oldMinWork })
+}
+
+func checkParallelEqual(t *testing.T, label string, text []byte, workers int) {
+	t.Helper()
+	want := Build(text)
+	got := BuildParallel(text, workers)
+	if len(got) != len(want) {
+		t.Fatalf("%s (workers=%d): length %d, want %d", label, workers, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s (workers=%d): sa[%d] = %d, want %d", label, workers, i, got[i], want[i])
+		}
+	}
+}
+
+var parallelWorkerCounts = []int{2, 3, 4, 7, 16}
+
+// TestBuildParallelRandom cross-checks pDC3 against SA-IS on uniform
+// random texts over several alphabet sizes, across worker counts and
+// lengths that straddle the chunking boundaries.
+func TestBuildParallelRandom(t *testing.T) {
+	lowerThresholds(t)
+	rng := rand.New(rand.NewSource(9))
+	for _, sigma := range []int{1, 2, 4, 5, 256} {
+		for _, n := range []int{0, 1, 2, 3, 5, 17, 64, 255, 256, 1000, 4096} {
+			text := make([]byte, n)
+			for i := range text {
+				text[i] = byte(rng.Intn(sigma))
+			}
+			for _, w := range parallelWorkerCounts {
+				checkParallelEqual(t, "random", text, w)
+			}
+		}
+	}
+}
+
+// TestBuildParallelHomopolymer saturates the naming phase: long runs of
+// a single base force maximal triple collisions and the deepest
+// recursion, the worst case for the prefix-sum naming.
+func TestBuildParallelHomopolymer(t *testing.T) {
+	lowerThresholds(t)
+	for _, n := range []int{10, 100, 1023, 4096} {
+		text := bytes.Repeat([]byte{'a'}, n)
+		for _, w := range parallelWorkerCounts {
+			checkParallelEqual(t, "homopolymer", text, w)
+		}
+		// A single foreign base breaks the symmetry at each end.
+		text[0] = 'b'
+		checkParallelEqual(t, "homopolymer-head", text, 3)
+		text[0], text[n-1] = 'a', 'b'
+		checkParallelEqual(t, "homopolymer-tail", text, 3)
+	}
+}
+
+// TestBuildParallelAllDistinct exercises the unique-names fast path
+// (no recursion): every triple distinct on the first pass.
+func TestBuildParallelAllDistinct(t *testing.T) {
+	lowerThresholds(t)
+	asc := make([]byte, 256)
+	desc := make([]byte, 256)
+	for i := range asc {
+		asc[i] = byte(i)
+		desc[i] = byte(255 - i)
+	}
+	perm := make([]byte, 256)
+	for i, p := range rand.New(rand.NewSource(7)).Perm(256) {
+		perm[i] = byte(p)
+	}
+	for _, text := range [][]byte{asc, desc, perm} {
+		for _, w := range parallelWorkerCounts {
+			checkParallelEqual(t, "all-distinct", text, w)
+		}
+	}
+}
+
+// TestBuildParallelDNA checks realistic inputs at production
+// thresholds: a random ACGT text large enough that BuildParallel takes
+// the pDC3 path without any test-side threshold lowering.
+func TestBuildParallelDNA(t *testing.T) {
+	n := parallelMinN + 12345
+	if testing.Short() {
+		n = parallelMinN + 123
+	}
+	rng := rand.New(rand.NewSource(11))
+	text := make([]byte, n)
+	for i := range text {
+		text[i] = "acgt"[rng.Intn(4)]
+	}
+	for _, w := range []int{2, 4} {
+		checkParallelEqual(t, "dna", text, w)
+	}
+}
+
+// TestBuildParallelSerialFallback pins the dispatch rule: one worker or
+// a small text must take the serial Build path (still bit-identical,
+// but with no goroutines spawned).
+func TestBuildParallelSerialFallback(t *testing.T) {
+	text := []byte("gattacagattaca")
+	checkParallelEqual(t, "fallback-small", text, 8)
+	checkParallelEqual(t, "fallback-one-worker", text, 1)
+	checkParallelEqual(t, "fallback-zero-worker", text, 0)
+}
+
+func BenchmarkBuildParallel_1MB(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	text := make([]byte, 1<<20)
+	for i := range text {
+		text[i] = "acgt"[rng.Intn(4)]
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(map[int]string{1: "w1", 2: "w2", 4: "w4"}[workers], func(b *testing.B) {
+			b.SetBytes(int64(len(text)))
+			for i := 0; i < b.N; i++ {
+				BuildParallel(text, workers)
+			}
+		})
+	}
+}

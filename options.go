@@ -59,13 +59,37 @@ func WithPackedBWT() Option {
 }
 
 // WithBuildWorkers parallelizes index construction across n goroutines
-// for every phase after the suffix array (BWT extraction, rankall
-// checkpoints, SA sampling, packing). The suffix array itself is
-// inherently serial, so end-to-end speedups saturate per Amdahl
-// (DESIGN.md §8). n <= 1 builds serially (the default); queries are
-// unaffected.
+// for every phase of the build, including the suffix array itself:
+// n >= 2 switches SA construction to parallel DC3 (pDC3), which is
+// bit-identical to the serial SA-IS default, and parallelizes
+// everything after it (BWT extraction, rankall checkpoints, SA
+// sampling, packing) — see DESIGN.md §8 and §12. n <= 1 builds
+// serially (the default); queries are unaffected.
 func WithBuildWorkers(n int) Option {
 	return func(c *config) { c.fm.Workers = n }
+}
+
+// BuildPhases is the wall-clock breakdown of index construction: the
+// suffix array, the BWT extraction plus C array, the rankall
+// checkpoint tables, and the packing plus locate samples. The sum can
+// slightly undershoot the total build time (allocation and validation
+// sit between phases).
+type BuildPhases struct {
+	SANS   int64
+	BWTNS  int64
+	OccNS  int64
+	PackNS int64
+}
+
+// WithBuildPhases accumulates the construction-phase breakdown into ph:
+// each build the option applies to adds its phase durations, so a
+// streaming multi-shard build sums into one sink. Not synchronized —
+// do not share one sink across concurrently built indexes (plain New
+// and the streaming builder are safe; a single NewSharded call builds
+// shards concurrently and must not share a sink). Construction-only;
+// never serialized with the index.
+func WithBuildPhases(ph *BuildPhases) Option {
+	return func(c *config) { c.fm.Phases = (*fmindex.BuildPhases)(ph) }
 }
 
 // WithShards partitions a sharded index into n shards of equal stride

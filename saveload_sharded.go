@@ -70,29 +70,44 @@ func (x *ShardedIndex) SaveFile(path string) error {
 	return f.Close()
 }
 
-// LoadSharded deserializes a sharded index written by Save, reading
-// only the manifest and the payload length prefixes eagerly: each
-// shard's FM-index materializes on first search. ra must stay readable
-// for the life of the index (LoadShardedFile manages that; callers
-// passing their own ReaderAt manage it themselves).
-func LoadSharded(ra io.ReaderAt, size int64) (*ShardedIndex, error) {
+// shardFrame locates one shard's payload inside a sharded container:
+// off is the first payload byte (the uint64 length prefix sits at
+// off-8) and len the payload length.
+type shardFrame struct {
+	off, len int64
+}
+
+// shardedTOC is the eagerly readable part of a sharded container: the
+// manifest plus the location of every payload frame. It is what
+// LoadSharded needs to defer payload decodes, and what OpenAppend needs
+// to copy unchanged frames without decoding them.
+type shardedTOC struct {
+	man    shard.Manifest
+	frames []shardFrame
+}
+
+// readShardedTOC reads the container magic, the manifest, and the
+// payload length prefixes, validating that the frames exactly tile the
+// rest of the file. Every rejection wraps ErrFormat.
+func readShardedTOC(ra io.ReaderAt, size int64) (shardedTOC, error) {
+	var toc shardedTOC
 	header := make([]byte, 4)
 	if _, err := ra.ReadAt(header, 0); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+		return toc, fmt.Errorf("%w: %v", ErrFormat, err)
 	}
 	if magic := binary.LittleEndian.Uint32(header); magic != shardedMagic {
-		return nil, fmt.Errorf("%w: magic %#x", ErrFormat, magic)
+		return toc, fmt.Errorf("%w: magic %#x", ErrFormat, magic)
 	}
 	man, err := shard.ReadManifest(bufio.NewReader(io.NewSectionReader(ra, 4, size-4)))
 	if err != nil {
-		return nil, fmt.Errorf("%w: manifest: %v", ErrFormat, err)
+		return toc, fmt.Errorf("%w: manifest: %v", ErrFormat, err)
 	}
 	// The bufio reader above reads ahead, so it cannot report where the
 	// manifest ended; the encoding is deterministic, so re-encoding to
 	// io.Discard recovers the exact payload offset.
 	manLen, err := man.WriteTo(io.Discard)
 	if err != nil {
-		return nil, fmt.Errorf("%w: manifest: %v", ErrFormat, err)
+		return toc, fmt.Errorf("%w: manifest: %v", ErrFormat, err)
 	}
 
 	// ReadManifest already caps the span count, but this is the
@@ -100,36 +115,59 @@ func LoadSharded(ra io.ReaderAt, size int64) (*ShardedIndex, error) {
 	// is visible (and machine-checkable) where the memory is committed.
 	nShards := man.Plan.Count()
 	if nShards > shard.MaxShards {
-		return nil, fmt.Errorf("%w: manifest declares %d shards (cap %d)", ErrFormat, nShards, shard.MaxShards)
+		return toc, fmt.Errorf("%w: manifest declares %d shards (cap %d)", ErrFormat, nShards, shard.MaxShards)
 	}
-	x := &ShardedIndex{
-		man:      man,
-		refs:     refsFromShard(man.Refs),
-		shards:   make([]lazyShard, nShards),
-		counters: make([]shardCounter, nShards),
-		fanout:   runtime.GOMAXPROCS(0),
-	}
+	toc.man = man
+	toc.frames = make([]shardFrame, nShards)
 	offset := 4 + manLen
 	lenBuf := make([]byte, 8)
-	for i := range x.shards {
+	for i := range toc.frames {
 		if offset+8 > size {
-			return nil, fmt.Errorf("%w: shard %d: truncated before length prefix", ErrFormat, i)
+			return toc, fmt.Errorf("%w: shard %d: truncated before length prefix", ErrFormat, i)
 		}
 		if _, err := ra.ReadAt(lenBuf, offset); err != nil {
-			return nil, fmt.Errorf("%w: shard %d length: %v", ErrFormat, i, err)
+			return toc, fmt.Errorf("%w: shard %d length: %v", ErrFormat, i, err)
 		}
 		blobLen := int64(binary.LittleEndian.Uint64(lenBuf))
 		if blobLen < 0 || blobLen > size-offset-8 {
-			return nil, fmt.Errorf("%w: shard %d claims %d payload bytes with %d remaining",
+			return toc, fmt.Errorf("%w: shard %d claims %d payload bytes with %d remaining",
 				ErrFormat, i, blobLen, size-offset-8)
 		}
-		payloadOff := offset + 8
+		toc.frames[i] = shardFrame{off: offset + 8, len: blobLen}
+		offset += 8 + blobLen
+	}
+	if offset != size {
+		return toc, fmt.Errorf("%w: %d trailing bytes after last shard", ErrFormat, size-offset)
+	}
+	return toc, nil
+}
+
+// LoadSharded deserializes a sharded index written by Save, reading
+// only the manifest and the payload length prefixes eagerly: each
+// shard's FM-index materializes on first search. ra must stay readable
+// for the life of the index (LoadShardedFile manages that; callers
+// passing their own ReaderAt manage it themselves).
+func LoadSharded(ra io.ReaderAt, size int64) (*ShardedIndex, error) {
+	toc, err := readShardedTOC(ra, size)
+	if err != nil {
+		return nil, err
+	}
+	man := toc.man
+	x := &ShardedIndex{
+		man:      man,
+		refs:     refsFromShard(man.Refs),
+		shards:   make([]lazyShard, len(toc.frames)),
+		counters: make([]shardCounter, len(toc.frames)),
+		fanout:   runtime.GOMAXPROCS(0),
+	}
+	for i := range x.shards {
+		fr := toc.frames[i]
 		span := man.Plan.Spans[i]
 		ls := &x.shards[i]
 		ls.span = span
-		ls.bytes.Store(blobLen)
+		ls.bytes.Store(fr.len)
 		ls.load = func() (*Index, error) {
-			idx, err := Load(io.NewSectionReader(ra, payloadOff, blobLen))
+			idx, err := Load(io.NewSectionReader(ra, fr.off, fr.len))
 			if err != nil {
 				return nil, fmt.Errorf("%w: shard payload: %v", ErrFormat, err)
 			}
@@ -142,10 +180,6 @@ func LoadSharded(ra io.ReaderAt, size int64) (*ShardedIndex, error) {
 			}
 			return idx, nil
 		}
-		offset = payloadOff + blobLen
-	}
-	if offset != size {
-		return nil, fmt.Errorf("%w: %d trailing bytes after last shard", ErrFormat, size-offset)
 	}
 	return x, nil
 }

@@ -129,6 +129,55 @@ func (r *Registry) LoadFile(name, path string) (bwtmatch.Matcher, error) {
 	return idx, nil
 }
 
+// Replace swaps the index registered under name with idx, refreshing
+// the LRU cost accounting — an appended container grows, so the
+// entry's recorded bytes must grow with it or the budget drifts. The
+// query counter carries over; recency is refreshed. A name not yet
+// registered is added. The displaced index is not Closed, for the same
+// reason eviction never Closes (see entry): in-flight batches may still
+// hold it.
+func (r *Registry) Replace(name string, idx bwtmatch.Matcher) error {
+	if name == "" {
+		return fmt.Errorf("server: empty index name")
+	}
+	cost := indexBytes(idx)
+	if r.budget > 0 && cost > r.budget {
+		return fmt.Errorf("server: index %q (%d bytes) exceeds registry budget (%d bytes)", name, cost, r.budget)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old, existed := r.entries[name]
+	if existed {
+		delete(r.entries, name)
+		r.resident -= old.bytes
+	}
+	r.evictLocked(cost)
+	e := &entry{name: name, idx: idx, bytes: cost}
+	if existed {
+		e.queries.Store(old.queries.Load())
+	}
+	e.lastUsed.Store(r.clock.Add(1))
+	r.entries[name] = e
+	r.resident += cost
+	return nil
+}
+
+// ReloadFile re-reads the container at path and swaps it in under name
+// — the hot-reload path after `kmgen -append` grew a container on disk.
+// Searches in flight keep the old index; new lookups see the new one.
+func (r *Registry) ReloadFile(name, path string) (bwtmatch.Matcher, error) {
+	idx, err := bwtmatch.LoadAnyFile(path)
+	if err != nil {
+		// %w keeps bwtmatch.ErrFormat matchable while recording which
+		// reload failed (kmvet: wrapformat).
+		return nil, fmt.Errorf("server: reloading index %q from %s: %w", name, path, err)
+	}
+	if err := r.Replace(name, idx); err != nil {
+		return nil, err
+	}
+	return idx, nil
+}
+
 // Get returns the index registered under name, refreshing its LRU
 // recency, or ErrNotFound.
 func (r *Registry) Get(name string) (bwtmatch.Matcher, error) {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -142,5 +143,78 @@ func TestRegistryConcurrency(t *testing.T) {
 	wg.Wait()
 	if _, err := r.Get("stable"); err != nil {
 		t.Fatalf("stable index lost: %v", err)
+	}
+}
+
+// TestRegistryReloadAppendedContainer covers the hot-reload path: a
+// sharded container is registered, grown on disk with the streaming
+// append builder, and reloaded — the entry must show the new shard
+// count and the LRU cost accounting must grow with the container.
+func TestRegistryReloadAppendedContainer(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	base := randomDNA(rng, 4000)
+	tail := randomDNA(rng, 2500)
+	path := filepath.Join(t.TempDir(), "g.km")
+
+	sb, err := bwtmatch.NewStreamBuilder(path,
+		bwtmatch.WithShardSize(1024), bwtmatch.WithMaxPatternLen(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sb.Write(base); err != nil {
+		t.Fatal(err)
+	}
+	if err := sb.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewRegistry(0)
+	if _, err := r.LoadFile("g", path); err != nil {
+		t.Fatal(err)
+	}
+	before := r.List()
+	if len(before) != 1 || before[0].Shards != 4 || before[0].Bases != 4000 {
+		t.Fatalf("initial List: %+v", before)
+	}
+	residentBefore := r.Resident()
+
+	ab, err := bwtmatch.OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ab.Write(tail); err != nil {
+		t.Fatal(err)
+	}
+	if err := ab.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bump the query counter so we can check it survives the swap.
+	if _, err := r.Get("g"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReloadFile("g", path); err != nil {
+		t.Fatal(err)
+	}
+	after := r.List()
+	if len(after) != 1 || after[0].Shards != 7 || after[0].Bases != 6500 {
+		t.Fatalf("reloaded List: %+v", after)
+	}
+	if after[0].Queries != 1 {
+		t.Errorf("query counter lost across reload: %+v", after[0])
+	}
+	if r.Resident() <= residentBefore {
+		t.Errorf("resident cost did not grow with the container: %d -> %d", residentBefore, r.Resident())
+	}
+	if r.Len() != 1 {
+		t.Errorf("Replace duplicated the entry: %d", r.Len())
+	}
+
+	// Replace on a fresh name degrades to Add.
+	if err := r.Replace("h", buildIndex(t, 3, 700)); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Errorf("Replace on fresh name: len=%d", r.Len())
 	}
 }

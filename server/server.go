@@ -218,6 +218,26 @@ func (s *Server) Register(name, path string) error {
 	return nil
 }
 
+// Reload re-reads the container at path and swaps it in under name,
+// refreshing the registry's cost accounting — the hot-reload path after
+// `kmgen -append` grew a container on disk (kmserved wires it to
+// SIGHUP). In-flight searches finish on the old index; new ones see the
+// new shards.
+func (s *Server) Reload(name, path string) error {
+	idx, err := s.reg.ReloadFile(name, path)
+	if err != nil {
+		return err
+	}
+	s.met.IndexesLoaded.Add(1)
+	shards := 0
+	if sx, ok := idx.(*bwtmatch.ShardedIndex); ok {
+		shards = sx.Shards()
+	}
+	s.log.Info("index reloaded", "index", name, "path", path, "bytes", idx.SizeBytes(), "shards", shards)
+	s.maybeWarm(name, idx)
+	return nil
+}
+
 // maybeWarm starts a background warm-up for a sharded index when
 // Config.WarmIndexes is set: every lazily deferred shard materializes
 // now rather than on first search, and /readyz reports 503 until all

@@ -176,6 +176,11 @@ func newSharded(target []byte, refs []Ref, opts []Option) (*ShardedIndex, error)
 	// Build shards concurrently, at most GOMAXPROCS at a time: each
 	// build holds a full suffix array of its slice, so unbounded fan-out
 	// would spike memory without finishing any sooner.
+	// A shared phase sink would race across these concurrent builds
+	// (BuildPhases accumulation is unsynchronized), so sharded in-memory
+	// construction drops it; the streaming builder, which builds shards
+	// serially, honors it.
+	cfg.fm.Phases = nil
 	fmOpt := func(c *config) { c.fm = cfg.fm }
 	workers := runtime.GOMAXPROCS(0)
 	if workers > plan.Count() {
