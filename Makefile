@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-server vet kmvet lint lint-report invariants fuzz-smoke obs-smoke benchdiff-smoke shard-smoke build-smoke cluster-smoke trace-smoke check bench bench-json bench-compare
+.PHONY: build test race race-server vet kmvet lint lint-report invariants fuzz-smoke obs-smoke benchdiff-smoke shard-smoke build-smoke cluster-smoke trace-smoke relative-smoke check bench bench-json bench-compare
 
 build:
 	$(GO) build ./...
@@ -52,6 +52,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzSaveLoad -fuzztime=10s -tags kminvariants .
 	$(GO) test -run='^$$' -fuzz=FuzzLoadRoundTrip -fuzztime=10s -tags kminvariants .
 	$(GO) test -run='^$$' -fuzz=FuzzLoadShardedRoundTrip -fuzztime=10s -tags kminvariants .
+	$(GO) test -run='^$$' -fuzz=FuzzLoadRelativeRoundTrip -fuzztime=10s -tags kminvariants .
 
 # Observability smoke test: boots kmserved, scrapes /metrics (including
 # the km_slo_* series) and /debug/flightrecorder, and validates the
@@ -61,18 +62,30 @@ obs-smoke:
 	$(GO) test -run='^TestObsSmoke$$' -count=1 ./server/...
 
 # Regression-gate smoke test: kmbenchdiff must pass a clean diff and
-# fail a fabricated 20% regression (fixtures in cmd/kmbenchdiff/testdata).
+# fail both fabricated regressions — 20% ns/read and 24% peak RSS
+# (fixtures in cmd/kmbenchdiff/testdata).
 benchdiff-smoke:
 	$(GO) run ./cmd/kmbenchdiff cmd/kmbenchdiff/testdata/old.json cmd/kmbenchdiff/testdata/new_ok.json
 	@if $(GO) run ./cmd/kmbenchdiff cmd/kmbenchdiff/testdata/old.json cmd/kmbenchdiff/testdata/new_regressed.json >/dev/null 2>&1; then \
 		echo "benchdiff-smoke: FAIL (regression fixture was not flagged)"; exit 1; \
 	else echo "benchdiff-smoke: regression fixture correctly rejected"; fi
+	@if $(GO) run ./cmd/kmbenchdiff cmd/kmbenchdiff/testdata/old.json cmd/kmbenchdiff/testdata/new_rss_regressed.json >/dev/null 2>&1; then \
+		echo "benchdiff-smoke: FAIL (RSS regression fixture was not flagged)"; exit 1; \
+	else echo "benchdiff-smoke: RSS regression fixture correctly rejected"; fi
 
 # Sharded-pipeline smoke test: kmgen builds a multi-shard index file,
 # kmsearch loads it transparently and must agree with a monolithic
 # build, and kmserved serves it with per-shard /metrics series.
 shard-smoke:
 	$(GO) test -run='^TestShardSmoke$$' -count=1 .
+
+# Multi-tenant relative-index smoke test: kmgen builds a base index and
+# three delta-compressed tenant containers, kmsearch answers from a
+# tenant byte-identically to a standalone build, and kmserved serves all
+# three tenants off one shared resident base with the delta accounting
+# in /v1/indexes and the km_relative_* /metrics series (DESIGN.md §13).
+relative-smoke:
+	$(GO) test -run='^TestRelativeSmoke$$' -count=1 .
 
 # Build-pipeline smoke test: kmgen stream-builds a sharded container in
 # bounded memory (byte-identical to the in-memory build), appends to it
@@ -97,7 +110,7 @@ trace-smoke:
 	$(GO) test -run='^TestTraceSmoke$$' -count=1 ./server/cluster/...
 
 # The one-stop pre-commit gate.
-check: lint race-server race invariants fuzz-smoke obs-smoke benchdiff-smoke shard-smoke build-smoke cluster-smoke trace-smoke
+check: lint race-server race invariants fuzz-smoke obs-smoke benchdiff-smoke shard-smoke build-smoke cluster-smoke trace-smoke relative-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -104,7 +104,9 @@ type Stats struct {
 // Index is an immutable k-mismatch search index over one target sequence.
 // It is safe for concurrent use once built.
 type Index struct {
-	text     []byte // rank-encoded target
+	text     []byte // rank-encoded target; nil until first use when textFn is set
+	textOnce sync.Once
+	textFn   func() []byte // lazy target reconstruction (relative layout)
 	searcher *core.Searcher
 	refs     []Ref // reference table for NewRefs indexes; nil otherwise
 
@@ -156,7 +158,19 @@ func New(target []byte, opts ...Option) (*Index, error) {
 func Sanitize(seq []byte) ([]byte, int) { return alphabet.Sanitize(seq) }
 
 // Len returns the target length.
-func (x *Index) Len() int { return len(x.text) }
+func (x *Index) Len() int { return x.searcher.N() }
+
+// targetText returns the rank-encoded target, reconstructing it on
+// first use for layouts that do not keep the text resident (the
+// relative layout rebuilds it from the BWT via one LF walk). The BWT
+// search paths never call this — only the text-scanning baselines and
+// reference decoding do.
+func (x *Index) targetText() []byte {
+	if x.textFn != nil {
+		x.textOnce.Do(func() { x.text = x.textFn() })
+	}
+	return x.text
+}
 
 // SizeBytes estimates the resident size of the BWT index structures.
 func (x *Index) SizeBytes() int { return x.searcher.Index().SizeBytes() }
@@ -221,7 +235,7 @@ func (x *Index) SearchMethodTraced(pattern []byte, k int, method Method, tr Trac
 	}
 	switch method {
 	case Amir:
-		x.amirOnce.Do(func() { x.amirM = amir.New(x.text) })
+		x.amirOnce.Do(func() { x.amirM = amir.New(x.targetText()) })
 		ms, as, err := x.amirM.Find(p, k)
 		if err != nil {
 			return nil, st, fmt.Errorf("%w: %v", ErrInput, err)
@@ -233,7 +247,7 @@ func (x *Index) SearchMethodTraced(pattern []byte, k int, method Method, tr Trac
 		}
 		return out, st, nil
 	case Cole:
-		x.coleOnce.Do(func() { x.coleTree, x.coleErr = suffixtree.Build(x.text) })
+		x.coleOnce.Do(func() { x.coleTree, x.coleErr = suffixtree.Build(x.targetText()) })
 		if x.coleErr != nil {
 			return nil, st, x.coleErr
 		}
@@ -241,15 +255,16 @@ func (x *Index) SearchMethodTraced(pattern []byte, k int, method Method, tr Trac
 		st.Visited = visited
 		sort.Slice(pos, func(i, j int) bool { return pos[i] < pos[j] })
 		out := make([]Match, len(pos))
+		text := x.targetText()
 		for i, q := range pos {
 			out[i] = Match{
 				Pos:        int(q),
-				Mismatches: naive.Hamming(x.text[q:int(q)+len(p)], p, len(p)),
+				Mismatches: naive.Hamming(text[q:int(q)+len(p)], p, len(p)),
 			}
 		}
 		return out, st, nil
 	case Seed:
-		x.seedOnce.Do(func() { x.seedM = seedext.New(x.searcher.Index(), x.text) })
+		x.seedOnce.Do(func() { x.seedM = seedext.New(x.searcher.Index(), x.targetText()) })
 		ms, ss, err := x.seedM.Find(p, k)
 		if err != nil {
 			return nil, st, fmt.Errorf("%w: %v", ErrInput, err)
@@ -261,7 +276,7 @@ func (x *Index) SearchMethodTraced(pattern []byte, k int, method Method, tr Trac
 		}
 		return out, st, nil
 	case Online:
-		lv := naive.NewLandauVishkin(x.text, p)
+		lv := naive.NewLandauVishkin(x.targetText(), p)
 		pos := lv.Find(k)
 		out := make([]Match, len(pos))
 		for i, q := range pos {
@@ -297,7 +312,7 @@ func (x *Index) MEMs(pattern []byte, minLen int) ([]MEM, error) {
 		return nil, fmt.Errorf("%w: empty pattern", ErrInput)
 	}
 	x.biOnce.Do(func() {
-		x.bi, x.biErr = fmindex.BuildBi(x.text, fmindex.DefaultOptions())
+		x.bi, x.biErr = fmindex.BuildBi(x.targetText(), fmindex.DefaultOptions())
 	})
 	if x.biErr != nil {
 		return nil, x.biErr
@@ -380,7 +395,7 @@ func (x *Index) SearchWildcard(pattern []byte) ([]int, error) {
 	if len(p) == 0 {
 		return nil, fmt.Errorf("%w: empty pattern", ErrInput)
 	}
-	x.wildOnce.Do(func() { x.wildM = wildcard.New(x.searcher.Index(), x.text) })
+	x.wildOnce.Do(func() { x.wildM = wildcard.New(x.searcher.Index(), x.targetText()) })
 	pos, err := x.wildM.Find(p, wildcardRank)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrInput, err)
@@ -410,7 +425,7 @@ func (x *Index) SearchEdits(pattern []byte, k int) ([]EditMatch, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrInput, err)
 	}
-	ms, err := kerrors.FindBanded(x.text, p, k)
+	ms, err := kerrors.FindBanded(x.targetText(), p, k)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrInput, err)
 	}

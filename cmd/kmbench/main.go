@@ -15,6 +15,16 @@
 // peak RSS) suitable for committing as a BENCH_*.json trajectory file.
 // -trace additionally writes a Chrome trace-event timeline (load it in
 // chrome://tracing or https://ui.perfetto.dev).
+//
+// -json -tenants N runs the multi-tenant serving experiment instead of
+// the standard grid: N variants of one base genome at -divergence
+// percent substitutions, each served standalone (default) or as a
+// relative delta against the shared base (-tenant-mode relative). The
+// report's "tenant" block carries the byte accounting and — in relative
+// mode — a result-equivalence verdict against standalone builds:
+//
+//	kmbench -json -tenants 8 -tenant-mode mono     -out BENCH_mono.json
+//	kmbench -json -tenants 8 -tenant-mode relative -out BENCH_relative.json
 package main
 
 import (
@@ -37,6 +47,9 @@ func main() {
 	out := flag.String("out", "", "with -json: write the report here instead of stdout")
 	rounds := flag.Int("rounds", 5, "with -json: timing rounds per cell (best kept)")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file")
+	tenants := flag.Int("tenants", 0, "with -json: run the multi-tenant experiment with this many tenants")
+	divergence := flag.Float64("divergence", 1.0, "with -tenants: percent of bases substituted per tenant")
+	tenantMode := flag.String("tenant-mode", "mono", "with -tenants: 'mono' (standalone per tenant) or 'relative' (shared base + deltas)")
 	flag.Parse()
 
 	cfg := bench.Config{Scale: *scale, Reads: *reads, Seed: *seed}
@@ -45,7 +58,8 @@ func main() {
 		tr = obs.NewRecorder()
 	}
 
-	if err := run(cfg, *exp, *jsonMode, *out, *rounds, tr); err != nil {
+	tc := tenantConfig{tenants: *tenants, divergence: *divergence, mode: *tenantMode}
+	if err := run(cfg, *exp, *jsonMode, *out, *rounds, tc, tr); err != nil {
 		fmt.Fprintf(os.Stderr, "kmbench: %v\n", err)
 		os.Exit(1)
 	}
@@ -57,7 +71,17 @@ func main() {
 	}
 }
 
-func run(cfg bench.Config, exp string, jsonMode bool, out string, rounds int, tr *obs.Recorder) (err error) {
+// tenantConfig bundles the -tenants flags.
+type tenantConfig struct {
+	tenants    int
+	divergence float64
+	mode       string
+}
+
+func run(cfg bench.Config, exp string, jsonMode bool, out string, rounds int, tc tenantConfig, tr *obs.Recorder) (err error) {
+	if tc.tenants > 0 && !jsonMode {
+		return fmt.Errorf("-tenants requires -json")
+	}
 	if jsonMode {
 		var w io.Writer = os.Stdout
 		if out != "" {
@@ -76,6 +100,21 @@ func run(cfg bench.Config, exp string, jsonMode bool, out string, rounds int, tr
 		}
 		// The Recorder interface value must stay nil when no -trace was
 		// asked for, so the benchmark runs the zero-cost path.
+		var rec obs.Tracer
+		if tr != nil {
+			rec = tr
+		}
+		if tc.tenants > 0 {
+			var relative bool
+			switch tc.mode {
+			case "relative":
+				relative = true
+			case "mono":
+			default:
+				return fmt.Errorf("unknown -tenant-mode %q (want mono or relative)", tc.mode)
+			}
+			return bench.RunTenants(w, cfg, tc.tenants, tc.divergence, relative, rounds, rec)
+		}
 		if tr != nil {
 			return bench.RunJSON(w, cfg, rounds, tr)
 		}

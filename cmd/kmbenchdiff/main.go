@@ -12,10 +12,12 @@
 // it; cells present in only one report are listed but never gate (the
 // sweep grid is allowed to grow). Index construction time (build_ns)
 // gates alongside the search cells when both reports carry it and the
-// old build exceeds one millisecond; the construction phase breakdown
-// (sa/bwt/occ/pack) and the streaming-build figures are printed for
-// diagnosis only. The exit status is non-zero when any gated quantity
-// regressed by more than -threshold percent (default 10).
+// old build exceeds one millisecond; peak RSS gates when it grows past
+// the threshold percent AND by more than 1 MiB absolute. The
+// construction phase breakdown (sa/bwt/occ/pack) and the
+// streaming-build figures are printed for diagnosis only. The exit
+// status is non-zero when any gated quantity regressed by more than
+// -threshold percent (default 10).
 package main
 
 import (
@@ -68,6 +70,10 @@ const locateFloorNS = 1000
 // buildFloorNS is the smallest old build_ns the construction gate acts
 // on: sub-millisecond builds are dominated by allocator noise.
 const buildFloorNS = 1_000_000
+
+// rssFloorBytes is the smallest absolute peak-RSS growth the gate acts
+// on: below 1 MiB a percentage is GC/allocator jitter, not a leak.
+const rssFloorBytes = 1 << 20
 
 func main() {
 	threshold := flag.Float64("threshold", 10, "fail when ns/read regresses by more than this percent")
@@ -171,12 +177,22 @@ func run(w io.Writer, oldPath, newPath string, threshold float64) error {
 	if newRep.StreamBuildNS > 0 {
 		fmt.Fprintf(w, "  new stream build: %dns, peak RSS %d bytes\n", newRep.StreamBuildNS, newRep.StreamPeakRSS)
 	}
-	// The peak-RSS delta rides on the summary line (informational, never
-	// gating: RSS depends on GC timing too much to fail a build on).
+	// Peak RSS gates like a cell: the percentage must clear the threshold
+	// AND the absolute growth must clear rssFloorBytes — GC timing makes
+	// small-percentage-of-small-number deltas pure noise, but a
+	// double-digit percent on top of a MiB-scale absolute jump is a real
+	// resident-memory regression (the delta-compression work exists to
+	// move exactly this number, so it must be protected like latency).
 	rssNote := ""
 	if oldRep.PeakRSSBytes > 0 && newRep.PeakRSSBytes > 0 {
-		pct := 100 * (float64(newRep.PeakRSSBytes) - float64(oldRep.PeakRSSBytes)) / float64(oldRep.PeakRSSBytes)
+		grown := newRep.PeakRSSBytes - oldRep.PeakRSSBytes
+		pct := 100 * float64(grown) / float64(oldRep.PeakRSSBytes)
 		rssNote = fmt.Sprintf("; peak RSS %d -> %d bytes (%+.1f%%)", oldRep.PeakRSSBytes, newRep.PeakRSSBytes, pct)
+		if pct > threshold && grown > rssFloorBytes {
+			regressions = append(regressions,
+				fmt.Sprintf("peak RSS: %d -> %d bytes (%+.1f%%, +%d bytes)",
+					oldRep.PeakRSSBytes, newRep.PeakRSSBytes, pct, grown))
+		}
 	}
 	if matched == 0 {
 		return fmt.Errorf("no cells in common between %s and %s", oldPath, newPath)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -90,6 +91,40 @@ func TestDiffFailsOnBuildRegression(t *testing.T) {
 	s := out.String()
 	if !strings.Contains(s, "REGRESSION") || !strings.Contains(s, "build:") {
 		t.Errorf("output should flag the build regression:\n%s", s)
+	}
+}
+
+// TestDiffFailsOnRSSRegression: search cells and build held steady but
+// peak RSS grew 24% (+27 MB) — past the threshold AND the 1 MiB
+// absolute floor, so the gate must fire.
+func TestDiffFailsOnRSSRegression(t *testing.T) {
+	var out strings.Builder
+	err := run(&out, td("old.json"), td("new_rss_regressed.json"), 10)
+	if err == nil {
+		t.Fatalf("expected RSS regression error, got nil\noutput:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "peak RSS:") {
+		t.Errorf("output should flag the peak-RSS regression:\n%s", out.String())
+	}
+}
+
+// TestDiffRSSFloorSuppressesSmallAbsoluteGrowth: a large percentage on
+// a tiny absolute RSS (500 KiB -> 800 KiB, +60% but under the 1 MiB
+// floor) must not gate.
+func TestDiffRSSFloorSuppressesSmallAbsoluteGrowth(t *testing.T) {
+	dir := t.TempDir()
+	mk := func(name string, rss int64) string {
+		path := filepath.Join(dir, name)
+		data := fmt.Sprintf(`{"schema":"kmbench/v1","scale":8,"reads":50,"seed":42,"peak_rss_bytes":%d,"results":[
+			{"experiment":"search","method":"A()","k":2,"ns_per_read":300000,"matches":57}]}`, rss)
+		if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	var out strings.Builder
+	if err := run(&out, mk("old.json", 512_000), mk("new.json", 819_200), 10); err != nil {
+		t.Fatalf("RSS gate fired below the absolute floor: %v\noutput:\n%s", err, out.String())
 	}
 }
 

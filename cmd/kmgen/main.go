@@ -8,6 +8,13 @@
 //	kmgen -reads r.fq -from g.fa -length 100 -count 50 -error 0.02
 //	kmgen -index g.km -from g.fa -shard-size 1048576 -stream
 //	kmgen -append -index g.km -from more.fa
+//	kmgen -index tenant.km -from tenant.fa -relative -base ref.km
+//
+// -relative builds a delta-compressed tenant index against the saved
+// base at -base: the container stores only the BWT differences plus
+// Locate samples, and search results are byte-identical to a standalone
+// build (DESIGN.md §13). kmsearch and kmserved load it transparently,
+// resolving the base from the recorded path hint.
 //
 // -stream builds the sharded container through the streaming builder:
 // the input is read in bounded chunks and each shard is built and
@@ -53,6 +60,8 @@ func main() {
 	maxPattern := flag.Int("max-pattern", bwtmatch.DefaultMaxPatternLen, "with -shards/-shard-size: longest pattern the sharded index answers")
 	stream := flag.Bool("stream", false, "with -index -from: stream-build the sharded container in O(shard size) memory (requires -shard-size)")
 	appendMode := flag.Bool("append", false, "append the sequences in -from to the existing sharded container at -index")
+	relative := flag.Bool("relative", false, "with -index -from: build a delta-compressed relative index against -base")
+	basePath := flag.String("base", "", "with -relative: saved monolithic index the tenant is expressed against")
 	flag.Parse()
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
@@ -151,6 +160,22 @@ func main() {
 			time.Since(start).Round(time.Millisecond), obs.PeakRSS())
 	case *indexOut != "" && *from != "":
 		start := time.Now()
+		if *relative {
+			if *basePath == "" {
+				fatal(fmt.Errorf("-relative requires -base <saved index>"))
+			}
+			if *stream || *shards > 0 || *shardSize > 0 {
+				fatal(fmt.Errorf("-relative builds are monolithic; drop -stream/-shards/-shard-size"))
+			}
+			refs, named, err := loadSequences(*from)
+			if err != nil {
+				fatal(err)
+			}
+			if err := buildRelativeFile(*indexOut, *basePath, refs, named, *buildP, start); err != nil {
+				fatal(err)
+			}
+			return
+		}
 		if *stream {
 			if *shardSize < 1 {
 				fatal(fmt.Errorf("-stream requires -shard-size (the shard count of -shards depends on the total length, which a stream does not know)"))
@@ -311,6 +336,38 @@ func buildIndexFile(path string, refs []bwtmatch.Reference, named bool, buildP, 
 		return err
 	}
 	return saveMono(idx, path, buildP, start)
+}
+
+// buildRelativeFile loads the base index, builds a delta-compressed
+// tenant index over the loaded sequences, and saves the relative
+// container with basePath recorded as the hint future loads resolve.
+func buildRelativeFile(path, basePath string, refs []bwtmatch.Reference, named bool, buildP int, start time.Time) error {
+	base, err := bwtmatch.LoadFile(basePath)
+	if err != nil {
+		return fmt.Errorf("loading base %s: %w", basePath, err)
+	}
+	opts := []bwtmatch.Option{bwtmatch.WithBuildWorkers(buildP)}
+	var rx *bwtmatch.RelativeIndex
+	if named {
+		rx, err = bwtmatch.NewRelativeRefs(base, refs, opts...)
+	} else {
+		var seq []byte
+		for _, r := range refs {
+			seq = append(seq, r.Seq...)
+		}
+		rx, err = bwtmatch.NewRelative(base, seq, opts...)
+	}
+	if err != nil {
+		return fmt.Errorf("relative build against %s: %w", basePath, err)
+	}
+	rx.SetBasePath(basePath)
+	if err := rx.SaveFile(path); err != nil {
+		return err
+	}
+	fmt.Printf("built relative index against %s (%d base-index bytes shared) in %v, saved to %s (%d delta bytes)\n",
+		basePath, base.SizeBytes()+base.Len(),
+		time.Since(start).Round(time.Millisecond), path, rx.DeltaBytes())
+	return nil
 }
 
 func shardOpts(buildP, shards, shardSize, maxPattern int) []bwtmatch.Option {

@@ -24,6 +24,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -37,7 +38,8 @@ import (
 
 func main() {
 	url := flag.String("url", "http://127.0.0.1:8080", "kmserved or coordinator base URL")
-	index := flag.String("index", "", "index name to search (required)")
+	index := flag.String("index", "", "index name to search (required unless -indexes)")
+	indexes := flag.String("indexes", "", "comma-separated index names; each batch targets one, Zipf-skewed toward the first — multi-tenant traffic (overrides -index)")
 	k := flag.Int("k", 2, "mismatch budget")
 	method := flag.String("method", "a", "search method (a|bwt|stree|amir|cole|online|seed)")
 	clients := flag.Int("clients", 32, "concurrent client goroutines")
@@ -54,8 +56,9 @@ func main() {
 	traceOut := flag.String("trace", "", "after the run, send one forced-trace batch (X-Km-Trace) and write its Chrome timeline JSON here (open in chrome://tracing or Perfetto)")
 	flag.Parse()
 
-	if *index == "" {
-		fatal(fmt.Errorf("-index is required"))
+	names := indexList(*index, *indexes)
+	if len(names) == 0 {
+		fatal(fmt.Errorf("-index or -indexes is required"))
 	}
 	if *clients < 1 || *requests < 1 || *batch < 1 || *pool < 1 || *patLen < 1 {
 		fatal(fmt.Errorf("-clients, -requests, -batch, -pool and -pattern-len must be positive"))
@@ -74,6 +77,7 @@ func main() {
 		remaining            atomic.Int64
 	)
 	remaining.Store(int64(*requests))
+	indexBatches := make([]atomic.Int64, len(names))
 
 	ctx := context.Background()
 	c := client.New(*url, client.WithTimeout(*timeout), client.WithRetries(3, 25*time.Millisecond))
@@ -89,12 +93,18 @@ func main() {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(*seed + int64(w)*7919))
 			pick := sampler(rng, *zipfS, len(patterns))
+			// Per-batch tenant pick, Zipf-skewed toward the first name —
+			// the hot-tenant/cold-tenant shape a multi-tenant registry
+			// (shared relative bases, LRU eviction) is sized for.
+			ipick := sampler(rng, *zipfS, len(names))
 			for remaining.Add(-1) >= 0 {
-				req := server.SearchRequest{Index: *index, K: *k, Method: *method,
+				target := ipick()
+				req := server.SearchRequest{Index: names[target], K: *k, Method: *method,
 					Reads: make([]server.Read, *batch)}
 				for i := range req.Reads {
 					req.Reads[i] = server.Read{Seq: patterns[pick()]}
 				}
+				indexBatches[target].Add(1)
 				t0 := time.Now()
 				resp, err := c.Search(ctx, req)
 				if err != nil {
@@ -124,28 +134,34 @@ func main() {
 	}
 
 	if *traceOut != "" {
-		if err := captureTrace(ctx, c, *traceOut, *index, *k, *method, *batch, patterns); err != nil {
+		if err := captureTrace(ctx, c, *traceOut, names[0], *k, *method, *batch, patterns); err != nil {
 			fatal(err)
 		}
 	}
 
+	byIndex := make(map[string]int64, len(names))
+	for i, name := range names {
+		byIndex[name] = indexBatches[i].Load()
+	}
+
 	report := map[string]any{
 		"config": map[string]any{
-			"url": *url, "index": *index, "k": *k, "method": *method,
+			"url": *url, "index": *index, "indexes": names, "k": *k, "method": *method,
 			"clients": *clients, "requests": *requests, "batch": *batch,
 			"pool": *pool, "pattern_len": *patLen, "zipf": *zipfS,
 			"mutate": *mutate, "seed": *seed, "genome": *genome,
 		},
-		"elapsed_sec":     elapsed.Seconds(),
-		"batches_ok":      sent.Load(),
-		"reads":           reads.Load(),
-		"matches":         matches.Load(),
-		"read_errors":     readErrs.Load(),
-		"request_errors":  reqErrs.Load(),
-		"shed_503":        shed.Load(),
-		"partial_batches": partialBatches.Load(),
-		"batches_per_sec": float64(sent.Load()) / elapsed.Seconds(),
-		"reads_per_sec":   float64(reads.Load()) / elapsed.Seconds(),
+		"elapsed_sec":      elapsed.Seconds(),
+		"batches_ok":       sent.Load(),
+		"reads":            reads.Load(),
+		"matches":          matches.Load(),
+		"read_errors":      readErrs.Load(),
+		"request_errors":   reqErrs.Load(),
+		"shed_503":         shed.Load(),
+		"partial_batches":  partialBatches.Load(),
+		"batches_by_index": byIndex,
+		"batches_per_sec":  float64(sent.Load()) / elapsed.Seconds(),
+		"reads_per_sec":    float64(reads.Load()) / elapsed.Seconds(),
 		"latency_ms": map[string]any{
 			"p50": hist.Quantile(0.50), "p90": hist.Quantile(0.90),
 			"p99": hist.Quantile(0.99), "mean": mean(hist),
@@ -213,6 +229,24 @@ func captureTrace(ctx context.Context, c *client.Client, path, index string, k i
 	fmt.Fprintf(os.Stderr, "kmload: wrote %d-fragment trace (rid %s) to %s\n",
 		len(resp.Trace), resp.RequestID, path)
 	return nil
+}
+
+// indexList resolves the target index names: the comma-separated
+// -indexes list when given, else the single -index.
+func indexList(index, indexes string) []string {
+	if indexes == "" {
+		if index == "" {
+			return nil
+		}
+		return []string{index}
+	}
+	var names []string
+	for _, n := range strings.Split(indexes, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names
 }
 
 // sampler returns a pool-index generator: Zipf-skewed when s > 1 (rank

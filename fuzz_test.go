@@ -153,6 +153,80 @@ func FuzzLoadRoundTrip(f *testing.F) {
 	})
 }
 
+// FuzzLoadRelativeRoundTrip hammers the relative-container loader with
+// arbitrary bytes against a fixed base, under the standard load
+// contract: every rejection wraps ErrFormat (never a panic, never a
+// bare io error) with a nil index, and every accepted index is fully
+// usable. Seeds include a valid save (with and without a ref table)
+// plus truncations and targeted damage, so mutation explores near-valid
+// headers, fingerprint bytes, and delta geometry fields.
+func FuzzLoadRelativeRoundTrip(f *testing.F) {
+	base, err := New([]byte("acgtacgtacacagttgaccaacgtacgtacacagttgaccatagg"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	rel, err := NewRelative(base, []byte("acgtacgtacacagtggaccaacgtacgtaacacagttgaccatagg"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	rel.SetBasePath("base.km")
+	save := func(x *RelativeIndex) []byte {
+		var buf bytes.Buffer
+		if err := x.Save(&buf); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	valid := save(rel)
+	f.Add(valid)
+	baseRefs, err := NewRefs([]Reference{
+		{Name: "chr1", Seq: []byte("acgtacgtacgtacgtac")},
+		{Name: "chr2", Seq: []byte("ttgacaggattgacagga")},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	relRefs, err := NewRelativeRefs(baseRefs, []Reference{
+		{Name: "chr1", Seq: []byte("acgtacctacgtacgtac")},
+		{Name: "chr2", Seq: []byte("ttgacaggattgacagga")},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(save(relRefs))
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:4])
+	f.Add([]byte{})
+	f.Add([]byte("not a relative container"))
+	mutated := append([]byte(nil), valid...)
+	mutated[len(mutated)/3] ^= 0xff
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Against the matching base (most seeds) and a mismatched one —
+		// the fingerprint gate must reject the latter for valid payloads
+		// without ever panicking on mutated ones.
+		for _, b := range []*Index{base, baseRefs} {
+			rx, err := LoadRelative(bytes.NewReader(data), b)
+			if err != nil {
+				if !errors.Is(err, ErrFormat) {
+					t.Fatalf("LoadRelative error does not wrap ErrFormat: %v", err)
+				}
+				if rx != nil {
+					t.Fatal("LoadRelative returned a non-nil index alongside an error")
+				}
+				continue
+			}
+			if err := rx.searcher.Index().CheckInvariants(); err != nil {
+				t.Fatalf("loaded relative index fails invariants: %v", err)
+			}
+			if _, err := rx.Search([]byte("acgt"), 1); err != nil {
+				t.Fatalf("loaded relative index cannot search: %v", err)
+			}
+		}
+	})
+}
+
 // FuzzLoadShardedRoundTrip hammers the multi-shard container loader
 // with arbitrary bytes, under the same contract as FuzzLoadRoundTrip:
 // every rejection — at manifest parse, payload indexing, or lazy shard

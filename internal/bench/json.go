@@ -70,6 +70,9 @@ type JSONReport struct {
 	PeakBuildRSS  int64        `json:"peak_build_rss"`
 	PeakRSSBytes  int64        `json:"peak_rss_bytes"`
 	Results       []JSONResult `json:"results"`
+	// Tenant carries the multi-tenant accounting when the report was
+	// produced by RunTenants (kmbench -json -tenants N); nil otherwise.
+	Tenant *TenantSummary `json:"tenant,omitempty"`
 }
 
 // jsonMethods are the BWT-path matchers the search benchmarks compare
@@ -79,8 +82,11 @@ var jsonMethods = []bwtmatch.Method{
 	bwtmatch.AlgorithmANoPhi, bwtmatch.AlgorithmA,
 }
 
-// jsonKs are the mismatch budgets swept per method.
-var jsonKs = []int{1, 2, 3}
+// jsonKs are the mismatch budgets swept per method. The grid runs to
+// k=5 so the trajectory captures the regime where the M-tree memo and
+// φ(i) pruning dominate (the paper's Fig. 11(a) inflection), not just
+// the cheap low-k cells.
+var jsonKs = []int{1, 2, 3, 4, 5}
 
 // jsonShards is the shard count of the sharded-layout cells.
 const jsonShards = 4

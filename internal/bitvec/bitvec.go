@@ -107,6 +107,14 @@ func (r *Rank) Ones() int { return r.ones }
 // Get reports bit i.
 func (r *Rank) Get(i int) bool { return r.v.Get(i) }
 
+// Words exposes the frozen word payload for serialization. The caller
+// must not modify it.
+func (r *Rank) Words() []uint64 { return r.v.words }
+
+// SizeBytes returns the resident size: bit payload plus the rank
+// directory.
+func (r *Rank) SizeBytes() int { return len(r.v.words)*8 + len(r.blocks)*4 }
+
 // Rank1 returns the number of 1-bits in positions [0, i). Rank1(Len()) is
 // the total popcount.
 func (r *Rank) Rank1(i int) int {
@@ -157,17 +165,28 @@ func (r *Rank) Select0(j int) int {
 	if j < 1 || j > zeros {
 		return -1
 	}
-	lo, hi := 0, r.v.n
-	// Binary search on Rank0, O(log n * block scan).
+	// Binary search over superblocks on the complement count (zeros
+	// before superblock i = i*512 - ones before it), then scan words.
+	// Padding zeros past Len() in the final word cannot be selected:
+	// j <= zeros, and every real zero precedes the padding bits.
+	lo, hi := 0, len(r.blocks)-1
 	for lo < hi {
-		mid := (lo + hi) / 2
-		if r.Rank0(mid+1) < j {
-			lo = mid + 1
+		mid := (lo + hi + 1) / 2
+		if mid*blockWords*64-int(r.blocks[mid]) < j {
+			lo = mid
 		} else {
-			hi = mid
+			hi = mid - 1
 		}
 	}
-	return lo
+	rem := j - (lo*blockWords*64 - int(r.blocks[lo]))
+	for w := lo * blockWords; w < len(r.v.words); w++ {
+		c := 64 - bits.OnesCount64(r.v.words[w])
+		if rem <= c {
+			return w*64 + selectInWord(^r.v.words[w], rem)
+		}
+		rem -= c
+	}
+	return -1
 }
 
 // selectInWord returns the position (0..63) of the j-th set bit of w,

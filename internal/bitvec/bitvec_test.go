@@ -109,6 +109,40 @@ func TestSelect0Inverse(t *testing.T) {
 	}
 }
 
+func TestSelect0AgainstScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 63, 64, 65, 511, 512, 513, 1000, 4096, 5000} {
+		for _, density := range []float64{0, 0.05, 0.5, 0.95, 1} {
+			v := randomVector(rng, n, density)
+			r := NewRank(v)
+			j := 0
+			for i := 0; i < n; i++ {
+				if !v.Get(i) {
+					j++
+					if got := r.Select0(j); got != i {
+						t.Fatalf("n=%d d=%.2f Select0(%d) = %d, want %d", n, density, j, got, i)
+					}
+				}
+			}
+			if got := r.Select0(j + 1); got != -1 {
+				t.Fatalf("n=%d d=%.2f Select0(zeros+1) = %d, want -1", n, density, got)
+			}
+		}
+	}
+}
+
+func TestRankWordsSizeBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	v := randomVector(rng, 777, 0.4)
+	r := NewRank(v)
+	if len(r.Words()) != len(v.Words()) {
+		t.Fatalf("Rank.Words len %d, Vector.Words len %d", len(r.Words()), len(v.Words()))
+	}
+	if r.SizeBytes() < v.SizeBytes() {
+		t.Fatalf("Rank.SizeBytes %d smaller than payload %d", r.SizeBytes(), v.SizeBytes())
+	}
+}
+
 func TestRankSelectQuick(t *testing.T) {
 	f := func(seed int64, n16 uint16, density uint8) bool {
 		n := int(n16) % 2048

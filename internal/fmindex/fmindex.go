@@ -20,6 +20,7 @@ import (
 	"bwtmatch/internal/alphabet"
 	"bwtmatch/internal/bitvec"
 	"bwtmatch/internal/obs"
+	"bwtmatch/internal/relative"
 	"bwtmatch/internal/suffixarray"
 )
 
@@ -127,6 +128,12 @@ type Index struct {
 
 	saMarked  *bitvec.Rank // rows whose SA value is sampled
 	saSamples []int32      // SA values of marked rows, in row order
+
+	// Relative layout (relative.go): the BWT and occ queries are bridged
+	// to relBase through rel instead of local bwt/packed/occ payloads,
+	// which are all nil. SA samples and the C array stay tenant-local.
+	rel     *relative.Delta
+	relBase *Index
 }
 
 // Build constructs the index over a rank-encoded text (values 1..4).
@@ -233,6 +240,9 @@ func (idx *Index) deriveOccShift() {
 
 // bwtAt reads L[i] regardless of the storage layout.
 func (idx *Index) bwtAt(i int32) byte {
+	if idx.rel != nil {
+		return idx.relBWTAt(i)
+	}
 	if idx.packed != nil {
 		return idx.packed.get(i)
 	}
@@ -252,6 +262,9 @@ func (idx *Index) Full() Interval { return Interval{0, int32(idx.n) + 1} }
 // occAt returns the number of occurrences of base rank x (1..4) in
 // bwt[0:p].
 func (idx *Index) occAt(x byte, p int32) int32 {
+	if idx.rel != nil {
+		return idx.relOccAt(x, p)
+	}
 	var cnt, from int32
 	if idx.occ2 != nil {
 		cnt, from = idx.occ2.base(x, p)
@@ -319,6 +332,10 @@ func (idx *Index) StepSingleton(iv Interval) (x byte, child Interval, ok bool) {
 
 // occAll fills cnt with occurrences of each base in bwt[0:p].
 func (idx *Index) occAll(p int32, cnt *[alphabet.Bases]int32) {
+	if idx.rel != nil {
+		idx.relOccAll(p, cnt)
+		return
+	}
 	var from int32
 	if idx.occ2 != nil {
 		from = idx.occ2.baseAll(p, cnt)
@@ -378,7 +395,7 @@ func (idx *Index) MatchLen(p []byte) (matched, steps int) {
 	if len(p) == 0 {
 		return 0, 0
 	}
-	if idx.occ2 != nil || idx.packed != nil || idx.occShift < 0 {
+	if idx.rel != nil || idx.occ2 != nil || idx.packed != nil || idx.occShift < 0 {
 		iv := idx.Full()
 		for q := 0; q < len(p); q++ {
 			iv = idx.Step(p[q], iv)
@@ -510,6 +527,9 @@ func (idx *Index) LocateTraced(iv Interval, dst []int32, tr obs.Tracer) []int32 
 // the packed layout a fresh copy is materialized; otherwise the caller
 // must not modify the returned slice.
 func (idx *Index) BWT() []byte {
+	if idx.rel != nil {
+		return idx.relBWT()
+	}
 	if idx.packed == nil {
 		return idx.bwt
 	}
@@ -524,6 +544,11 @@ func (idx *Index) BWT() []byte {
 // paper's accounting for the byte layout, the true 2-bit payload for the
 // packed layout) plus occ checkpoints plus SA samples.
 func (idx *Index) SizeBytes() int {
+	if idx.rel != nil {
+		// Tenant-resident bytes only: the delta plus the tenant's own
+		// Locate samples. The shared base is accounted once, elsewhere.
+		return idx.rel.SizeBytes() + len(idx.saSamples)*4 + idx.saMarked.Len()/8
+	}
 	bwtBytes := (idx.n+1)*3/8 + 1
 	if idx.packed != nil {
 		bwtBytes = idx.packed.sizeBytes()

@@ -31,6 +31,9 @@ var ErrFormat = errors.New("fmindex: bad index format")
 
 // WriteTo serializes the index.
 func (idx *Index) WriteTo(w io.Writer) (int64, error) {
+	if idx.rel != nil {
+		return 0, errors.New("fmindex: relative index has no standalone serialization; use WriteRelativeTo")
+	}
 	cw := &countWriter{w: bufio.NewWriter(w)}
 	put := func(v any) error { return binary.Write(cw, binary.LittleEndian, v) }
 
@@ -251,6 +254,9 @@ func (idx *Index) verifyLoad() error {
 	if idx.sentPos < 0 || int(idx.sentPos) >= rows {
 		return fmt.Errorf("sentinel position %d outside %d rows", idx.sentPos, rows)
 	}
+	if idx.rel != nil {
+		return idx.verifyRelativeLoad()
+	}
 	if p := idx.packed; p != nil {
 		if int(p.n) != rows || p.sentPos != idx.sentPos {
 			return fmt.Errorf("packed header (n=%d sent=%d) disagrees with index (n=%d sent=%d)",
@@ -281,18 +287,8 @@ func (idx *Index) verifyLoad() error {
 			counts[idx.bwtAt(i)]++
 		}
 	}
-	if counts[alphabet.Sentinel] != 1 {
-		return fmt.Errorf("%d sentinels in bwt", counts[alphabet.Sentinel])
-	}
-	var sum int32
-	for x := 0; x < alphabet.Size; x++ {
-		if idx.c[x] != sum {
-			return fmt.Errorf("c[%d] = %d, recount %d", x, idx.c[x], sum)
-		}
-		sum += counts[x]
-	}
-	if idx.c[alphabet.Size] != sum || int(sum) != rows {
-		return fmt.Errorf("c total %d, recount %d over %d rows", idx.c[alphabet.Size], sum, rows)
+	if err := idx.verifyCArray(counts); err != nil {
+		return err
 	}
 
 	// Rankall checkpoints: recompute from the BWT and demand equality.
@@ -327,9 +323,31 @@ func (idx *Index) verifyLoad() error {
 		}
 	}
 
-	// SA samples: the LF mapping, computed by one sequential scan, must
-	// trace a single cycle visiting every row exactly once, and the text
-	// position recovered at each marked row must equal the stored sample.
+	return idx.verifySASamples(bwt)
+}
+
+// verifyCArray checks the C array against a character census of the BWT.
+func (idx *Index) verifyCArray(counts [alphabet.Size]int32) error {
+	rows := idx.n + 1
+	var sum int32
+	for x := 0; x < alphabet.Size; x++ {
+		if idx.c[x] != sum {
+			return fmt.Errorf("c[%d] = %d, recount %d", x, idx.c[x], sum)
+		}
+		sum += counts[x]
+	}
+	if idx.c[alphabet.Size] != sum || int(sum) != rows {
+		return fmt.Errorf("c total %d, recount %d over %d rows", idx.c[alphabet.Size], sum, rows)
+	}
+	return nil
+}
+
+// verifySASamples checks that the LF mapping, computed by one sequential
+// scan of the materialized BWT, traces a single cycle visiting every row
+// exactly once, and that the text position recovered at each marked row
+// equals the stored sample.
+func (idx *Index) verifySASamples(bwt []byte) error {
+	rows := idx.n + 1
 	if idx.saMarked.Len() != rows {
 		return fmt.Errorf("mark bitvector %d bits for %d rows", idx.saMarked.Len(), rows)
 	}

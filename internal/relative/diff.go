@@ -1,0 +1,114 @@
+// Package relative implements the delta layer of a relative FM-index:
+// a tenant BWT expressed as a common subsequence of a shared base BWT
+// plus tenant-only insertions, with rank/select bitvectors bridging
+// tenant occ queries to base occ queries plus small corrections (after
+// "Reusing an FM-index", cf. PAPERS.md). The package knows nothing
+// about FM-index internals — it consumes two byte sequences and serves
+// positional/rank queries over their alignment.
+package relative
+
+import "bytes"
+
+// Common finds a common subsequence of a and b and calls emit(ai, bi)
+// once per matched pair, in increasing order of both indexes. It trims
+// the shared prefix and suffix first, then runs Myers' O(ND) diff over
+// the middle with the edit-distance budget capped at maxD; if the
+// middle needs more than maxD edits its pairs are simply not emitted.
+// Any common subsequence — including an empty one — yields a correct
+// (just larger) delta, so the cap trades delta size for build time.
+func Common(a, b []byte, maxD int, emit func(ai, bi int)) {
+	// Shared prefix.
+	p := 0
+	for p < len(a) && p < len(b) && a[p] == b[p] {
+		emit(p, p)
+		p++
+	}
+	a2, b2 := a[p:], b[p:]
+	// Shared suffix (not overlapping the prefix).
+	s := 0
+	for s < len(a2) && s < len(b2) && a2[len(a2)-1-s] == b2[len(b2)-1-s] {
+		s++
+	}
+	mid1, mid2 := a2[:len(a2)-s], b2[:len(b2)-s]
+	if len(mid1) > 0 && len(mid2) > 0 {
+		myersCommon(mid1, mid2, maxD, p, p, emit)
+	}
+	for i := s; i > 0; i-- {
+		emit(len(a)-i, len(b)-i)
+	}
+}
+
+// myersCommon runs the classic Myers greedy O(ND) LCS with a trace of
+// per-round furthest-reaching snapshots, then backtracks to emit the
+// matched pairs (offset by offA/offB) in forward order. If the edit
+// distance exceeds maxD nothing is emitted.
+func myersCommon(a, b []byte, maxD int, offA, offB int, emit func(ai, bi int)) {
+	n, m := len(a), len(b)
+	if d := n + m; d < maxD {
+		maxD = d
+	}
+	size := 2*maxD + 2
+	v := make([]int, size)
+	idx := func(k int) int { return ((k % size) + size) % size }
+	var trace [][]int
+	found := -1
+search:
+	for d := 0; d <= maxD; d++ {
+		snap := make([]int, size)
+		copy(snap, v)
+		trace = append(trace, snap)
+		for k := -d; k <= d; k += 2 {
+			var x int
+			if k == -d || (k != d && v[idx(k-1)] < v[idx(k+1)]) {
+				x = v[idx(k+1)]
+			} else {
+				x = v[idx(k-1)] + 1
+			}
+			y := x - k
+			for x < n && y < m && a[x] == b[y] {
+				x++
+				y++
+			}
+			v[idx(k)] = x
+			if x >= n && y >= m {
+				found = d
+				break search
+			}
+		}
+	}
+	if found < 0 {
+		return // budget exceeded: contribute no pairs for this block
+	}
+	// Backtrack from (n, m) through the snapshots; diagonal runs are the
+	// matches, collected in reverse and replayed forward.
+	type pair struct{ ai, bi int }
+	var rev []pair
+	x, y := n, m
+	for d := found; d >= 0 && (x > 0 || y > 0); d-- {
+		vd := trace[d]
+		k := x - y
+		var prevK int
+		if k == -d || (k != d && vd[idx(k-1)] < vd[idx(k+1)]) {
+			prevK = k + 1
+		} else {
+			prevK = k - 1
+		}
+		prevX := vd[idx(prevK)]
+		prevY := prevX - prevK
+		for x > prevX && y > prevY {
+			x--
+			y--
+			rev = append(rev, pair{x, y})
+		}
+		if d > 0 {
+			x, y = prevX, prevY
+		}
+	}
+	for i := len(rev) - 1; i >= 0; i-- {
+		emit(offA+rev[i].ai, offB+rev[i].bi)
+	}
+}
+
+// Equal reports whether two byte slices are identical (convenience for
+// callers deciding whether a delta is worth building at all).
+func Equal(a, b []byte) bool { return bytes.Equal(a, b) }

@@ -1,0 +1,225 @@
+package relative
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// randSeq returns a rank-encoded sequence over ranks 1..4.
+func randSeq(rng *rand.Rand, n int) []byte {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = byte(1 + rng.Intn(4))
+	}
+	return s
+}
+
+// mutate returns a copy of s with roughly rate-fraction point edits
+// (substitutions, single-char insertions, deletions).
+func mutate(rng *rand.Rand, s []byte, rate float64) []byte {
+	out := make([]byte, 0, len(s)+8)
+	for _, ch := range s {
+		if rng.Float64() < rate {
+			switch rng.Intn(3) {
+			case 0: // substitute
+				out = append(out, byte(1+rng.Intn(4)))
+			case 1: // insert then keep
+				out = append(out, byte(1+rng.Intn(4)), ch)
+			case 2: // delete
+			}
+		} else {
+			out = append(out, ch)
+		}
+	}
+	return out
+}
+
+func TestCommonEmitsValidSubsequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		a := randSeq(rng, 10+rng.Intn(300))
+		b := mutate(rng, a, 0.05)
+		lastA, lastB, pairs := -1, -1, 0
+		Common(a, b, 256, func(ai, bi int) {
+			if ai <= lastA || bi <= lastB {
+				t.Fatalf("non-increasing pair (%d,%d) after (%d,%d)", ai, bi, lastA, lastB)
+			}
+			if a[ai] != b[bi] {
+				t.Fatalf("pair (%d,%d): %d != %d", ai, bi, a[ai], b[bi])
+			}
+			lastA, lastB = ai, bi
+			pairs++
+		})
+		// A 5% mutation rate must leave most rows matched.
+		if min := len(a) / 2; pairs < min {
+			t.Fatalf("trial %d: only %d pairs for len %d", trial, pairs, len(a))
+		}
+	}
+}
+
+func TestCommonIdentical(t *testing.T) {
+	a := randSeq(rand.New(rand.NewSource(2)), 500)
+	n := 0
+	Common(a, a, 4, func(ai, bi int) {
+		if ai != n || bi != n {
+			t.Fatalf("pair (%d,%d), want (%d,%d)", ai, bi, n, n)
+		}
+		n++
+	})
+	if n != len(a) {
+		t.Fatalf("%d pairs for identical input of %d", n, len(a))
+	}
+}
+
+func TestCommonCapExceededEmitsTrimOnly(t *testing.T) {
+	// Totally dissimilar middles with shared ends: the capped Myers run
+	// must give up on the middle but still emit the trimmed prefix and
+	// suffix.
+	a := append(append([]byte{1, 2, 3}, bytes.Repeat([]byte{1}, 50)...), 4, 3, 2)
+	b := append(append([]byte{1, 2, 3}, bytes.Repeat([]byte{2}, 60)...), 4, 3, 2)
+	var got []int
+	Common(a, b, 2, func(ai, bi int) { got = append(got, ai) })
+	if len(got) != 6 {
+		t.Fatalf("emitted %d pairs, want 6 (prefix+suffix)", len(got))
+	}
+}
+
+// buildDelta aligns two BWT-like sequences through Common and the
+// Builder, the way the fmindex driver does for one block.
+func buildDelta(base, tenant []byte) *Delta {
+	b := NewBuilder(base, tenant)
+	Common(base, tenant, 256, b.Match)
+	return b.Finish()
+}
+
+func TestDeltaBridgesRankQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		base := randSeq(rng, 50+rng.Intn(400))
+		tenant := mutate(rng, base, 0.08)
+		d := buildDelta(base, tenant)
+
+		if got := d.TenantRows(); got != len(tenant) {
+			t.Fatalf("TenantRows = %d, want %d", got, len(tenant))
+		}
+		if got := d.BaseRows(); got != len(base) {
+			t.Fatalf("BaseRows = %d, want %d", got, len(base))
+		}
+		baseOcc := func(x byte, j int32) int32 {
+			var c int32
+			for _, ch := range base[:j] {
+				if ch == x {
+					c++
+				}
+			}
+			return c
+		}
+		for i := int32(0); i <= int32(len(tenant)); i++ {
+			tIns, j, jDel := d.Split(i)
+			for x := byte(1); x <= 4; x++ {
+				got := baseOcc(x, j) - d.OccDel(x, jDel) + d.OccIns(x, tIns)
+				var want int32
+				for _, ch := range tenant[:i] {
+					if ch == x {
+						want++
+					}
+				}
+				if got != want {
+					t.Fatalf("trial %d: occ(%d, %d) = %d, want %d", trial, x, i, got, want)
+				}
+				all := d.OccInsAll(tIns)
+				if all[x-1] != d.OccIns(x, tIns) {
+					t.Fatalf("OccInsAll disagrees with OccIns at %d", tIns)
+				}
+			}
+		}
+		// Row reads: every tenant row must be recoverable.
+		for i := int32(0); i < int32(len(tenant)); i++ {
+			var got byte
+			if d.IsIns(i) {
+				got = d.InsChar(int32(d.TenantIns.Rank1(int(i))))
+			} else {
+				got = base[d.BaseRow(i)]
+			}
+			if got != tenant[i] {
+				t.Fatalf("trial %d: row %d = %d, want %d", trial, i, got, tenant[i])
+			}
+		}
+	}
+}
+
+func TestDeltaRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	base := randSeq(rng, 600)
+	tenant := mutate(rng, base, 0.05)
+	d := buildDelta(base, tenant)
+
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	saved := append([]byte(nil), buf.Bytes()...)
+	got, err := ReadDelta(&buf, len(tenant), len(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.InsLen() != d.InsLen() || got.DelLen() != d.DelLen() {
+		t.Fatal("exception set sizes differ after round trip")
+	}
+	for i := int32(0); i < int32(d.InsLen()); i++ {
+		if got.InsChar(i) != d.InsChar(i) {
+			t.Fatalf("insertion char %d differs after round trip", i)
+		}
+	}
+	for i := int32(0); i < int32(d.DelLen()); i++ {
+		if got.DelChar(i) != d.DelChar(i) {
+			t.Fatalf("deletion char %d differs after round trip", i)
+		}
+	}
+	for i := int32(0); i <= int32(len(tenant)); i += 7 {
+		a1, b1, c1 := d.Split(i)
+		a2, b2, c2 := got.Split(i)
+		if a1 != a2 || b1 != b2 || c1 != c2 {
+			t.Fatalf("Split(%d) differs after round trip", i)
+		}
+	}
+
+	// Wrong expected geometry must be rejected.
+	if _, err := ReadDelta(bytes.NewReader(saved), len(tenant)+1, len(base)); err == nil {
+		t.Fatal("mismatched tenant rows accepted")
+	}
+	// Truncations and bit flips must error, not panic.
+	for cut := 0; cut < len(saved); cut += 13 {
+		if _, err := ReadDelta(bytes.NewReader(saved[:cut]), len(tenant), len(base)); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	for pos := 16; pos < len(saved); pos += 31 {
+		mut := append([]byte(nil), saved...)
+		mut[pos] ^= 0x80
+		// May legitimately still parse if the flip hits a char payload
+		// bit that stays a valid rank; just must not panic.
+		_, _ = ReadDelta(bytes.NewReader(mut), len(tenant), len(base))
+	}
+}
+
+func TestDeltaSizeAndCounters(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	base := randSeq(rng, 1000)
+	tenant := mutate(rng, base, 0.02)
+	d := buildDelta(base, tenant)
+	if d.SizeBytes() <= 0 {
+		t.Fatal("SizeBytes not positive")
+	}
+	// ~2% edits: the delta must be far below a standalone payload.
+	if d.SizeBytes() > len(tenant) {
+		t.Fatalf("delta %d bytes for %d rows at 2%% divergence", d.SizeBytes(), len(tenant))
+	}
+	d.NoteBaseRead()
+	d.NoteBaseRead()
+	d.NoteInsRead()
+	if b, i := d.Reads(); b != 2 || i != 1 {
+		t.Fatalf("Reads = (%d, %d), want (2, 1)", b, i)
+	}
+}

@@ -122,5 +122,6 @@ func (x *Index) SearchRefs(pattern []byte, k int) ([]RefMatch, error) {
 
 // RefSeq returns a decoded copy of one reference's sequence.
 func (x *Index) RefSeq(r Ref) []byte {
-	return alphabet.Decode(x.text[r.Start : r.Start+r.Len])
+	text := x.targetText()
+	return alphabet.Decode(text[r.Start : r.Start+r.Len])
 }

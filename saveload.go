@@ -23,25 +23,40 @@ const fileMagic = uint32(0xB3711DF1) // container around fmindex's format, v1
 // array construction. A 16 MiB genome saves in well under a second and
 // loads in milliseconds.
 func (x *Index) Save(w io.Writer) error {
+	if x.searcher.Index().IsRelative() {
+		return errors.New("bwtmatch: relative index cannot be saved standalone; use RelativeIndex.Save")
+	}
 	bw := bufio.NewWriter(w)
 	if err := binary.Write(bw, binary.LittleEndian, fileMagic); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, uint64(len(x.text))); err != nil {
+	text := x.targetText()
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(text))); err != nil {
 		return err
 	}
-	words := packedWords(x.text)
+	words := packedWords(text)
 	if err := binary.Write(bw, binary.LittleEndian, uint64(len(words))); err != nil {
 		return err
 	}
 	if err := binary.Write(bw, binary.LittleEndian, words); err != nil {
 		return err
 	}
-	// Reference table (may be empty).
-	if err := binary.Write(bw, binary.LittleEndian, uint32(len(x.refs))); err != nil {
+	if err := writeRefTable(bw, x.refs); err != nil {
 		return err
 	}
-	for _, r := range x.refs {
+	if _, err := x.searcher.Index().WriteTo(bw); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// writeRefTable serializes the (possibly empty) reference table, the
+// encoding shared by every container layout.
+func writeRefTable(bw *bufio.Writer, refs []Ref) error {
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(refs))); err != nil {
+		return err
+	}
+	for _, r := range refs {
 		name := []byte(r.Name)
 		if err := binary.Write(bw, binary.LittleEndian, uint32(len(name))); err != nil {
 			return err
@@ -56,10 +71,43 @@ func (x *Index) Save(w io.Writer) error {
 			return err
 		}
 	}
-	if _, err := x.searcher.Index().WriteTo(bw); err != nil {
-		return err
+	return nil
+}
+
+// readRefTable deserializes a reference table against a target of n
+// bases, enforcing the count, name-length, and span caps. Errors wrap
+// ErrFormat.
+func readRefTable(br *bufio.Reader, n uint64) ([]Ref, error) {
+	var refCount uint32
+	if err := binary.Read(br, binary.LittleEndian, &refCount); err != nil {
+		return nil, fmt.Errorf("%w: ref table: %v", ErrFormat, err)
 	}
-	return bw.Flush()
+	if refCount > 1<<20 {
+		return nil, fmt.Errorf("%w: %d references", ErrFormat, refCount)
+	}
+	var refs []Ref
+	for i := uint32(0); i < refCount; i++ {
+		var nameLen uint32
+		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil || nameLen > 1<<16 {
+			return nil, fmt.Errorf("%w: ref %d name", ErrFormat, i)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, fmt.Errorf("%w: ref %d name: %v", ErrFormat, i, err)
+		}
+		var start, length uint64
+		if err := binary.Read(br, binary.LittleEndian, &start); err != nil {
+			return nil, fmt.Errorf("%w: ref %d start", ErrFormat, i)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &length); err != nil {
+			return nil, fmt.Errorf("%w: ref %d length", ErrFormat, i)
+		}
+		if start > n || length > n-start {
+			return nil, fmt.Errorf("%w: ref %d spans [%d,%d) of %d", ErrFormat, i, start, start+length, n)
+		}
+		refs = append(refs, Ref{Name: string(name), Start: int(start), Len: int(length)})
+	}
+	return refs, nil
 }
 
 // SaveFile saves the index to a file.
@@ -101,34 +149,9 @@ func Load(r io.Reader) (*Index, error) {
 		return nil, fmt.Errorf("%w: text payload: %v", ErrFormat, err)
 	}
 	text := unpackWords(payload, int(n))
-	var refCount uint32
-	if err := binary.Read(br, binary.LittleEndian, &refCount); err != nil {
-		return nil, fmt.Errorf("%w: ref table: %v", ErrFormat, err)
-	}
-	if refCount > 1<<20 {
-		return nil, fmt.Errorf("%w: %d references", ErrFormat, refCount)
-	}
-	var refs []Ref
-	for i := uint32(0); i < refCount; i++ {
-		var nameLen uint32
-		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil || nameLen > 1<<16 {
-			return nil, fmt.Errorf("%w: ref %d name", ErrFormat, i)
-		}
-		name := make([]byte, nameLen)
-		if _, err := io.ReadFull(br, name); err != nil {
-			return nil, fmt.Errorf("%w: ref %d name: %v", ErrFormat, i, err)
-		}
-		var start, length uint64
-		if err := binary.Read(br, binary.LittleEndian, &start); err != nil {
-			return nil, fmt.Errorf("%w: ref %d start", ErrFormat, i)
-		}
-		if err := binary.Read(br, binary.LittleEndian, &length); err != nil {
-			return nil, fmt.Errorf("%w: ref %d length", ErrFormat, i)
-		}
-		if start > n || length > n-start {
-			return nil, fmt.Errorf("%w: ref %d spans [%d,%d) of %d", ErrFormat, i, start, start+length, n)
-		}
-		refs = append(refs, Ref{Name: string(name), Start: int(start), Len: int(length)})
+	refs, err := readRefTable(br, n)
+	if err != nil {
+		return nil, err
 	}
 	idx, err := fmindex.ReadIndex(br)
 	if err != nil {

@@ -228,11 +228,12 @@ func (x *ShardedIndex) LoadAllContext(ctx context.Context) error {
 	return nil
 }
 
-// LoadAnyFile loads an index file of either layout, dispatching on the
+// LoadAnyFile loads an index file of any layout, dispatching on the
 // container magic: monolithic Save files yield an *Index, sharded Save
-// files a lazily loaded *ShardedIndex. Callers that hold the result for
-// long should Close a ShardedIndex when done (Matcher itself has no
-// Close; type-assert io.Closer).
+// files a lazily loaded *ShardedIndex, and relative containers a
+// *RelativeIndex (resolving the base from the stored path hint).
+// Callers that hold the result for long should Close a ShardedIndex
+// when done (Matcher itself has no Close; type-assert io.Closer).
 func LoadAnyFile(path string) (Matcher, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -267,6 +268,16 @@ func LoadAnyFile(path string) (Matcher, error) {
 		}
 		x.closer = f
 		return x, nil
+	case relativeMagic:
+		// Resolve the base from the container's path hint. Callers that
+		// want to share one base across tenants (the server registry)
+		// should Sniff + LoadRelativeFile with an explicit base instead.
+		f.Close()
+		rx, err := LoadRelativeFile(path, nil)
+		if err != nil {
+			return nil, fmt.Errorf("relative container %s: %w", path, err)
+		}
+		return rx, nil
 	default:
 		f.Close()
 		return nil, fmt.Errorf("%w: magic %#x", ErrFormat, binary.LittleEndian.Uint32(header))

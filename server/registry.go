@@ -1,6 +1,7 @@
 package server
 
 import (
+	"crypto/sha256"
 	"errors"
 	"fmt"
 	"sort"
@@ -28,10 +29,25 @@ type entry struct {
 	name  string
 	idx   bwtmatch.Matcher
 	bytes int64
+	// baseKey, when hasBase is set, points at the shared base this
+	// relative tenant retains; releasing the entry releases the base.
+	baseKey [sha256.Size]byte
+	hasBase bool
 	// lastUsed orders entries for LRU eviction: a global sequence number
 	// stamped on every Get, so lookups stay on the RLock fast path.
 	lastUsed atomic.Int64
 	queries  atomic.Int64
+}
+
+// baseEntry is one shared base index, keyed by BWT fingerprint and
+// refcounted by its live tenants. Bases are not registry entries: they
+// are never LRU-evicted directly (a base pinned by live tenants cannot
+// disappear under them) and are freed exactly when the last tenant
+// referencing them is evicted, removed, or replaced.
+type baseEntry struct {
+	idx     *bwtmatch.Index
+	bytes   int64
+	tenants int
 }
 
 // Registry is a named collection of loaded indexes with an LRU byte
@@ -43,6 +59,7 @@ type Registry struct {
 
 	mu       sync.RWMutex
 	entries  map[string]*entry
+	bases    map[[sha256.Size]byte]*baseEntry
 	resident int64
 
 	// onEvict, when set, observes evictions (used for metrics).
@@ -53,18 +70,73 @@ type Registry struct {
 // unlimited). The budget counts index structures plus the packed text,
 // as reported by Index.SizeBytes and Index.Len.
 func NewRegistry(budget int64) *Registry {
-	return &Registry{budget: budget, entries: make(map[string]*entry)}
+	return &Registry{
+		budget:  budget,
+		entries: make(map[string]*entry),
+		bases:   make(map[[sha256.Size]byte]*baseEntry),
+	}
 }
 
 // indexBytes estimates the resident cost of one index. A sharded
 // index's SizeBytes already includes each shard's packed text, so
 // adding Len would double-count; the monolithic SizeBytes excludes the
-// text, so its cost is SizeBytes plus Len.
+// text, so its cost is SizeBytes plus Len. A relative tenant is charged
+// only its delta — the shared base is accounted once, in its baseEntry.
 func indexBytes(idx bwtmatch.Matcher) int64 {
-	if _, ok := idx.(*bwtmatch.ShardedIndex); ok {
-		return int64(idx.SizeBytes())
+	switch x := idx.(type) {
+	case *bwtmatch.ShardedIndex:
+		return int64(x.SizeBytes())
+	case *bwtmatch.RelativeIndex:
+		return int64(x.DeltaBytes())
 	}
 	return int64(idx.SizeBytes()) + int64(idx.Len())
+}
+
+// retainBaseLocked records a relative tenant's hold on its shared base,
+// registering the base (and charging its bytes to resident) on first
+// use. It returns the base key to stamp on the tenant's entry. Caller
+// holds the write lock.
+func (r *Registry) retainBaseLocked(rx *bwtmatch.RelativeIndex) [sha256.Size]byte {
+	key := rx.BaseFingerprint()
+	be, ok := r.bases[key]
+	if !ok {
+		be = &baseEntry{idx: rx.Base(), bytes: indexBytes(rx.Base())}
+		r.bases[key] = be
+		r.resident += be.bytes
+	}
+	be.tenants++
+	return key
+}
+
+// releaseBaseLocked drops one tenant's hold on its base, freeing the
+// base (and its resident bytes) when the last tenant goes. Caller holds
+// the write lock.
+func (r *Registry) releaseBaseLocked(e *entry) {
+	if !e.hasBase {
+		return
+	}
+	be, ok := r.bases[e.baseKey]
+	if !ok {
+		return
+	}
+	be.tenants--
+	if be.tenants <= 0 {
+		delete(r.bases, e.baseKey)
+		r.resident -= be.bytes
+	}
+}
+
+// SharedBase returns the in-memory base index matching fp, if some
+// registered tenant already retains it. The registry's LoadFile uses it
+// so N tenants of one base share a single copy.
+func (r *Registry) SharedBase(fp [sha256.Size]byte) (*bwtmatch.Index, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	be, ok := r.bases[fp]
+	if !ok {
+		return nil, false
+	}
+	return be.idx, true
 }
 
 // Add registers idx under name, evicting least-recently-used entries if
@@ -75,16 +147,31 @@ func (r *Registry) Add(name string, idx bwtmatch.Matcher) error {
 		return fmt.Errorf("server: empty index name")
 	}
 	cost := indexBytes(idx)
-	if r.budget > 0 && cost > r.budget {
-		return fmt.Errorf("server: index %q (%d bytes) exceeds registry budget (%d bytes)", name, cost, r.budget)
+	rx, isRel := idx.(*bwtmatch.RelativeIndex)
+	full := cost
+	if isRel {
+		// A tenant whose base is not yet resident brings the base along;
+		// the budget must admit both together.
+		if _, shared := r.SharedBase(rx.BaseFingerprint()); !shared {
+			full += indexBytes(rx.Base())
+		}
+	}
+	if r.budget > 0 && full > r.budget {
+		return fmt.Errorf("server: index %q (%d bytes) exceeds registry budget (%d bytes)", name, full, r.budget)
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, ok := r.entries[name]; ok {
 		return fmt.Errorf("%w: %q", ErrExists, name)
 	}
-	r.evictLocked(cost)
 	e := &entry{name: name, idx: idx, bytes: cost}
+	if isRel {
+		// Retain before evicting: the base now has a live hold, so
+		// evicting sibling tenants to make room cannot free it.
+		e.baseKey = r.retainBaseLocked(rx)
+		e.hasBase = true
+	}
+	r.evictLocked(cost)
 	e.lastUsed.Store(r.clock.Add(1))
 	r.entries[name] = e
 	r.resident += cost
@@ -106,18 +193,34 @@ func (r *Registry) evictLocked(incoming int64) {
 		}
 		delete(r.entries, lru.name)
 		r.resident -= lru.bytes
+		r.releaseBaseLocked(lru)
 		if r.onEvict != nil {
 			r.onEvict(lru.name)
 		}
 	}
 }
 
-// LoadFile reads a saved index from path — monolithic or sharded, the
-// container magic decides — and registers it under name. Sharded
-// indexes load lazily: registration reads only the manifest, and each
-// shard materializes from the file on first search.
+// loadShared loads a container of any layout, reusing an already
+// resident base when a relative container's fingerprint matches one —
+// the sharing that makes N tenants cost one base plus N deltas.
+func (r *Registry) loadShared(path string) (bwtmatch.Matcher, error) {
+	if hdr, ok, err := bwtmatch.SniffRelative(path); err == nil && ok {
+		if base, shared := r.SharedBase(hdr.BaseFingerprint); shared {
+			return bwtmatch.LoadRelativeFile(path, base)
+		}
+		return bwtmatch.LoadRelativeFile(path, nil)
+	}
+	return bwtmatch.LoadAnyFile(path)
+}
+
+// LoadFile reads a saved index from path — monolithic, sharded, or
+// relative, the container magic decides — and registers it under name.
+// Sharded indexes load lazily: registration reads only the manifest,
+// and each shard materializes from the file on first search. Relative
+// containers resolve their base from the stored path hint, or share an
+// already registered tenant's base when the fingerprints match.
 func (r *Registry) LoadFile(name, path string) (bwtmatch.Matcher, error) {
-	idx, err := bwtmatch.LoadAnyFile(path)
+	idx, err := r.loadShared(path)
 	if err != nil {
 		// %w keeps bwtmatch.ErrFormat matchable while recording which
 		// registration failed (kmvet: wrapformat).
@@ -151,8 +254,17 @@ func (r *Registry) Replace(name string, idx bwtmatch.Matcher) error {
 		delete(r.entries, name)
 		r.resident -= old.bytes
 	}
-	r.evictLocked(cost)
 	e := &entry{name: name, idx: idx, bytes: cost}
+	if rx, ok := idx.(*bwtmatch.RelativeIndex); ok {
+		e.baseKey = r.retainBaseLocked(rx)
+		e.hasBase = true
+	}
+	if existed {
+		// Release the displaced entry's base only after retaining the
+		// replacement's: a same-base swap keeps the base resident.
+		r.releaseBaseLocked(old)
+	}
+	r.evictLocked(cost)
 	if existed {
 		e.queries.Store(old.queries.Load())
 	}
@@ -166,7 +278,7 @@ func (r *Registry) Replace(name string, idx bwtmatch.Matcher) error {
 // — the hot-reload path after `kmgen -append` grew a container on disk.
 // Searches in flight keep the old index; new lookups see the new one.
 func (r *Registry) ReloadFile(name, path string) (bwtmatch.Matcher, error) {
-	idx, err := bwtmatch.LoadAnyFile(path)
+	idx, err := r.loadShared(path)
 	if err != nil {
 		// %w keeps bwtmatch.ErrFormat matchable while recording which
 		// reload failed (kmvet: wrapformat).
@@ -202,6 +314,7 @@ func (r *Registry) Remove(name string) bool {
 	}
 	delete(r.entries, name)
 	r.resident -= e.bytes
+	r.releaseBaseLocked(e)
 	if r.onEvict != nil {
 		r.onEvict(name)
 	}
@@ -229,10 +342,68 @@ func (r *Registry) List() []IndexInfo {
 				info.ShardBytes[i] = s.Bytes
 			}
 		}
+		if rx, ok := e.idx.(*bwtmatch.RelativeIndex); ok {
+			info.Base = baseID(e.baseKey)
+			info.DeltaBytes = int64(rx.DeltaBytes())
+			if be, ok := r.bases[e.baseKey]; ok {
+				info.SharedBaseBytes = be.bytes
+			}
+		}
 		out = append(out, info)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
+}
+
+// baseID renders a base fingerprint as the short stable identifier used
+// in /v1/indexes and metric labels.
+func baseID(fp [sha256.Size]byte) string { return fmt.Sprintf("%x", fp[:6]) }
+
+// relBaseSeries is one shared base's telemetry snapshot for /metrics.
+type relBaseSeries struct {
+	base    string
+	tenants int
+	bytes   int64
+}
+
+// relTenantSeries is one relative tenant's telemetry snapshot.
+type relTenantSeries struct {
+	name        string
+	base        string
+	deltaBytes  int64
+	baseHits    int64
+	corrections int64
+}
+
+// relativeSnapshot collects the multi-tenant telemetry: one row per
+// shared base (tenant count, resident bytes) and one per relative
+// tenant (delta bytes, base-hit vs delta-correction read split), each
+// sorted for stable exposition order.
+func (r *Registry) relativeSnapshot() ([]relBaseSeries, []relTenantSeries) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	bases := make([]relBaseSeries, 0, len(r.bases))
+	for fp, be := range r.bases {
+		bases = append(bases, relBaseSeries{base: baseID(fp), tenants: be.tenants, bytes: be.bytes})
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i].base < bases[j].base })
+	var tenants []relTenantSeries
+	for _, e := range r.entries {
+		rx, ok := e.idx.(*bwtmatch.RelativeIndex)
+		if !ok {
+			continue
+		}
+		hits, corr := rx.DeltaCounters()
+		tenants = append(tenants, relTenantSeries{
+			name:        e.name,
+			base:        baseID(e.baseKey),
+			deltaBytes:  int64(rx.DeltaBytes()),
+			baseHits:    hits,
+			corrections: corr,
+		})
+	}
+	sort.Slice(tenants, func(i, j int) bool { return tenants[i].name < tenants[j].name })
+	return bases, tenants
 }
 
 // shardSeries is one sharded entry's telemetry snapshot for /metrics.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"path/filepath"
+	"sort"
 	"sync"
 	"testing"
 
@@ -216,5 +217,173 @@ func TestRegistryReloadAppendedContainer(t *testing.T) {
 	}
 	if r.Len() != 2 {
 		t.Errorf("Replace on fresh name: len=%d", r.Len())
+	}
+}
+
+// buildRelativePair builds a base and n relative tenants at ~1%
+// divergence from it.
+func buildRelativeTenants(t *testing.T, seed int64, bases, n int) (*bwtmatch.Index, []*bwtmatch.RelativeIndex) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	baseText := randomDNA(rng, bases)
+	base, err := bwtmatch.New(baseText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tenants := make([]*bwtmatch.RelativeIndex, n)
+	for i := range tenants {
+		tenText := append([]byte(nil), baseText...)
+		for j := 0; j < bases/100; j++ {
+			tenText[rng.Intn(len(tenText))] = "acgt"[rng.Intn(4)]
+		}
+		tenants[i], err = bwtmatch.NewRelative(base, tenText)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return base, tenants
+}
+
+// TestRegistryRelativeSharing checks the multi-tenant accounting: N
+// tenants of one base cost one base plus N deltas, and /v1/indexes
+// reports the split.
+func TestRegistryRelativeSharing(t *testing.T) {
+	base, tenants := buildRelativeTenants(t, 21, 2000, 3)
+	r := NewRegistry(0)
+	for i, tx := range tenants {
+		if err := r.Add(fmt.Sprintf("t%d", i), tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := indexBytes(base)
+	for _, tx := range tenants {
+		want += int64(tx.DeltaBytes())
+	}
+	if r.Resident() != want {
+		t.Fatalf("resident %d, want base+deltas %d (base charged once)", r.Resident(), want)
+	}
+	if _, ok := r.SharedBase(tenants[0].BaseFingerprint()); !ok {
+		t.Fatal("base not shared")
+	}
+	list := r.List()
+	if len(list) != 3 {
+		t.Fatalf("List: %+v", list)
+	}
+	for _, info := range list {
+		if info.Base == "" || info.DeltaBytes == 0 || info.SharedBaseBytes != indexBytes(base) {
+			t.Fatalf("tenant info missing relative accounting: %+v", info)
+		}
+		if info.Base != list[0].Base {
+			t.Fatalf("tenants disagree on base ID: %+v", list)
+		}
+	}
+	relBases, relTenants := r.relativeSnapshot()
+	if len(relBases) != 1 || relBases[0].tenants != 3 {
+		t.Fatalf("relativeSnapshot bases: %+v", relBases)
+	}
+	if len(relTenants) != 3 {
+		t.Fatalf("relativeSnapshot tenants: %+v", relTenants)
+	}
+}
+
+// TestRegistryRelativeEviction checks base pinning: evicting or
+// removing tenants releases the base only when the last one goes, and
+// a base with live tenants survives LRU pressure that evicts its
+// sibling tenants.
+func TestRegistryRelativeEviction(t *testing.T) {
+	base, tenants := buildRelativeTenants(t, 22, 2000, 3)
+	baseCost := indexBytes(base)
+	// The incoming tenant must be the smallest delta so that evicting
+	// one sibling is enough — a deterministic single-victim eviction.
+	sort.Slice(tenants, func(i, j int) bool { return tenants[i].DeltaBytes() > tenants[j].DeltaBytes() })
+	t0, t1, t2 := tenants[0], tenants[1], tenants[2]
+	// Budget: base + two deltas, nothing spare for a third.
+	budget := baseCost + int64(t0.DeltaBytes()) + int64(t1.DeltaBytes())
+	r := NewRegistry(budget)
+	var evicted []string
+	r.onEvict = func(name string) { evicted = append(evicted, name) }
+	if err := r.Add("t0", t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add("t1", t1); err != nil {
+		t.Fatal(err)
+	}
+	if len(evicted) != 0 {
+		t.Fatalf("unexpected evictions: %v", evicted)
+	}
+	if _, err := r.Get("t0"); err != nil { // t1 becomes LRU
+		t.Fatal(err)
+	}
+	// A third tenant of the same base forces eviction of tenant t1 —
+	// only tenant entries are LRU victims; the base must stay resident
+	// because t0 (and now t2) still hold it.
+	if err := r.Add("t2", t2); err != nil {
+		t.Fatal(err)
+	}
+	if len(evicted) == 0 || evicted[0] != "t1" {
+		t.Fatalf("evicted %v, want t1 first", evicted)
+	}
+	if _, ok := r.SharedBase(t0.BaseFingerprint()); !ok {
+		t.Fatal("base freed while tenants still live")
+	}
+	relBases, _ := r.relativeSnapshot()
+	if len(relBases) != 1 || relBases[0].tenants != 2 {
+		t.Fatalf("tenant refcount after eviction: %+v", relBases)
+	}
+	// Removing the remaining tenants frees the base exactly at the last
+	// release.
+	if !r.Remove("t0") {
+		t.Fatal("t0 missing")
+	}
+	if _, ok := r.SharedBase(t0.BaseFingerprint()); !ok {
+		t.Fatal("base freed while t2 still lives")
+	}
+	before := r.Resident()
+	if !r.Remove("t2") {
+		t.Fatal("t2 missing")
+	}
+	if _, ok := r.SharedBase(t0.BaseFingerprint()); ok {
+		t.Fatal("base still resident after last tenant removed")
+	}
+	if got := before - r.Resident(); got != baseCost+int64(t2.DeltaBytes()) {
+		t.Fatalf("removing last tenant freed %d bytes, want delta+base %d", got, baseCost+int64(t2.DeltaBytes()))
+	}
+	if r.Resident() != 0 || r.Len() != 0 {
+		t.Fatalf("registry not empty: resident=%d len=%d", r.Resident(), r.Len())
+	}
+}
+
+// TestRegistryLoadFileSharedBase checks that loading sibling relative
+// containers from disk shares one in-memory base via the fingerprint
+// lookup.
+func TestRegistryLoadFileSharedBase(t *testing.T) {
+	dir := t.TempDir()
+	base, tenants := buildRelativeTenants(t, 25, 1500, 2)
+	basePath := filepath.Join(dir, "base.km")
+	if err := base.SaveFile(basePath); err != nil {
+		t.Fatal(err)
+	}
+	for i, tx := range tenants {
+		tx.SetBasePath("base.km")
+		if err := tx.SaveFile(filepath.Join(dir, fmt.Sprintf("t%d.km", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewRegistry(0)
+	m0, err := r.LoadFile("t0", filepath.Join(dir, "t0.km"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := r.LoadFile("t1", filepath.Join(dir, "t1.km"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0, r1 := m0.(*bwtmatch.RelativeIndex), m1.(*bwtmatch.RelativeIndex)
+	if r0.Base() != r1.Base() {
+		t.Fatal("tenants loaded separate base copies")
+	}
+	relBases, _ := r.relativeSnapshot()
+	if len(relBases) != 1 || relBases[0].tenants != 2 {
+		t.Fatalf("base not shared across LoadFile: %+v", relBases)
 	}
 }

@@ -724,6 +724,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.met.WritePrometheus(w)
 	s.slo.WritePrometheus(w)
+	relBases, relTenants := s.reg.relativeSnapshot()
+	writeRelativeMetrics(w, relBases, relTenants)
 	sharded := s.reg.shardSnapshot()
 	if len(sharded) == 0 {
 		return
@@ -741,6 +743,37 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		for i, si := range e.info {
 			fmt.Fprintf(w, "km_shard_search_ns_total{index=%q,shard=\"%d\"} %d\n", e.name, i, si.SearchNS)
 		}
+	}
+}
+
+// writeRelativeMetrics renders the multi-tenant series: per shared base
+// the tenant count and resident bytes, per relative tenant its delta
+// bytes and the base-hit vs delta-correction BWT-read split. Rendered
+// at scrape time from the registry snapshot; the hot path pays only the
+// delta's own atomics.
+func writeRelativeMetrics(w io.Writer, bases []relBaseSeries, tenants []relTenantSeries) {
+	if len(bases) == 0 && len(tenants) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP km_relative_tenants live relative tenants sharing each base\n# TYPE km_relative_tenants gauge\n")
+	for _, b := range bases {
+		fmt.Fprintf(w, "km_relative_tenants{base=%q} %d\n", b.base, b.tenants)
+	}
+	fmt.Fprintf(w, "# HELP km_relative_base_bytes resident bytes of each shared base\n# TYPE km_relative_base_bytes gauge\n")
+	for _, b := range bases {
+		fmt.Fprintf(w, "km_relative_base_bytes{base=%q} %d\n", b.base, b.bytes)
+	}
+	fmt.Fprintf(w, "# HELP km_relative_delta_bytes resident bytes of each tenant's delta\n# TYPE km_relative_delta_bytes gauge\n")
+	for _, t := range tenants {
+		fmt.Fprintf(w, "km_relative_delta_bytes{index=%q,base=%q} %d\n", t.name, t.base, t.deltaBytes)
+	}
+	fmt.Fprintf(w, "# HELP km_relative_base_hits_total BWT reads answered from the shared base\n# TYPE km_relative_base_hits_total counter\n")
+	for _, t := range tenants {
+		fmt.Fprintf(w, "km_relative_base_hits_total{index=%q} %d\n", t.name, t.baseHits)
+	}
+	fmt.Fprintf(w, "# HELP km_relative_delta_corrections_total BWT reads answered from the delta exception set\n# TYPE km_relative_delta_corrections_total counter\n")
+	for _, t := range tenants {
+		fmt.Fprintf(w, "km_relative_delta_corrections_total{index=%q} %d\n", t.name, t.corrections)
 	}
 }
 
